@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Extension bench: HIX-protected GPU demand paging (Section 5.6
+ * future work). Sweeps the VRAM residency quota for an oversubscribed
+ * managed buffer and reports the cost of the encrypted,
+ * integrity-protected page traffic, against a fully resident regular
+ * allocation as the baseline.
+ */
+
+#include <cstdio>
+
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/machine.h"
+
+using namespace hix;
+
+namespace
+{
+
+constexpr std::uint64_t Page = 64 * KiB;
+constexpr std::uint64_t Pages = 16;
+constexpr int Sweeps = 3;
+
+/** Simulated ms to write + re-read the buffer Sweeps times. */
+double
+run(std::uint32_t quota_pages, bool managed, std::uint64_t *crypto_ops)
+{
+    os::Machine machine;
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest());
+    if (!ge.isOk())
+        return -1;
+    core::TrustedRuntime user(&machine, ge->get(), "app");
+    if (!user.connect().isOk())
+        return -1;
+
+    Result<Addr> va = managed
+                          ? user.memAllocManaged(Pages * Page, Page,
+                                                 quota_pages)
+                          : user.memAlloc(Pages * Page);
+    if (!va.isOk())
+        return -1;
+
+    Bytes data(Pages * Page);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+
+    machine.clearTrace();
+    if (!user.memcpyHtoD(*va, data).isOk())
+        return -1;
+    for (int s = 0; s < Sweeps; ++s) {
+        auto back = user.memcpyDtoH(*va, data.size());
+        if (!back.isOk() || *back != data)
+            return -1;
+    }
+    *crypto_ops = machine.gpu().stats().cryptoKernels;
+    return ticksToMs(machine.scheduleTrace().makespan);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf(
+        "HIX demand paging (Section 5.6 future work): 1 MiB managed "
+        "buffer,\n%d read sweeps, VRAM residency quota sweep\n\n",
+        Sweeps);
+    std::printf("%-22s | %10s | %s\n", "configuration", "time (ms)",
+                "in-GPU crypto kernels");
+
+    std::uint64_t crypto = 0;
+    const double resident = run(0, /*managed=*/false, &crypto);
+    std::printf("%-22s | %10.2f | %llu\n", "regular (all resident)",
+                resident, static_cast<unsigned long long>(crypto));
+
+    for (std::uint32_t quota : {16u, 8u, 4u, 2u, 1u}) {
+        const double t = run(quota, /*managed=*/true, &crypto);
+        char label[32];
+        std::snprintf(label, sizeof(label), "managed, quota %2u/%llu",
+                      quota, static_cast<unsigned long long>(Pages));
+        std::printf("%-22s | %10.2f | %llu\n", label, t,
+                    static_cast<unsigned long long>(crypto));
+    }
+
+    std::printf(
+        "\nExpected shape: at quota >= working set the managed buffer "
+        "tracks the\nregular allocation (paging idle); shrinking the "
+        "quota below the sweep\nworking set produces encrypted "
+        "evict/page-in traffic that grows as the\nquota falls — the "
+        "cost of extending HIX's guarantees to oversubscribed\nGPU "
+        "memory.\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Attack walkthrough: the same privileged adversary against the
+ * unprotected GPU stack and against HIX, narrated step by step. This
+ * is the Section 1/5.5 story in executable form: on the baseline the
+ * OS steals data three different ways; on HIX each of those ways hits
+ * a specific hardware or cryptographic wall.
+ */
+
+#include <cstdio>
+
+#include "hix/baseline_runtime.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/attacker.h"
+#include "os/machine.h"
+
+using namespace hix;
+
+namespace
+{
+
+int
+countMatches(const Bytes &a, const Bytes &b)
+{
+    int matches = 0;
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        if (a[i] == b[i])
+            ++matches;
+    return matches;
+}
+
+}  // namespace
+
+int
+main()
+{
+    Bytes secret(256);
+    for (std::size_t i = 0; i < secret.size(); ++i)
+        secret[i] = static_cast<std::uint8_t>(0xA0 ^ (i * 7));
+
+    std::printf("=== Act 1: the unprotected system ===\n");
+    {
+        os::Machine machine;
+        core::BaselineRuntime victim(&machine, "victim");
+        (void)victim.init();
+        auto va = victim.memAlloc(4096);
+        (void)victim.memcpyHtoD(*va, secret);
+
+        os::Attacker attacker(&machine);
+
+        // 1. Read the staging buffer straight out of DRAM.
+        auto dram = attacker.readDram(victim.hostBuffer().paddr,
+                                      secret.size());
+        std::printf("  [dram snoop]    %3d/256 bytes recovered\n",
+                    countMatches(*dram, secret));
+
+        // 2. Map the GPU BAR1 aperture and dump VRAM.
+        ProcessId evil = machine.os().createProcess("evil");
+        auto vram_pa = victim.gdev().vramAddrOf(victim.gpuContext(),
+                                                *va);
+        Addr aperture =
+            machine.gpu().config().barBase(1) + *vram_pa;
+        auto bar1 = attacker.mapAndRead(evil, aperture, secret.size());
+        std::printf("  [BAR1 dump]     %3d/256 bytes recovered\n",
+                    bar1.isOk() ? countMatches(*bar1, secret) : 0);
+
+        // 3. Residual-data attack: free without scrubbing, then read
+        //    the stale VRAM (the CUDA-leaks class).
+        (void)victim.memFree(*va);
+        auto residue =
+            attacker.mapAndRead(evil, aperture, secret.size());
+        std::printf("  [residual read] %3d/256 bytes recovered\n",
+                    residue.isOk() ? countMatches(*residue, secret)
+                                   : 0);
+    }
+
+    std::printf("\n=== Act 2: the same adversary vs HIX ===\n");
+    {
+        os::Machine machine;
+        auto ge = core::GpuEnclave::create(
+            &machine, machine.gpu().factoryBiosDigest());
+        if (!ge.isOk())
+            return 1;
+        core::TrustedRuntime victim(&machine, ge->get(), "victim");
+        if (!victim.connect().isOk())
+            return 1;
+        auto va = victim.memAlloc(4096);
+        if (!va.isOk() || !victim.memcpyHtoD(*va, secret).isOk())
+            return 1;
+
+        os::Attacker attacker(&machine);
+        ProcessId evil = machine.os().createProcess("evil");
+
+        // 1. DRAM snoop now sees OCB ciphertext.
+        auto dram = attacker.readDram(victim.sharedRing().paddr,
+                                      secret.size());
+        std::printf("  [dram snoop]    %3d/256 bytes match "
+                    "(ciphertext only)\n",
+                    countMatches(*dram, secret));
+
+        // 2. BAR1 mapping: the TLB fill fails the GECS/TGMR check.
+        auto bar1 = attacker.mapAndRead(
+            evil, machine.gpu().config().barBase(1), 256);
+        std::printf("  [BAR1 dump]     %s\n",
+                    bar1.isOk() ? "UNEXPECTED SUCCESS"
+                                : bar1.status().toString().c_str());
+
+        // 3. Rewrite PCIe routing to intercept the command path.
+        Status routing = attacker.rewriteConfig(
+            machine.gpu().bdf(), pcie::cfg::Bar0, 0xdead0000);
+        std::printf("  [PCIe rewrite]  %s\n",
+                    routing.toString().c_str());
+
+        // 4. Kill the GPU enclave and try to take the GPU over.
+        (void)attacker.killProcessAndEnclave((*ge)->pid(),
+                                             (*ge)->enclaveId());
+        auto takeover = core::GpuEnclave::create(
+            &machine, machine.gpu().factoryBiosDigest());
+        std::printf("  [kill+rebind]   %s\n",
+                    takeover.isOk()
+                        ? "UNEXPECTED SUCCESS"
+                        : takeover.status().toString().c_str());
+        std::printf(
+            "  the GPU (and the victim's data in it) stays locked "
+            "until cold boot\n");
+    }
+    return 0;
+}

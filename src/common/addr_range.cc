@@ -1,0 +1,18 @@
+#include "common/addr_range.h"
+
+#include <cstdio>
+
+namespace hix
+{
+
+std::string
+AddrRange::toString() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[0x%llx, 0x%llx)",
+                  static_cast<unsigned long long>(start_),
+                  static_cast<unsigned long long>(end_));
+    return buf;
+}
+
+}  // namespace hix

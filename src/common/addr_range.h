@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Half-open physical/virtual address range [start, end).
+ */
+
+#ifndef HIX_COMMON_ADDR_RANGE_H_
+#define HIX_COMMON_ADDR_RANGE_H_
+
+#include <algorithm>
+#include <string>
+
+#include "common/types.h"
+
+namespace hix
+{
+
+/**
+ * A half-open address range [start, end). Used for MMIO windows, BAR
+ * apertures, EPC regions, and DMA buffers.
+ */
+class AddrRange
+{
+  public:
+    /** An empty range at address zero. */
+    AddrRange() : start_(0), end_(0) {}
+
+    /** Range [start, start + size). */
+    AddrRange(Addr start, std::uint64_t size)
+        : start_(start), end_(start + size)
+    {}
+
+    static AddrRange
+    fromStartEnd(Addr start, Addr end)
+    {
+        AddrRange r;
+        r.start_ = start;
+        r.end_ = std::max(start, end);
+        return r;
+    }
+
+    Addr start() const { return start_; }
+    /** One past the last byte. */
+    Addr end() const { return end_; }
+    std::uint64_t size() const { return end_ - start_; }
+    bool empty() const { return end_ == start_; }
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= start_ && a < end_;
+    }
+
+    /** True when the whole of @p other lies inside this range. */
+    bool
+    containsRange(const AddrRange &other) const
+    {
+        return !other.empty() && other.start_ >= start_ &&
+               other.end_ <= end_;
+    }
+
+    bool
+    overlaps(const AddrRange &other) const
+    {
+        return start_ < other.end_ && other.start_ < end_;
+    }
+
+    /** Byte offset of @p a from the start; caller ensures contains(). */
+    std::uint64_t
+    offsetOf(Addr a) const
+    {
+        return a - start_;
+    }
+
+    std::string toString() const;
+
+    friend bool
+    operator==(const AddrRange &a, const AddrRange &b)
+    {
+        return a.start_ == b.start_ && a.end_ == b.end_;
+    }
+
+  private:
+    Addr start_;
+    Addr end_;
+};
+
+}  // namespace hix
+
+#endif  // HIX_COMMON_ADDR_RANGE_H_

@@ -1,0 +1,70 @@
+#include "common/byte_utils.h"
+
+#include "common/logging.h"
+
+namespace hix
+{
+
+namespace
+{
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::string
+toHex(const std::uint8_t *data, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+toHex(const Bytes &data)
+{
+    return toHex(data.data(), data.size());
+}
+
+Bytes
+fromHex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        hix_panic("fromHex: odd-length hex string");
+    Bytes out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        int hi = hexNibble(hex[2 * i]);
+        int lo = hexNibble(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            hix_panic("fromHex: invalid hex character");
+        out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+    }
+    return out;
+}
+
+bool
+constantTimeEqual(const std::uint8_t *a, const std::uint8_t *b,
+                  std::size_t n)
+{
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+}  // namespace hix

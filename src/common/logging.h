@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Logging and fatal-error helpers, in the spirit of gem5's
+ * base/logging.hh: panic() for internal model bugs, fatal() for user
+ * configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef HIX_COMMON_LOGGING_H_
+#define HIX_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hix
+{
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel
+{
+    Quiet = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Process-global log verbosity; defaults to Warn. */
+LogLevel logLevel();
+
+/** Set the process-global log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+}  // namespace detail
+
+/** Abort: something happened that indicates a bug in the model. */
+#define hix_panic(...) \
+    ::hix::detail::panicImpl(__FILE__, __LINE__, \
+                             ::hix::detail::format(__VA_ARGS__))
+
+/** Exit: the simulation cannot continue due to a user/config error. */
+#define hix_fatal(...) \
+    ::hix::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::hix::detail::format(__VA_ARGS__))
+
+/** Warn about suspicious but survivable conditions. */
+#define hix_warn(...) \
+    ::hix::detail::logImpl(::hix::LogLevel::Warn, \
+                           ::hix::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define hix_inform(...) \
+    ::hix::detail::logImpl(::hix::LogLevel::Inform, \
+                           ::hix::detail::format(__VA_ARGS__))
+
+/** High-volume debug message. */
+#define hix_debug(...) \
+    ::hix::detail::logImpl(::hix::LogLevel::Debug, \
+                           ::hix::detail::format(__VA_ARGS__))
+
+}  // namespace hix
+
+#endif  // HIX_COMMON_LOGGING_H_

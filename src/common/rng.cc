@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+namespace hix
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    // Avoid the all-zero state, which xoshiro cannot leave.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+void
+Rng::fill(std::uint8_t *out, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i + 8 <= n) {
+        std::uint64_t r = next64();
+        for (int b = 0; b < 8; ++b)
+            out[i++] = static_cast<std::uint8_t>(r >> (8 * b));
+    }
+    if (i < n) {
+        std::uint64_t r = next64();
+        while (i < n) {
+            out[i++] = static_cast<std::uint8_t>(r);
+            r >>= 8;
+        }
+    }
+}
+
+Bytes
+Rng::bytes(std::size_t n)
+{
+    Bytes out(n);
+    fill(out.data(), n);
+    return out;
+}
+
+}  // namespace hix

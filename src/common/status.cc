@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+namespace hix
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::NotFound:
+        return "NOT_FOUND";
+      case StatusCode::AlreadyExists:
+        return "ALREADY_EXISTS";
+      case StatusCode::PermissionDenied:
+        return "PERMISSION_DENIED";
+      case StatusCode::AccessFault:
+        return "ACCESS_FAULT";
+      case StatusCode::LockdownViolation:
+        return "LOCKDOWN_VIOLATION";
+      case StatusCode::IntegrityFailure:
+        return "INTEGRITY_FAILURE";
+      case StatusCode::ReplayDetected:
+        return "REPLAY_DETECTED";
+      case StatusCode::AttestationFailure:
+        return "ATTESTATION_FAILURE";
+      case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::FailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::Unavailable:
+        return "UNAVAILABLE";
+      case StatusCode::Unimplemented:
+        return "UNIMPLEMENTED";
+      case StatusCode::Internal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    std::string s = statusCodeName(code_);
+    if (!msg_.empty()) {
+        s += ": ";
+        s += msg_;
+    }
+    return s;
+}
+
+#define HIX_DEFINE_ERR(fn, code) \
+    Status fn(std::string msg) \
+    { \
+        return Status(StatusCode::code, std::move(msg)); \
+    }
+
+HIX_DEFINE_ERR(errInvalidArgument, InvalidArgument)
+HIX_DEFINE_ERR(errNotFound, NotFound)
+HIX_DEFINE_ERR(errAlreadyExists, AlreadyExists)
+HIX_DEFINE_ERR(errPermissionDenied, PermissionDenied)
+HIX_DEFINE_ERR(errAccessFault, AccessFault)
+HIX_DEFINE_ERR(errLockdownViolation, LockdownViolation)
+HIX_DEFINE_ERR(errIntegrityFailure, IntegrityFailure)
+HIX_DEFINE_ERR(errReplayDetected, ReplayDetected)
+HIX_DEFINE_ERR(errAttestationFailure, AttestationFailure)
+HIX_DEFINE_ERR(errResourceExhausted, ResourceExhausted)
+HIX_DEFINE_ERR(errFailedPrecondition, FailedPrecondition)
+HIX_DEFINE_ERR(errUnavailable, Unavailable)
+HIX_DEFINE_ERR(errUnimplemented, Unimplemented)
+HIX_DEFINE_ERR(errInternal, Internal)
+
+#undef HIX_DEFINE_ERR
+
+}  // namespace hix

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Error handling for the modelled hardware/software stack.
+ *
+ * Security-relevant denials (access faults, MAC failures, lockdown
+ * rejections) are normal, *expected* outcomes under the HIX threat
+ * model, so they are reported as values rather than exceptions: every
+ * fallible operation returns a Status or a Result<T>.
+ */
+
+#ifndef HIX_COMMON_STATUS_H_
+#define HIX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hix
+{
+
+/** Canonical error codes across all HIX modules. */
+enum class StatusCode
+{
+    Ok = 0,
+    /** Generic invalid argument from the caller. */
+    InvalidArgument,
+    /** Entity (page, device, enclave, buffer...) not found. */
+    NotFound,
+    /** Entity already exists / already bound. */
+    AlreadyExists,
+    /** Caller lacks the rights; access denied by a protection check. */
+    PermissionDenied,
+    /** Hardware protection fault (EPCM/TGMR/TLB validation failure). */
+    AccessFault,
+    /** PCIe lockdown dropped the transaction. */
+    LockdownViolation,
+    /** Authenticated-encryption tag mismatch. */
+    IntegrityFailure,
+    /** Replay detected (stale nonce). */
+    ReplayDetected,
+    /** Attestation / measurement mismatch. */
+    AttestationFailure,
+    /** Out of a modelled resource (EPC pages, VRAM, channels...). */
+    ResourceExhausted,
+    /** Operation invalid in the current state. */
+    FailedPrecondition,
+    /** Device or enclave is terminated/unavailable. */
+    Unavailable,
+    /** Feature intentionally not modelled. */
+    Unimplemented,
+    /** Internal model inconsistency. */
+    Internal,
+};
+
+/** Human-readable name of a status code. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Lightweight status value: a code plus an optional message.
+ * Statuses are cheap to copy and compare by code.
+ */
+class Status
+{
+  public:
+    /** Construct an OK status. */
+    Status() : code_(StatusCode::Ok) {}
+
+    /** Construct a status with a code and message. */
+    Status(StatusCode code, std::string msg)
+        : code_(code), msg_(std::move(msg))
+    {}
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return msg_; }
+
+    /** "CODE: message" string for logs and test failures. */
+    std::string toString() const;
+
+    friend bool
+    operator==(const Status &a, const Status &b)
+    {
+        return a.code_ == b.code_;
+    }
+
+  private:
+    StatusCode code_;
+    std::string msg_;
+};
+
+/** Shorthand constructors, one per error code. */
+Status errInvalidArgument(std::string msg);
+Status errNotFound(std::string msg);
+Status errAlreadyExists(std::string msg);
+Status errPermissionDenied(std::string msg);
+Status errAccessFault(std::string msg);
+Status errLockdownViolation(std::string msg);
+Status errIntegrityFailure(std::string msg);
+Status errReplayDetected(std::string msg);
+Status errAttestationFailure(std::string msg);
+Status errResourceExhausted(std::string msg);
+Status errFailedPrecondition(std::string msg);
+Status errUnavailable(std::string msg);
+Status errUnimplemented(std::string msg);
+Status errInternal(std::string msg);
+
+/**
+ * A value or an error status. Minimal std::expected stand-in: the
+ * toolchain's C++20 library predates std::expected.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Implicit from a value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Implicit from a non-OK status. */
+    Result(Status status) : status_(std::move(status))
+    {
+        if (status_.isOk())
+            status_ = errInternal("Result constructed from OK status");
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    /** The error status; OK when a value is present. */
+    const Status &status() const { return status_; }
+
+    /** Access the value; undefined if !isOk(). */
+    T &value() & { return *value_; }
+    const T &value() const & { return *value_; }
+    T &&value() && { return std::move(*value_); }
+
+    T &operator*() & { return *value_; }
+    const T &operator*() const & { return *value_; }
+    T *operator->() { return &*value_; }
+    const T *operator->() const { return &*value_; }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+/** Propagate a non-OK Status from the current function. */
+#define HIX_RETURN_IF_ERROR(expr) \
+    do { \
+        ::hix::Status hix_st_ = (expr); \
+        if (!hix_st_.isOk()) \
+            return hix_st_; \
+    } while (0)
+
+/** Assign a Result's value to lhs, or propagate its error status. */
+#define HIX_ASSIGN_OR_RETURN(lhs, expr) \
+    auto HIX_CONCAT_(hix_res_, __LINE__) = (expr); \
+    if (!HIX_CONCAT_(hix_res_, __LINE__).isOk()) \
+        return HIX_CONCAT_(hix_res_, __LINE__).status(); \
+    lhs = std::move(HIX_CONCAT_(hix_res_, __LINE__)).value()
+
+#define HIX_CONCAT_IMPL_(a, b) a##b
+#define HIX_CONCAT_(a, b) HIX_CONCAT_IMPL_(a, b)
+
+}  // namespace hix
+
+#endif  // HIX_COMMON_STATUS_H_

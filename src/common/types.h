@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every HIX module.
+ */
+
+#ifndef HIX_COMMON_TYPES_H_
+#define HIX_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hix
+{
+
+/** Physical or virtual address in the modelled machine. */
+using Addr = std::uint64_t;
+
+/** Simulated time, in ticks. One tick is one nanosecond. */
+using Tick = std::uint64_t;
+
+/** The largest representable tick; used as "never". */
+inline constexpr Tick MaxTick = ~Tick(0);
+
+/** Raw byte storage used throughout the data path. */
+using Bytes = std::vector<std::uint8_t>;
+
+/** Identifier of a modelled process (OS-level). */
+using ProcessId = std::uint32_t;
+
+/** Identifier of an SGX enclave instance. */
+using EnclaveId = std::uint64_t;
+
+/** Invalid/unassigned enclave id. */
+inline constexpr EnclaveId InvalidEnclaveId = 0;
+
+/** Identifier of a GPU hardware context (channel group). */
+using GpuContextId = std::uint32_t;
+
+}  // namespace hix
+
+#endif  // HIX_COMMON_TYPES_H_

@@ -1,0 +1,252 @@
+#include "crypto/aes128.h"
+
+#include <cstring>
+
+namespace hix::crypto
+{
+
+namespace
+{
+
+/**
+ * The S-box and its inverse are derived at startup from the GF(2^8)
+ * definition in FIPS 197 (multiplicative inverse followed by the
+ * affine transform) rather than pasted as literal tables; this makes
+ * the construction self-checking.
+ */
+struct SboxTables
+{
+    std::uint8_t sbox[256];
+    std::uint8_t inv[256];
+
+    SboxTables()
+    {
+        // Build log/antilog tables over GF(2^8) with generator 3.
+        std::uint8_t pow[256];
+        std::uint8_t log[256] = {0};
+        std::uint8_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            pow[i] = x;
+            log[x] = static_cast<std::uint8_t>(i);
+            // multiply x by 3 = x ^ (x * 2)
+            std::uint8_t x2 = static_cast<std::uint8_t>(
+                (x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+            x ^= x2;
+        }
+        pow[255] = pow[0];
+
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t inv_i =
+                i == 0 ? 0 : pow[255 - log[static_cast<std::uint8_t>(i)]];
+            // Affine transform: b ^= rot(b,1)^rot(b,2)^rot(b,3)^rot(b,4)
+            // ^ 0x63, with rot = left-rotate.
+            std::uint8_t b = inv_i;
+            std::uint8_t res = 0x63;
+            for (int r = 0; r < 5; ++r) {
+                res ^= b;
+                b = static_cast<std::uint8_t>((b << 1) | (b >> 7));
+            }
+            sbox[i] = res;
+            inv[res] = static_cast<std::uint8_t>(i);
+        }
+    }
+};
+
+const SboxTables tables;
+
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    while (b) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    return (std::uint32_t(tables.sbox[(w >> 24) & 0xff]) << 24) |
+           (std::uint32_t(tables.sbox[(w >> 16) & 0xff]) << 16) |
+           (std::uint32_t(tables.sbox[(w >> 8) & 0xff]) << 8) |
+           std::uint32_t(tables.sbox[w & 0xff]);
+}
+
+std::uint32_t
+rotWord(std::uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+void
+addRoundKey(std::uint8_t state[16], const std::uint32_t *rk)
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint32_t w = rk[c];
+        state[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+        state[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+        state[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+        state[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+}
+
+void
+subBytes(std::uint8_t state[16])
+{
+    for (int i = 0; i < 16; ++i)
+        state[i] = tables.sbox[state[i]];
+}
+
+void
+invSubBytes(std::uint8_t state[16])
+{
+    for (int i = 0; i < 16; ++i)
+        state[i] = tables.inv[state[i]];
+}
+
+void
+shiftRows(std::uint8_t s[16])
+{
+    // State is column-major: s[4*c + r]. Row r rotates left by r.
+    std::uint8_t t;
+    // row 1
+    t = s[1];
+    s[1] = s[5];
+    s[5] = s[9];
+    s[9] = s[13];
+    s[13] = t;
+    // row 2
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    // row 3 (rotate left by 3 == right by 1)
+    t = s[15];
+    s[15] = s[11];
+    s[11] = s[7];
+    s[7] = s[3];
+    s[3] = t;
+}
+
+void
+invShiftRows(std::uint8_t s[16])
+{
+    std::uint8_t t;
+    // row 1 rotates right by 1
+    t = s[13];
+    s[13] = s[9];
+    s[9] = s[5];
+    s[5] = s[1];
+    s[1] = t;
+    // row 2
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    // row 3 rotates right by 3 == left by 1
+    t = s[3];
+    s[3] = s[7];
+    s[7] = s[11];
+    s[11] = s[15];
+    s[15] = t;
+}
+
+void
+mixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = s + 4 * c;
+        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(xtime(a0) ^ xtime(a1) ^ a1 ^
+                                           a2 ^ a3);
+        col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ xtime(a2) ^
+                                           a2 ^ a3);
+        col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^
+                                           xtime(a3) ^ a3);
+        col[3] = static_cast<std::uint8_t>(xtime(a0) ^ a0 ^ a1 ^ a2 ^
+                                           xtime(a3));
+    }
+}
+
+void
+invMixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = s + 4 * c;
+        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    }
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey &key)
+{
+    // FIPS 197 key expansion for Nk = 4, Nr = 10.
+    for (int i = 0; i < 4; ++i) {
+        enc_keys_[i] = (std::uint32_t(key[4 * i]) << 24) |
+                       (std::uint32_t(key[4 * i + 1]) << 16) |
+                       (std::uint32_t(key[4 * i + 2]) << 8) |
+                       std::uint32_t(key[4 * i + 3]);
+    }
+    std::uint32_t rcon = 0x01000000;
+    for (int i = 4; i < 4 * (NumRounds + 1); ++i) {
+        std::uint32_t temp = enc_keys_[i - 1];
+        if (i % 4 == 0) {
+            temp = subWord(rotWord(temp)) ^ rcon;
+            rcon = std::uint32_t(xtime(std::uint8_t(rcon >> 24))) << 24;
+        }
+        enc_keys_[i] = enc_keys_[i - 4] ^ temp;
+    }
+}
+
+void
+Aes128::encryptBlock(const std::uint8_t *in, std::uint8_t *out) const
+{
+    std::uint8_t state[16];
+    std::memcpy(state, in, 16);
+
+    addRoundKey(state, &enc_keys_[0]);
+    for (int round = 1; round < NumRounds; ++round) {
+        subBytes(state);
+        shiftRows(state);
+        mixColumns(state);
+        addRoundKey(state, &enc_keys_[4 * round]);
+    }
+    subBytes(state);
+    shiftRows(state);
+    addRoundKey(state, &enc_keys_[4 * NumRounds]);
+
+    std::memcpy(out, state, 16);
+}
+
+void
+Aes128::decryptBlock(const std::uint8_t *in, std::uint8_t *out) const
+{
+    std::uint8_t state[16];
+    std::memcpy(state, in, 16);
+
+    addRoundKey(state, &enc_keys_[4 * NumRounds]);
+    for (int round = NumRounds - 1; round >= 1; --round) {
+        invShiftRows(state);
+        invSubBytes(state);
+        addRoundKey(state, &enc_keys_[4 * round]);
+        invMixColumns(state);
+    }
+    invShiftRows(state);
+    invSubBytes(state);
+    addRoundKey(state, &enc_keys_[0]);
+
+    std::memcpy(out, state, 16);
+}
+
+}  // namespace hix::crypto

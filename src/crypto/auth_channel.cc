@@ -1,0 +1,38 @@
+#include "crypto/auth_channel.h"
+
+namespace hix::crypto
+{
+
+AuthChannel::AuthChannel(const AesKey &key, std::uint32_t send_stream,
+                         std::uint32_t recv_stream)
+    : ocb_(key), send_stream_(send_stream), recv_stream_(recv_stream)
+{
+}
+
+SealedMessage
+AuthChannel::seal(const Bytes &plaintext, const Bytes &ad)
+{
+    SealedMessage msg;
+    msg.stream = send_stream_;
+    msg.sequence = send_seq_++;
+    msg.body =
+        ocb_.encrypt(makeNonce(msg.stream, msg.sequence), ad, plaintext);
+    return msg;
+}
+
+Result<Bytes>
+AuthChannel::open(const SealedMessage &msg, const Bytes &ad)
+{
+    if (msg.stream != recv_stream_)
+        return errInvalidArgument("message from unexpected stream");
+    if (msg.sequence <= recv_seq_)
+        return errReplayDetected("stale sequence number");
+    auto plain = ocb_.decrypt(makeNonce(msg.stream, msg.sequence), ad,
+                              msg.body);
+    if (!plain.isOk())
+        return plain.status();
+    recv_seq_ = msg.sequence;
+    return plain;
+}
+
+}  // namespace hix::crypto

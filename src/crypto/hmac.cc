@@ -1,0 +1,56 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace hix::crypto
+{
+
+Sha256Digest
+hmacSha256(const std::uint8_t *key, std::size_t key_len,
+           const std::uint8_t *data, std::size_t data_len)
+{
+    constexpr std::size_t BlockSize = 64;
+    std::uint8_t key_block[BlockSize] = {0};
+
+    if (key_len > BlockSize) {
+        Sha256Digest kd = Sha256::digest(key, key_len);
+        std::memcpy(key_block, kd.data(), kd.size());
+    } else {
+        std::memcpy(key_block, key, key_len);
+    }
+
+    std::uint8_t ipad[BlockSize];
+    std::uint8_t opad[BlockSize];
+    for (std::size_t i = 0; i < BlockSize; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad, BlockSize);
+    inner.update(data, data_len);
+    Sha256Digest inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(opad, BlockSize);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finalize();
+}
+
+Sha256Digest
+hmacSha256(const Bytes &key, const Bytes &data)
+{
+    return hmacSha256(key.data(), key.size(), data.data(), data.size());
+}
+
+AesKey
+deriveAesKey(const Bytes &secret, const std::string &label)
+{
+    Bytes info(label.begin(), label.end());
+    Sha256Digest prk = hmacSha256(secret, info);
+    AesKey key;
+    std::memcpy(key.data(), prk.data(), key.size());
+    return key;
+}
+
+}  // namespace hix::crypto

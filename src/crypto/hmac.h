@@ -1,0 +1,36 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104) and the HKDF-style key derivation the HIX
+ * session setup uses to turn a Diffie-Hellman shared secret into
+ * per-direction OCB keys.
+ */
+
+#ifndef HIX_CRYPTO_HMAC_H_
+#define HIX_CRYPTO_HMAC_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+
+namespace hix::crypto
+{
+
+/** HMAC-SHA256 of @p data under @p key. */
+Sha256Digest hmacSha256(const Bytes &key, const Bytes &data);
+
+/** HMAC-SHA256 accepting raw pointers. */
+Sha256Digest hmacSha256(const std::uint8_t *key, std::size_t key_len,
+                        const std::uint8_t *data, std::size_t data_len);
+
+/**
+ * Derive a 128-bit AES key from a shared secret and a textual label
+ * (HKDF-expand style: HMAC(secret, label) truncated to 16 bytes).
+ * Different labels yield independent keys from one DH secret.
+ */
+AesKey deriveAesKey(const Bytes &secret, const std::string &label);
+
+}  // namespace hix::crypto
+
+#endif  // HIX_CRYPTO_HMAC_H_

@@ -1,0 +1,262 @@
+#include "crypto/ocb.h"
+
+#include <cstring>
+
+#include "common/byte_utils.h"
+#include "common/logging.h"
+
+namespace hix::crypto
+{
+
+namespace
+{
+
+/** GF(2^128) doubling per RFC 7253 Section 2. */
+AesBlock
+gfDouble(const AesBlock &s)
+{
+    AesBlock out;
+    std::uint8_t carry = s[0] >> 7;
+    for (int i = 0; i < 15; ++i)
+        out[i] = static_cast<std::uint8_t>((s[i] << 1) | (s[i + 1] >> 7));
+    out[15] = static_cast<std::uint8_t>(s[15] << 1);
+    if (carry)
+        out[15] ^= 0x87;
+    return out;
+}
+
+/** Number of trailing zeros of a positive block index. */
+std::size_t
+ntz(std::uint64_t i)
+{
+    std::size_t n = 0;
+    while ((i & 1) == 0) {
+        ++n;
+        i >>= 1;
+    }
+    return n;
+}
+
+void
+xorBlock(AesBlock &dst, const std::uint8_t *src)
+{
+    for (std::size_t i = 0; i < AesBlockSize; ++i)
+        dst[i] ^= src[i];
+}
+
+}  // namespace
+
+OcbNonce
+makeNonce(std::uint32_t stream, std::uint64_t counter)
+{
+    OcbNonce n{};
+    storeBE32(n.data(), stream);
+    storeBE64(n.data() + 4, counter);
+    return n;
+}
+
+Ocb::Ocb(const AesKey &key) : cipher_(key)
+{
+    AesBlock zero{};
+    l_star_ = cipher_.encrypt(zero);
+    l_dollar_ = gfDouble(l_star_);
+    l_.push_back(gfDouble(l_dollar_));  // L_0
+}
+
+const AesBlock &
+Ocb::lValue(std::size_t i) const
+{
+    while (l_.size() <= i)
+        l_.push_back(gfDouble(l_.back()));
+    return l_[i];
+}
+
+AesBlock
+Ocb::hashAd(const std::uint8_t *ad, std::size_t ad_len) const
+{
+    AesBlock sum{};
+    AesBlock offset{};
+    std::uint64_t i = 1;
+    while (ad_len >= AesBlockSize) {
+        xorBlock(offset, lValue(ntz(i)).data());
+        AesBlock tmp = offset;
+        xorBlock(tmp, ad);
+        tmp = cipher_.encrypt(tmp);
+        xorBlock(sum, tmp.data());
+        ad += AesBlockSize;
+        ad_len -= AesBlockSize;
+        ++i;
+    }
+    if (ad_len > 0) {
+        xorBlock(offset, l_star_.data());
+        AesBlock padded{};
+        std::memcpy(padded.data(), ad, ad_len);
+        padded[ad_len] = 0x80;
+        xorBlock(padded, offset.data());
+        padded = cipher_.encrypt(padded);
+        xorBlock(sum, padded.data());
+    }
+    return sum;
+}
+
+AesBlock
+Ocb::initialOffset(const OcbNonce &nonce) const
+{
+    // Nonce = num2str(TAGLEN mod 128, 7) || zeros || 1 || N.
+    // TAGLEN = 128, so the leading 7 bits are zero.
+    AesBlock full{};
+    full[15 - OcbNonceSize] |= 0x01;
+    std::memcpy(full.data() + 16 - OcbNonceSize, nonce.data(),
+                OcbNonceSize);
+
+    const int bottom = full[15] & 0x3f;
+    AesBlock ktop_in = full;
+    ktop_in[15] = static_cast<std::uint8_t>(ktop_in[15] & 0xc0);
+    AesBlock ktop = cipher_.encrypt(ktop_in);
+
+    // Stretch = Ktop || (Ktop[1..64] xor Ktop[9..72]) (bits).
+    std::uint8_t stretch[24];
+    std::memcpy(stretch, ktop.data(), 16);
+    for (int i = 0; i < 8; ++i)
+        stretch[16 + i] = static_cast<std::uint8_t>(ktop[i] ^ ktop[i + 1]);
+
+    // Offset_0 = Stretch[1+bottom .. 128+bottom] (bit indices).
+    AesBlock offset;
+    const int byte_shift = bottom / 8;
+    const int bit_shift = bottom % 8;
+    for (int i = 0; i < 16; ++i) {
+        if (bit_shift == 0) {
+            offset[i] = stretch[i + byte_shift];
+        } else {
+            offset[i] = static_cast<std::uint8_t>(
+                (stretch[i + byte_shift] << bit_shift) |
+                (stretch[i + byte_shift + 1] >> (8 - bit_shift)));
+        }
+    }
+    return offset;
+}
+
+void
+Ocb::encryptInto(const OcbNonce &nonce, const std::uint8_t *ad,
+                 std::size_t ad_len, const std::uint8_t *pt,
+                 std::size_t pt_len, std::uint8_t *out,
+                 std::uint8_t *tag_out) const
+{
+    AesBlock offset = initialOffset(nonce);
+    AesBlock checksum{};
+    std::uint64_t i = 1;
+
+    std::size_t remaining = pt_len;
+    while (remaining >= AesBlockSize) {
+        xorBlock(offset, lValue(ntz(i)).data());
+        AesBlock tmp = offset;
+        xorBlock(tmp, pt);
+        tmp = cipher_.encrypt(tmp);
+        xorBlock(tmp, offset.data());
+        std::memcpy(out, tmp.data(), AesBlockSize);
+        xorBlock(checksum, pt);
+        pt += AesBlockSize;
+        out += AesBlockSize;
+        remaining -= AesBlockSize;
+        ++i;
+    }
+    if (remaining > 0) {
+        xorBlock(offset, l_star_.data());
+        AesBlock pad = cipher_.encrypt(offset);
+        for (std::size_t j = 0; j < remaining; ++j)
+            out[j] = static_cast<std::uint8_t>(pt[j] ^ pad[j]);
+        AesBlock padded{};
+        std::memcpy(padded.data(), pt, remaining);
+        padded[remaining] = 0x80;
+        xorBlock(checksum, padded.data());
+    }
+
+    AesBlock tag = checksum;
+    xorBlock(tag, offset.data());
+    xorBlock(tag, l_dollar_.data());
+    tag = cipher_.encrypt(tag);
+    AesBlock ad_hash = hashAd(ad, ad_len);
+    xorBlock(tag, ad_hash.data());
+    std::memcpy(tag_out, tag.data(), OcbTagSize);
+}
+
+Bytes
+Ocb::encrypt(const OcbNonce &nonce, const Bytes &ad,
+             const Bytes &plaintext) const
+{
+    Bytes out(plaintext.size() + OcbTagSize);
+    encryptInto(nonce, ad.data(), ad.size(), plaintext.data(),
+                plaintext.size(), out.data(),
+                out.data() + plaintext.size());
+    return out;
+}
+
+Status
+Ocb::decryptInto(const OcbNonce &nonce, const std::uint8_t *ad,
+                 std::size_t ad_len, const std::uint8_t *ct,
+                 std::size_t ct_len, const std::uint8_t *tag,
+                 std::uint8_t *out) const
+{
+    AesBlock offset = initialOffset(nonce);
+    AesBlock checksum{};
+    std::uint64_t i = 1;
+
+    std::size_t remaining = ct_len;
+    std::uint8_t *out_cursor = out;
+    while (remaining >= AesBlockSize) {
+        xorBlock(offset, lValue(ntz(i)).data());
+        AesBlock tmp = offset;
+        xorBlock(tmp, ct);
+        tmp = cipher_.decrypt(tmp);
+        xorBlock(tmp, offset.data());
+        std::memcpy(out_cursor, tmp.data(), AesBlockSize);
+        xorBlock(checksum, out_cursor);
+        ct += AesBlockSize;
+        out_cursor += AesBlockSize;
+        remaining -= AesBlockSize;
+        ++i;
+    }
+    if (remaining > 0) {
+        xorBlock(offset, l_star_.data());
+        AesBlock pad = cipher_.encrypt(offset);
+        for (std::size_t j = 0; j < remaining; ++j)
+            out_cursor[j] = static_cast<std::uint8_t>(ct[j] ^ pad[j]);
+        AesBlock padded{};
+        std::memcpy(padded.data(), out_cursor, remaining);
+        padded[remaining] = 0x80;
+        xorBlock(checksum, padded.data());
+    }
+
+    AesBlock expected = checksum;
+    xorBlock(expected, offset.data());
+    xorBlock(expected, l_dollar_.data());
+    expected = cipher_.encrypt(expected);
+    AesBlock ad_hash = hashAd(ad, ad_len);
+    xorBlock(expected, ad_hash.data());
+
+    if (!constantTimeEqual(expected.data(), tag, OcbTagSize)) {
+        // Leave no plaintext behind on failure.
+        std::memset(out, 0, ct_len);
+        return errIntegrityFailure("OCB tag mismatch");
+    }
+    return Status::ok();
+}
+
+Result<Bytes>
+Ocb::decrypt(const OcbNonce &nonce, const Bytes &ad,
+             const Bytes &ciphertext_and_tag) const
+{
+    if (ciphertext_and_tag.size() < OcbTagSize)
+        return errInvalidArgument("ciphertext shorter than tag");
+    const std::size_t ct_len = ciphertext_and_tag.size() - OcbTagSize;
+    Bytes out(ct_len);
+    Status st = decryptInto(nonce, ad.data(), ad.size(),
+                            ciphertext_and_tag.data(), ct_len,
+                            ciphertext_and_tag.data() + ct_len,
+                            out.data());
+    if (!st.isOk())
+        return st;
+    return out;
+}
+
+}  // namespace hix::crypto

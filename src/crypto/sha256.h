@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), used for enclave measurement (MRENCLAVE-style
+ * digests), GPU BIOS attestation, and HMAC-based key derivation.
+ */
+
+#ifndef HIX_CRYPTO_SHA256_H_
+#define HIX_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace hix::crypto
+{
+
+/** Digest size in bytes. */
+inline constexpr std::size_t Sha256DigestSize = 32;
+
+/** A SHA-256 digest. */
+using Sha256Digest = std::array<std::uint8_t, Sha256DigestSize>;
+
+/** Streaming SHA-256. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restart the hash. */
+    void reset();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    void
+    update(const Bytes &data)
+    {
+        update(data.data(), data.size());
+    }
+
+    void
+    update(const std::string &s)
+    {
+        update(reinterpret_cast<const std::uint8_t *>(s.data()),
+               s.size());
+    }
+
+    /** Finish and return the digest; the object needs reset() after. */
+    Sha256Digest finalize();
+
+    /** One-shot helper. */
+    static Sha256Digest digest(const std::uint8_t *data, std::size_t len);
+    static Sha256Digest digest(const Bytes &data);
+    static Sha256Digest digest(const std::string &s);
+
+  private:
+    void processBlock(const std::uint8_t block[64]);
+
+    std::uint32_t h_[8];
+    std::uint8_t buf_[64];
+    std::size_t buf_len_;
+    std::uint64_t total_len_;
+};
+
+}  // namespace hix::crypto
+
+#endif  // HIX_CRYPTO_SHA256_H_

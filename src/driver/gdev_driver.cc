@@ -1,0 +1,443 @@
+#include "driver/gdev_driver.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace hix::driver
+{
+
+namespace
+{
+
+/** Context ids are global on a machine: different driver instances
+ * (different processes) must not collide. */
+std::atomic<GpuContextId> g_next_ctx{1};
+
+}  // namespace
+
+GdevDriver::GdevDriver(gpu::GpuDevice *device,
+                       std::unique_ptr<MmioPort> port,
+                       sim::TraceRecorder *recorder, GdevConfig config)
+    : device_(device),
+      port_(std::move(port)),
+      recorder_(recorder),
+      config_(std::move(config)),
+      own_vram_(config_.vramHeapBase, config_.vramHeapSize),
+      vram_(config_.sharedVram ? config_.sharedVram : &own_vram_),
+      next_ctx_(g_next_ctx.fetch_add(64))
+{
+}
+
+sim::ResourceId
+GdevDriver::resourceFor(gpu::GpuEngine engine, GpuContextId ctx) const
+{
+    switch (engine) {
+      case gpu::GpuEngine::CopyHtoD:
+        return sim::ResourceId{sim::ResUnit::DmaHtoD, 0};
+      case gpu::GpuEngine::CopyDtoH:
+        return sim::ResourceId{sim::ResUnit::DmaDtoH, 0};
+      case gpu::GpuEngine::Compute: {
+        // Volta-style concurrent contexts (Section 4.5 future work):
+        // with N > 1 queues, contexts spread across execution
+        // resources and never switch; the Fermi platform has one.
+        const std::uint32_t queues =
+            std::max<std::uint32_t>(1,
+                                    config_.timing.gpuConcurrentContexts);
+        return sim::ResourceId{
+            sim::ResUnit::GpuCompute,
+            static_cast<std::uint16_t>(ctx % queues)};
+      }
+      case gpu::GpuEngine::Control:
+        break;
+    }
+    return config_.cpuResource;
+}
+
+sim::OpKind
+GdevDriver::kindFor(gpu::GpuOp op)
+{
+    switch (op) {
+      case gpu::GpuOp::CopyH2D:
+      case gpu::GpuOp::CopyD2H:
+        return sim::OpKind::Transfer;
+      case gpu::GpuOp::KernelLaunch:
+        return sim::OpKind::Compute;
+      case gpu::GpuOp::OcbEncrypt:
+      case gpu::GpuOp::OcbDecrypt:
+        return sim::OpKind::CryptoGpu;
+      case gpu::GpuOp::DhMix:
+      case gpu::GpuOp::DhSetKey:
+        return sim::OpKind::Init;
+      default:
+        return sim::OpKind::Control;
+    }
+}
+
+Tick
+GdevDriver::scaledDuration(const gpu::CostRecord &record) const
+{
+    const std::uint64_t scale = config_.timingScale;
+    if (scale == 1)
+        return record.duration;
+    const auto &t = config_.timing;
+    switch (record.op) {
+      case gpu::GpuOp::CopyH2D:
+        return t.dmaSetupLatency +
+               transferTicks(record.bytes * scale, t.dmaHtoDBps);
+      case gpu::GpuOp::CopyD2H:
+        return t.dmaSetupLatency +
+               transferTicks(record.bytes * scale, t.dmaDtoHBps);
+      case gpu::GpuOp::OcbEncrypt:
+      case gpu::GpuOp::OcbDecrypt:
+        return t.gpuKernelLaunch +
+               transferTicks(record.bytes * scale, t.gpuOcbBps);
+      case gpu::GpuOp::Scrub:
+      case gpu::GpuOp::CtxDestroy:
+        return transferTicks(record.bytes * scale, t.gpuScrubBps);
+      default:
+        // Kernel cost models receive nominal sizes in their args and
+        // need no rescaling; control costs are size independent.
+        return record.duration;
+    }
+}
+
+Result<SubmitResult>
+GdevDriver::submit(gpu::GpuOp op, GpuContextId ctx,
+                   const std::vector<std::uint64_t> &args, bool async,
+                   std::vector<sim::OpId> deps)
+{
+    // Functional: push the command words and ring the doorbell.
+    std::uint32_t words = 0;
+    auto push = [&](std::uint32_t w) -> Status {
+        ++words;
+        return port_->write32(gpu::reg::CmdFifo, w);
+    };
+    HIX_RETURN_IF_ERROR(push(static_cast<std::uint32_t>(op)));
+    HIX_RETURN_IF_ERROR(push(ctx));
+    HIX_RETURN_IF_ERROR(push(static_cast<std::uint32_t>(args.size())));
+    for (std::uint64_t a : args) {
+        HIX_RETURN_IF_ERROR(push(static_cast<std::uint32_t>(a)));
+        HIX_RETURN_IF_ERROR(push(static_cast<std::uint32_t>(a >> 32)));
+    }
+    HIX_RETURN_IF_ERROR(port_->write32(gpu::reg::CmdDoorbell, 1));
+
+    // Poll the status register (Gdev synchronizes by MMIO polling).
+    auto status = port_->read32(gpu::reg::CmdStatus);
+    if (!status.isOk())
+        return status.status();
+    const bool failed =
+        *status == static_cast<std::uint32_t>(gpu::CmdStatusCode::Error);
+
+    // Timing: one control op on the caller's CPU (the MMIO writes +
+    // status poll), then the device-side cost records.
+    SubmitResult result;
+    auto records = device_->drainCosts();
+    if (recorder_ && recorder_->enabled()) {
+        const auto &t = config_.timing;
+        const Tick control_cost =
+            (words + 1) * t.mmioWriteLatency + t.mmioReadLatency;
+        sim::OpId control = recorder_->record(
+            config_.actor, config_.cpuResource, control_cost,
+            sim::OpKind::Control, 0, "submit", sim::NoGpuContext,
+            deps);
+        sim::OpId last_gpu = sim::InvalidOpId;
+        for (const auto &record : records) {
+            if (record.engine == gpu::GpuEngine::Control)
+                continue;  // folded into the control cost
+            std::vector<sim::OpId> gpu_deps = {control};
+            if (last_gpu != sim::InvalidOpId)
+                gpu_deps.push_back(last_gpu);
+            last_gpu = recorder_->recordDetached(
+                resourceFor(record.engine, record.ctx),
+                scaledDuration(record),
+                kindFor(record.op), std::move(gpu_deps),
+                record.bytes * config_.timingScale, "",
+                record.ctx);
+        }
+        result.gpuOp = last_gpu;
+        if (!async && last_gpu != sim::InvalidOpId) {
+            // Synchronous call: the caller polls until completion.
+            recorder_->setChainTail(config_.actor, last_gpu);
+        }
+    }
+
+    if (failed)
+        return errInternal("GPU command failed: " + device_->lastError());
+    return result;
+}
+
+Result<GpuContextId>
+GdevDriver::createContext()
+{
+    const GpuContextId ctx = next_ctx_++;
+    HIX_ASSIGN_OR_RETURN(SubmitResult r,
+                         submit(gpu::GpuOp::CtxCreate, ctx, {}, false,
+                                {}));
+    (void)r;
+    va_cursor_[ctx] = 0x10000000;
+    return ctx;
+}
+
+Status
+GdevDriver::destroyContext(GpuContextId ctx)
+{
+    auto r = submit(gpu::GpuOp::CtxDestroy, ctx, {}, false, {});
+    if (!r.isOk())
+        return r.status();
+    // Release all driver-side bookkeeping for the context.
+    for (auto it = allocations_.begin(); it != allocations_.end();) {
+        if (it->first.first == ctx) {
+            (void)vram_->free(it->second.vramPa);
+            it = allocations_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    va_cursor_.erase(ctx);
+    return Status::ok();
+}
+
+Result<Addr>
+GdevDriver::memAlloc(GpuContextId ctx, std::uint64_t size)
+{
+    if (!va_cursor_.count(ctx))
+        return errNotFound("no such driver context");
+    size = (size + mem::PageSize - 1) & ~(mem::PageSize - 1);
+    HIX_ASSIGN_OR_RETURN(Addr pa, vram_->alloc(size));
+    Addr &cursor = va_cursor_[ctx];
+    const Addr va = cursor;
+    cursor += size + mem::PageSize;
+
+    auto r = submit(gpu::GpuOp::Map, ctx, {va, pa, size}, false, {});
+    if (!r.isOk()) {
+        (void)vram_->free(pa);
+        return r.status();
+    }
+    allocations_[{ctx, va}] = Allocation{pa, size};
+    return va;
+}
+
+Status
+GdevDriver::memFree(GpuContextId ctx, Addr gpu_va)
+{
+    auto it = allocations_.find({ctx, gpu_va});
+    if (it == allocations_.end())
+        return errNotFound("free of unknown GPU allocation");
+    if (config_.scrubOnFree) {
+        auto r = submit(gpu::GpuOp::Scrub, ctx,
+                        {gpu_va, it->second.size}, false, {});
+        if (!r.isOk())
+            return r.status();
+    }
+    auto r = submit(gpu::GpuOp::Unmap, ctx, {gpu_va, it->second.size},
+                    false, {});
+    if (!r.isOk())
+        return r.status();
+    HIX_RETURN_IF_ERROR(vram_->free(it->second.vramPa));
+    allocations_.erase(it);
+    return Status::ok();
+}
+
+Result<Addr>
+GdevDriver::vramAddrOf(GpuContextId ctx, Addr gpu_va) const
+{
+    auto it = allocations_.upper_bound({ctx, gpu_va});
+    if (it == allocations_.begin())
+        return errNotFound("address not in any allocation");
+    --it;
+    if (it->first.first != ctx || gpu_va < it->first.second ||
+        gpu_va >= it->first.second + it->second.size)
+        return errNotFound("address not in any allocation");
+    return it->second.vramPa + (gpu_va - it->first.second);
+}
+
+Result<SubmitResult>
+GdevDriver::mapRange(GpuContextId ctx, Addr gpu_va, Addr vram_pa,
+                     std::uint64_t bytes)
+{
+    return submit(gpu::GpuOp::Map, ctx, {gpu_va, vram_pa, bytes},
+                  false, {});
+}
+
+Result<SubmitResult>
+GdevDriver::unmapRange(GpuContextId ctx, Addr gpu_va,
+                       std::uint64_t bytes)
+{
+    return submit(gpu::GpuOp::Unmap, ctx, {gpu_va, bytes}, false, {});
+}
+
+Result<SubmitResult>
+GdevDriver::memcpyHtoD(GpuContextId ctx, Addr host_pa, Addr gpu_va,
+                       std::uint64_t bytes, bool async,
+                       std::vector<sim::OpId> deps)
+{
+    return submit(gpu::GpuOp::CopyH2D, ctx, {host_pa, gpu_va, bytes},
+                  async, std::move(deps));
+}
+
+Result<SubmitResult>
+GdevDriver::memcpyDtoH(GpuContextId ctx, Addr gpu_va, Addr host_pa,
+                       std::uint64_t bytes, bool async,
+                       std::vector<sim::OpId> deps)
+{
+    return submit(gpu::GpuOp::CopyD2H, ctx, {gpu_va, host_pa, bytes},
+                  async, std::move(deps));
+}
+
+Status
+GdevDriver::writeVramPio(GpuContextId ctx, Addr gpu_va,
+                         const Bytes &data)
+{
+    HIX_ASSIGN_OR_RETURN(Addr pa, vramAddrOf(ctx, gpu_va));
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const Addr target = pa + done;
+        const Addr window = mem::pageBase(target);
+        HIX_RETURN_IF_ERROR(port_->write32(
+            gpu::reg::WindowBaseLo,
+            static_cast<std::uint32_t>(window)));
+        HIX_RETURN_IF_ERROR(port_->write32(
+            gpu::reg::WindowBaseHi,
+            static_cast<std::uint32_t>(window >> 32)));
+        const std::uint64_t window_off = target - window;
+        const std::size_t take = std::min<std::uint64_t>(
+            config_.pioWindowBytes - window_off, data.size() - done);
+        HIX_RETURN_IF_ERROR(
+            port_->writeBar1(window_off, data.data() + done, take));
+        done += take;
+    }
+    if (recorder_ && recorder_->enabled()) {
+        recorder_->record(
+            config_.actor,
+            sim::ResourceId{sim::ResUnit::PcieMmio, 0},
+            transferTicks(data.size() * config_.timingScale,
+                          config_.timing.mmioPioBps),
+            sim::OpKind::Transfer,
+            data.size() * config_.timingScale, "pio_write");
+    }
+    return Status::ok();
+}
+
+Result<Bytes>
+GdevDriver::readVramPio(GpuContextId ctx, Addr gpu_va, std::size_t len)
+{
+    HIX_ASSIGN_OR_RETURN(Addr pa, vramAddrOf(ctx, gpu_va));
+    Bytes out(len);
+    std::size_t done = 0;
+    while (done < len) {
+        const Addr target = pa + done;
+        const Addr window = mem::pageBase(target);
+        HIX_RETURN_IF_ERROR(port_->write32(
+            gpu::reg::WindowBaseLo,
+            static_cast<std::uint32_t>(window)));
+        HIX_RETURN_IF_ERROR(port_->write32(
+            gpu::reg::WindowBaseHi,
+            static_cast<std::uint32_t>(window >> 32)));
+        const std::uint64_t window_off = target - window;
+        const std::size_t take = std::min<std::uint64_t>(
+            config_.pioWindowBytes - window_off, len - done);
+        HIX_RETURN_IF_ERROR(
+            port_->readBar1(window_off, out.data() + done, take));
+        done += take;
+    }
+    if (recorder_ && recorder_->enabled()) {
+        recorder_->record(
+            config_.actor,
+            sim::ResourceId{sim::ResUnit::PcieMmio, 0},
+            transferTicks(len * config_.timingScale,
+                          config_.timing.mmioPioBps),
+            sim::OpKind::Transfer, len * config_.timingScale,
+            "pio_read");
+    }
+    return out;
+}
+
+Result<gpu::KernelId>
+GdevDriver::loadModule(const std::string &kernel_name)
+{
+    return device_->kernels().idOf(kernel_name);
+}
+
+Result<SubmitResult>
+GdevDriver::launchKernel(GpuContextId ctx, gpu::KernelId kernel,
+                         const gpu::KernelArgs &args, bool async,
+                         std::vector<sim::OpId> deps)
+{
+    std::vector<std::uint64_t> cmd_args;
+    cmd_args.reserve(args.size() + 1);
+    cmd_args.push_back(kernel);
+    cmd_args.insert(cmd_args.end(), args.begin(), args.end());
+    return submit(gpu::GpuOp::KernelLaunch, ctx, cmd_args, async,
+                  std::move(deps));
+}
+
+Result<SubmitResult>
+GdevDriver::scrub(GpuContextId ctx, Addr gpu_va, std::uint64_t bytes)
+{
+    return submit(gpu::GpuOp::Scrub, ctx, {gpu_va, bytes}, false, {});
+}
+
+Result<SubmitResult>
+GdevDriver::gpuOcb(bool encrypt, GpuContextId ctx, std::uint32_t slot,
+                   Addr src_va, Addr dst_va, std::uint64_t pt_bytes,
+                   std::uint32_t stream, std::uint64_t counter,
+                   bool async, std::vector<sim::OpId> deps)
+{
+    return submit(encrypt ? gpu::GpuOp::OcbEncrypt
+                          : gpu::GpuOp::OcbDecrypt,
+                  ctx, {slot, src_va, dst_va, pt_bytes, stream, counter},
+                  async, std::move(deps));
+}
+
+Result<SubmitResult>
+GdevDriver::dhMix(GpuContextId ctx, std::uint32_t slot, Addr in_va,
+                  Addr out_va)
+{
+    return submit(gpu::GpuOp::DhMix, ctx, {slot, in_va, out_va}, false,
+                  {});
+}
+
+Result<SubmitResult>
+GdevDriver::dhSetKey(GpuContextId ctx, std::uint32_t slot, Addr in_va)
+{
+    return submit(gpu::GpuOp::DhSetKey, ctx, {slot, in_va}, false, {});
+}
+
+Result<SubmitResult>
+GdevDriver::dhClearKey(GpuContextId ctx, std::uint32_t slot)
+{
+    return submit(gpu::GpuOp::DhClearKey, ctx, {slot}, false, {});
+}
+
+Status
+GdevDriver::deviceReset()
+{
+    HIX_RETURN_IF_ERROR(port_->write32(gpu::reg::Reset, 1));
+    auto records = device_->drainCosts();
+    if (recorder_ && recorder_->enabled()) {
+        Tick total = config_.timing.mmioWriteLatency;
+        for (const auto &record : records)
+            total += record.duration;
+        recorder_->record(config_.actor, config_.cpuResource, total,
+                          sim::OpKind::Init, 0, "gpu_reset");
+    }
+    // The reset dropped every context; forget driver bookkeeping.
+    allocations_.clear();
+    va_cursor_.clear();
+    vram_->reset();
+    return Status::ok();
+}
+
+void
+GdevDriver::sync(sim::OpId op)
+{
+    if (!recorder_ || !recorder_->enabled() || op == sim::InvalidOpId)
+        return;
+    recorder_->record(config_.actor, config_.cpuResource,
+                      config_.timing.mmioReadLatency,
+                      sim::OpKind::Control, 0, "sync",
+                      sim::NoGpuContext, {op});
+}
+
+}  // namespace hix::driver

@@ -1,0 +1,76 @@
+#include "driver/mmio_port.h"
+
+namespace hix::driver
+{
+
+Status
+HostMmioPort::readBar0(std::uint64_t offset, std::uint8_t *data,
+                       std::size_t len)
+{
+    Bytes out;
+    HIX_RETURN_IF_ERROR(rc_->routeTlp(
+        pcie::Tlp::memRead(bar0_ + offset,
+                           static_cast<std::uint32_t>(len)),
+        &out));
+    std::copy(out.begin(), out.end(), data);
+    return Status::ok();
+}
+
+Status
+HostMmioPort::writeBar0(std::uint64_t offset, const std::uint8_t *data,
+                        std::size_t len)
+{
+    return rc_->routeTlp(
+        pcie::Tlp::memWrite(bar0_ + offset, Bytes(data, data + len)));
+}
+
+Status
+HostMmioPort::readBar1(std::uint64_t offset, std::uint8_t *data,
+                       std::size_t len)
+{
+    Bytes out;
+    HIX_RETURN_IF_ERROR(rc_->routeTlp(
+        pcie::Tlp::memRead(bar1_ + offset,
+                           static_cast<std::uint32_t>(len)),
+        &out));
+    std::copy(out.begin(), out.end(), data);
+    return Status::ok();
+}
+
+Status
+HostMmioPort::writeBar1(std::uint64_t offset, const std::uint8_t *data,
+                        std::size_t len)
+{
+    return rc_->routeTlp(
+        pcie::Tlp::memWrite(bar1_ + offset, Bytes(data, data + len)));
+}
+
+Status
+EnclaveMmioPort::readBar0(std::uint64_t offset, std::uint8_t *data,
+                          std::size_t len)
+{
+    return mmu_->read(ctx_, bar0_va_ + offset, data, len);
+}
+
+Status
+EnclaveMmioPort::writeBar0(std::uint64_t offset,
+                           const std::uint8_t *data, std::size_t len)
+{
+    return mmu_->write(ctx_, bar0_va_ + offset, data, len);
+}
+
+Status
+EnclaveMmioPort::readBar1(std::uint64_t offset, std::uint8_t *data,
+                          std::size_t len)
+{
+    return mmu_->read(ctx_, bar1_va_ + offset, data, len);
+}
+
+Status
+EnclaveMmioPort::writeBar1(std::uint64_t offset,
+                           const std::uint8_t *data, std::size_t len)
+{
+    return mmu_->write(ctx_, bar1_va_ + offset, data, len);
+}
+
+}  // namespace hix::driver

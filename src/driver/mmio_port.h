@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The driver's window onto the GPU's MMIO BARs.
+ *
+ * The same Gdev driver core runs in two homes: inside the OS
+ * (baseline, unprotected) and inside the HIX GPU enclave. The only
+ * difference is *how* its loads and stores reach the device — the
+ * baseline goes straight through the root complex, the enclave goes
+ * through the MMU where the EPCM/TGMR checks apply. MmioPort
+ * abstracts that difference.
+ */
+
+#ifndef HIX_DRIVER_MMIO_PORT_H_
+#define HIX_DRIVER_MMIO_PORT_H_
+
+#include "common/byte_utils.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/mmu.h"
+#include "pcie/root_complex.h"
+
+namespace hix::driver
+{
+
+/** Load/store access to the GPU's BAR0 (registers) and BAR1 (VRAM
+ * aperture). */
+class MmioPort
+{
+  public:
+    virtual ~MmioPort() = default;
+
+    virtual Status readBar0(std::uint64_t offset, std::uint8_t *data,
+                            std::size_t len) = 0;
+    virtual Status writeBar0(std::uint64_t offset,
+                             const std::uint8_t *data,
+                             std::size_t len) = 0;
+    virtual Status readBar1(std::uint64_t offset, std::uint8_t *data,
+                            std::size_t len) = 0;
+    virtual Status writeBar1(std::uint64_t offset,
+                             const std::uint8_t *data,
+                             std::size_t len) = 0;
+
+    /** 32-bit convenience accessors. */
+    Result<std::uint32_t>
+    read32(std::uint64_t offset)
+    {
+        std::uint8_t b[4];
+        Status st = readBar0(offset, b, 4);
+        if (!st.isOk())
+            return st;
+        return loadLE32(b);
+    }
+
+    Status
+    write32(std::uint64_t offset, std::uint32_t value)
+    {
+        std::uint8_t b[4];
+        storeLE32(b, value);
+        return writeBar0(offset, b, 4);
+    }
+};
+
+/**
+ * Baseline port: the OS-resident driver accesses the BARs through
+ * the physical MMIO window (no protection checks — this is exactly
+ * what a privileged adversary can also do in the unprotected
+ * system).
+ */
+class HostMmioPort : public MmioPort
+{
+  public:
+    HostMmioPort(pcie::RootComplex *rc, Addr bar0_base, Addr bar1_base)
+        : rc_(rc), bar0_(bar0_base), bar1_(bar1_base)
+    {}
+
+    Status readBar0(std::uint64_t offset, std::uint8_t *data,
+                    std::size_t len) override;
+    Status writeBar0(std::uint64_t offset, const std::uint8_t *data,
+                     std::size_t len) override;
+    Status readBar1(std::uint64_t offset, std::uint8_t *data,
+                    std::size_t len) override;
+    Status writeBar1(std::uint64_t offset, const std::uint8_t *data,
+                     std::size_t len) override;
+
+  private:
+    pcie::RootComplex *rc_;
+    Addr bar0_;
+    Addr bar1_;
+};
+
+/**
+ * Enclave port: the GPU enclave's driver accesses the BARs through
+ * virtual addresses registered with EGADD; every access is subject
+ * to the MMU's TGMR validation.
+ */
+class EnclaveMmioPort : public MmioPort
+{
+  public:
+    EnclaveMmioPort(mem::Mmu *mmu, const mem::ExecContext &ctx,
+                    Addr bar0_va, Addr bar1_va)
+        : mmu_(mmu), ctx_(ctx), bar0_va_(bar0_va), bar1_va_(bar1_va)
+    {}
+
+    Status readBar0(std::uint64_t offset, std::uint8_t *data,
+                    std::size_t len) override;
+    Status writeBar0(std::uint64_t offset, const std::uint8_t *data,
+                     std::size_t len) override;
+    Status readBar1(std::uint64_t offset, std::uint8_t *data,
+                    std::size_t len) override;
+    Status writeBar1(std::uint64_t offset, const std::uint8_t *data,
+                     std::size_t len) override;
+
+  private:
+    mem::Mmu *mmu_;
+    mem::ExecContext ctx_;
+    Addr bar0_va_;
+    Addr bar1_va_;
+};
+
+}  // namespace hix::driver
+
+#endif  // HIX_DRIVER_MMIO_PORT_H_

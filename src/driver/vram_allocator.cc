@@ -1,0 +1,126 @@
+#include "driver/vram_allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hix::driver
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+VramAllocator::VramAllocator(Addr base, std::uint64_t size,
+                             std::uint64_t min_block)
+    : base_(base), size_(size), min_block_(min_block), free_bytes_(size)
+{
+    if (!isPow2(size) || !isPow2(min_block) || min_block > size)
+        hix_panic("VramAllocator: sizes must be powers of two");
+    max_order_ = 0;
+    while ((min_block_ << max_order_) < size_)
+        ++max_order_;
+    free_.resize(max_order_ + 1);
+    free_[max_order_].push_back(base_);
+}
+
+int
+VramAllocator::orderFor(std::uint64_t size) const
+{
+    int order = 0;
+    std::uint64_t block = min_block_;
+    while (block < size && order < max_order_) {
+        block <<= 1;
+        ++order;
+    }
+    return block >= size ? order : -1;
+}
+
+Addr
+VramAllocator::buddyOf(Addr addr, int order) const
+{
+    const std::uint64_t block = min_block_ << order;
+    return ((addr - base_) ^ block) + base_;
+}
+
+Result<Addr>
+VramAllocator::alloc(std::uint64_t size)
+{
+    if (size == 0)
+        return errInvalidArgument("alloc(0)");
+    const int want = orderFor(size);
+    if (want < 0 || (min_block_ << want) < size)
+        return errResourceExhausted("allocation larger than VRAM");
+
+    // Find the smallest order with a free block.
+    int order = want;
+    while (order <= max_order_ && free_[order].empty())
+        ++order;
+    if (order > max_order_)
+        return errResourceExhausted("VRAM exhausted");
+
+    Addr block = free_[order].back();
+    free_[order].pop_back();
+    // Split down to the wanted order.
+    while (order > want) {
+        --order;
+        free_[order].push_back(block + (min_block_ << order));
+    }
+    allocated_[block] = want;
+    free_bytes_ -= min_block_ << want;
+    return block;
+}
+
+Status
+VramAllocator::free(Addr addr)
+{
+    auto it = allocated_.find(addr);
+    if (it == allocated_.end())
+        return errNotFound("free of unallocated VRAM block");
+    int order = it->second;
+    allocated_.erase(it);
+    free_bytes_ += min_block_ << order;
+
+    // Coalesce with free buddies.
+    Addr block = addr;
+    while (order < max_order_) {
+        const Addr buddy = buddyOf(block, order);
+        auto &list = free_[order];
+        auto bit = std::find(list.begin(), list.end(), buddy);
+        if (bit == list.end())
+            break;
+        list.erase(bit);
+        block = std::min(block, buddy);
+        ++order;
+    }
+    free_[order].push_back(block);
+    return Status::ok();
+}
+
+void
+VramAllocator::reset()
+{
+    allocated_.clear();
+    free_bytes_ = size_;
+    for (auto &list : free_)
+        list.clear();
+    free_[max_order_].push_back(base_);
+}
+
+std::uint64_t
+VramAllocator::blockSize(Addr addr) const
+{
+    auto it = allocated_.find(addr);
+    if (it == allocated_.end())
+        return 0;
+    return min_block_ << it->second;
+}
+
+}  // namespace hix::driver

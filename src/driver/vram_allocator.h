@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Buddy allocator for GPU device memory — the first-class GPU memory
+ * resource manager role Gdev plays (Kato et al., USENIX ATC'12).
+ */
+
+#ifndef HIX_DRIVER_VRAM_ALLOCATOR_H_
+#define HIX_DRIVER_VRAM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hix::driver
+{
+
+/**
+ * Power-of-two buddy allocator over a physical VRAM range.
+ */
+class VramAllocator
+{
+  public:
+    /**
+     * @param base start of the managed range (page aligned).
+     * @param size bytes managed (power of two).
+     * @param min_block smallest servable block (power of two).
+     */
+    VramAllocator(Addr base, std::uint64_t size,
+                  std::uint64_t min_block = 4096);
+
+    /** Allocate at least @p size bytes; returns the block base. */
+    Result<Addr> alloc(std::uint64_t size);
+
+    /** Free a block previously returned by alloc(). */
+    Status free(Addr addr);
+
+    /** Size of the block at @p addr (0 when not allocated). */
+    std::uint64_t blockSize(Addr addr) const;
+
+    /** Drop every allocation (device reset wiped the memory). */
+    void reset();
+
+    std::uint64_t freeBytes() const { return free_bytes_; }
+    std::uint64_t totalBytes() const { return size_; }
+
+  private:
+    int orderFor(std::uint64_t size) const;
+    Addr buddyOf(Addr addr, int order) const;
+
+    Addr base_;
+    std::uint64_t size_;
+    std::uint64_t min_block_;
+    int max_order_;
+    std::uint64_t free_bytes_;
+    /** free_[order] = sorted block bases free at that order. */
+    std::vector<std::vector<Addr>> free_;
+    std::map<Addr, int> allocated_;  // base -> order
+};
+
+}  // namespace hix::driver
+
+#endif  // HIX_DRIVER_VRAM_ALLOCATOR_H_

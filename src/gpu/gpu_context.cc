@@ -1,0 +1,145 @@
+#include "gpu/gpu_context.h"
+
+#include <cstring>
+
+namespace hix::gpu
+{
+
+Status
+GpuContext::map(Addr gpu_va, Addr vram_pa, std::uint64_t bytes)
+{
+    if (!mem::pageAligned(gpu_va) || !mem::pageAligned(vram_pa))
+        return errInvalidArgument("GPU map: unaligned address");
+    const std::uint64_t npages =
+        (bytes + mem::PageSize - 1) / mem::PageSize;
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        Addr va = gpu_va + i * mem::PageSize;
+        if (pages_.count(va))
+            return errAlreadyExists("GPU va page already mapped");
+    }
+    for (std::uint64_t i = 0; i < npages; ++i)
+        pages_[gpu_va + i * mem::PageSize] = vram_pa + i * mem::PageSize;
+    return Status::ok();
+}
+
+Status
+GpuContext::unmap(Addr gpu_va, std::uint64_t bytes)
+{
+    const std::uint64_t npages =
+        (bytes + mem::PageSize - 1) / mem::PageSize;
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        if (pages_.erase(gpu_va + i * mem::PageSize) == 0)
+            return errNotFound("GPU va page not mapped");
+    }
+    return Status::ok();
+}
+
+Result<Addr>
+GpuContext::translate(Addr gpu_va) const
+{
+    auto it = pages_.find(mem::pageBase(gpu_va));
+    if (it == pages_.end())
+        return errAccessFault("GPU page fault in context " +
+                              std::to_string(id_));
+    return it->second + mem::pageOffset(gpu_va);
+}
+
+std::vector<Addr>
+GpuContext::mappedVramPages() const
+{
+    std::vector<Addr> out;
+    out.reserve(pages_.size());
+    for (const auto &[va, pa] : pages_)
+        out.push_back(pa);
+    return out;
+}
+
+Status
+GpuMemAccessor::read(Addr gpu_va, std::uint8_t *data,
+                     std::size_t len) const
+{
+    while (len > 0) {
+        auto pa = ctx_->translate(gpu_va);
+        if (!pa.isOk())
+            return pa.status();
+        const std::uint64_t in_page =
+            mem::PageSize - mem::pageOffset(gpu_va);
+        const std::size_t take = std::min<std::uint64_t>(in_page, len);
+        HIX_RETURN_IF_ERROR(vram_->readAt(*pa, data, take));
+        data += take;
+        gpu_va += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+Status
+GpuMemAccessor::write(Addr gpu_va, const std::uint8_t *data,
+                      std::size_t len) const
+{
+    while (len > 0) {
+        auto pa = ctx_->translate(gpu_va);
+        if (!pa.isOk())
+            return pa.status();
+        const std::uint64_t in_page =
+            mem::PageSize - mem::pageOffset(gpu_va);
+        const std::size_t take = std::min<std::uint64_t>(in_page, len);
+        HIX_RETURN_IF_ERROR(vram_->writeAt(*pa, data, take));
+        data += take;
+        gpu_va += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+Result<std::uint32_t>
+GpuMemAccessor::read32(Addr gpu_va) const
+{
+    std::uint8_t b[4];
+    HIX_RETURN_IF_ERROR(read(gpu_va, b, 4));
+    std::uint32_t v;
+    std::memcpy(&v, b, 4);
+    return v;
+}
+
+Status
+GpuMemAccessor::write32(Addr gpu_va, std::uint32_t value) const
+{
+    std::uint8_t b[4];
+    std::memcpy(b, &value, 4);
+    return write(gpu_va, b, 4);
+}
+
+Result<float>
+GpuMemAccessor::readF32(Addr gpu_va) const
+{
+    std::uint8_t b[4];
+    HIX_RETURN_IF_ERROR(read(gpu_va, b, 4));
+    float v;
+    std::memcpy(&v, b, 4);
+    return v;
+}
+
+Status
+GpuMemAccessor::writeF32(Addr gpu_va, float value) const
+{
+    std::uint8_t b[4];
+    std::memcpy(b, &value, 4);
+    return write(gpu_va, b, 4);
+}
+
+Result<Bytes>
+GpuMemAccessor::readBytes(Addr gpu_va, std::size_t len) const
+{
+    Bytes out(len);
+    HIX_RETURN_IF_ERROR(read(gpu_va, out.data(), len));
+    return out;
+}
+
+Status
+GpuMemAccessor::writeBytes(Addr gpu_va, const Bytes &data) const
+{
+    return write(gpu_va, data.data(), data.size());
+}
+
+}  // namespace hix::gpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-context GPU address spaces. Unlike pre-Volta MPS (which merges
+ * all clients into one context, Section 4.5 of the paper), HIX gives
+ * every user enclave its own GPU context; the context page table is
+ * what isolates one user's device memory from another's.
+ */
+
+#ifndef HIX_GPU_GPU_CONTEXT_H_
+#define HIX_GPU_GPU_CONTEXT_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/phys_mem.h"
+
+namespace hix::gpu
+{
+
+/**
+ * One GPU context: a GPU-virtual to VRAM-physical page map.
+ */
+class GpuContext
+{
+  public:
+    explicit GpuContext(GpuContextId id) : id_(id) {}
+
+    GpuContextId id() const { return id_; }
+
+    /** Map @p bytes starting at page-aligned addresses. */
+    Status map(Addr gpu_va, Addr vram_pa, std::uint64_t bytes);
+
+    /** Unmap @p bytes starting at @p gpu_va. */
+    Status unmap(Addr gpu_va, std::uint64_t bytes);
+
+    /** Translate one GPU-virtual address. */
+    Result<Addr> translate(Addr gpu_va) const;
+
+    /** All VRAM pages currently mapped (for teardown scrubbing). */
+    std::vector<Addr> mappedVramPages() const;
+
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    GpuContextId id_;
+    std::unordered_map<Addr, Addr> pages_;  // gpu va page -> vram page
+};
+
+/**
+ * Accessor for context-translated device memory; kernels use this to
+ * touch VRAM so that all their traffic respects context isolation.
+ */
+class GpuMemAccessor
+{
+  public:
+    GpuMemAccessor(const GpuContext *ctx, mem::PhysMem *vram)
+        : ctx_(ctx), vram_(vram)
+    {}
+
+    Status read(Addr gpu_va, std::uint8_t *data, std::size_t len) const;
+    Status write(Addr gpu_va, const std::uint8_t *data,
+                 std::size_t len) const;
+
+    /** Typed helpers for kernel implementations. */
+    Result<std::uint32_t> read32(Addr gpu_va) const;
+    Status write32(Addr gpu_va, std::uint32_t value) const;
+    Result<float> readF32(Addr gpu_va) const;
+    Status writeF32(Addr gpu_va, float value) const;
+
+    /** Bulk vector helpers. */
+    Result<Bytes> readBytes(Addr gpu_va, std::size_t len) const;
+    Status writeBytes(Addr gpu_va, const Bytes &data) const;
+
+  private:
+    const GpuContext *ctx_;
+    mem::PhysMem *vram_;
+};
+
+}  // namespace hix::gpu
+
+#endif  // HIX_GPU_GPU_CONTEXT_H_

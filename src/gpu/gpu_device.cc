@@ -1,0 +1,527 @@
+#include "gpu/gpu_device.h"
+
+#include <cstring>
+
+#include "common/byte_utils.h"
+#include "common/logging.h"
+#include "crypto/hmac.h"
+#include "pcie/root_complex.h"
+
+namespace hix::gpu
+{
+
+namespace
+{
+
+/** Control-plane command handling cost (decode + state update). */
+constexpr Tick ControlCost = 2 * US;
+/** Fence publication cost. */
+constexpr Tick FenceCost = 500 * NS;
+/** One X25519 scalar multiplication on the GPU. */
+constexpr Tick DhOpCost = 80 * US;
+/** Full device reset (state machine + memory controller). */
+constexpr Tick ResetCost = 5 * MS;
+
+}  // namespace
+
+GpuDevice::GpuDevice(std::string name, const GpuGeometry &geometry,
+                     const GpuPerfModel &perf,
+                     const sim::PlatformConfig &timing,
+                     std::uint64_t seed)
+    : PcieDevice(std::move(name), 0x10de, 0x1080, 0x030000),
+      geometry_(geometry),
+      perf_(perf),
+      timing_(timing),
+      rng_(seed),
+      vram_("vram", geometry.vramSize),
+      key_slots_(geometry.numKeySlots)
+{
+    if (!config().declareBar(0, geometry_.bar0Size).isOk() ||
+        !config().declareBar(1, geometry_.bar1Size).isOk() ||
+        !config().declareExpansionRom(geometry_.romSize).isOk())
+        hix_panic("GpuDevice: bad geometry");
+    Bytes bios = makeFactoryBios();
+    factory_bios_digest_ = crypto::Sha256::digest(bios);
+    setExpansionRomImage(std::move(bios));
+}
+
+Bytes
+GpuDevice::makeFactoryBios() const
+{
+    Bytes bios(geometry_.romSize, 0);
+    bios[0] = 0x55;
+    bios[1] = 0xaa;
+    static const char sig[] = "HIX-MODEL-GF110-VBIOS-70.10.17.00";
+    std::memcpy(bios.data() + 4, sig, sizeof(sig));
+    // Deterministic body pattern standing in for init scripts.
+    for (std::size_t i = 64; i < bios.size() - 4; ++i)
+        bios[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 24);
+    // Trailing additive checksum.
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < bios.size() - 4; ++i)
+        sum += bios[i];
+    storeLE32(bios.data() + bios.size() - 4, sum);
+    return bios;
+}
+
+void
+GpuDevice::flashBios(Bytes image)
+{
+    image.resize(geometry_.romSize, 0);
+    setExpansionRomImage(std::move(image));
+}
+
+void
+GpuDevice::record(GpuOp op, GpuEngine engine, GpuContextId ctx,
+                  Tick duration, std::uint64_t bytes)
+{
+    costs_.push_back(CostRecord{op, engine, ctx, duration, bytes});
+}
+
+std::vector<CostRecord>
+GpuDevice::drainCosts()
+{
+    std::vector<CostRecord> out;
+    out.swap(costs_);
+    return out;
+}
+
+Status
+GpuDevice::debugReadVram(Addr pa, std::uint8_t *data, std::size_t len)
+{
+    return vram_.readAt(pa, data, len);
+}
+
+bool
+GpuDevice::keySlotActive(std::uint32_t slot) const
+{
+    return slot < key_slots_.size() && key_slots_[slot].key.has_value();
+}
+
+void
+GpuDevice::reset()
+{
+    for (auto &[id, ctx] : contexts_) {
+        for (Addr page : ctx.mappedVramPages()) {
+            (void)vram_.zeroAt(page, mem::PageSize);
+            stats_.scrubbedBytes += mem::PageSize;
+        }
+    }
+    contexts_.clear();
+    key_slots_.clear();
+    key_slots_.resize(geometry_.numKeySlots);
+    fifo_.clear();
+    cmd_status_ = static_cast<std::uint32_t>(CmdStatusCode::Ok);
+    fence_value_ = 0;
+    window_base_ = 0;
+    last_error_.clear();
+    ++stats_.resets;
+    record(GpuOp::Nop, GpuEngine::Control, ~GpuContextId(0), ResetCost,
+           0);
+}
+
+Result<GpuContext *>
+GpuDevice::contextOf(std::uint64_t id)
+{
+    auto it = contexts_.find(static_cast<GpuContextId>(id));
+    if (it == contexts_.end())
+        return errNotFound("no GPU context " + std::to_string(id));
+    return &it->second;
+}
+
+Status
+GpuDevice::mmioRead(int bar, std::uint64_t offset, std::uint8_t *data,
+                    std::size_t len)
+{
+    if (bar == 1) {
+        // Device-memory aperture.
+        if (window_base_ + offset + len > geometry_.vramSize)
+            return errInvalidArgument("BAR1 window beyond VRAM");
+        return vram_.readAt(window_base_ + offset, data, len);
+    }
+    if (bar != 0)
+        return errInvalidArgument("unknown BAR");
+    if (len != 4 || offset % 4 != 0)
+        return errInvalidArgument("BAR0 requires 32-bit access");
+
+    std::uint32_t value = 0;
+    switch (offset) {
+      case reg::Id:
+        value = 0x10de1080;
+        break;
+      case reg::Status:
+        value = 1;
+        break;
+      case reg::CmdStatus:
+        value = cmd_status_;
+        break;
+      case reg::FenceValue:
+        value = fence_value_;
+        break;
+      case reg::WindowBaseLo:
+        value = static_cast<std::uint32_t>(window_base_);
+        break;
+      case reg::WindowBaseHi:
+        value = static_cast<std::uint32_t>(window_base_ >> 32);
+        break;
+      default:
+        value = 0;
+        break;
+    }
+    storeLE32(data, value);
+    return Status::ok();
+}
+
+Status
+GpuDevice::mmioWrite(int bar, std::uint64_t offset,
+                     const std::uint8_t *data, std::size_t len)
+{
+    if (bar == 1) {
+        if (window_base_ + offset + len > geometry_.vramSize)
+            return errInvalidArgument("BAR1 window beyond VRAM");
+        return vram_.writeAt(window_base_ + offset, data, len);
+    }
+    if (bar != 0)
+        return errInvalidArgument("unknown BAR");
+    if (len % 4 != 0 || offset % 4 != 0)
+        return errInvalidArgument("BAR0 requires 32-bit access");
+
+    for (std::size_t i = 0; i < len; i += 4) {
+        const std::uint32_t value = loadLE32(data + i);
+        const std::uint64_t reg_off = offset + i;
+        switch (reg_off) {
+          case reg::CmdFifo:
+            fifo_.push_back(value);
+            break;
+          case reg::CmdDoorbell:
+            runDoorbell();
+            break;
+          case reg::Reset:
+            reset();
+            break;
+          case reg::WindowBaseLo:
+            window_base_ =
+                (window_base_ & ~Addr(0xffffffff)) | value;
+            break;
+          case reg::WindowBaseHi:
+            window_base_ = (window_base_ & Addr(0xffffffff)) |
+                           (static_cast<Addr>(value) << 32);
+            break;
+          default:
+            // Posted write to an unimplemented register: ignored.
+            break;
+        }
+    }
+    return Status::ok();
+}
+
+void
+GpuDevice::runDoorbell()
+{
+    cmd_status_ = static_cast<std::uint32_t>(CmdStatusCode::Busy);
+    std::vector<std::uint32_t> words;
+    words.swap(fifo_);
+
+    // Reassemble 64-bit argument words.
+    std::vector<std::uint64_t> stream;
+    stream.reserve(words.size());
+    for (std::uint32_t w : words)
+        stream.push_back(w);
+
+    std::size_t cursor = 0;
+    while (cursor < stream.size()) {
+        Status st = execCommand(stream, cursor);
+        if (!st.isOk()) {
+            cmd_status_ =
+                static_cast<std::uint32_t>(CmdStatusCode::Error);
+            last_error_ = st.toString();
+            return;
+        }
+    }
+    cmd_status_ = static_cast<std::uint32_t>(CmdStatusCode::Ok);
+    last_error_.clear();
+}
+
+Status
+GpuDevice::execCommand(const std::vector<std::uint64_t> &words,
+                       std::size_t &cursor)
+{
+    if (words.size() - cursor < 3)
+        return errInvalidArgument("truncated command header");
+    const GpuOp op = static_cast<GpuOp>(words[cursor]);
+    const GpuContextId ctx_id =
+        static_cast<GpuContextId>(words[cursor + 1]);
+    const std::uint64_t nargs = words[cursor + 2];
+    cursor += 3;
+    if (nargs > 64 || words.size() - cursor < 2 * nargs)
+        return errInvalidArgument("truncated command arguments");
+
+    KernelArgs args(nargs);
+    for (std::uint64_t i = 0; i < nargs; ++i) {
+        args[i] = words[cursor + 2 * i] |
+                  (words[cursor + 2 * i + 1] << 32);
+    }
+    cursor += 2 * nargs;
+    ++stats_.commands;
+
+    switch (op) {
+      case GpuOp::Nop:
+        record(op, GpuEngine::Control, ctx_id, ControlCost, 0);
+        return Status::ok();
+
+      case GpuOp::CtxCreate: {
+        if (contexts_.count(ctx_id))
+            return errAlreadyExists("GPU context exists");
+        contexts_.emplace(ctx_id, GpuContext(ctx_id));
+        record(op, GpuEngine::Control, ctx_id, ControlCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::CtxDestroy: {
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        std::uint64_t scrubbed = 0;
+        for (Addr page : (*ctx)->mappedVramPages()) {
+            HIX_RETURN_IF_ERROR(vram_.zeroAt(page, mem::PageSize));
+            scrubbed += mem::PageSize;
+        }
+        stats_.scrubbedBytes += scrubbed;
+        contexts_.erase(ctx_id);
+        record(op, GpuEngine::Compute, ctx_id,
+               ControlCost +
+                   transferTicks(scrubbed, timing_.gpuScrubBps),
+               scrubbed);
+        return Status::ok();
+      }
+
+      case GpuOp::Map: {
+        if (args.size() != 3)
+            return errInvalidArgument("Map needs 3 args");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        if (args[1] + args[2] > geometry_.vramSize)
+            return errInvalidArgument("Map beyond VRAM");
+        HIX_RETURN_IF_ERROR((*ctx)->map(args[0], args[1], args[2]));
+        record(op, GpuEngine::Control, ctx_id, ControlCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::Unmap: {
+        if (args.size() != 2)
+            return errInvalidArgument("Unmap needs 2 args");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        HIX_RETURN_IF_ERROR((*ctx)->unmap(args[0], args[1]));
+        record(op, GpuEngine::Control, ctx_id, ControlCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::Scrub: {
+        if (args.size() != 2)
+            return errInvalidArgument("Scrub needs 2 args");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        GpuMemAccessor mem(*ctx, &vram_);
+        Bytes zeros(std::min<std::uint64_t>(args[1], 64 * KiB), 0);
+        std::uint64_t remaining = args[1];
+        Addr va = args[0];
+        while (remaining > 0) {
+            const std::size_t take =
+                std::min<std::uint64_t>(zeros.size(), remaining);
+            HIX_RETURN_IF_ERROR(mem.write(va, zeros.data(), take));
+            va += take;
+            remaining -= take;
+        }
+        stats_.scrubbedBytes += args[1];
+        record(op, GpuEngine::Compute, ctx_id,
+               transferTicks(args[1], timing_.gpuScrubBps), args[1]);
+        return Status::ok();
+      }
+
+      case GpuOp::CopyH2D: {
+        if (args.size() != 3)
+            return errInvalidArgument("CopyH2D needs 3 args");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        if (!rootComplex())
+            return errUnavailable("GPU has no DMA path");
+        Bytes buf(args[2]);
+        HIX_RETURN_IF_ERROR(
+            rootComplex()->dmaRead(args[0], buf.data(), buf.size()));
+        GpuMemAccessor mem(*ctx, &vram_);
+        HIX_RETURN_IF_ERROR(mem.writeBytes(args[1], buf));
+        ++stats_.copiesH2D;
+        stats_.bytesH2D += args[2];
+        record(op, GpuEngine::CopyHtoD, ctx_id,
+               timing_.dmaSetupLatency +
+                   transferTicks(args[2], timing_.dmaHtoDBps),
+               args[2]);
+        return Status::ok();
+      }
+
+      case GpuOp::CopyD2H: {
+        if (args.size() != 3)
+            return errInvalidArgument("CopyD2H needs 3 args");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        if (!rootComplex())
+            return errUnavailable("GPU has no DMA path");
+        GpuMemAccessor mem(*ctx, &vram_);
+        auto buf = mem.readBytes(args[0], args[2]);
+        if (!buf.isOk())
+            return buf.status();
+        HIX_RETURN_IF_ERROR(rootComplex()->dmaWrite(
+            args[1], buf->data(), buf->size()));
+        ++stats_.copiesD2H;
+        stats_.bytesD2H += args[2];
+        record(op, GpuEngine::CopyDtoH, ctx_id,
+               timing_.dmaSetupLatency +
+                   transferTicks(args[2], timing_.dmaDtoHBps),
+               args[2]);
+        return Status::ok();
+      }
+
+      case GpuOp::KernelLaunch: {
+        if (args.empty())
+            return errInvalidArgument("KernelLaunch needs a kernel id");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        const KernelEntry *kernel =
+            kernels_.find(static_cast<KernelId>(args[0]));
+        if (!kernel)
+            return errNotFound("unknown kernel id");
+        KernelArgs kargs(args.begin() + 1, args.end());
+        GpuMemAccessor mem(*ctx, &vram_);
+        HIX_RETURN_IF_ERROR(kernel->fn(mem, kargs));
+        ++stats_.kernels;
+        record(op, GpuEngine::Compute, ctx_id,
+               timing_.gpuKernelLaunch + kernel->cost(kargs), 0);
+        return Status::ok();
+      }
+
+      case GpuOp::Fence: {
+        if (args.size() != 1)
+            return errInvalidArgument("Fence needs 1 arg");
+        fence_value_ = static_cast<std::uint32_t>(args[0]);
+        record(op, GpuEngine::Control, ctx_id, FenceCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::DhMix: {
+        if (args.size() != 3)
+            return errInvalidArgument("DhMix needs 3 args");
+        if (args[0] >= key_slots_.size())
+            return errInvalidArgument("bad key slot");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        KeySlot &slot = key_slots_[args[0]];
+        if (!slot.have_pair) {
+            slot.pair = crypto::X25519KeyPair::generate(rng_);
+            slot.have_pair = true;
+        }
+        GpuMemAccessor mem(*ctx, &vram_);
+        auto in = mem.readBytes(args[1], crypto::X25519KeySize);
+        if (!in.isOk())
+            return in.status();
+        crypto::X25519Key peer;
+        std::memcpy(peer.data(), in->data(), peer.size());
+        crypto::X25519Key out =
+            crypto::x25519(slot.pair.privateKey, peer);
+        HIX_RETURN_IF_ERROR(
+            mem.write(args[2], out.data(), out.size()));
+        record(op, GpuEngine::Compute, ctx_id, DhOpCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::DhSetKey: {
+        if (args.size() != 2)
+            return errInvalidArgument("DhSetKey needs 2 args");
+        if (args[0] >= key_slots_.size())
+            return errInvalidArgument("bad key slot");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        KeySlot &slot = key_slots_[args[0]];
+        if (!slot.have_pair) {
+            slot.pair = crypto::X25519KeyPair::generate(rng_);
+            slot.have_pair = true;
+        }
+        GpuMemAccessor mem(*ctx, &vram_);
+        auto in = mem.readBytes(args[1], crypto::X25519KeySize);
+        if (!in.isOk())
+            return in.status();
+        crypto::X25519Key peer;
+        std::memcpy(peer.data(), in->data(), peer.size());
+        crypto::X25519Key shared =
+            crypto::x25519(slot.pair.privateKey, peer);
+        Bytes secret(shared.begin(), shared.end());
+        slot.key = crypto::deriveAesKey(secret, "hix-session");
+        slot.ocb = std::make_unique<crypto::Ocb>(*slot.key);
+        record(op, GpuEngine::Compute, ctx_id, DhOpCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::DhClearKey: {
+        if (args.size() != 1 || args[0] >= key_slots_.size())
+            return errInvalidArgument("bad key slot");
+        key_slots_[args[0]] = KeySlot{};
+        record(op, GpuEngine::Control, ctx_id, ControlCost, 0);
+        return Status::ok();
+      }
+
+      case GpuOp::OcbEncrypt:
+      case GpuOp::OcbDecrypt: {
+        if (args.size() != 6)
+            return errInvalidArgument("OCB command needs 6 args");
+        if (args[0] >= key_slots_.size())
+            return errInvalidArgument("bad key slot");
+        KeySlot &slot = key_slots_[args[0]];
+        if (!slot.ocb)
+            return errFailedPrecondition("key slot has no session key");
+        auto ctx = contextOf(ctx_id);
+        if (!ctx.isOk())
+            return ctx.status();
+        GpuMemAccessor mem(*ctx, &vram_);
+
+        const std::uint64_t pt_len = args[3];
+        const crypto::OcbNonce nonce = crypto::makeNonce(
+            static_cast<std::uint32_t>(args[4]), args[5]);
+
+        if (op == GpuOp::OcbEncrypt) {
+            auto pt = mem.readBytes(args[1], pt_len);
+            if (!pt.isOk())
+                return pt.status();
+            Bytes ct = slot.ocb->encrypt(nonce, {}, *pt);
+            HIX_RETURN_IF_ERROR(mem.writeBytes(args[2], ct));
+        } else {
+            auto ct = mem.readBytes(args[1],
+                                    pt_len + crypto::OcbTagSize);
+            if (!ct.isOk())
+                return ct.status();
+            auto pt = slot.ocb->decrypt(nonce, {}, *ct);
+            if (!pt.isOk()) {
+                ++stats_.macFailures;
+                return pt.status();
+            }
+            HIX_RETURN_IF_ERROR(mem.writeBytes(args[2], *pt));
+        }
+        ++stats_.cryptoKernels;
+        record(op, GpuEngine::Compute, ctx_id,
+               timing_.gpuKernelLaunch +
+                   transferTicks(pt_len, timing_.gpuOcbBps),
+               pt_len);
+        return Status::ok();
+      }
+    }
+    return errInvalidArgument("unknown opcode");
+}
+
+}  // namespace hix::gpu

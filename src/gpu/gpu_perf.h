@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU performance envelope, calibrated to the NVIDIA GeForce GTX 580
+ * the paper evaluates on (Table 3): Fermi GF110, 512 CUDA cores at
+ * 1544 MHz shader clock, 192.4 GB/s GDDR5, 1.5 GiB device memory.
+ * Workload cost models combine these constants.
+ */
+
+#ifndef HIX_GPU_GPU_PERF_H_
+#define HIX_GPU_GPU_PERF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace hix::gpu
+{
+
+/** Static performance constants of the modelled GPU. */
+struct GpuPerfModel
+{
+    /** Device memory bandwidth (GDDR5, 384-bit @ 4008 MT/s). */
+    std::uint64_t memBwBps = 192ull * 1000 * 1000 * 1000;
+    /** Peak FP32 rate: 512 cores * 2 ops * 1.544 GHz ~ 1581 GFLOP/s. */
+    double peakFp32Gflops = 1581.0;
+    /** Sustained fraction of peak for well-tuned dense kernels. */
+    double denseEfficiency = 0.65;
+    /** Sustained fraction of peak for irregular/branchy kernels. */
+    double irregularEfficiency = 0.15;
+    /** Integer throughput relative to FP32 (Fermi: ~1/2 for IMAD). */
+    double intRate = 0.5;
+
+    /** Effective bandwidth fraction for streaming kernels. */
+    double streamEfficiency = 0.80;
+
+    /**
+     * Time for a kernel that performs @p flops arithmetic operations
+     * and moves @p bytes through device memory; the slower of the
+     * compute and memory phases dominates (roofline).
+     */
+    Tick
+    kernelTicks(double flops, double bytes, bool regular = true) const
+    {
+        const double eff =
+            regular ? denseEfficiency : irregularEfficiency;
+        const double compute_sec =
+            flops / (peakFp32Gflops * 1e9 * eff);
+        const double mem_sec =
+            bytes /
+            (static_cast<double>(memBwBps) * streamEfficiency);
+        const double sec = std::max(compute_sec, mem_sec);
+        return static_cast<Tick>(sec * static_cast<double>(SEC)) + 1;
+    }
+
+    /** Same for integer-dominated kernels. */
+    Tick
+    intKernelTicks(double iops, double bytes, bool regular = true) const
+    {
+        return kernelTicks(iops / intRate, bytes, regular);
+    }
+};
+
+}  // namespace hix::gpu
+
+#endif  // HIX_GPU_GPU_PERF_H_

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * MMIO register layout (BAR0) and command opcodes of the modelled
+ * GPU. Software controls the GPU exactly as Section 2.3 of the paper
+ * describes: it writes commands into a command FIFO through MMIO and
+ * rings a doorbell; bulk data moves by DMA or through the BAR1
+ * device-memory aperture.
+ */
+
+#ifndef HIX_GPU_GPU_REGS_H_
+#define HIX_GPU_GPU_REGS_H_
+
+#include <cstdint>
+
+namespace hix::gpu
+{
+
+/** BAR0 register offsets. */
+namespace reg
+{
+/** Read-only identity register: 0x10DE1080. */
+inline constexpr std::uint64_t Id = 0x0000;
+/** Device status: bit 0 = ready. */
+inline constexpr std::uint64_t Status = 0x0004;
+/** Write-only software reset: any write resets the device. */
+inline constexpr std::uint64_t Reset = 0x0008;
+/** Command FIFO: 32-bit word stream, appended in order. */
+inline constexpr std::uint64_t CmdFifo = 0x0100;
+/** Doorbell: a write executes all queued commands. */
+inline constexpr std::uint64_t CmdDoorbell = 0x0104;
+/** Last batch status: 0 = ok, 1 = busy, 2 = error. */
+inline constexpr std::uint64_t CmdStatus = 0x0108;
+/** Fence value written by the most recent Fence command. */
+inline constexpr std::uint64_t FenceValue = 0x010c;
+/** BAR1 aperture window base into device memory (lo/hi pair). */
+inline constexpr std::uint64_t WindowBaseLo = 0x0110;
+inline constexpr std::uint64_t WindowBaseHi = 0x0114;
+}  // namespace reg
+
+/** Command batch status codes (reg::CmdStatus). */
+enum class CmdStatusCode : std::uint32_t
+{
+    Ok = 0,
+    Busy = 1,
+    Error = 2,
+};
+
+/** Command opcodes. */
+enum class GpuOp : std::uint32_t
+{
+    Nop = 0,
+    /** CtxCreate {ctx}. */
+    CtxCreate = 1,
+    /** CtxDestroy {ctx}: unmaps and scrubs everything it touched. */
+    CtxDestroy = 2,
+    /** Map {gpu_va, vram_pa, bytes}: install context PTEs. */
+    Map = 3,
+    /** Unmap {gpu_va, bytes}. */
+    Unmap = 4,
+    /** Scrub {gpu_va, bytes}: zero-fill device memory. */
+    Scrub = 5,
+    /** CopyH2D {host_addr, dst_gpu_va, bytes}: DMA from host. */
+    CopyH2D = 6,
+    /** CopyD2H {src_gpu_va, host_addr, bytes}: DMA to host. */
+    CopyD2H = 7,
+    /** KernelLaunch {kernel_id, argc, argv...}. */
+    KernelLaunch = 8,
+    /** Fence {value}: publish value in reg::FenceValue. */
+    Fence = 9,
+    /** DhMix {slot, in_gpu_va, out_gpu_va}: out = X25519(priv, in). */
+    DhMix = 10,
+    /** DhSetKey {slot, in_gpu_va}: derive and latch the session key. */
+    DhSetKey = 11,
+    /** OcbEncrypt {slot, src_gpu_va, dst_gpu_va, pt_bytes, stream, ctr}. */
+    OcbEncrypt = 12,
+    /** OcbDecrypt {slot, src_gpu_va, dst_gpu_va, pt_bytes, stream, ctr}. */
+    OcbDecrypt = 13,
+    /** DhClearKey {slot}: drop a session key slot. */
+    DhClearKey = 14,
+};
+
+/** Engines commands execute on (for timing attribution). */
+enum class GpuEngine : std::uint8_t
+{
+    Control,   //!< command processor bookkeeping
+    CopyHtoD,  //!< host-to-device copy engine
+    CopyDtoH,  //!< device-to-host copy engine
+    Compute,   //!< SM array
+};
+
+}  // namespace hix::gpu
+
+#endif  // HIX_GPU_GPU_REGS_H_

@@ -1,0 +1,33 @@
+#include "gpu/kernel_registry.h"
+
+namespace hix::gpu
+{
+
+KernelId
+KernelRegistry::add(std::string name, KernelFn fn, KernelCostFn cost)
+{
+    const KernelId id = static_cast<KernelId>(entries_.size());
+    by_name_[name] = id;
+    entries_.push_back(
+        KernelEntry{std::move(name), std::move(fn), std::move(cost)});
+    return id;
+}
+
+const KernelEntry *
+KernelRegistry::find(KernelId id) const
+{
+    if (id >= entries_.size())
+        return nullptr;
+    return &entries_[id];
+}
+
+Result<KernelId>
+KernelRegistry::idOf(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        return errNotFound("no kernel named " + name);
+    return it->second;
+}
+
+}  // namespace hix::gpu

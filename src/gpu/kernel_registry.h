@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPU compute-kernel registry: maps a kernel id (what a CUDA module
+ * load produces in Gdev) to a functional implementation plus a cost
+ * model. Workloads register their kernels here; the compute engine
+ * executes the function and charges the model's time.
+ */
+
+#ifndef HIX_GPU_KERNEL_REGISTRY_H_
+#define HIX_GPU_KERNEL_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "gpu/gpu_context.h"
+
+namespace hix::gpu
+{
+
+/** Id assigned to a registered kernel. */
+using KernelId = std::uint32_t;
+
+/** Kernel launch arguments: plain 64-bit values (addresses/scalars). */
+using KernelArgs = std::vector<std::uint64_t>;
+
+/** Functional body: touches device memory through the accessor. */
+using KernelFn =
+    std::function<Status(const GpuMemAccessor &, const KernelArgs &)>;
+
+/** Cost model: simulated execution time for the given arguments. */
+using KernelCostFn = std::function<Tick(const KernelArgs &)>;
+
+/** A registered kernel. */
+struct KernelEntry
+{
+    std::string name;
+    KernelFn fn;
+    KernelCostFn cost;
+};
+
+/** The registry. One per GPU device. */
+class KernelRegistry
+{
+  public:
+    /** Register a kernel; returns its id. */
+    KernelId add(std::string name, KernelFn fn, KernelCostFn cost);
+
+    /** Find by id. */
+    const KernelEntry *find(KernelId id) const;
+
+    /** Find id by name (driver module loading). */
+    Result<KernelId> idOf(const std::string &name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<KernelEntry> entries_;
+    std::unordered_map<std::string, KernelId> by_name_;
+};
+
+}  // namespace hix::gpu
+
+#endif  // HIX_GPU_KERNEL_REGISTRY_H_

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Wire protocol between a user enclave and the GPU enclave. Every
+ * control-plane message crosses untrusted shared memory sealed with
+ * OCB-AES-128 under the per-session IPC key (Section 4.4.1 of the
+ * paper); this header defines the plaintext layout.
+ */
+
+#ifndef HIX_HIX_PROTOCOL_H_
+#define HIX_HIX_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hix::core
+{
+
+/** Request kinds the GPU enclave services. */
+enum class ReqType : std::uint32_t
+{
+    MemAlloc = 1,      //!< args: {size} -> vals: {gpu_va}
+    MemFree = 2,       //!< args: {gpu_va}
+    HtoDBegin = 3,     //!< args: {dst_va, total, chunk, nominal_total}
+    DtoHBegin = 4,     //!< args: {src_va, total, chunk, nominal_total}
+    LaunchKernel = 5,  //!< args: {kernel_id, kernel args...}
+    LoadModule = 6,    //!< blob: kernel name -> vals: {kernel_id}
+    CloseSession = 7,  //!< args: {}
+    /** Managed (demand-paged) allocation, Section 5.6 future work:
+     *  args {size, page_bytes, max_resident_pages} -> vals {gpu_va}. */
+    MemAllocManaged = 8,
+    /** Make a managed buffer fully resident: args {gpu_va}. */
+    Prefetch = 9,
+};
+
+/** A decoded request. */
+struct Request
+{
+    ReqType type = ReqType::MemAlloc;
+    std::vector<std::uint64_t> args;
+    /** Auxiliary byte payload (module names). */
+    Bytes blob;
+};
+
+/** A decoded response. */
+struct Response
+{
+    /** StatusCode of the operation, as uint32. */
+    std::uint32_t code = 0;
+    std::vector<std::uint64_t> vals;
+
+    bool
+    isOk() const
+    {
+        return code == static_cast<std::uint32_t>(StatusCode::Ok);
+    }
+};
+
+/** Serialize a request for sealing. */
+Bytes encodeRequest(const Request &req);
+
+/** Parse a request; fails on malformed input. */
+Result<Request> decodeRequest(const Bytes &data);
+
+/** Serialize a response for sealing. */
+Bytes encodeResponse(const Response &resp);
+
+/** Parse a response. */
+Result<Response> decodeResponse(const Bytes &data);
+
+/** Build an error response from a status. */
+Response errorResponse(const Status &status);
+
+}  // namespace hix::core
+
+#endif  // HIX_HIX_PROTOCOL_H_

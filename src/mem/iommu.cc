@@ -1,0 +1,42 @@
+#include "mem/iommu.h"
+
+namespace hix::mem
+{
+
+Status
+Iommu::map(Addr device_addr, Addr phys_addr)
+{
+    if (!pageAligned(device_addr) || !pageAligned(phys_addr))
+        return errInvalidArgument("IOMMU map: unaligned address");
+    auto [it, inserted] = table_.emplace(device_addr, phys_addr);
+    if (!inserted)
+        return errAlreadyExists("device page already mapped");
+    return Status::ok();
+}
+
+Status
+Iommu::unmap(Addr device_addr)
+{
+    if (table_.erase(pageBase(device_addr)) == 0)
+        return errNotFound("device page not mapped");
+    return Status::ok();
+}
+
+void
+Iommu::overwrite(Addr device_addr, Addr phys_addr)
+{
+    table_[pageBase(device_addr)] = pageBase(phys_addr);
+}
+
+Result<Addr>
+Iommu::translate(Addr device_addr) const
+{
+    if (!enabled_)
+        return device_addr;
+    auto it = table_.find(pageBase(device_addr));
+    if (it == table_.end())
+        return errAccessFault("IOMMU fault: device page not mapped");
+    return it->second + pageOffset(device_addr);
+}
+
+}  // namespace hix::mem

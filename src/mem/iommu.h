@@ -1,0 +1,57 @@
+/**
+ * @file
+ * IOMMU model: translates device-visible DMA addresses to physical
+ * addresses. Its table is OS-owned — under the HIX threat model the
+ * adversary can redirect any DMA (Section 4.3.3), which is why HIX
+ * protects DMA payloads with authenticated encryption instead of
+ * trusting this unit.
+ */
+
+#ifndef HIX_MEM_IOMMU_H_
+#define HIX_MEM_IOMMU_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/phys_mem.h"
+
+namespace hix::mem
+{
+
+/**
+ * A single-domain IOMMU. When disabled (bypass mode), device
+ * addresses pass through untranslated.
+ */
+class Iommu
+{
+  public:
+    /** Enable/disable translation; disabled = identity mapping. */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Map a device page to a physical page (OS-controlled). */
+    Status map(Addr device_addr, Addr phys_addr);
+
+    /** Remove a device page mapping. */
+    Status unmap(Addr device_addr);
+
+    /**
+     * Rewrite a mapping without checks — the attacker primitive for
+     * DMA redirection.
+     */
+    void overwrite(Addr device_addr, Addr phys_addr);
+
+    /** Translate a device address; faults when unmapped. */
+    Result<Addr> translate(Addr device_addr) const;
+
+    std::size_t entryCount() const { return table_.size(); }
+
+  private:
+    bool enabled_ = false;
+    std::unordered_map<Addr, Addr> table_;  // device page -> phys page
+};
+
+}  // namespace hix::mem
+
+#endif  // HIX_MEM_IOMMU_H_

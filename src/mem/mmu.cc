@@ -1,0 +1,141 @@
+#include "mem/mmu.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hix::mem
+{
+
+const TlbEntry *
+Tlb::lookup(ProcessId pid, EnclaveId enclave, Addr vpage) const
+{
+    for (const TlbEntry &e : entries_) {
+        if (e.pid == pid && e.enclave == enclave && e.vpage == vpage)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    if (entries_.size() >= capacity_)
+        entries_.pop_front();
+    entries_.push_back(entry);
+}
+
+void
+Tlb::flushAll()
+{
+    entries_.clear();
+}
+
+void
+Tlb::flushPid(ProcessId pid)
+{
+    entries_.remove_if(
+        [pid](const TlbEntry &e) { return e.pid == pid; });
+}
+
+void
+Tlb::flushPage(ProcessId pid, Addr vpage)
+{
+    entries_.remove_if([pid, vpage](const TlbEntry &e) {
+        return e.pid == pid && e.vpage == vpage;
+    });
+}
+
+Mmu::Mmu(PhysicalBus *bus, std::size_t tlb_capacity)
+    : bus_(bus), tlb_(tlb_capacity)
+{
+}
+
+void
+Mmu::setPageTableProvider(PageTableProvider provider)
+{
+    provider_ = std::move(provider);
+}
+
+void
+Mmu::addValidator(TlbFillValidator *validator)
+{
+    validators_.push_back(validator);
+}
+
+Result<Addr>
+Mmu::translate(const ExecContext &ctx, Addr vaddr, AccessType access)
+{
+    const Addr vpage = pageBase(vaddr);
+    const std::uint8_t need = permFor(access);
+
+    if (const TlbEntry *hit = tlb_.lookup(ctx.pid, ctx.enclave, vpage)) {
+        tlb_.countHit();
+        if ((hit->perms & need) == 0)
+            return errAccessFault("permission denied (TLB)");
+        return hit->ppage + pageOffset(vaddr);
+    }
+    tlb_.countMiss();
+
+    if (!provider_)
+        return errInternal("MMU has no page table provider");
+    PageTable *pt = provider_(ctx.pid);
+    if (!pt)
+        return errNotFound("no page table for process");
+
+    auto pte = pt->lookup(vaddr);
+    if (!pte.isOk())
+        return pte.status();
+    if ((pte->perms & need) == 0)
+        return errAccessFault("permission denied (PTE)");
+
+    // The hardware walker validates the fill before caching it; this
+    // is where EPCM and TGMR enforcement happens.
+    for (TlbFillValidator *v : validators_) {
+        Status st = v->validateFill(ctx, vpage, pte->paddr, pte->perms);
+        if (!st.isOk())
+            return st;
+    }
+
+    tlb_.insert(TlbEntry{ctx.pid, ctx.enclave, vpage, pte->paddr,
+                         pte->perms});
+    return pte->paddr + pageOffset(vaddr);
+}
+
+Status
+Mmu::read(const ExecContext &ctx, Addr vaddr, std::uint8_t *data,
+          std::size_t len)
+{
+    while (len > 0) {
+        const std::uint64_t in_page = PageSize - pageOffset(vaddr);
+        const std::size_t take = std::min<std::uint64_t>(in_page, len);
+        auto pa = translate(ctx, vaddr, AccessType::Read);
+        if (!pa.isOk())
+            return pa.status();
+        HIX_RETURN_IF_ERROR(bus_->read(*pa, data, take));
+        data += take;
+        vaddr += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+Status
+Mmu::write(const ExecContext &ctx, Addr vaddr, const std::uint8_t *data,
+           std::size_t len)
+{
+    while (len > 0) {
+        const std::uint64_t in_page = PageSize - pageOffset(vaddr);
+        const std::size_t take = std::min<std::uint64_t>(in_page, len);
+        auto pa = translate(ctx, vaddr, AccessType::Write);
+        if (!pa.isOk())
+            return pa.status();
+        HIX_RETURN_IF_ERROR(bus_->write(*pa, data, take));
+        data += take;
+        vaddr += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+}  // namespace hix::mem

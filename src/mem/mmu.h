@@ -1,0 +1,147 @@
+/**
+ * @file
+ * MMU with TLB and a validating hardware page-table walker.
+ *
+ * This is HIX's central protection point (Section 4.3.1 of the
+ * paper): on a TLB miss the walker fetches the OS-owned PTE, then
+ * passes the proposed fill to registered validators *before* the
+ * entry may enter the TLB. The SGX model registers a validator that
+ * enforces EPCM rules for enclave pages and the four GECS/TGMR checks
+ * for GPU MMIO pages. A denied fill is an access fault; the OS can
+ * corrupt its page tables freely but can never make the hardware
+ * honour a forged mapping.
+ */
+
+#ifndef HIX_MEM_MMU_H_
+#define HIX_MEM_MMU_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/page_table.h"
+#include "mem/phys_bus.h"
+
+namespace hix::mem
+{
+
+/**
+ * Who is performing an access: the process, and the enclave it is
+ * currently executing in (InvalidEnclaveId when outside any enclave).
+ */
+struct ExecContext
+{
+    ProcessId pid = 0;
+    EnclaveId enclave = InvalidEnclaveId;
+};
+
+/** A cached translation. */
+struct TlbEntry
+{
+    ProcessId pid = 0;
+    EnclaveId enclave = InvalidEnclaveId;
+    Addr vpage = 0;
+    Addr ppage = 0;
+    std::uint8_t perms = PermNone;
+};
+
+/**
+ * Hook consulted by the page-table walker before a TLB fill. All
+ * registered validators must accept the fill.
+ */
+class TlbFillValidator
+{
+  public:
+    virtual ~TlbFillValidator() = default;
+
+    /**
+     * Validate a proposed fill: @p ctx performs an access to
+     * @p vpage mapping to @p ppage. Return OK to allow.
+     */
+    virtual Status validateFill(const ExecContext &ctx, Addr vpage,
+                                Addr ppage, std::uint8_t perms) = 0;
+};
+
+/** Fully associative TLB with FIFO replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Find an entry for (pid, enclave, vpage). */
+    const TlbEntry *lookup(ProcessId pid, EnclaveId enclave,
+                           Addr vpage) const;
+
+    /** Insert an entry, evicting the oldest when full. */
+    void insert(const TlbEntry &entry);
+
+    void flushAll();
+    void flushPid(ProcessId pid);
+    void flushPage(ProcessId pid, Addr vpage);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Count a hit/miss (called by the MMU). */
+    void countHit() { ++hits_; }
+    void countMiss() { ++misses_; }
+
+  private:
+    std::size_t capacity_;
+    std::list<TlbEntry> entries_;  // front = oldest
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * The CPU MMU: translates virtual accesses, walking the current
+ * process's page table on TLB misses and enforcing validator checks
+ * on every fill. Also provides virtual-address read/write helpers
+ * that route the resulting physical access over the bus.
+ */
+class Mmu
+{
+  public:
+    /** Provider of the (OS-owned) page table for a process. */
+    using PageTableProvider = std::function<PageTable *(ProcessId)>;
+
+    Mmu(PhysicalBus *bus, std::size_t tlb_capacity = 64);
+
+    void setPageTableProvider(PageTableProvider provider);
+
+    /** Register a fill validator; all must pass. */
+    void addValidator(TlbFillValidator *validator);
+
+    /**
+     * Translate @p vaddr for @p ctx. Returns the physical address or
+     * an AccessFault/NotFound status.
+     */
+    Result<Addr> translate(const ExecContext &ctx, Addr vaddr,
+                           AccessType access);
+
+    /** Virtual-address read through translation and the bus. */
+    Status read(const ExecContext &ctx, Addr vaddr, std::uint8_t *data,
+                std::size_t len);
+
+    /** Virtual-address write through translation and the bus. */
+    Status write(const ExecContext &ctx, Addr vaddr,
+                 const std::uint8_t *data, std::size_t len);
+
+    Tlb &tlb() { return tlb_; }
+    PhysicalBus *bus() { return bus_; }
+
+  private:
+    PhysicalBus *bus_;
+    Tlb tlb_;
+    PageTableProvider provider_;
+    std::vector<TlbFillValidator *> validators_;
+};
+
+}  // namespace hix::mem
+
+#endif  // HIX_MEM_MMU_H_

@@ -1,0 +1,51 @@
+#include "mem/page_table.h"
+
+namespace hix::mem
+{
+
+Status
+PageTable::map(Addr vaddr, Addr paddr, std::uint8_t perms)
+{
+    if (!pageAligned(vaddr) || !pageAligned(paddr))
+        return errInvalidArgument("map: unaligned address");
+    auto [it, inserted] = entries_.emplace(vaddr, Pte{paddr, perms});
+    if (!inserted)
+        return errAlreadyExists("va page already mapped");
+    return Status::ok();
+}
+
+Status
+PageTable::mapRange(Addr vaddr, Addr paddr, std::uint64_t size,
+                    std::uint8_t perms)
+{
+    if (!pageAligned(vaddr) || !pageAligned(paddr))
+        return errInvalidArgument("mapRange: unaligned address");
+    for (std::uint64_t off = 0; off < size; off += PageSize)
+        HIX_RETURN_IF_ERROR(map(vaddr + off, paddr + off, perms));
+    return Status::ok();
+}
+
+Status
+PageTable::unmap(Addr vaddr)
+{
+    if (entries_.erase(pageBase(vaddr)) == 0)
+        return errNotFound("va page not mapped");
+    return Status::ok();
+}
+
+Result<Pte>
+PageTable::lookup(Addr vaddr) const
+{
+    auto it = entries_.find(pageBase(vaddr));
+    if (it == entries_.end())
+        return errNotFound("page fault: va not mapped");
+    return it->second;
+}
+
+void
+PageTable::overwrite(Addr vaddr, Addr paddr, std::uint8_t perms)
+{
+    entries_[pageBase(vaddr)] = Pte{pageBase(paddr), perms};
+}
+
+}  // namespace hix::mem

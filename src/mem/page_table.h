@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-process page table. The table itself is OS-owned state — under
+ * the HIX threat model the adversary may rewrite any entry at any
+ * time; security comes from the hardware page-table walker's
+ * validation (mmu.h), never from trusting this structure.
+ */
+
+#ifndef HIX_MEM_PAGE_TABLE_H_
+#define HIX_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/phys_mem.h"
+
+namespace hix::mem
+{
+
+/** Page permissions bitmask. */
+enum Perm : std::uint8_t
+{
+    PermNone = 0,
+    PermRead = 1 << 0,
+    PermWrite = 1 << 1,
+    PermExec = 1 << 2,
+};
+
+/** Kind of access being performed, checked against Perm. */
+enum class AccessType
+{
+    Read,
+    Write,
+    Execute,
+};
+
+/** Permission bit required by an access type. */
+constexpr Perm
+permFor(AccessType t)
+{
+    switch (t) {
+      case AccessType::Read:
+        return PermRead;
+      case AccessType::Write:
+        return PermWrite;
+      case AccessType::Execute:
+        return PermExec;
+    }
+    return PermNone;
+}
+
+/** One page-table entry. */
+struct Pte
+{
+    Addr paddr = 0;  //!< physical page base
+    std::uint8_t perms = PermNone;
+};
+
+/**
+ * A flat VA->PA page map for one process address space.
+ */
+class PageTable
+{
+  public:
+    /** Map the page of @p vaddr to the page of @p paddr. */
+    Status map(Addr vaddr, Addr paddr, std::uint8_t perms);
+
+    /** Map a contiguous region of @p size bytes. */
+    Status mapRange(Addr vaddr, Addr paddr, std::uint64_t size,
+                    std::uint8_t perms);
+
+    /** Remove the mapping of @p vaddr's page. */
+    Status unmap(Addr vaddr);
+
+    /** Look up the PTE covering @p vaddr. */
+    Result<Pte> lookup(Addr vaddr) const;
+
+    /**
+     * Overwrite an existing PTE without any checks. This is the
+     * attacker primitive: privileged software can point any virtual
+     * page anywhere.
+     */
+    void overwrite(Addr vaddr, Addr paddr, std::uint8_t perms);
+
+    std::size_t entryCount() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<Addr, Pte> entries_;  // keyed by VA page base
+};
+
+}  // namespace hix::mem
+
+#endif  // HIX_MEM_PAGE_TABLE_H_

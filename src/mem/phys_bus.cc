@@ -1,0 +1,84 @@
+#include "mem/phys_bus.h"
+
+#include <algorithm>
+
+namespace hix::mem
+{
+
+Status
+PhysicalBus::attach(const AddrRange &range, BusTarget *target)
+{
+    if (range.empty() || target == nullptr)
+        return errInvalidArgument("empty range or null target");
+    for (const Mapping &m : mappings_) {
+        if (m.range.overlaps(range)) {
+            return errAlreadyExists("range " + range.toString() +
+                                    " overlaps " + m.range.toString() +
+                                    " owned by " + m.target->targetName());
+        }
+    }
+    mappings_.push_back(Mapping{range, target});
+    return Status::ok();
+}
+
+Status
+PhysicalBus::detach(const AddrRange &range)
+{
+    auto it = std::find_if(mappings_.begin(), mappings_.end(),
+                           [&](const Mapping &m) {
+                               return m.range == range;
+                           });
+    if (it == mappings_.end())
+        return errNotFound("no mapping for " + range.toString());
+    mappings_.erase(it);
+    return Status::ok();
+}
+
+const PhysicalBus::Mapping *
+PhysicalBus::findMapping(Addr addr) const
+{
+    for (const Mapping &m : mappings_)
+        if (m.range.contains(addr))
+            return &m;
+    return nullptr;
+}
+
+Status
+PhysicalBus::read(Addr addr, std::uint8_t *data, std::size_t len)
+{
+    const Mapping *m = findMapping(addr);
+    if (!m)
+        return errNotFound("physical read from unmapped address");
+    if (len > 0 && !m->range.contains(addr + len - 1))
+        return errInvalidArgument("read straddles bus targets");
+    return m->target->readAt(m->range.offsetOf(addr), data, len);
+}
+
+Status
+PhysicalBus::write(Addr addr, const std::uint8_t *data, std::size_t len)
+{
+    const Mapping *m = findMapping(addr);
+    if (!m)
+        return errNotFound("physical write to unmapped address");
+    if (len > 0 && !m->range.contains(addr + len - 1))
+        return errInvalidArgument("write straddles bus targets");
+    return m->target->writeAt(m->range.offsetOf(addr), data, len);
+}
+
+BusTarget *
+PhysicalBus::targetAt(Addr addr) const
+{
+    const Mapping *m = findMapping(addr);
+    return m ? m->target : nullptr;
+}
+
+Result<AddrRange>
+PhysicalBus::rangeAt(Addr addr) const
+{
+    const Mapping *m = findMapping(addr);
+    if (!m)
+        return errNotFound("no target at address");
+    return m->range;
+}
+
+}  // namespace hix::mem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Physical address space routing.
+ *
+ * The modelled machine has one flat physical address map (Figure 2 of
+ * the paper): DRAM plus one or more MMIO windows claimed by PCIe
+ * devices. BusTargets register their ranges with the PhysicalBus,
+ * which routes physical reads/writes by address — the hardware role
+ * split between the CPU's system agent and the PCIe root complex.
+ */
+
+#ifndef HIX_MEM_PHYS_BUS_H_
+#define HIX_MEM_PHYS_BUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/addr_range.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hix::mem
+{
+
+/** Anything that claims a physical address range. */
+class BusTarget
+{
+  public:
+    virtual ~BusTarget() = default;
+
+    /** Name for diagnostics. */
+    virtual std::string targetName() const = 0;
+
+    /** Read @p len bytes at @p offset within the claimed range. */
+    virtual Status readAt(std::uint64_t offset, std::uint8_t *data,
+                          std::size_t len) = 0;
+
+    /** Write @p len bytes at @p offset within the claimed range. */
+    virtual Status writeAt(std::uint64_t offset,
+                           const std::uint8_t *data, std::size_t len) = 0;
+};
+
+/**
+ * Routes physical accesses to the registered target whose range
+ * contains the address. Accesses must not straddle targets.
+ */
+class PhysicalBus
+{
+  public:
+    /** Claim @p range for @p target; ranges must not overlap. */
+    Status attach(const AddrRange &range, BusTarget *target);
+
+    /** Release a previously claimed range. */
+    Status detach(const AddrRange &range);
+
+    /** Route a physical read. */
+    Status read(Addr addr, std::uint8_t *data, std::size_t len);
+
+    /** Route a physical write. */
+    Status write(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** The target claiming @p addr, or nullptr. */
+    BusTarget *targetAt(Addr addr) const;
+
+    /** The range claimed by the target covering @p addr. */
+    Result<AddrRange> rangeAt(Addr addr) const;
+
+  private:
+    struct Mapping
+    {
+        AddrRange range;
+        BusTarget *target;
+    };
+
+    const Mapping *findMapping(Addr addr) const;
+
+    std::vector<Mapping> mappings_;
+};
+
+}  // namespace hix::mem
+
+#endif  // HIX_MEM_PHYS_BUS_H_

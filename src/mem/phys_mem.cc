@@ -1,0 +1,84 @@
+#include "mem/phys_mem.h"
+
+#include <cstring>
+
+namespace hix::mem
+{
+
+PhysMem::PhysMem(std::string name, std::uint64_t size)
+    : name_(std::move(name)), size_(size)
+{
+}
+
+std::uint8_t *
+PhysMem::pageFor(std::uint64_t offset, bool create)
+{
+    const std::uint64_t page = offset / PageSize;
+    auto it = pages_.find(page);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto storage = std::make_unique<std::uint8_t[]>(PageSize);
+    std::memset(storage.get(), 0, PageSize);
+    std::uint8_t *raw = storage.get();
+    pages_.emplace(page, std::move(storage));
+    return raw;
+}
+
+Status
+PhysMem::readAt(std::uint64_t offset, std::uint8_t *data, std::size_t len)
+{
+    if (offset + len > size_)
+        return errInvalidArgument("read beyond " + name_ + " size");
+    while (len > 0) {
+        const std::uint64_t in_page = PageSize - pageOffset(offset);
+        const std::size_t take = std::min<std::uint64_t>(in_page, len);
+        const std::uint8_t *page = pageFor(offset, false);
+        if (page)
+            std::memcpy(data, page + pageOffset(offset), take);
+        else
+            std::memset(data, 0, take);
+        data += take;
+        offset += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+Status
+PhysMem::writeAt(std::uint64_t offset, const std::uint8_t *data,
+                 std::size_t len)
+{
+    if (offset + len > size_)
+        return errInvalidArgument("write beyond " + name_ + " size");
+    while (len > 0) {
+        const std::uint64_t in_page = PageSize - pageOffset(offset);
+        const std::size_t take = std::min<std::uint64_t>(in_page, len);
+        std::uint8_t *page = pageFor(offset, true);
+        std::memcpy(page + pageOffset(offset), data, take);
+        data += take;
+        offset += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+Status
+PhysMem::zeroAt(std::uint64_t offset, std::uint64_t len)
+{
+    if (offset + len > size_)
+        return errInvalidArgument("zero beyond " + name_ + " size");
+    while (len > 0) {
+        const std::uint64_t in_page = PageSize - pageOffset(offset);
+        const std::uint64_t take = std::min<std::uint64_t>(in_page, len);
+        std::uint8_t *page = pageFor(offset, false);
+        if (page)
+            std::memset(page + pageOffset(offset), 0, take);
+        offset += take;
+        len -= take;
+    }
+    return Status::ok();
+}
+
+}  // namespace hix::mem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sparse DRAM model: page-granular backing store allocated on first
+ * touch, so a modelled machine with gigabytes of RAM costs only what
+ * the workload actually touches.
+ */
+
+#ifndef HIX_MEM_PHYS_MEM_H_
+#define HIX_MEM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/addr_range.h"
+#include "common/types.h"
+#include "mem/phys_bus.h"
+
+namespace hix::mem
+{
+
+/** Page size of the modelled machine (4 KiB, x86-64 base pages). */
+inline constexpr std::uint64_t PageSize = 4096;
+
+/** Page-align an address downwards. */
+constexpr Addr
+pageBase(Addr a)
+{
+    return a & ~(PageSize - 1);
+}
+
+/** Offset of an address within its page. */
+constexpr std::uint64_t
+pageOffset(Addr a)
+{
+    return a & (PageSize - 1);
+}
+
+/** True when @p a is page-aligned. */
+constexpr bool
+pageAligned(Addr a)
+{
+    return pageOffset(a) == 0;
+}
+
+/**
+ * Sparse physical memory of a given size. Reads of untouched pages
+ * return zeros.
+ */
+class PhysMem : public BusTarget
+{
+  public:
+    /** DRAM of @p size bytes named @p name. */
+    PhysMem(std::string name, std::uint64_t size);
+
+    std::string targetName() const override { return name_; }
+    std::uint64_t size() const { return size_; }
+
+    Status readAt(std::uint64_t offset, std::uint8_t *data,
+                  std::size_t len) override;
+    Status writeAt(std::uint64_t offset, const std::uint8_t *data,
+                   std::size_t len) override;
+
+    /** Zero-fill a byte range (used for scrubbing). */
+    Status zeroAt(std::uint64_t offset, std::uint64_t len);
+
+    /** Number of pages actually materialised (for tests). */
+    std::size_t touchedPages() const { return pages_.size(); }
+
+  private:
+    std::uint8_t *pageFor(std::uint64_t offset, bool create);
+
+    std::string name_;
+    std::uint64_t size_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+        pages_;
+};
+
+}  // namespace hix::mem
+
+#endif  // HIX_MEM_PHYS_MEM_H_

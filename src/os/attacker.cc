@@ -1,0 +1,99 @@
+#include "os/attacker.h"
+
+namespace hix::os
+{
+
+Result<Bytes>
+Attacker::readDram(Addr paddr, std::size_t len)
+{
+    Bytes out(len);
+    Status st = machine_->ram().readAt(paddr, out.data(), len);
+    if (!st.isOk())
+        return st;
+    return out;
+}
+
+Status
+Attacker::tamperDram(Addr paddr, std::uint8_t xor_mask)
+{
+    std::uint8_t b;
+    HIX_RETURN_IF_ERROR(machine_->ram().readAt(paddr, &b, 1));
+    b ^= xor_mask;
+    return machine_->ram().writeAt(paddr, &b, 1);
+}
+
+Status
+Attacker::remapPte(ProcessId pid, Addr vaddr, Addr new_paddr)
+{
+    mem::PageTable *pt = machine_->os().pageTableOf(pid);
+    if (!pt)
+        return errNotFound("no such process");
+    pt->overwrite(vaddr, new_paddr,
+                  mem::PermRead | mem::PermWrite);
+    machine_->mmu().tlb().flushAll();
+    return Status::ok();
+}
+
+Result<Bytes>
+Attacker::mapAndRead(ProcessId attacker_pid, Addr paddr, std::size_t len)
+{
+    auto va = machine_->os().mapPhysical(attacker_pid,
+                                         mem::pageBase(paddr),
+                                         len + mem::pageOffset(paddr),
+                                         mem::PermRead);
+    if (!va.isOk())
+        return va.status();
+    Bytes out(len);
+    mem::ExecContext ctx{attacker_pid, InvalidEnclaveId};
+    Status st = machine_->mmu().read(ctx, *va + mem::pageOffset(paddr),
+                                     out.data(), len);
+    if (!st.isOk())
+        return st;
+    return out;
+}
+
+Status
+Attacker::mapAndWrite(ProcessId attacker_pid, Addr paddr,
+                      const Bytes &data)
+{
+    auto va = machine_->os().mapPhysical(
+        attacker_pid, mem::pageBase(paddr),
+        data.size() + mem::pageOffset(paddr),
+        mem::PermRead | mem::PermWrite);
+    if (!va.isOk())
+        return va.status();
+    mem::ExecContext ctx{attacker_pid, InvalidEnclaveId};
+    return machine_->mmu().write(ctx, *va + mem::pageOffset(paddr),
+                                 data.data(), data.size());
+}
+
+Status
+Attacker::redirectDma(Addr device_page, Addr new_phys_page)
+{
+    machine_->iommu().overwrite(device_page, new_phys_page);
+    return Status::ok();
+}
+
+Status
+Attacker::rewriteConfig(const pcie::Bdf &bdf, std::uint16_t reg,
+                        std::uint32_t value)
+{
+    return machine_->rootComplex().configWrite(bdf, reg, value);
+}
+
+Status
+Attacker::killProcessAndEnclave(ProcessId pid, EnclaveId enclave)
+{
+    HIX_RETURN_IF_ERROR(machine_->os().killProcess(pid));
+    if (enclave != InvalidEnclaveId)
+        HIX_RETURN_IF_ERROR(machine_->sgx().killEnclave(enclave));
+    return Status::ok();
+}
+
+void
+Attacker::flashGpuBios(const Bytes &image)
+{
+    machine_->gpu().flashBios(image);
+}
+
+}  // namespace hix::os

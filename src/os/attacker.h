@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The privileged adversary (Section 3.1 of the paper): controls the
+ * OS kernel, device drivers, page tables, the IOMMU, and DMA buffer
+ * placement, and can inspect all of main memory. Each method is one
+ * attack primitive used by the Section 5.5 security analysis; the
+ * Table 2 bench replays them against both the unprotected baseline
+ * and HIX.
+ */
+
+#ifndef HIX_OS_ATTACKER_H_
+#define HIX_OS_ATTACKER_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "os/machine.h"
+
+namespace hix::os
+{
+
+/** A privileged software attacker bound to a machine. */
+class Attacker
+{
+  public:
+    explicit Attacker(Machine *machine) : machine_(machine) {}
+
+    // ----- Main-memory attacks (confidentiality/integrity) ---------------
+    /** Inspect arbitrary DRAM (ciphertext is all HIX leaves here). */
+    Result<Bytes> readDram(Addr paddr, std::size_t len);
+
+    /** Corrupt arbitrary DRAM (e.g. a staged DMA buffer). */
+    Status tamperDram(Addr paddr, std::uint8_t xor_mask);
+
+    // ----- Address-translation attacks ------------------------------------
+    /**
+     * Rewrite a PTE of any process and flush the TLB so the rewrite
+     * would take effect (Section 5.5, MMIO address translation
+     * attack). Returns OK — whether the *victim's next access* works
+     * is decided by the hardware walker.
+     */
+    Status remapPte(ProcessId pid, Addr vaddr, Addr new_paddr);
+
+    /**
+     * Map any physical range into an attacker-controlled process and
+     * try to read through it (EPC snooping, MMIO theft).
+     */
+    Result<Bytes> mapAndRead(ProcessId attacker_pid, Addr paddr,
+                             std::size_t len);
+
+    /** Same, but write. */
+    Status mapAndWrite(ProcessId attacker_pid, Addr paddr,
+                       const Bytes &data);
+
+    // ----- DMA attacks -----------------------------------------------------
+    /** Redirect an IOMMU mapping so device DMA lands elsewhere. */
+    Status redirectDma(Addr device_page, Addr new_phys_page);
+
+    // ----- PCIe routing attacks --------------------------------------------
+    /** Rewrite a config register (BAR, bridge window, bus numbers). */
+    Status rewriteConfig(const pcie::Bdf &bdf, std::uint16_t reg,
+                         std::uint32_t value);
+
+    // ----- Lifecycle attacks ----------------------------------------------
+    /** Forcefully kill a process and any enclave it hosts. */
+    Status killProcessAndEnclave(ProcessId pid, EnclaveId enclave);
+
+    // ----- Firmware attacks -----------------------------------------------
+    /** Flash a malicious GPU BIOS (possible before EGCREATE only in
+     *  effect; the ROM content swap itself always "succeeds"). */
+    void flashGpuBios(const Bytes &image);
+
+    /** A BDF for a software-emulated GPU (never enumerated). */
+    static pcie::Bdf
+    emulatedGpuBdf()
+    {
+        return pcie::Bdf{0x1f, 0, 0};
+    }
+
+  private:
+    Machine *machine_;
+};
+
+}  // namespace hix::os
+
+#endif  // HIX_OS_ATTACKER_H_

@@ -1,0 +1,145 @@
+#include "os/machine.h"
+
+#include "common/logging.h"
+
+namespace hix::os
+{
+
+namespace
+{
+
+/**
+ * Multi-GPU machines need a larger MMIO window than the default
+ * 512 MiB (each GPU claims a 256 MiB BAR1 + 16 MiB BAR0). Widen the
+ * window downwards — BARs are 32-bit, so it must stay below 4 GiB —
+ * and shrink the DRAM claim to make room.
+ */
+MachineConfig
+normalized(MachineConfig config)
+{
+    const std::uint64_t per_gpu = 512 * MiB;  // aperture + alignment
+    const std::uint64_t needed =
+        per_gpu * std::max(1, config.gpuCount);
+    if (needed > config.mmioSize) {
+        config.mmioSize = needed;
+        config.mmioBase = 0x100000000ull - needed;
+        config.ramSize =
+            std::min<std::uint64_t>(config.ramSize, config.mmioBase);
+    }
+    return config;
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig &config)
+    : config_(normalized(config)),
+      ram_("dram", config_.ramSize),
+      recorder_(&trace_)
+{
+    if (!bus_.attach(AddrRange(0, config_.ramSize), &ram_).isOk())
+        hix_panic("Machine: cannot attach DRAM");
+
+    iommu_.setEnabled(config_.iommuEnabled);
+
+    rc_ = std::make_unique<pcie::RootComplex>(
+        AddrRange(config_.mmioBase, config_.mmioSize), &bus_, &iommu_);
+    for (int i = 0; i < std::max(1, config_.gpuCount); ++i) {
+        gpus_.push_back(std::make_unique<gpu::GpuDevice>(
+            "gtx580-" + std::to_string(i), config_.gpuGeometry,
+            config_.gpuPerf, config_.timing,
+            config_.seed ^ (0x9e37 + 0x1111u * i)));
+        if (!rc_->attachDevice(i, gpus_.back().get()).isOk())
+            hix_panic("Machine: cannot attach GPU");
+    }
+    if (!rc_->enumerate().isOk())
+        hix_panic("Machine: PCIe enumeration failed");
+    if (!bus_.attach(AddrRange(config_.mmioBase, config_.mmioSize),
+                     rc_.get())
+             .isOk())
+        hix_panic("Machine: cannot attach MMIO window");
+
+    mmu_ = std::make_unique<mem::Mmu>(&bus_, 256);
+    sgx_ = std::make_unique<sgx::SgxUnit>(
+        AddrRange(config_.epcBase, config_.epcSize), mmu_.get(),
+        config_.seed);
+    hix_ext_ = std::make_unique<sgx::HixExtension>(sgx_.get(), rc_.get());
+
+    os_ = std::make_unique<OsModel>(
+        config_.ramSize,
+        std::vector<AddrRange>{AddrRange(config_.epcBase,
+                                         config_.epcSize)});
+    mmu_->setPageTableProvider([this](ProcessId pid) {
+        return os_->pageTableOf(pid);
+    });
+
+    // The VRAM heap leaves the low 16 MiB to device structures.
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        vram_allocs_.push_back(
+            std::make_unique<driver::VramAllocator>(16 * MiB, 1 * GiB));
+    }
+}
+
+sim::ScheduleResult
+Machine::scheduleTrace() const
+{
+    sim::SchedulerConfig cfg;
+    cfg.gpuCtxSwitchTicks = config_.timing.gpuCtxSwitch;
+    return sim::schedule(trace_, cfg);
+}
+
+void
+Machine::clearTrace()
+{
+    trace_.clear();
+    recorder_ = sim::TraceRecorder(&trace_);
+    // Actor ids are NOT reset: live runtimes keep their identity
+    // across measurement windows.
+}
+
+void
+Machine::dumpStats(std::ostream &out) const
+{
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        sim::StatGroup g("gpu" + std::to_string(i));
+        const auto &s = gpus_[i]->stats();
+        g.scalar("commands") += double(s.commands);
+        g.scalar("kernels") += double(s.kernels);
+        g.scalar("crypto_kernels") += double(s.cryptoKernels);
+        g.scalar("bytes_h2d") += double(s.bytesH2D);
+        g.scalar("bytes_d2h") += double(s.bytesD2H);
+        g.scalar("mac_failures") += double(s.macFailures);
+        g.scalar("scrubbed_bytes") += double(s.scrubbedBytes);
+        g.scalar("resets") += double(s.resets);
+        g.dump(out);
+    }
+    {
+        sim::StatGroup g("pcie");
+        const auto &s = rc_->stats();
+        g.scalar("mem_reads") += double(s.memReads);
+        g.scalar("mem_writes") += double(s.memWrites);
+        g.scalar("cfg_reads") += double(s.cfgReads);
+        g.scalar("cfg_writes") += double(s.cfgWrites);
+        g.scalar("lockdown_drops") += double(s.lockdownDrops);
+        g.scalar("unroutable") += double(s.unroutable);
+        g.dump(out);
+    }
+    {
+        sim::StatGroup g("tlb");
+        g.scalar("hits") += double(mmu_->tlb().hits());
+        g.scalar("misses") += double(mmu_->tlb().misses());
+        g.dump(out);
+    }
+}
+
+void
+Machine::coldBoot()
+{
+    sgx_->platformReset();   // also resets GECS/TGMR and lockdown
+    for (auto &g : gpus_)
+        g->reset();          // scrubs device memory and key slots
+    for (auto &v : vram_allocs_)
+        v->reset();
+    mmu_->tlb().flushAll();
+}
+
+}  // namespace hix::os

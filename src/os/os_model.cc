@@ -1,0 +1,117 @@
+#include "os/os_model.h"
+
+#include "common/logging.h"
+
+namespace hix::os
+{
+
+OsModel::OsModel(std::uint64_t ram_size, std::vector<AddrRange> reserved)
+    : ram_size_(ram_size), reserved_(std::move(reserved))
+{
+}
+
+ProcessId
+OsModel::createProcess(std::string name)
+{
+    const ProcessId pid = next_pid_++;
+    Process proc;
+    proc.pid = pid;
+    proc.name = std::move(name);
+    processes_.emplace(pid, std::move(proc));
+    return pid;
+}
+
+Process *
+OsModel::process(ProcessId pid)
+{
+    auto it = processes_.find(pid);
+    return it == processes_.end() ? nullptr : &it->second;
+}
+
+Status
+OsModel::killProcess(ProcessId pid)
+{
+    Process *proc = process(pid);
+    if (!proc)
+        return errNotFound("no such process");
+    proc->alive = false;
+    return Status::ok();
+}
+
+mem::PageTable *
+OsModel::pageTableOf(ProcessId pid)
+{
+    Process *proc = process(pid);
+    return proc ? &proc->pageTable : nullptr;
+}
+
+Result<Addr>
+OsModel::allocFrames(std::uint64_t size)
+{
+    size = (size + mem::PageSize - 1) & ~(mem::PageSize - 1);
+    Addr base = frame_cursor_;
+    // Skip reserved carve-outs (EPC etc.).
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (const AddrRange &r : reserved_) {
+            if (r.overlaps(AddrRange(base, size))) {
+                base = r.end();
+                moved = true;
+            }
+        }
+    }
+    if (base + size > ram_size_)
+        return errResourceExhausted("out of physical frames");
+    frame_cursor_ = base + size;
+    return base;
+}
+
+Result<Addr>
+OsModel::mapAnonymous(ProcessId pid, std::uint64_t size,
+                      std::uint8_t perms)
+{
+    Process *proc = process(pid);
+    if (!proc)
+        return errNotFound("no such process");
+    HIX_ASSIGN_OR_RETURN(Addr paddr, allocFrames(size));
+    return mapPhysical(pid, paddr, size, perms);
+}
+
+Result<Addr>
+OsModel::mapPhysical(ProcessId pid, Addr paddr, std::uint64_t size,
+                     std::uint8_t perms)
+{
+    Process *proc = process(pid);
+    if (!proc)
+        return errNotFound("no such process");
+    if (!mem::pageAligned(paddr))
+        return errInvalidArgument("mapPhysical: unaligned paddr");
+    size = (size + mem::PageSize - 1) & ~(mem::PageSize - 1);
+    const Addr vaddr = proc->vaCursor;
+    proc->vaCursor += size + mem::PageSize;  // guard page
+    HIX_RETURN_IF_ERROR(
+        proc->pageTable.mapRange(vaddr, paddr, size, perms));
+    return vaddr;
+}
+
+Result<DmaBuffer>
+OsModel::allocDmaBuffer(ProcessId pid, std::uint64_t size)
+{
+    size = (size + mem::PageSize - 1) & ~(mem::PageSize - 1);
+    HIX_ASSIGN_OR_RETURN(Addr paddr, allocFrames(size));
+    HIX_ASSIGN_OR_RETURN(
+        Addr vaddr,
+        mapPhysical(pid, paddr, size,
+                    mem::PermRead | mem::PermWrite));
+    return DmaBuffer{vaddr, paddr, size};
+}
+
+Result<Addr>
+OsModel::mapShared(ProcessId pid, const DmaBuffer &buffer,
+                   std::uint8_t perms)
+{
+    return mapPhysical(pid, buffer.paddr, buffer.size, perms);
+}
+
+}  // namespace hix::os

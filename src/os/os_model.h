@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The untrusted operating system model.
+ *
+ * Under the HIX threat model (Section 3 of the paper) the OS is the
+ * adversary: it owns every page table, the IOMMU, DMA buffer
+ * placement, and process lifetimes. This model provides the *benign*
+ * kernel services HIX still needs from the OS (virtual address
+ * allocation, page-table installation, pinned DMA buffers — the
+ * "remaining part of driver in the OS", Section 4.2) and, separately,
+ * an explicit attacker API that performs the privileged attacks of
+ * Section 5.5 against the modelled hardware.
+ */
+
+#ifndef HIX_OS_OS_MODEL_H_
+#define HIX_OS_OS_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/iommu.h"
+#include "mem/mmu.h"
+#include "mem/page_table.h"
+
+namespace hix::os
+{
+
+/** A pinned, physically contiguous buffer visible to devices. */
+struct DmaBuffer
+{
+    Addr vaddr = 0;  //!< mapped VA in the owning process
+    Addr paddr = 0;  //!< physical (and device-visible) address
+    std::uint64_t size = 0;
+};
+
+/** One modelled process. */
+struct Process
+{
+    ProcessId pid = 0;
+    std::string name;
+    mem::PageTable pageTable;
+    /** Bump allocator for fresh VA ranges. */
+    Addr vaCursor = 0x0000000040000000ull;
+    bool alive = true;
+};
+
+/**
+ * The OS: process table, physical frame allocator, mapping services.
+ */
+class OsModel
+{
+  public:
+    /**
+     * @param ram_size bytes of DRAM.
+     * @param reserved ranges (EPC, low memory) the frame allocator
+     *        must never hand out.
+     */
+    OsModel(std::uint64_t ram_size, std::vector<AddrRange> reserved);
+
+    // ----- Processes ------------------------------------------------------
+    ProcessId createProcess(std::string name);
+    Process *process(ProcessId pid);
+    Status killProcess(ProcessId pid);
+
+    /** Page-table provider for the MMU. */
+    mem::PageTable *pageTableOf(ProcessId pid);
+
+    // ----- Memory services ------------------------------------------------
+    /** Allocate @p size bytes of fresh physical frames. */
+    Result<Addr> allocFrames(std::uint64_t size);
+
+    /** Allocate and map anonymous memory into @p pid. */
+    Result<Addr> mapAnonymous(ProcessId pid, std::uint64_t size,
+                              std::uint8_t perms);
+
+    /**
+     * Map an existing physical range into @p pid at a fresh VA (the
+     * benign MMIO-mapping service the OS-resident driver stub
+     * provides to the GPU enclave).
+     */
+    Result<Addr> mapPhysical(ProcessId pid, Addr paddr,
+                             std::uint64_t size, std::uint8_t perms);
+
+    /** Allocate a pinned DMA-able buffer mapped into @p pid. */
+    Result<DmaBuffer> allocDmaBuffer(ProcessId pid, std::uint64_t size);
+
+    /** Map an existing DMA buffer into another process (shared mem). */
+    Result<Addr> mapShared(ProcessId pid, const DmaBuffer &buffer,
+                           std::uint8_t perms);
+
+    std::uint64_t ramSize() const { return ram_size_; }
+
+  private:
+    std::uint64_t ram_size_;
+    std::vector<AddrRange> reserved_;
+    Addr frame_cursor_ = 0x00100000;  // skip legacy low memory
+    std::map<ProcessId, Process> processes_;
+    ProcessId next_pid_ = 1;
+};
+
+}  // namespace hix::os
+
+#endif  // HIX_OS_OS_MODEL_H_

@@ -1,0 +1,57 @@
+#include "pcie/device.h"
+
+#include "common/logging.h"
+
+namespace hix::pcie
+{
+
+PcieDevice::PcieDevice(std::string name, std::uint16_t vendor_id,
+                       std::uint16_t device_id, std::uint32_t class_code)
+    : name_(std::move(name)),
+      config_(HeaderType::Endpoint, vendor_id, device_id, class_code)
+{
+}
+
+void
+PcieDevice::setExpansionRomImage(Bytes image)
+{
+    rom_image_ = std::move(image);
+}
+
+int
+PcieDevice::barContaining(Addr addr, std::uint64_t *offset_out) const
+{
+    for (int i = 0; i < NumBars; ++i) {
+        const std::uint64_t size = config_.barSize(i);
+        if (size == 0)
+            continue;
+        const Addr base = config_.barBase(i);
+        if (base == 0)
+            continue;  // not yet programmed
+        if (addr >= base && addr < base + size) {
+            if (offset_out)
+                *offset_out = addr - base;
+            return i;
+        }
+    }
+    return -1;
+}
+
+bool
+PcieDevice::romContains(Addr addr, std::uint64_t *offset_out) const
+{
+    const std::uint64_t size = config_.expansionRomSize();
+    if (size == 0 || !config_.expansionRomEnabled())
+        return false;
+    const Addr base = config_.expansionRomBase();
+    if (base == 0)
+        return false;
+    if (addr >= base && addr < base + size) {
+        if (offset_out)
+            *offset_out = addr - base;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace hix::pcie

@@ -1,0 +1,33 @@
+#include "pcie/tlp.h"
+
+#include <cstdio>
+
+namespace hix::pcie
+{
+
+std::string
+Bdf::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x.%x", bus, device,
+                  function);
+    return buf;
+}
+
+const char *
+tlpKindName(TlpKind kind)
+{
+    switch (kind) {
+      case TlpKind::MemRead:
+        return "MRd";
+      case TlpKind::MemWrite:
+        return "MWr";
+      case TlpKind::CfgRead:
+        return "CfgRd";
+      case TlpKind::CfgWrite:
+        return "CfgWr";
+    }
+    return "?";
+}
+
+}  // namespace hix::pcie

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * PCI Express transaction layer packets (TLPs), reduced to the
+ * transaction kinds the HIX model routes: memory read/write (MMIO and
+ * DMA) and configuration read/write. The root complex inspects these
+ * packets to implement the MMIO lockdown filter (Section 4.3.2 of the
+ * paper: "the root complex is able to inspect the destination of a
+ * write request ... by inspecting the target device number and
+ * register offset in the PCIe configuration transaction packet").
+ */
+
+#ifndef HIX_PCIE_TLP_H_
+#define HIX_PCIE_TLP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace hix::pcie
+{
+
+/** Bus/device/function triple identifying a PCIe function. */
+struct Bdf
+{
+    std::uint8_t bus = 0;
+    std::uint8_t device = 0;
+    std::uint8_t function = 0;
+
+    friend bool
+    operator==(const Bdf &a, const Bdf &b)
+    {
+        return a.bus == b.bus && a.device == b.device &&
+               a.function == b.function;
+    }
+
+    friend bool
+    operator<(const Bdf &a, const Bdf &b)
+    {
+        if (a.bus != b.bus)
+            return a.bus < b.bus;
+        if (a.device != b.device)
+            return a.device < b.device;
+        return a.function < b.function;
+    }
+
+    /** "bb:dd.f" notation. */
+    std::string toString() const;
+};
+
+/** TLP transaction kinds. */
+enum class TlpKind : std::uint8_t
+{
+    MemRead,
+    MemWrite,
+    CfgRead,
+    CfgWrite,
+};
+
+const char *tlpKindName(TlpKind kind);
+
+/**
+ * One transaction-layer packet. Memory TLPs carry a physical address;
+ * config TLPs carry a BDF and register offset.
+ */
+struct Tlp
+{
+    TlpKind kind = TlpKind::MemRead;
+    /** Memory address (MemRead/MemWrite). */
+    Addr addr = 0;
+    /** Target function (CfgRead/CfgWrite). */
+    Bdf bdf;
+    /** Config register byte offset (CfgRead/CfgWrite). */
+    std::uint16_t reg = 0;
+    /** Payload length in bytes. */
+    std::uint32_t length = 0;
+    /** Payload for writes. */
+    Bytes data;
+
+    static Tlp
+    memRead(Addr addr, std::uint32_t length)
+    {
+        Tlp t;
+        t.kind = TlpKind::MemRead;
+        t.addr = addr;
+        t.length = length;
+        return t;
+    }
+
+    static Tlp
+    memWrite(Addr addr, Bytes data)
+    {
+        Tlp t;
+        t.kind = TlpKind::MemWrite;
+        t.addr = addr;
+        t.length = static_cast<std::uint32_t>(data.size());
+        t.data = std::move(data);
+        return t;
+    }
+
+    static Tlp
+    cfgRead(Bdf bdf, std::uint16_t reg)
+    {
+        Tlp t;
+        t.kind = TlpKind::CfgRead;
+        t.bdf = bdf;
+        t.reg = reg;
+        t.length = 4;
+        return t;
+    }
+
+    static Tlp
+    cfgWrite(Bdf bdf, std::uint16_t reg, std::uint32_t value)
+    {
+        Tlp t;
+        t.kind = TlpKind::CfgWrite;
+        t.bdf = bdf;
+        t.reg = reg;
+        t.length = 4;
+        t.data.resize(4);
+        t.data[0] = static_cast<std::uint8_t>(value);
+        t.data[1] = static_cast<std::uint8_t>(value >> 8);
+        t.data[2] = static_cast<std::uint8_t>(value >> 16);
+        t.data[3] = static_cast<std::uint8_t>(value >> 24);
+        return t;
+    }
+};
+
+}  // namespace hix::pcie
+
+#endif  // HIX_PCIE_TLP_H_

@@ -1,0 +1,229 @@
+#include "sgx/hix_ext.h"
+
+#include <algorithm>
+
+#include "sgx/sgx_unit.h"
+
+namespace hix::sgx
+{
+
+HixExtension::HixExtension(SgxUnit *sgx, pcie::RootComplex *rc)
+    : sgx_(sgx), rc_(rc)
+{
+    if (sgx_)
+        sgx_->setHixExtension(this);
+}
+
+Status
+HixExtension::egcreate(EnclaveId enclave, const pcie::Bdf &gpu)
+{
+    const Secs *secs = sgx_->secs(enclave);
+    if (!secs)
+        return errNotFound("EGCREATE: no such enclave");
+    if (!secs->initialized)
+        return errFailedPrecondition("EGCREATE: enclave not initialized");
+    if (secs->dead)
+        return errUnavailable("EGCREATE: enclave is dead");
+
+    // The trusted root complex confirms this is real hardware; a
+    // software-emulated GPU is not enumerated and is rejected here.
+    if (!rc_->isRealDevice(gpu))
+        return errNotFound("EGCREATE: no real device at " +
+                           gpu.toString());
+
+    for (const GecsEntry &e : gecs_) {
+        if (e.gpu == gpu)
+            return errAlreadyExists(
+                "EGCREATE: GPU already bound to a GPU enclave");
+        if (e.owner == enclave)
+            return errAlreadyExists(
+                "EGCREATE: enclave already owns a GPU");
+    }
+
+    auto ranges = rc_->deviceBarRanges(gpu);
+    if (!ranges.isOk())
+        return ranges.status();
+
+    // Engage the MMIO lockdown before anything else can race the
+    // routing configuration.
+    HIX_RETURN_IF_ERROR(rc_->lockPath(gpu));
+
+    auto measurement = rc_->measurePath(gpu);
+    if (!measurement.isOk())
+        return measurement.status();
+
+    GecsEntry entry;
+    entry.owner = enclave;
+    entry.gpu = gpu;
+    entry.mmio_ranges = std::move(*ranges);
+    entry.config_measurement = *measurement;
+    gecs_.push_back(std::move(entry));
+
+    // Any stale MMIO translations must not survive the binding.
+    if (sgx_->mmu())
+        sgx_->mmu()->tlb().flushAll();
+    return Status::ok();
+}
+
+Status
+HixExtension::egadd(EnclaveId enclave, Addr vaddr, Addr mmio_paddr)
+{
+    if (!mem::pageAligned(vaddr) || !mem::pageAligned(mmio_paddr))
+        return errInvalidArgument("EGADD: unaligned address");
+
+    const Secs *secs = sgx_->secs(enclave);
+    if (!secs)
+        return errNotFound("EGADD: no such enclave");
+    if (secs->dead)
+        return errUnavailable("EGADD: enclave is dead");
+
+    const GecsEntry *gecs = nullptr;
+    for (const GecsEntry &e : gecs_)
+        if (e.owner == enclave)
+            gecs = &e;
+    if (!gecs)
+        return errFailedPrecondition("EGADD: enclave owns no GPU");
+
+    if (!secs->elrange.containsRange(AddrRange(vaddr, mem::PageSize)))
+        return errInvalidArgument("EGADD: vaddr outside ELRANGE");
+
+    const bool in_bar = std::any_of(
+        gecs->mmio_ranges.begin(), gecs->mmio_ranges.end(),
+        [&](const AddrRange &r) {
+            return r.containsRange(AddrRange(mmio_paddr, mem::PageSize));
+        });
+    if (!in_bar)
+        return errInvalidArgument(
+            "EGADD: physical address outside the GPU MMIO apertures");
+
+    auto key = std::make_pair(enclave, vaddr);
+    if (tgmr_.count(key))
+        return errAlreadyExists("EGADD: vaddr already registered");
+    tgmr_[key] = TgmrEntry{enclave, vaddr, mmio_paddr};
+    return Status::ok();
+}
+
+Status
+HixExtension::egrelease(EnclaveId enclave)
+{
+    const Secs *secs = sgx_->secs(enclave);
+    if (!secs)
+        return errNotFound("EGRELEASE: no such enclave");
+    if (secs->dead)
+        return errUnavailable(
+            "EGRELEASE: dead GPU enclave cannot release its GPU");
+
+    auto it = std::find_if(gecs_.begin(), gecs_.end(),
+                           [&](const GecsEntry &e) {
+                               return e.owner == enclave;
+                           });
+    if (it == gecs_.end())
+        return errFailedPrecondition("EGRELEASE: enclave owns no GPU");
+
+    rc_->unlockPath(it->gpu);
+    gecs_.erase(it);
+    for (auto t = tgmr_.begin(); t != tgmr_.end();) {
+        if (t->second.owner == enclave)
+            t = tgmr_.erase(t);
+        else
+            ++t;
+    }
+    if (sgx_->mmu())
+        sgx_->mmu()->tlb().flushAll();
+    return Status::ok();
+}
+
+bool
+HixExtension::enclaveOwnsGpu(EnclaveId enclave) const
+{
+    return std::any_of(gecs_.begin(), gecs_.end(),
+                       [&](const GecsEntry &e) {
+                           return e.owner == enclave;
+                       });
+}
+
+bool
+HixExtension::gpuBound(const pcie::Bdf &gpu) const
+{
+    return std::any_of(gecs_.begin(), gecs_.end(),
+                       [&](const GecsEntry &e) { return e.gpu == gpu; });
+}
+
+Result<pcie::Bdf>
+HixExtension::gpuOf(EnclaveId enclave) const
+{
+    for (const GecsEntry &e : gecs_)
+        if (e.owner == enclave)
+            return e.gpu;
+    return errNotFound("enclave owns no GPU");
+}
+
+Result<crypto::Sha256Digest>
+HixExtension::configMeasurement(EnclaveId enclave) const
+{
+    for (const GecsEntry &e : gecs_)
+        if (e.owner == enclave)
+            return e.config_measurement;
+    return errNotFound("enclave owns no GPU");
+}
+
+const GecsEntry *
+HixExtension::gecsForMmio(Addr ppage) const
+{
+    for (const GecsEntry &e : gecs_)
+        for (const AddrRange &r : e.mmio_ranges)
+            if (r.contains(ppage))
+                return &e;
+    return nullptr;
+}
+
+bool
+HixExtension::coversMmio(Addr ppage) const
+{
+    return gecsForMmio(ppage) != nullptr;
+}
+
+Status
+HixExtension::validateMmioFill(const mem::ExecContext &ctx, Addr vpage,
+                               Addr ppage) const
+{
+    const GecsEntry *gecs = gecsForMmio(ppage);
+    if (!gecs)
+        return Status::ok();  // not a protected MMIO page
+
+    // Check 1: the executing context is the owning GPU enclave.
+    if (ctx.enclave != gecs->owner)
+        return errAccessFault(
+            "MMIO fill denied: not the owning GPU enclave");
+
+    // A killed GPU enclave still owns the GPU in GECS; nobody can
+    // reach the MMIO until cold boot (Section 4.2.3).
+    const Secs *secs = sgx_->secs(gecs->owner);
+    if (!secs || secs->dead)
+        return errAccessFault(
+            "MMIO fill denied: owning GPU enclave is dead");
+
+    // Checks 2+3: the virtual page matches the TGMR registration.
+    auto it = tgmr_.find(std::make_pair(ctx.enclave, vpage));
+    if (it == tgmr_.end())
+        return errAccessFault(
+            "MMIO fill denied: virtual page not registered in TGMR");
+
+    // Check 4: the physical page matches the TGMR registration.
+    if (it->second.ppage != ppage)
+        return errAccessFault(
+            "MMIO fill denied: physical page does not match TGMR");
+
+    return Status::ok();
+}
+
+void
+HixExtension::platformReset()
+{
+    for (const GecsEntry &e : gecs_)
+        rc_->unlockPath(e.gpu);
+    gecs_.clear();
+    tgmr_.clear();
+}
+
+}  // namespace hix::sgx

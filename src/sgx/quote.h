@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Remote attestation (Section 5.5: "the user leverages SGX to perform
+ * a remote attestation on the code running within the GPU enclave").
+ *
+ * Modelled after the EPID flow: a quoting enclave converts a local
+ * report targeted at itself into a *quote* signed with a platform
+ * attestation key; a remote verifier that knows the (public side of
+ * the) attestation key checks the quote and compares MRENCLAVE with
+ * the GPU-vendor-published reference measurement. The signature is
+ * modelled as an HMAC under a key shared with the attestation
+ * service, which preserves the protocol structure without a full
+ * group-signature scheme.
+ */
+
+#ifndef HIX_SGX_QUOTE_H_
+#define HIX_SGX_QUOTE_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+#include "sgx/sgx_unit.h"
+
+namespace hix::sgx
+{
+
+/** A remotely verifiable statement about an enclave. */
+struct Quote
+{
+    EnclaveId source = InvalidEnclaveId;
+    crypto::Sha256Digest mrenclave{};
+    ReportData data{};
+    /** Signature by the platform attestation key. */
+    crypto::Sha256Digest signature{};
+};
+
+/**
+ * The quoting enclave: a privileged enclave holding the platform
+ * attestation key. One per SGX unit.
+ */
+class QuotingEnclave
+{
+  public:
+    /**
+     * Stand up the quoting enclave on @p sgx. @p pid is the service
+     * process hosting it.
+     */
+    static Result<QuotingEnclave> create(SgxUnit *sgx, ProcessId pid);
+
+    EnclaveId enclaveId() const { return eid_; }
+
+    /**
+     * Turn a report targeted at the quoting enclave into a quote.
+     * The report is verified first (an unverifiable report must not
+     * be quotable).
+     */
+    Result<Quote> quote(const Report &report);
+
+    /** The verification key a remote relying party would hold. */
+    const Bytes &verificationKey() const { return attestation_key_; }
+
+  private:
+    QuotingEnclave() = default;
+
+    SgxUnit *sgx_ = nullptr;
+    EnclaveId eid_ = InvalidEnclaveId;
+    Bytes attestation_key_;
+};
+
+/**
+ * The remote relying party: holds the attestation verification key
+ * and the vendor-published reference measurement of the GPU enclave.
+ */
+class RemoteVerifier
+{
+  public:
+    RemoteVerifier(Bytes verification_key,
+                   crypto::Sha256Digest expected_mrenclave)
+        : key_(std::move(verification_key)),
+          expected_(expected_mrenclave)
+    {}
+
+    /**
+     * Verify a quote: signature valid and MRENCLAVE matches the
+     * reference (the code is "provided by the GPU vendor" and
+     * unmodified).
+     */
+    Status verify(const Quote &quote) const;
+
+  private:
+    Bytes key_;
+    crypto::Sha256Digest expected_;
+};
+
+}  // namespace hix::sgx
+
+#endif  // HIX_SGX_QUOTE_H_

@@ -1,0 +1,310 @@
+#include "sgx/sgx_unit.h"
+
+#include <cstring>
+
+#include "common/byte_utils.h"
+#include "common/logging.h"
+#include "sgx/hix_ext.h"
+
+namespace hix::sgx
+{
+
+SgxUnit::SgxUnit(AddrRange epc_range, mem::Mmu *mmu, std::uint64_t seed)
+    : epc_(epc_range), mmu_(mmu), rng_(seed)
+{
+    platform_secret_ = rng_.bytes(32);
+    if (mmu_)
+        mmu_->addValidator(this);
+}
+
+SgxUnit::~SgxUnit() = default;
+
+Result<EnclaveId>
+SgxUnit::ecreate(ProcessId pid, AddrRange elrange)
+{
+    if (elrange.empty() || !mem::pageAligned(elrange.start()) ||
+        !mem::pageAligned(elrange.size()))
+        return errInvalidArgument("ELRANGE must be page aligned");
+
+    auto secs_page =
+        epc_.allocPage(EpcPageType::Secs, next_id_, 0, 0);
+    if (!secs_page.isOk())
+        return secs_page.status();
+
+    Secs secs;
+    secs.id = next_id_++;
+    secs.owner_pid = pid;
+    secs.elrange = elrange;
+    secs.secs_page = *secs_page;
+
+    // Seed the measurement with the enclave geometry, as ECREATE
+    // hashes the SECS attributes.
+    crypto::Sha256 h;
+    h.update(std::string("ECREATE"));
+    std::uint8_t geom[16];
+    storeLE64(geom, elrange.start());
+    storeLE64(geom + 8, elrange.size());
+    h.update(geom, sizeof(geom));
+    secs.mrenclave = h.finalize();
+
+    enclaves_.emplace(secs.id, secs);
+    return secs.id;
+}
+
+Result<Addr>
+SgxUnit::eadd(EnclaveId enclave, Addr vaddr, std::uint8_t perms,
+              const Bytes &content)
+{
+    auto it = enclaves_.find(enclave);
+    if (it == enclaves_.end())
+        return errNotFound("no such enclave");
+    Secs &secs = it->second;
+    if (secs.initialized)
+        return errFailedPrecondition("EADD after EINIT");
+    if (secs.dead)
+        return errUnavailable("enclave is dead");
+    if (!mem::pageAligned(vaddr))
+        return errInvalidArgument("EADD: unaligned vaddr");
+    if (!secs.elrange.containsRange(AddrRange(vaddr, mem::PageSize)))
+        return errInvalidArgument("EADD: vaddr outside ELRANGE");
+    if (content.size() > mem::PageSize)
+        return errInvalidArgument("EADD: content larger than a page");
+
+    auto paddr =
+        epc_.allocPage(EpcPageType::Regular, enclave, vaddr, perms);
+    if (!paddr.isOk())
+        return paddr.status();
+
+    // Copy initial content into the EPC page (through the bus so the
+    // bytes land in modelled DRAM).
+    if (!content.empty() && mmu_) {
+        Status st = mmu_->bus()->write(*paddr, content.data(),
+                                       content.size());
+        if (!st.isOk())
+            return st;
+    }
+
+    // EEXTEND: measure metadata and content in one pass.
+    crypto::Sha256 h;
+    h.update(secs.mrenclave.data(), secs.mrenclave.size());
+    h.update(std::string("EADD"));
+    std::uint8_t meta[16];
+    storeLE64(meta, vaddr);
+    storeLE64(meta + 8, perms);
+    h.update(meta, sizeof(meta));
+    Bytes page(mem::PageSize, 0);
+    std::memcpy(page.data(), content.data(), content.size());
+    h.update(page);
+    secs.mrenclave = h.finalize();
+
+    return *paddr;
+}
+
+Status
+SgxUnit::einit(EnclaveId enclave)
+{
+    auto it = enclaves_.find(enclave);
+    if (it == enclaves_.end())
+        return errNotFound("no such enclave");
+    if (it->second.initialized)
+        return errFailedPrecondition("already initialized");
+    if (it->second.dead)
+        return errUnavailable("enclave is dead");
+    it->second.initialized = true;
+    return Status::ok();
+}
+
+Result<mem::ExecContext>
+SgxUnit::eenter(ProcessId pid, EnclaveId enclave)
+{
+    auto it = enclaves_.find(enclave);
+    if (it == enclaves_.end())
+        return errNotFound("no such enclave");
+    const Secs &secs = it->second;
+    if (!secs.initialized)
+        return errFailedPrecondition("EENTER before EINIT");
+    if (secs.dead)
+        return errUnavailable("enclave is dead");
+    if (secs.owner_pid != pid)
+        return errPermissionDenied("enclave belongs to another process");
+    return mem::ExecContext{pid, enclave};
+}
+
+Status
+SgxUnit::killEnclave(EnclaveId enclave)
+{
+    auto it = enclaves_.find(enclave);
+    if (it == enclaves_.end())
+        return errNotFound("no such enclave");
+    it->second.dead = true;
+    if (mmu_)
+        mmu_->tlb().flushPid(it->second.owner_pid);
+    return Status::ok();
+}
+
+Status
+SgxUnit::destroyEnclave(EnclaveId enclave)
+{
+    auto it = enclaves_.find(enclave);
+    if (it == enclaves_.end())
+        return errNotFound("no such enclave");
+    if (hix_ext_ && hix_ext_->enclaveOwnsGpu(enclave))
+        return errFailedPrecondition(
+            "GPU enclave must release its GPU before teardown");
+    epc_.freeOwnedBy(enclave);
+    if (mmu_)
+        mmu_->tlb().flushPid(it->second.owner_pid);
+    enclaves_.erase(it);
+    return Status::ok();
+}
+
+crypto::Sha256Digest
+SgxUnit::reportKeySecret(EnclaveId enclave) const
+{
+    std::uint8_t id_bytes[8];
+    storeLE64(id_bytes, enclave);
+    Bytes msg = {'r', 'e', 'p', 'o', 'r', 't'};
+    msg.insert(msg.end(), id_bytes, id_bytes + 8);
+    return crypto::hmacSha256(platform_secret_.data(),
+                              platform_secret_.size(), msg.data(),
+                              msg.size());
+}
+
+Result<Report>
+SgxUnit::ereport(EnclaveId source, EnclaveId target,
+                 const ReportData &data)
+{
+    auto src = enclaves_.find(source);
+    if (src == enclaves_.end() || src->second.dead)
+        return errNotFound("no such source enclave");
+    if (!enclaves_.count(target))
+        return errNotFound("no such target enclave");
+
+    Report report;
+    report.source = source;
+    report.mrenclave = src->second.mrenclave;
+    report.data = data;
+
+    Bytes body;
+    body.reserve(8 + 32 + 64);
+    std::uint8_t id_bytes[8];
+    storeLE64(id_bytes, source);
+    body.insert(body.end(), id_bytes, id_bytes + 8);
+    body.insert(body.end(), report.mrenclave.begin(),
+                report.mrenclave.end());
+    body.insert(body.end(), report.data.begin(), report.data.end());
+
+    crypto::Sha256Digest key = reportKeySecret(target);
+    report.mac = crypto::hmacSha256(key.data(), key.size(), body.data(),
+                                    body.size());
+    return report;
+}
+
+Status
+SgxUnit::verifyReport(EnclaveId target, const Report &report)
+{
+    Bytes body;
+    std::uint8_t id_bytes[8];
+    storeLE64(id_bytes, report.source);
+    body.insert(body.end(), id_bytes, id_bytes + 8);
+    body.insert(body.end(), report.mrenclave.begin(),
+                report.mrenclave.end());
+    body.insert(body.end(), report.data.begin(), report.data.end());
+
+    crypto::Sha256Digest key = reportKeySecret(target);
+    crypto::Sha256Digest mac = crypto::hmacSha256(
+        key.data(), key.size(), body.data(), body.size());
+    if (!constantTimeEqual(mac.data(), report.mac.data(), mac.size()))
+        return errAttestationFailure("report MAC mismatch");
+
+    auto src = enclaves_.find(report.source);
+    if (src == enclaves_.end() || src->second.dead)
+        return errAttestationFailure("source enclave gone");
+    if (!constantTimeEqual(src->second.mrenclave.data(),
+                           report.mrenclave.data(),
+                           report.mrenclave.size()))
+        return errAttestationFailure("measurement mismatch");
+    return Status::ok();
+}
+
+Result<crypto::AesKey>
+SgxUnit::sealKey(EnclaveId enclave, const std::string &label)
+{
+    auto it = enclaves_.find(enclave);
+    if (it == enclaves_.end())
+        return errNotFound("no such enclave");
+    Bytes msg(it->second.mrenclave.begin(), it->second.mrenclave.end());
+    msg.insert(msg.end(), label.begin(), label.end());
+    crypto::Sha256Digest prk = crypto::hmacSha256(
+        platform_secret_.data(), platform_secret_.size(), msg.data(),
+        msg.size());
+    crypto::AesKey key;
+    std::memcpy(key.data(), prk.data(), key.size());
+    return key;
+}
+
+const Secs *
+SgxUnit::secs(EnclaveId enclave) const
+{
+    auto it = enclaves_.find(enclave);
+    return it == enclaves_.end() ? nullptr : &it->second;
+}
+
+void
+SgxUnit::platformReset()
+{
+    for (auto &[id, secs] : enclaves_)
+        epc_.freeOwnedBy(id);
+    enclaves_.clear();
+    if (mmu_)
+        mmu_->tlb().flushAll();
+    if (hix_ext_)
+        hix_ext_->platformReset();
+}
+
+Status
+SgxUnit::validateFill(const mem::ExecContext &ctx, Addr vpage,
+                      Addr ppage, std::uint8_t perms)
+{
+    // Rule 1: physical EPC pages are reachable only via the owning
+    // enclave at the registered virtual address.
+    if (epc_.contains(ppage)) {
+        const EpcmEntry *entry = epc_.entryFor(ppage);
+        if (!entry)
+            return errAccessFault("access to unallocated EPC page");
+        if (entry->type != EpcPageType::Regular)
+            return errAccessFault("access to hidden SGX structure page");
+        if (ctx.enclave == InvalidEnclaveId)
+            return errAccessFault("non-enclave access to EPC");
+        if (entry->owner != ctx.enclave)
+            return errAccessFault("EPC page owned by another enclave");
+        if (entry->vpage != vpage)
+            return errAccessFault("EPC page mapped at wrong vaddr");
+        auto it = enclaves_.find(ctx.enclave);
+        if (it == enclaves_.end() || it->second.dead)
+            return errAccessFault("enclave not runnable");
+        (void)perms;
+    } else if (ctx.enclave != InvalidEnclaveId) {
+        // Rule 2: inside an enclave, ELRANGE pages must resolve to
+        // EPC; a non-EPC mapping there is an address-translation
+        // attack.
+        auto it = enclaves_.find(ctx.enclave);
+        if (it != enclaves_.end() &&
+            it->second.elrange.contains(vpage)) {
+            // HIX: TGMR-registered MMIO pages inside ELRANGE are
+            // legitimate; the extension validates them.
+            if (!(hix_ext_ && hix_ext_->coversMmio(ppage)))
+                return errAccessFault(
+                    "ELRANGE page mapped outside EPC");
+        }
+    }
+
+    // Rule 3 (HIX): protected GPU MMIO pages pass the four
+    // GECS/TGMR checks.
+    if (hix_ext_)
+        HIX_RETURN_IF_ERROR(hix_ext_->validateMmioFill(ctx, vpage, ppage));
+
+    return Status::ok();
+}
+
+}  // namespace hix::sgx

@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace hix::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < cur_tick_)
+        hix_panic("EventQueue: scheduling in the past (", when, " < ",
+                  cur_tick_, ")");
+    events_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    return runUntil(MaxTick);
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events_.empty() && events_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events.
+        Event ev = events_.top();
+        events_.pop();
+        cur_tick_ = ev.when;
+        ev.cb();
+    }
+    if (limit != MaxTick && cur_tick_ < limit)
+        cur_tick_ = limit;
+    return cur_tick_;
+}
+
+}  // namespace hix::sim

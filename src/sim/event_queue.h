@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal deterministic discrete-event queue.
+ *
+ * Components that need explicit event-driven behaviour (the GPU
+ * command processor tests, failure-injection tests) schedule
+ * callbacks here. Most of the timing model instead uses the op-DAG
+ * Trace/Scheduler pair (see trace.h), which is better suited to the
+ * pipelined data-path analysis the HIX evaluation needs.
+ */
+
+#ifndef HIX_SIM_EVENT_QUEUE_H_
+#define HIX_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hix::sim
+{
+
+/**
+ * A deterministic event queue: events at the same tick fire in
+ * insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return cur_tick_; }
+
+    /** Schedule @p cb to fire at absolute tick @p when (>= curTick). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to fire @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(cur_tick_ + delta, std::move(cb));
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Run until the queue drains; returns the final tick. */
+    Tick run();
+
+    /**
+     * Run events with tick <= @p limit; time stops at the later of
+     * the last fired event and @p limit.
+     */
+    Tick runUntil(Tick limit);
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick cur_tick_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hix::sim
+
+#endif  // HIX_SIM_EVENT_QUEUE_H_

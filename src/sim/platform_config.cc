@@ -1,0 +1,13 @@
+#include "sim/platform_config.h"
+
+namespace hix::sim
+{
+
+const PlatformConfig &
+PlatformConfig::paper()
+{
+    static const PlatformConfig config{};
+    return config;
+}
+
+}  // namespace hix::sim

@@ -1,0 +1,33 @@
+#include "sim/resource.h"
+
+namespace hix::sim
+{
+
+const char *
+resUnitName(ResUnit unit)
+{
+    switch (unit) {
+      case ResUnit::UserCpu:
+        return "user_cpu";
+      case ResUnit::GpuEnclaveCpu:
+        return "gpu_enclave_cpu";
+      case ResUnit::DmaHtoD:
+        return "dma_htod";
+      case ResUnit::DmaDtoH:
+        return "dma_dtoh";
+      case ResUnit::GpuCompute:
+        return "gpu_compute";
+      case ResUnit::PcieMmio:
+        return "pcie_mmio";
+    }
+    return "unknown";
+}
+
+std::string
+ResourceId::toString() const
+{
+    return std::string(resUnitName(unit)) + "[" +
+           std::to_string(index) + "]";
+}
+
+}  // namespace hix::sim

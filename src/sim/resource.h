@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Resource identifiers for the timing model.
+ *
+ * A resource is an exclusive hardware unit that ops serialize on: a
+ * CPU hardware thread, a GPU DMA (copy) engine, the GPU compute
+ * engine, or the MMIO/PIO path. GPU-side resources additionally track
+ * which GPU context last used them so the scheduler can charge
+ * context-switch costs (Section 4.5 of the paper).
+ */
+
+#ifndef HIX_SIM_RESOURCE_H_
+#define HIX_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hix::sim
+{
+
+/** The kinds of exclusive units in the modelled platform. */
+enum class ResUnit : std::uint8_t
+{
+    /** A CPU hardware thread running a user process/enclave. */
+    UserCpu,
+    /** The CPU hardware thread running the GPU enclave. */
+    GpuEnclaveCpu,
+    /** GPU copy engine, host-to-device direction. */
+    DmaHtoD,
+    /** GPU copy engine, device-to-host direction. */
+    DmaDtoH,
+    /** The GPU compute engine (SM array as one unit, like Fermi). */
+    GpuCompute,
+    /** Programmed-I/O path over PCIe (MMIO data window). */
+    PcieMmio,
+};
+
+/** Name of a resource unit, for stats and trace dumps. */
+const char *resUnitName(ResUnit unit);
+
+/**
+ * A concrete resource instance: unit kind plus index (e.g. UserCpu 0,
+ * UserCpu 1 for two concurrent users).
+ */
+struct ResourceId
+{
+    ResUnit unit = ResUnit::UserCpu;
+    std::uint16_t index = 0;
+
+    friend bool
+    operator==(const ResourceId &a, const ResourceId &b)
+    {
+        return a.unit == b.unit && a.index == b.index;
+    }
+
+    friend bool
+    operator<(const ResourceId &a, const ResourceId &b)
+    {
+        if (a.unit != b.unit)
+            return a.unit < b.unit;
+        return a.index < b.index;
+    }
+
+    std::string toString() const;
+};
+
+struct ResourceIdHash
+{
+    std::size_t
+    operator()(const ResourceId &r) const
+    {
+        return (static_cast<std::size_t>(r.unit) << 16) ^ r.index;
+    }
+};
+
+}  // namespace hix::sim
+
+#endif  // HIX_SIM_RESOURCE_H_

@@ -1,0 +1,125 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace hix::sim
+{
+
+namespace
+{
+
+struct ResState
+{
+    Tick freeAt = 0;
+    GpuContextId lastCtx = NoGpuContext;
+};
+
+}  // namespace
+
+ScheduleResult
+schedule(const Trace &trace, const SchedulerConfig &config)
+{
+    const auto &ops = trace.ops();
+    const std::size_t n = ops.size();
+
+    ScheduleResult res;
+    res.start.assign(n, 0);
+    res.finish.assign(n, 0);
+    if (n == 0)
+        return res;
+
+    std::vector<std::uint32_t> pending_deps(n, 0);
+    std::vector<std::vector<OpId>> dependents(n);
+    std::vector<Tick> ready_time(n, 0);
+    for (const Op &op : ops) {
+        pending_deps[op.id] = static_cast<std::uint32_t>(op.deps.size());
+        for (OpId d : op.deps)
+            dependents[d].push_back(op.id);
+    }
+
+    std::vector<OpId> ready;
+    ready.reserve(64);
+    for (const Op &op : ops)
+        if (pending_deps[op.id] == 0)
+            ready.push_back(op.id);
+
+    std::unordered_map<ResourceId, ResState, ResourceIdHash> rstate;
+    std::size_t scheduled = 0;
+
+    while (!ready.empty()) {
+        // Pick the ready op with the smallest dispatch time, i.e.
+        // max(ready, engine free) *before* any switch penalty: real
+        // hardware switches away the moment the resident context has
+        // nothing pending — it cannot wait for work that will arrive
+        // a few microseconds later. The resident context only wins
+        // ties (the Fermi policy: run the current context while it
+        // has pending requests).
+        std::size_t best_idx = 0;
+        Tick best_eff = MaxTick;
+        bool best_resident = false;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            const Op &op = ops[ready[i]];
+            const ResState &rs = rstate[op.resource];
+            const Tick eff = std::max(ready_time[op.id], rs.freeAt);
+            const bool resident =
+                op.resource.unit != ResUnit::GpuCompute ||
+                op.gpuCtx == NoGpuContext ||
+                rs.lastCtx == NoGpuContext || rs.lastCtx == op.gpuCtx;
+            const bool better =
+                eff < best_eff ||
+                (eff == best_eff &&
+                 (resident && !best_resident ||
+                  (resident == best_resident &&
+                   ready[i] < ready[best_idx])));
+            if (better) {
+                best_eff = eff;
+                best_idx = i;
+                best_resident = resident;
+            }
+        }
+
+        const OpId id = ready[best_idx];
+        ready.erase(ready.begin() + best_idx);
+        const Op &op = ops[id];
+        ResState &rs = rstate[op.resource];
+
+        Tick start = std::max(ready_time[id], rs.freeAt);
+        if (op.resource.unit == ResUnit::GpuCompute &&
+            op.gpuCtx != NoGpuContext) {
+            if (rs.lastCtx != NoGpuContext && rs.lastCtx != op.gpuCtx) {
+                start += config.gpuCtxSwitchTicks;
+                ++res.gpuCtxSwitches;
+            }
+            rs.lastCtx = op.gpuCtx;
+        }
+
+        const Tick finish = start + op.duration;
+        res.start[id] = start;
+        res.finish[id] = finish;
+        rs.freeAt = finish;
+        res.makespan = std::max(res.makespan, finish);
+
+        ResourceUsage &use = res.usage[op.resource];
+        use.busy += op.duration;
+        use.lastFree = std::max(use.lastFree, finish);
+        ++use.ops;
+        res.kindBusy[op.kind] += op.duration;
+
+        for (OpId dep_id : dependents[id]) {
+            ready_time[dep_id] = std::max(ready_time[dep_id], finish);
+            if (--pending_deps[dep_id] == 0)
+                ready.push_back(dep_id);
+        }
+        ++scheduled;
+    }
+
+    if (scheduled != n)
+        hix_panic("scheduler: dependency cycle, scheduled ", scheduled,
+                  " of ", n, " ops");
+    return res;
+}
+
+}  // namespace hix::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight statistics: named scalars and distributions grouped
+ * under a StatGroup, dumpable as aligned text. Modelled after gem5's
+ * stats package, reduced to what the HIX evaluation needs.
+ */
+
+#ifndef HIX_SIM_STATS_H_
+#define HIX_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace hix::sim
+{
+
+/** A running scalar statistic (count/sum). */
+class Scalar
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    Scalar &
+    operator+=(double v)
+    {
+        add(v);
+        return *this;
+    }
+
+    Scalar &
+    operator++()
+    {
+        add(1.0);
+        return *this;
+    }
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** A running distribution: min/max/mean/stddev. */
+class Distribution
+{
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0; }
+    double max() const { return count_ ? max_ : 0; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double sum_sq_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * A flat registry of named stats. Components create scalars and
+ * distributions by name; dump() prints them sorted.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Get-or-create a scalar. */
+    Scalar &scalar(const std::string &name) { return scalars_[name]; }
+
+    /** Get-or-create a distribution. */
+    Distribution &
+    distribution(const std::string &name)
+    {
+        return dists_[name];
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Print all stats, one per line, "<group>.<name> value". */
+    void dump(std::ostream &os) const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Distribution> dists_;
+};
+
+}  // namespace hix::sim
+
+#endif  // HIX_SIM_STATS_H_

@@ -1,0 +1,135 @@
+#include "sim/trace.h"
+
+#include "common/logging.h"
+
+namespace hix::sim
+{
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Compute:
+        return "compute";
+      case OpKind::CryptoCpu:
+        return "crypto_cpu";
+      case OpKind::CryptoGpu:
+        return "crypto_gpu";
+      case OpKind::Transfer:
+        return "transfer";
+      case OpKind::Control:
+        return "control";
+      case OpKind::Init:
+        return "init";
+    }
+    return "unknown";
+}
+
+OpId
+Trace::add(ResourceId resource, Tick duration, std::vector<OpId> deps,
+           OpKind kind, std::uint64_t bytes, std::string label,
+           GpuContextId gpu_ctx)
+{
+    Op op;
+    op.id = static_cast<OpId>(ops_.size());
+    op.resource = resource;
+    op.duration = duration;
+    for (OpId d : deps) {
+        if (d == InvalidOpId)
+            continue;
+        if (d >= op.id)
+            hix_panic("Trace: forward dependency ", d, " from op ", op.id);
+        op.deps.push_back(d);
+    }
+    op.kind = kind;
+    op.bytes = bytes;
+    op.label = std::move(label);
+    op.gpuCtx = gpu_ctx;
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+}
+
+Tick
+Trace::totalDuration(OpKind kind) const
+{
+    Tick total = 0;
+    for (const Op &op : ops_)
+        if (op.kind == kind)
+            total += op.duration;
+    return total;
+}
+
+std::uint64_t
+Trace::totalBytes(OpKind kind) const
+{
+    std::uint64_t total = 0;
+    for (const Op &op : ops_)
+        if (op.kind == kind)
+            total += op.bytes;
+    return total;
+}
+
+OpId
+Trace::append(const Trace &other)
+{
+    const OpId offset = static_cast<OpId>(ops_.size());
+    for (const Op &src : other.ops_) {
+        Op op = src;
+        op.id += offset;
+        for (OpId &d : op.deps)
+            d += offset;
+        ops_.push_back(std::move(op));
+    }
+    return offset;
+}
+
+OpId
+TraceRecorder::record(std::uint32_t actor, ResourceId resource,
+                      Tick duration, OpKind kind, std::uint64_t bytes,
+                      std::string label, GpuContextId gpu_ctx,
+                      std::vector<OpId> extra_deps)
+{
+    if (!trace_)
+        return InvalidOpId;
+    if (actor >= chain_tails_.size())
+        chain_tails_.resize(actor + 1, InvalidOpId);
+    std::vector<OpId> deps = std::move(extra_deps);
+    if (chain_tails_[actor] != InvalidOpId)
+        deps.push_back(chain_tails_[actor]);
+    OpId id = trace_->add(resource, duration, std::move(deps), kind,
+                          bytes, std::move(label), gpu_ctx);
+    chain_tails_[actor] = id;
+    return id;
+}
+
+OpId
+TraceRecorder::recordDetached(ResourceId resource, Tick duration,
+                              OpKind kind, std::vector<OpId> deps,
+                              std::uint64_t bytes, std::string label,
+                              GpuContextId gpu_ctx)
+{
+    if (!trace_)
+        return InvalidOpId;
+    return trace_->add(resource, duration, std::move(deps), kind, bytes,
+                       std::move(label), gpu_ctx);
+}
+
+OpId
+TraceRecorder::chainTail(std::uint32_t actor) const
+{
+    if (actor >= chain_tails_.size())
+        return InvalidOpId;
+    return chain_tails_[actor];
+}
+
+void
+TraceRecorder::setChainTail(std::uint32_t actor, OpId op)
+{
+    if (!trace_)
+        return;
+    if (actor >= chain_tails_.size())
+        chain_tails_.resize(actor + 1, InvalidOpId);
+    chain_tails_[actor] = op;
+}
+
+}  // namespace hix::sim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Timed-operation DAG recorded during functional execution.
+ *
+ * The platform separates functional execution from timing (the gem5
+ * approach). As a workload runs through the software stack, every
+ * timed hardware action — an MMIO doorbell, a DMA chunk transfer, a
+ * CPU encryption pass, a GPU kernel — is appended to a Trace as an Op
+ * with an explicit dependency list. The Scheduler (scheduler.h) then
+ * computes start/completion times with resource arbitration. Explicit
+ * dependencies are what let the HIX chunked data path express its
+ * encrypt/transfer pipelining (Section 5.2 of the paper).
+ */
+
+#ifndef HIX_SIM_TRACE_H_
+#define HIX_SIM_TRACE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/resource.h"
+
+namespace hix::sim
+{
+
+/** Index of an op within its Trace. */
+using OpId = std::uint32_t;
+
+/** Sentinel for "no op". */
+inline constexpr OpId InvalidOpId = std::numeric_limits<OpId>::max();
+
+/** GPU context tag for ops that do not run on the GPU. */
+inline constexpr GpuContextId NoGpuContext = ~GpuContextId(0);
+
+/** Broad op categories for per-category stats breakdowns. */
+enum class OpKind : std::uint8_t
+{
+    Compute,     //!< GPU application kernel
+    CryptoCpu,   //!< CPU-side (enclave) encryption/decryption
+    CryptoGpu,   //!< in-GPU crypto kernel
+    Transfer,    //!< DMA or MMIO data movement
+    Control,     //!< doorbells, IPC messages, driver bookkeeping
+    Init,        //!< one-time setup (task init, attestation, ...)
+};
+
+const char *opKindName(OpKind kind);
+
+/** One timed hardware action. */
+struct Op
+{
+    OpId id = InvalidOpId;
+    /** Resource the op occupies exclusively while running. */
+    ResourceId resource;
+    /** Service time on the resource, in ticks. */
+    Tick duration = 0;
+    /** Ops that must complete before this op may start. */
+    std::vector<OpId> deps;
+    /** GPU context (for context-switch accounting), or NoGpuContext. */
+    GpuContextId gpuCtx = NoGpuContext;
+    OpKind kind = OpKind::Control;
+    /** Payload size, for bandwidth stats; zero when not applicable. */
+    std::uint64_t bytes = 0;
+    /** Short human-readable label for dumps. */
+    std::string label;
+};
+
+/**
+ * An append-only op DAG. Traces from several users can be merged for
+ * multi-user scheduling; op ids are rewritten during the merge.
+ */
+class Trace
+{
+  public:
+    /**
+     * Append an op. @p deps lists prerequisite op ids within this
+     * trace.
+     *
+     * @return the new op's id.
+     */
+    OpId add(ResourceId resource, Tick duration, std::vector<OpId> deps,
+             OpKind kind, std::uint64_t bytes = 0, std::string label = {},
+             GpuContextId gpu_ctx = NoGpuContext);
+
+    const std::vector<Op> &ops() const { return ops_; }
+    const Op &op(OpId id) const { return ops_[id]; }
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    /** Id of the most recently added op, or InvalidOpId when empty. */
+    OpId
+    lastOp() const
+    {
+        return ops_.empty() ? InvalidOpId
+                            : static_cast<OpId>(ops_.size() - 1);
+    }
+
+    /** Total duration of ops of a given kind (no overlap analysis). */
+    Tick totalDuration(OpKind kind) const;
+
+    /** Total bytes attached to ops of a given kind. */
+    std::uint64_t totalBytes(OpKind kind) const;
+
+    /** Remove all ops. */
+    void clear() { ops_.clear(); }
+
+    /**
+     * Append all ops of @p other, remapping ids; returns the id
+     * offset applied to the appended ops.
+     */
+    OpId append(const Trace &other);
+
+  private:
+    std::vector<Op> ops_;
+};
+
+/**
+ * Scoped recorder handle: components take a TraceRecorder so they can
+ * run with recording disabled (pure functional mode) at zero cost.
+ *
+ * The recorder also maintains one "program order" chain per actor: by
+ * default each recorded op depends on the previous op recorded for
+ * the same actor, which models straight-line software. Data-path code
+ * that pipelines passes explicit dependency lists instead.
+ */
+class TraceRecorder
+{
+  public:
+    /** A recorder that drops everything. */
+    TraceRecorder() = default;
+
+    /** A recorder appending to @p trace. */
+    explicit TraceRecorder(Trace *trace) : trace_(trace) {}
+
+    bool enabled() const { return trace_ != nullptr; }
+    Trace *trace() { return trace_; }
+
+    /**
+     * Record an op that follows program order for @p actor: it
+     * depends on the actor's previous op plus @p extra_deps, and
+     * becomes the actor's new chain tail.
+     *
+     * @return the op id, or InvalidOpId when recording is disabled.
+     */
+    OpId record(std::uint32_t actor, ResourceId resource, Tick duration,
+                OpKind kind, std::uint64_t bytes = 0,
+                std::string label = {},
+                GpuContextId gpu_ctx = NoGpuContext,
+                std::vector<OpId> extra_deps = {});
+
+    /**
+     * Record an op with fully explicit dependencies; does not touch
+     * any actor chain. Used by pipelined copies.
+     */
+    OpId recordDetached(ResourceId resource, Tick duration, OpKind kind,
+                        std::vector<OpId> deps, std::uint64_t bytes = 0,
+                        std::string label = {},
+                        GpuContextId gpu_ctx = NoGpuContext);
+
+    /** The tail op of @p actor's program-order chain. */
+    OpId chainTail(std::uint32_t actor) const;
+
+    /**
+     * Make @p op the new tail of @p actor's chain (joins a pipelined
+     * region back into program order).
+     */
+    void setChainTail(std::uint32_t actor, OpId op);
+
+  private:
+    Trace *trace_ = nullptr;
+    std::vector<OpId> chain_tails_;
+};
+
+}  // namespace hix::sim
+
+#endif  // HIX_SIM_TRACE_H_

@@ -1,0 +1,77 @@
+#include "sim/trace_export.h"
+
+#include <map>
+
+namespace hix::sim
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping for op labels. */
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+exportChromeTrace(const Trace &trace, const ScheduleResult &schedule,
+                  std::ostream &os)
+{
+    // Stable tid per resource.
+    std::map<ResourceId, int> tids;
+    for (const Op &op : trace.ops())
+        tids.emplace(op.resource, 0);
+    int next_tid = 1;
+    for (auto &[res, tid] : tids)
+        tid = next_tid++;
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+
+    // Thread-name metadata.
+    for (const auto &[res, tid] : tids) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << res.toString() << "\"}}";
+    }
+
+    for (const Op &op : trace.ops()) {
+        const double start_us =
+            static_cast<double>(schedule.start[op.id]) / 1000.0;
+        double dur_us =
+            static_cast<double>(op.duration) / 1000.0;
+        if (dur_us < 0.05)
+            dur_us = 0.05;  // keep ops visible
+        os << ",{\"name\":\""
+           << escaped(op.label.empty() ? opKindName(op.kind)
+                                       : op.label)
+           << "\",\"cat\":\"" << opKindName(op.kind)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << tids[op.resource] << ",\"ts\":" << start_us
+           << ",\"dur\":" << dur_us << ",\"args\":{\"op\":" << op.id
+           << ",\"bytes\":" << op.bytes;
+        if (op.gpuCtx != NoGpuContext)
+            os << ",\"gpu_ctx\":" << op.gpuCtx;
+        os << "}}";
+    }
+    os << "]}";
+}
+
+}  // namespace hix::sim

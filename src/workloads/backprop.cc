@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Back Propagation (BP): one epoch of a two-layer perceptron, the
+ * Rodinia backprop pattern — a layer-forward reduction and a weight
+ * adjustment, both memory-bound over the (huge) input->hidden weight
+ * matrix. Table 5: 117.0 MB HtoD / 42.75 MB DtoH, 589,824 input
+ * nodes.
+ */
+
+#include "workloads/rodinia_util.h"
+
+namespace hix::workloads
+{
+
+namespace
+{
+
+constexpr std::uint32_t NominalIn = 589824;
+constexpr std::uint32_t Hidden = 16;
+constexpr std::uint64_t Scale = 16;
+/** Calibrated total kernel time at the nominal size (Figure 7 fit). */
+constexpr double KernelNs = 27.0e6;
+
+float
+squash(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+class Backprop : public RodiniaApp
+{
+  public:
+    Backprop()
+        : RodiniaApp("BP", Scale,
+                     TransferSpec{117 * MiB, (42 * MiB) + (768 * KiB)}),
+          in_f_(NominalIn / Scale)
+    {}
+
+    void
+    registerKernels(gpu::GpuDevice &device) override
+    {
+        if (device.kernels().idOf("bp_layerforward").isOk())
+            return;
+        device.kernels().add(
+            "bp_layerforward",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                // args: {input, w1, hidden_out, in_f, nominal_in}
+                const std::uint64_t in = args[3];
+                HIX_ASSIGN_OR_RETURN(auto input,
+                                     loadF32(mem, args[0], in + 1));
+                HIX_ASSIGN_OR_RETURN(
+                    auto w1,
+                    loadF32(mem, args[1], (in + 1) * (Hidden + 1)));
+                std::vector<float> hidden(Hidden + 1, 0.0f);
+                for (std::uint64_t j = 1; j <= Hidden; ++j) {
+                    float sum = w1[j];  // bias row 0
+                    for (std::uint64_t i = 1; i <= in; ++i)
+                        sum += input[i] * w1[i * (Hidden + 1) + j];
+                    hidden[j] = squash(sum);
+                }
+                return storeF32(mem, args[2], hidden);
+            },
+            [](const gpu::KernelArgs &args) {
+                const double ratio =
+                    static_cast<double>(args[4]) / NominalIn;
+                return calibratedKernelCost(KernelNs * 0.5, ratio, 1, 1);
+            });
+        device.kernels().add(
+            "bp_adjust_weights",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                // args: {input, w1, delta, in_f, nominal_in}
+                const std::uint64_t in = args[3];
+                HIX_ASSIGN_OR_RETURN(auto input,
+                                     loadF32(mem, args[0], in + 1));
+                HIX_ASSIGN_OR_RETURN(
+                    auto w1,
+                    loadF32(mem, args[1], (in + 1) * (Hidden + 1)));
+                HIX_ASSIGN_OR_RETURN(auto delta,
+                                     loadF32(mem, args[2], Hidden + 1));
+                for (std::uint64_t i = 0; i <= in; ++i) {
+                    const float x = i == 0 ? 1.0f : input[i];
+                    for (std::uint64_t j = 1; j <= Hidden; ++j) {
+                        w1[i * (Hidden + 1) + j] +=
+                            0.3f * delta[j] * x;
+                    }
+                }
+                return storeF32(mem, args[1], w1);
+            },
+            [](const gpu::KernelArgs &args) {
+                const double ratio =
+                    static_cast<double>(args[4]) / NominalIn;
+                return calibratedKernelCost(KernelNs * 0.5, ratio, 1, 1);
+            });
+    }
+
+    Status
+    run(GpuApi &api) override
+    {
+        const std::uint64_t in = in_f_;
+        Rng rng(0xb9);
+        std::vector<float> input(in + 1, 0.0f);
+        for (std::uint64_t i = 1; i <= in; ++i)
+            input[i] = static_cast<float>(rng.nextDouble());
+        std::vector<float> w1((in + 1) * (Hidden + 1));
+        for (auto &w : w1)
+            w = static_cast<float>(rng.nextDouble() - 0.5) * 0.01f;
+        std::vector<float> delta(Hidden + 1);
+        for (auto &d : delta)
+            d = static_cast<float>(rng.nextDouble() - 0.5) * 0.1f;
+
+        HIX_ASSIGN_OR_RETURN(auto k_fwd,
+                             api.loadModule("bp_layerforward"));
+        HIX_ASSIGN_OR_RETURN(auto k_adj,
+                             api.loadModule("bp_adjust_weights"));
+
+        HIX_ASSIGN_OR_RETURN(Addr d_input,
+                             api.memAlloc((in + 1) * 4));
+        HIX_ASSIGN_OR_RETURN(
+            Addr d_w1, api.memAlloc((in + 1) * (Hidden + 1) * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_hidden,
+                             api.memAlloc((Hidden + 1) * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_delta,
+                             api.memAlloc((Hidden + 1) * 4));
+
+        std::uint64_t h2d = 0;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_input, vecBytes(input)));
+        h2d += (in + 1) * 4;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_w1, vecBytes(w1)));
+        h2d += w1.size() * 4;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_delta, vecBytes(delta)));
+        h2d += delta.size() * 4;
+        HIX_RETURN_IF_ERROR(padHtoD(api, h2d));
+
+        HIX_RETURN_IF_ERROR(api.launchKernel(
+            k_fwd, {d_input, d_w1, d_hidden, in, NominalIn}));
+        HIX_RETURN_IF_ERROR(api.launchKernel(
+            k_adj, {d_input, d_w1, d_delta, in, NominalIn}));
+
+        HIX_ASSIGN_OR_RETURN(Bytes hidden_bytes,
+                             api.memcpyDtoH(d_hidden, (Hidden + 1) * 4));
+        HIX_ASSIGN_OR_RETURN(Bytes w1_bytes,
+                             api.memcpyDtoH(d_w1, w1.size() * 4));
+        HIX_RETURN_IF_ERROR(
+            padDtoH(api, (Hidden + 1) * 4 + w1.size() * 4));
+
+        // Verify the weight update against a CPU reference (sampled).
+        auto w1_out = bytesVec<float>(w1_bytes);
+        Rng pick(3);
+        for (int s = 0; s < 64; ++s) {
+            const std::uint64_t i = pick.nextBelow(in + 1);
+            const std::uint64_t j = 1 + pick.nextBelow(Hidden);
+            const float x = i == 0 ? 1.0f : input[i];
+            const float expect =
+                w1[i * (Hidden + 1) + j] + 0.3f * delta[j] * x;
+            if (std::fabs(w1_out[i * (Hidden + 1) + j] - expect) >
+                1e-4f)
+                return errInternal("BP weight update mismatch");
+        }
+        // Verify the forward pass.
+        auto hidden = bytesVec<float>(hidden_bytes);
+        for (std::uint64_t j = 1; j <= Hidden; ++j) {
+            float sum = w1[j];
+            for (std::uint64_t i = 1; i <= in; ++i)
+                sum += input[i] * w1[i * (Hidden + 1) + j];
+            if (std::fabs(hidden[j] - squash(sum)) > 1e-3f)
+                return errInternal("BP forward pass mismatch");
+        }
+
+        for (Addr va : {d_input, d_w1, d_hidden, d_delta})
+            HIX_RETURN_IF_ERROR(api.memFree(va));
+        return Status::ok();
+    }
+
+  private:
+    std::uint64_t in_f_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload>
+makeBackprop()
+{
+    return std::make_unique<Backprop>();
+}
+
+}  // namespace hix::workloads

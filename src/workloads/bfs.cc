@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Breadth-First Search (BFS): level-synchronous frontier expansion
+ * over a random sparse graph, one kernel launch per level (the
+ * Rodinia pattern). Table 5: 45.78 MB HtoD / 3.81 MB DtoH, 1,000,000
+ * nodes.
+ */
+
+#include <queue>
+
+#include "workloads/rodinia_util.h"
+
+namespace hix::workloads
+{
+
+namespace
+{
+
+constexpr std::uint32_t NominalNodes = 1000000;
+constexpr std::uint64_t Scale = 16;
+constexpr std::uint32_t Degree = 6;
+constexpr double KernelNs = 16.0e6;
+
+class Bfs : public RodiniaApp
+{
+  public:
+    Bfs()
+        : RodiniaApp(
+              "BFS", Scale,
+              TransferSpec{(45 * MiB) + (798 * KiB),
+                           (3 * MiB) + (829 * KiB)}),
+          nodes_(NominalNodes / Scale)
+    {}
+
+    void
+    registerKernels(gpu::GpuDevice &device) override
+    {
+        if (device.kernels().idOf("bfs_level").isOk())
+            return;
+        device.kernels().add(
+            "bfs_level",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                // args: {row_start, edges, level, n, edge_count,
+                //        cur_level, nominal_nodes, total_levels}
+                const std::uint64_t n = args[3];
+                const std::uint64_t edge_count = args[4];
+                const std::int32_t cur =
+                    static_cast<std::int32_t>(args[5]);
+                HIX_ASSIGN_OR_RETURN(auto rows,
+                                     loadI32(mem, args[0], n + 1));
+                HIX_ASSIGN_OR_RETURN(auto edges,
+                                     loadI32(mem, args[1], edge_count));
+                HIX_ASSIGN_OR_RETURN(auto level,
+                                     loadI32(mem, args[2], n));
+                for (std::uint64_t v = 0; v < n; ++v) {
+                    if (level[v] != cur)
+                        continue;
+                    for (std::int32_t e = rows[v]; e < rows[v + 1];
+                         ++e) {
+                        const std::int32_t to = edges[e];
+                        if (level[to] < 0)
+                            level[to] = cur + 1;
+                    }
+                }
+                return storeI32(mem, args[2], level);
+            },
+            [](const gpu::KernelArgs &args) {
+                const double ratio =
+                    static_cast<double>(args[6]) / NominalNodes;
+                const std::uint64_t levels = args[7];
+                return calibratedKernelCost(KernelNs, ratio, levels,
+                                            levels);
+            });
+    }
+
+    Status
+    run(GpuApi &api) override
+    {
+        const std::uint32_t n = nodes_;
+        // Build a random graph with a ring backbone (connected).
+        Rng rng(0xbf5);
+        std::vector<std::int32_t> rows(n + 1);
+        std::vector<std::int32_t> edges;
+        edges.reserve(std::size_t(n) * Degree);
+        for (std::uint32_t v = 0; v < n; ++v) {
+            rows[v] = static_cast<std::int32_t>(edges.size());
+            edges.push_back(static_cast<std::int32_t>((v + 1) % n));
+            for (std::uint32_t d = 1; d < Degree; ++d)
+                edges.push_back(
+                    static_cast<std::int32_t>(rng.nextBelow(n)));
+        }
+        rows[n] = static_cast<std::int32_t>(edges.size());
+
+        // CPU reference BFS (also gives the level count).
+        std::vector<std::int32_t> ref_level(n, -1);
+        std::queue<std::uint32_t> q;
+        ref_level[0] = 0;
+        q.push(0);
+        std::int32_t max_level = 0;
+        while (!q.empty()) {
+            const std::uint32_t v = q.front();
+            q.pop();
+            for (std::int32_t e = rows[v]; e < rows[v + 1]; ++e) {
+                const auto to = static_cast<std::uint32_t>(edges[e]);
+                if (ref_level[to] < 0) {
+                    ref_level[to] = ref_level[v] + 1;
+                    max_level = std::max(max_level, ref_level[to]);
+                    q.push(to);
+                }
+            }
+        }
+
+        HIX_ASSIGN_OR_RETURN(auto kid, api.loadModule("bfs_level"));
+        HIX_ASSIGN_OR_RETURN(Addr d_rows,
+                             api.memAlloc((n + 1) * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_edges,
+                             api.memAlloc(edges.size() * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_level, api.memAlloc(n * 4));
+
+        std::vector<std::int32_t> level(n, -1);
+        level[0] = 0;
+
+        std::uint64_t h2d = 0;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_rows, vecBytes(rows)));
+        h2d += rows.size() * 4;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_edges, vecBytes(edges)));
+        h2d += edges.size() * 4;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_level, vecBytes(level)));
+        h2d += level.size() * 4;
+        HIX_RETURN_IF_ERROR(padHtoD(api, h2d));
+
+        const auto total_levels =
+            static_cast<std::uint64_t>(max_level) + 1;
+        for (std::int32_t lvl = 0; lvl < max_level; ++lvl) {
+            HIX_RETURN_IF_ERROR(api.launchKernel(
+                kid, {d_rows, d_edges, d_level, n, edges.size(),
+                      static_cast<std::uint64_t>(lvl), NominalNodes,
+                      total_levels}));
+        }
+
+        HIX_ASSIGN_OR_RETURN(Bytes out, api.memcpyDtoH(d_level, n * 4));
+        HIX_RETURN_IF_ERROR(padDtoH(api, n * 4));
+
+        auto gpu_level = bytesVec<std::int32_t>(out);
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (gpu_level[v] != ref_level[v])
+                return errInternal("BFS level mismatch at node " +
+                                   std::to_string(v));
+        }
+
+        for (Addr va : {d_rows, d_edges, d_level})
+            HIX_RETURN_IF_ERROR(api.memFree(va));
+        return Status::ok();
+    }
+
+  private:
+    std::uint32_t nodes_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload>
+makeBfs()
+{
+    return std::make_unique<Bfs>();
+}
+
+}  // namespace hix::workloads

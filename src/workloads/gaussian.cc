@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Gaussian Elimination (GS): forward elimination with the Rodinia
+ * Fan1/Fan2 kernel pair, two launches per pivot step. Table 5:
+ * 32 MB HtoD / 32 MB DtoH, 2048x2048 points. High
+ * compute-to-communication ratio: the paper's example of HIX
+ * reaching parity with Gdev.
+ */
+
+#include "workloads/rodinia_util.h"
+
+namespace hix::workloads
+{
+
+namespace
+{
+
+constexpr std::uint32_t NominalN = 2048;
+constexpr std::uint64_t Scale = 64;  // functional 256x256
+constexpr double KernelNs = 320.0e6;
+
+class Gaussian : public RodiniaApp
+{
+  public:
+    Gaussian()
+        : RodiniaApp("GS", Scale, TransferSpec{32 * MiB, 32 * MiB}),
+          n_(NominalN / 8)
+    {}
+
+    void
+    registerKernels(gpu::GpuDevice &device) override
+    {
+        if (device.kernels().idOf("gs_fan1").isOk())
+            return;
+        // Cost split: Fan2 does the O(n^2) submatrix update and
+        // dominates; Fan1 is the O(n) multiplier column.
+        device.kernels().add(
+            "gs_fan1",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                // args: {a, m, n, t, nominal_n}
+                const std::uint64_t n = args[2];
+                const std::uint64_t t = args[3];
+                HIX_ASSIGN_OR_RETURN(auto a,
+                                     loadF32(mem, args[0], n * n));
+                HIX_ASSIGN_OR_RETURN(auto m,
+                                     loadF32(mem, args[1], n * n));
+                for (std::uint64_t i = t + 1; i < n; ++i)
+                    m[i * n + t] = a[i * n + t] / a[t * n + t];
+                return storeF32(mem, args[1], m);
+            },
+            [](const gpu::KernelArgs &args) {
+                const std::uint64_t n = args[2];
+                const std::uint64_t nominal = args[4];
+                const double ratio =
+                    static_cast<double>(nominal) / NominalN;
+                return calibratedKernelCost(
+                    KernelNs * 0.1 * ratio * ratio * ratio, 1.0, n - 1,
+                    nominal - 1);
+            });
+        device.kernels().add(
+            "gs_fan2",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                // args: {a, b, m, n, t, nominal_n}
+                const std::uint64_t n = args[3];
+                const std::uint64_t t = args[4];
+                HIX_ASSIGN_OR_RETURN(auto a,
+                                     loadF32(mem, args[0], n * n));
+                HIX_ASSIGN_OR_RETURN(auto b, loadF32(mem, args[1], n));
+                HIX_ASSIGN_OR_RETURN(auto m,
+                                     loadF32(mem, args[2], n * n));
+                for (std::uint64_t i = t + 1; i < n; ++i) {
+                    const float mult = m[i * n + t];
+                    for (std::uint64_t j = t; j < n; ++j)
+                        a[i * n + j] -= mult * a[t * n + j];
+                    b[i] -= mult * b[t];
+                }
+                HIX_RETURN_IF_ERROR(storeF32(mem, args[0], a));
+                return storeF32(mem, args[1], b);
+            },
+            [](const gpu::KernelArgs &args) {
+                const std::uint64_t n = args[3];
+                const std::uint64_t nominal = args[5];
+                const double ratio =
+                    static_cast<double>(nominal) / NominalN;
+                return calibratedKernelCost(
+                    KernelNs * 0.9 * ratio * ratio * ratio, 1.0, n - 1,
+                    nominal - 1);
+            });
+    }
+
+    Status
+    run(GpuApi &api) override
+    {
+        const std::uint64_t n = n_;
+        // Diagonally dominant system => stable elimination.
+        Rng rng(0x6a);
+        std::vector<float> a(n * n), b(n), x_ref(n);
+        for (auto &v : a)
+            v = static_cast<float>(rng.nextDouble() - 0.5);
+        for (std::uint64_t i = 0; i < n; ++i)
+            a[i * n + i] = static_cast<float>(n) + 1.0f;
+        for (auto &v : x_ref)
+            v = static_cast<float>(rng.nextDouble() * 2 - 1);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            double sum = 0;
+            for (std::uint64_t j = 0; j < n; ++j)
+                sum += double(a[i * n + j]) * x_ref[j];
+            b[i] = static_cast<float>(sum);
+        }
+
+        HIX_ASSIGN_OR_RETURN(auto k_fan1, api.loadModule("gs_fan1"));
+        HIX_ASSIGN_OR_RETURN(auto k_fan2, api.loadModule("gs_fan2"));
+        HIX_ASSIGN_OR_RETURN(Addr d_a, api.memAlloc(n * n * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_b, api.memAlloc(n * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_m, api.memAlloc(n * n * 4));
+
+        std::vector<float> m(n * n, 0.0f);
+        std::uint64_t h2d = 0;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_a, vecBytes(a)));
+        h2d += a.size() * 4;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_b, vecBytes(b)));
+        h2d += b.size() * 4;
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_m, vecBytes(m)));
+        h2d += m.size() * 4;
+        HIX_RETURN_IF_ERROR(padHtoD(api, h2d));
+
+        for (std::uint64_t t = 0; t < n - 1; ++t) {
+            HIX_RETURN_IF_ERROR(
+                api.launchKernel(k_fan1, {d_a, d_m, n, t, NominalN}));
+            HIX_RETURN_IF_ERROR(api.launchKernel(
+                k_fan2, {d_a, d_b, d_m, n, t, NominalN}));
+        }
+
+        HIX_ASSIGN_OR_RETURN(Bytes a_out,
+                             api.memcpyDtoH(d_a, n * n * 4));
+        HIX_ASSIGN_OR_RETURN(Bytes b_out, api.memcpyDtoH(d_b, n * 4));
+        HIX_RETURN_IF_ERROR(padDtoH(api, a_out.size() + b_out.size()));
+
+        // Back-substitute on the host and compare to the known
+        // solution.
+        auto u = bytesVec<float>(a_out);
+        auto y = bytesVec<float>(b_out);
+        std::vector<double> x(n);
+        for (std::int64_t i = n - 1; i >= 0; --i) {
+            double sum = y[i];
+            for (std::uint64_t j = i + 1; j < n; ++j)
+                sum -= double(u[i * n + j]) * x[j];
+            x[i] = sum / u[i * n + i];
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (std::fabs(x[i] - x_ref[i]) > 1e-2)
+                return errInternal("GS solution mismatch");
+        }
+
+        for (Addr va : {d_a, d_b, d_m})
+            HIX_RETURN_IF_ERROR(api.memFree(va));
+        return Status::ok();
+    }
+
+  private:
+    std::uint64_t n_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload>
+makeGaussian()
+{
+    return std::make_unique<Gaussian>();
+}
+
+}  // namespace hix::workloads

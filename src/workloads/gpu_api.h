@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A uniform veneer over the two runtimes the evaluation compares —
+ * the HIX trusted runtime and the unprotected Gdev baseline — so a
+ * workload's host code runs unmodified on either, exactly as the
+ * paper's benchmarks do ("programmers can easily use HIX in the same
+ * way as they use the existing CUDA API", Section 5.2).
+ */
+
+#ifndef HIX_WORKLOADS_GPU_API_H_
+#define HIX_WORKLOADS_GPU_API_H_
+
+#include <string>
+
+#include "hix/baseline_runtime.h"
+#include "hix/trusted_runtime.h"
+
+namespace hix::workloads
+{
+
+/** CUDA-driver-API-shaped interface both runtimes satisfy. */
+class GpuApi
+{
+  public:
+    virtual ~GpuApi() = default;
+
+    virtual Result<Addr> memAlloc(std::uint64_t size) = 0;
+    virtual Status memFree(Addr gpu_va) = 0;
+    virtual Status memcpyHtoD(Addr dst, const Bytes &data) = 0;
+    virtual Result<Bytes> memcpyDtoH(Addr src, std::uint64_t len) = 0;
+    virtual Result<gpu::KernelId> loadModule(const std::string &name) = 0;
+    virtual Status launchKernel(gpu::KernelId kernel,
+                                const gpu::KernelArgs &args) = 0;
+};
+
+/** HIX secure path. */
+class TrustedApi : public GpuApi
+{
+  public:
+    explicit TrustedApi(core::TrustedRuntime *rt) : rt_(rt) {}
+
+    Result<Addr>
+    memAlloc(std::uint64_t size) override
+    {
+        return rt_->memAlloc(size);
+    }
+    Status memFree(Addr va) override { return rt_->memFree(va); }
+    Status
+    memcpyHtoD(Addr dst, const Bytes &data) override
+    {
+        return rt_->memcpyHtoD(dst, data);
+    }
+    Result<Bytes>
+    memcpyDtoH(Addr src, std::uint64_t len) override
+    {
+        return rt_->memcpyDtoH(src, len);
+    }
+    Result<gpu::KernelId>
+    loadModule(const std::string &name) override
+    {
+        return rt_->loadModule(name);
+    }
+    Status
+    launchKernel(gpu::KernelId kernel,
+                 const gpu::KernelArgs &args) override
+    {
+        return rt_->launchKernel(kernel, args);
+    }
+
+  private:
+    core::TrustedRuntime *rt_;
+};
+
+/** Unprotected Gdev baseline. */
+class BaselineApi : public GpuApi
+{
+  public:
+    explicit BaselineApi(core::BaselineRuntime *rt) : rt_(rt) {}
+
+    Result<Addr>
+    memAlloc(std::uint64_t size) override
+    {
+        return rt_->memAlloc(size);
+    }
+    Status memFree(Addr va) override { return rt_->memFree(va); }
+    Status
+    memcpyHtoD(Addr dst, const Bytes &data) override
+    {
+        return rt_->memcpyHtoD(dst, data);
+    }
+    Result<Bytes>
+    memcpyDtoH(Addr src, std::uint64_t len) override
+    {
+        return rt_->memcpyDtoH(src, len);
+    }
+    Result<gpu::KernelId>
+    loadModule(const std::string &name) override
+    {
+        return rt_->loadModule(name);
+    }
+    Status
+    launchKernel(gpu::KernelId kernel,
+                 const gpu::KernelArgs &args) override
+    {
+        return rt_->launchKernel(kernel, args);
+    }
+
+  private:
+    core::BaselineRuntime *rt_;
+};
+
+}  // namespace hix::workloads
+
+#endif  // HIX_WORKLOADS_GPU_API_H_

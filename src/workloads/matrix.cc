@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Matrix microbenchmarks of Section 5.3.1 (Figure 6 / Table 4):
+ * integer matrix addition and multiplication. HtoD moves A and B,
+ * DtoH moves C, matching Table 4's data volumes.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include "common/byte_utils.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace hix::workloads
+{
+
+namespace
+{
+
+/** Bulk-load a u32 matrix from device memory. */
+Result<std::vector<std::uint32_t>>
+loadU32(const gpu::GpuMemAccessor &mem, Addr va, std::size_t count)
+{
+    auto bytes = mem.readBytes(va, count * 4);
+    if (!bytes.isOk())
+        return bytes.status();
+    std::vector<std::uint32_t> out(count);
+    std::memcpy(out.data(), bytes->data(), count * 4);
+    return out;
+}
+
+Status
+storeU32(const gpu::GpuMemAccessor &mem, Addr va,
+         const std::vector<std::uint32_t> &data)
+{
+    Bytes bytes(data.size() * 4);
+    std::memcpy(bytes.data(), data.data(), bytes.size());
+    return mem.writeBytes(va, bytes);
+}
+
+Bytes
+toBytes(const std::vector<std::uint32_t> &data)
+{
+    Bytes out(data.size() * 4);
+    std::memcpy(out.data(), data.data(), out.size());
+    return out;
+}
+
+/** Shared host-side driver for both matrix workloads. */
+class MatrixWorkload : public Workload
+{
+  public:
+    MatrixWorkload(std::string name, std::uint32_t n, bool multiply,
+                   std::uint64_t scale)
+        : Workload(std::move(name)),
+          n_(n),
+          multiply_(multiply),
+          scale_(scale)
+    {
+        const auto root = static_cast<std::uint32_t>(
+            std::llround(std::sqrt(double(scale))));
+        if (root * root != scale)
+            hix_panic("matrix workload scale must be a perfect square");
+        nf_ = n_ / root;
+        if (nf_ == 0 || n_ % root != 0)
+            hix_panic("matrix dimension not divisible by sqrt(scale)");
+    }
+
+    std::uint64_t timingScale() const override { return scale_; }
+
+    TransferSpec
+    nominalTransfers() const override
+    {
+        const std::uint64_t mat = std::uint64_t(n_) * n_ * 4;
+        return TransferSpec{2 * mat, mat};
+    }
+
+    void
+    registerKernels(gpu::GpuDevice &device) override
+    {
+        if (device.kernels().idOf(kernelName()).isOk())
+            return;
+        const gpu::GpuPerfModel perf = device.perf();
+        if (!multiply_) {
+            device.kernels().add(
+                "matrix_add_u32",
+                [](const gpu::GpuMemAccessor &mem,
+                   const gpu::KernelArgs &args) -> Status {
+                    // args: {a, b, c, n_func, n_nominal}
+                    const std::uint64_t nf = args[3];
+                    HIX_ASSIGN_OR_RETURN(
+                        auto a, loadU32(mem, args[0], nf * nf));
+                    HIX_ASSIGN_OR_RETURN(
+                        auto b, loadU32(mem, args[1], nf * nf));
+                    std::vector<std::uint32_t> c(nf * nf);
+                    for (std::size_t i = 0; i < c.size(); ++i)
+                        c[i] = a[i] + b[i];
+                    return storeU32(mem, args[2], c);
+                },
+                [perf](const gpu::KernelArgs &args) {
+                    // Streaming kernel: 3 matrices through memory.
+                    const double n = static_cast<double>(args[4]);
+                    return perf.intKernelTicks(n * n, 12.0 * n * n);
+                });
+        } else {
+            device.kernels().add(
+                "matrix_mul_u32",
+                [](const gpu::GpuMemAccessor &mem,
+                   const gpu::KernelArgs &args) -> Status {
+                    const std::uint64_t nf = args[3];
+                    HIX_ASSIGN_OR_RETURN(
+                        auto a, loadU32(mem, args[0], nf * nf));
+                    HIX_ASSIGN_OR_RETURN(
+                        auto b, loadU32(mem, args[1], nf * nf));
+                    std::vector<std::uint32_t> c(nf * nf, 0);
+                    for (std::uint64_t i = 0; i < nf; ++i) {
+                        for (std::uint64_t k = 0; k < nf; ++k) {
+                            const std::uint32_t aik = a[i * nf + k];
+                            for (std::uint64_t j = 0; j < nf; ++j)
+                                c[i * nf + j] +=
+                                    aik * b[k * nf + j];
+                        }
+                    }
+                    return storeU32(mem, args[2], c);
+                },
+                [perf](const gpu::KernelArgs &args) {
+                    // 2*n^3 integer multiply-adds; Fermi 32-bit IMAD
+                    // sustains ~40% of the FP32 pipe on this pattern.
+                    const double n = static_cast<double>(args[4]);
+                    const double ops = 2.0 * n * n * n;
+                    const double rate =
+                        perf.peakFp32Gflops * 1e9 * perf.intRate * 0.4;
+                    return static_cast<Tick>(
+                               ops / rate * double(SEC)) +
+                           1;
+                });
+        }
+    }
+
+    Status
+    run(GpuApi &api) override
+    {
+        const std::uint64_t elems = std::uint64_t(nf_) * nf_;
+        Rng rng(0x9a7e + n_);
+        std::vector<std::uint32_t> a(elems), b(elems);
+        for (auto &v : a)
+            v = rng.next32() & 0xffff;
+        for (auto &v : b)
+            v = rng.next32() & 0xffff;
+
+        auto kid = api.loadModule(kernelName());
+        if (!kid.isOk())
+            return kid.status();
+
+        HIX_ASSIGN_OR_RETURN(Addr va_a, api.memAlloc(elems * 4));
+        HIX_ASSIGN_OR_RETURN(Addr va_b, api.memAlloc(elems * 4));
+        HIX_ASSIGN_OR_RETURN(Addr va_c, api.memAlloc(elems * 4));
+
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(va_a, toBytes(a)));
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(va_b, toBytes(b)));
+        HIX_RETURN_IF_ERROR(api.launchKernel(
+            *kid, {va_a, va_b, va_c, nf_, n_}));
+        HIX_ASSIGN_OR_RETURN(Bytes c_bytes,
+                             api.memcpyDtoH(va_c, elems * 4));
+
+        // Verify against a CPU reference (sampled for multiply).
+        std::vector<std::uint32_t> c(elems);
+        std::memcpy(c.data(), c_bytes.data(), c_bytes.size());
+        if (!multiply_) {
+            for (std::size_t i = 0; i < elems; ++i) {
+                if (c[i] != a[i] + b[i])
+                    return errInternal("matrix add mismatch");
+            }
+        } else {
+            Rng pick(7);
+            for (int s = 0; s < 32; ++s) {
+                const std::uint64_t i = pick.nextBelow(nf_);
+                const std::uint64_t j = pick.nextBelow(nf_);
+                std::uint32_t ref = 0;
+                for (std::uint64_t k = 0; k < nf_; ++k)
+                    ref += a[i * nf_ + k] * b[k * nf_ + j];
+                if (c[i * nf_ + j] != ref)
+                    return errInternal("matrix mul mismatch");
+            }
+        }
+
+        HIX_RETURN_IF_ERROR(api.memFree(va_a));
+        HIX_RETURN_IF_ERROR(api.memFree(va_b));
+        HIX_RETURN_IF_ERROR(api.memFree(va_c));
+        return Status::ok();
+    }
+
+  private:
+    const char *
+    kernelName() const
+    {
+        return multiply_ ? "matrix_mul_u32" : "matrix_add_u32";
+    }
+
+    std::uint32_t n_;
+    bool multiply_;
+    std::uint64_t scale_;
+    std::uint32_t nf_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload>
+makeMatrixAdd(std::uint32_t n)
+{
+    return std::make_unique<MatrixWorkload>(
+        "matrix_add_" + std::to_string(n), n, false, /*scale=*/64);
+}
+
+std::unique_ptr<Workload>
+makeMatrixMul(std::uint32_t n)
+{
+    return std::make_unique<MatrixWorkload>(
+        "matrix_mul_" + std::to_string(n), n, true, /*scale=*/1024);
+}
+
+}  // namespace hix::workloads

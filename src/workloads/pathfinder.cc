@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Pathfinder (PF): bottom-up dynamic programming for the cheapest
+ * path through a weight grid, one kernel per row band. Table 5:
+ * 256 MB HtoD / 32 KB DtoH, 8192x8192 points — the most
+ * transfer-dominated app and HIX's worst case (+154% in the paper).
+ */
+
+#include "workloads/rodinia_util.h"
+
+namespace hix::workloads
+{
+
+namespace
+{
+
+constexpr std::uint32_t NominalN = 8192;
+constexpr std::uint64_t Scale = 16;  // functional 2048x2048
+constexpr std::uint32_t Bands = 8;
+constexpr double KernelNs = 2.5e6;
+
+class Pathfinder : public RodiniaApp
+{
+  public:
+    Pathfinder()
+        : RodiniaApp("PF", Scale, TransferSpec{256 * MiB, 32 * KiB}),
+          n_(NominalN / 4)
+    {}
+
+    void
+    registerKernels(gpu::GpuDevice &device) override
+    {
+        if (device.kernels().idOf("pf_band").isOk())
+            return;
+        device.kernels().add(
+            "pf_band",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                // args: {grid, cost_row, n, row_begin, row_end,
+                //        nominal_n}
+                const std::uint64_t n = args[2];
+                HIX_ASSIGN_OR_RETURN(auto cost,
+                                     loadI32(mem, args[1], n));
+                for (std::uint64_t r = args[3]; r < args[4]; ++r) {
+                    auto row = loadI32(mem, args[0] + r * n * 4, n);
+                    if (!row.isOk())
+                        return row.status();
+                    std::vector<std::int32_t> next(n);
+                    for (std::uint64_t j = 0; j < n; ++j) {
+                        std::int32_t best = cost[j];
+                        if (j > 0)
+                            best = std::min(best, cost[j - 1]);
+                        if (j + 1 < n)
+                            best = std::min(best, cost[j + 1]);
+                        next[j] = (*row)[j] + best;
+                    }
+                    cost.swap(next);
+                }
+                return storeI32(mem, args[1], cost);
+            },
+            [](const gpu::KernelArgs &args) {
+                const double nominal = static_cast<double>(args[5]);
+                const double ratio =
+                    (nominal / NominalN) * (nominal / NominalN);
+                return calibratedKernelCost(KernelNs, ratio, Bands,
+                                            Bands);
+            });
+    }
+
+    Status
+    run(GpuApi &api) override
+    {
+        const std::uint64_t n = n_;
+        Rng rng(0x9f);
+        std::vector<std::int32_t> grid(n * n);
+        for (auto &v : grid)
+            v = static_cast<std::int32_t>(rng.nextBelow(10));
+
+        HIX_ASSIGN_OR_RETURN(auto kid, api.loadModule("pf_band"));
+        HIX_ASSIGN_OR_RETURN(Addr d_grid, api.memAlloc(n * n * 4));
+        HIX_ASSIGN_OR_RETURN(Addr d_cost, api.memAlloc(n * 4));
+
+        // First row seeds the cost vector.
+        std::vector<std::int32_t> cost(grid.begin(),
+                                       grid.begin() + n);
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_grid, vecBytes(grid)));
+        HIX_RETURN_IF_ERROR(api.memcpyHtoD(d_cost, vecBytes(cost)));
+        HIX_RETURN_IF_ERROR(padHtoD(api, (n * n + n) * 4));
+
+        const std::uint64_t band = (n - 1) / Bands + 1;
+        for (std::uint32_t b = 0; b < Bands; ++b) {
+            const std::uint64_t r0 = 1 + b * band;
+            const std::uint64_t r1 = std::min<std::uint64_t>(
+                n, 1 + (b + 1) * band);
+            if (r0 >= n)
+                break;
+            HIX_RETURN_IF_ERROR(api.launchKernel(
+                kid, {d_grid, d_cost, n, r0, r1, NominalN}));
+        }
+
+        HIX_ASSIGN_OR_RETURN(Bytes out, api.memcpyDtoH(d_cost, n * 4));
+
+        // CPU reference.
+        std::vector<std::int32_t> ref(grid.begin(), grid.begin() + n);
+        std::vector<std::int32_t> next(n);
+        for (std::uint64_t r = 1; r < n; ++r) {
+            for (std::uint64_t j = 0; j < n; ++j) {
+                std::int32_t best = ref[j];
+                if (j > 0)
+                    best = std::min(best, ref[j - 1]);
+                if (j + 1 < n)
+                    best = std::min(best, ref[j + 1]);
+                next[j] = grid[r * n + j] + best;
+            }
+            ref.swap(next);
+        }
+        auto got = bytesVec<std::int32_t>(out);
+        for (std::uint64_t j = 0; j < n; ++j) {
+            if (got[j] != ref[j])
+                return errInternal("PF cost mismatch");
+        }
+
+        for (Addr va : {d_grid, d_cost})
+            HIX_RETURN_IF_ERROR(api.memFree(va));
+        return Status::ok();
+    }
+
+  private:
+    std::uint64_t n_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload>
+makePathfinder()
+{
+    return std::make_unique<Pathfinder>();
+}
+
+}  // namespace hix::workloads

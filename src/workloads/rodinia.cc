@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Factory for the Rodinia suite of Table 5.
+ */
+
+#include "workloads/workload.h"
+
+namespace hix::workloads
+{
+
+std::unique_ptr<Workload> makeBackprop();
+std::unique_ptr<Workload> makeBfs();
+std::unique_ptr<Workload> makeGaussian();
+std::unique_ptr<Workload> makeHotspot();
+std::unique_ptr<Workload> makeLud();
+std::unique_ptr<Workload> makeNeedlemanWunsch();
+std::unique_ptr<Workload> makeNearestNeighbor();
+std::unique_ptr<Workload> makePathfinder();
+std::unique_ptr<Workload> makeSrad();
+
+std::unique_ptr<Workload>
+makeRodinia(const std::string &abbrev)
+{
+    if (abbrev == "BP")
+        return makeBackprop();
+    if (abbrev == "BFS")
+        return makeBfs();
+    if (abbrev == "GS")
+        return makeGaussian();
+    if (abbrev == "HS")
+        return makeHotspot();
+    if (abbrev == "LUD")
+        return makeLud();
+    if (abbrev == "NW")
+        return makeNeedlemanWunsch();
+    if (abbrev == "NN")
+        return makeNearestNeighbor();
+    if (abbrev == "PF")
+        return makePathfinder();
+    if (abbrev == "SRAD")
+        return makeSrad();
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeRodiniaSuite()
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    for (const char *abbrev :
+         {"BP", "BFS", "GS", "HS", "LUD", "NW", "NN", "PF", "SRAD"})
+        suite.push_back(makeRodinia(abbrev));
+    return suite;
+}
+
+}  // namespace hix::workloads

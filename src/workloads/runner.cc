@@ -1,0 +1,121 @@
+#include "workloads/runner.h"
+
+#include <fstream>
+#include <vector>
+
+#include "sim/trace_export.h"
+
+#include "hix/baseline_runtime.h"
+#include "hix/trusted_runtime.h"
+
+namespace hix::workloads
+{
+
+Result<RunOutcome>
+runWorkload(const RunConfig &config)
+{
+    if (!config.factory)
+        return errInvalidArgument("no workload factory");
+    if (config.users < 1)
+        return errInvalidArgument("users must be >= 1");
+
+    // One workload instance per user (independent inputs).
+    std::vector<std::unique_ptr<Workload>> jobs;
+    for (int u = 0; u < config.users; ++u)
+        jobs.push_back(config.factory());
+    const std::uint64_t scale = jobs[0]->timingScale();
+
+    os::Machine machine(config.machine);
+    jobs[0]->registerKernels(machine.gpu());
+
+    if (!config.useHix) {
+        // --- Unprotected Gdev; multi-user runs in pre-Volta MPS
+        // mode (one merged GPU context). -----------------------------
+        std::vector<std::unique_ptr<core::BaselineRuntime>> users;
+        for (int u = 0; u < config.users; ++u) {
+            users.push_back(std::make_unique<core::BaselineRuntime>(
+                &machine, "user" + std::to_string(u), scale,
+                static_cast<std::uint16_t>(u),
+                u == 0 ? nullptr : users[0].get()));
+        }
+        machine.clearTrace();
+        for (int u = 0; u < config.users; ++u) {
+            HIX_RETURN_IF_ERROR(users[u]->init());
+            BaselineApi api(users[u].get());
+            HIX_RETURN_IF_ERROR(jobs[u]->run(api));
+        }
+        RunOutcome outcome;
+        outcome.schedule = machine.scheduleTrace();
+        outcome.ticks = outcome.schedule.makespan;
+        outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
+        if (!config.traceJsonPath.empty()) {
+            std::ofstream file(config.traceJsonPath);
+            sim::exportChromeTrace(machine.trace(), outcome.schedule,
+                                   file);
+        }
+        return outcome;
+    }
+
+    // --- HIX secure path -------------------------------------------------
+    core::HixConfig hix_config;
+    hix_config.timingScale = scale;
+    hix_config.singleCopy = config.singleCopy;
+    hix_config.pipeline = config.pipeline;
+    hix_config.usePio = config.usePio;
+
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest(), hix_config);
+    if (!ge.isOk())
+        return ge.status();
+
+    std::vector<std::unique_ptr<core::TrustedRuntime>> users;
+    for (int u = 0; u < config.users; ++u) {
+        users.push_back(std::make_unique<core::TrustedRuntime>(
+            &machine, ge->get(), "user" + std::to_string(u),
+            static_cast<std::uint16_t>(u)));
+    }
+
+    // The measurement window covers task init through completion;
+    // GPU-enclave boot (a per-machine one-time cost) is excluded,
+    // matching the paper's per-application timing.
+    machine.clearTrace();
+    for (int u = 0; u < config.users; ++u) {
+        HIX_RETURN_IF_ERROR(users[u]->connect());
+        TrustedApi api(users[u].get());
+        HIX_RETURN_IF_ERROR(jobs[u]->run(api));
+    }
+
+    RunOutcome outcome;
+    outcome.schedule = machine.scheduleTrace();
+    outcome.ticks = outcome.schedule.makespan;
+    outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
+    if (!config.traceJsonPath.empty()) {
+        std::ofstream file(config.traceJsonPath);
+        sim::exportChromeTrace(machine.trace(), outcome.schedule, file);
+    }
+    return outcome;
+}
+
+Result<RunOutcome>
+runBaseline(const std::function<std::unique_ptr<Workload>()> &factory,
+            int users)
+{
+    RunConfig config;
+    config.factory = factory;
+    config.users = users;
+    config.useHix = false;
+    return runWorkload(config);
+}
+
+Result<RunOutcome>
+runHix(const std::function<std::unique_ptr<Workload>()> &factory,
+       int users)
+{
+    RunConfig config;
+    config.factory = factory;
+    config.users = users;
+    config.useHix = true;
+    return runWorkload(config);
+}
+
+}  // namespace hix::workloads

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment runner: builds a fresh modelled machine, executes a
+ * workload on the requested configuration (unprotected Gdev baseline
+ * or HIX; 1..N concurrent users), and returns the scheduled simulated
+ * time. This is the harness behind every figure-reproducing bench.
+ */
+
+#ifndef HIX_WORKLOADS_RUNNER_H_
+#define HIX_WORKLOADS_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hix/gpu_enclave.h"
+#include "os/machine.h"
+#include "sim/scheduler.h"
+#include "workloads/workload.h"
+
+namespace hix::workloads
+{
+
+/** What to run and how. */
+struct RunConfig
+{
+    /** Fresh workload instance per user. */
+    std::function<std::unique_ptr<Workload>()> factory;
+    /** Number of concurrent users (Figures 8/9 use 2 and 4). */
+    int users = 1;
+    /** true = HIX secure path, false = unprotected Gdev. */
+    bool useHix = true;
+    /** Data-path knobs (single-copy / pipelining / PIO ablations). */
+    bool singleCopy = true;
+    bool pipeline = true;
+    bool usePio = false;
+    /** Machine configuration (timing parameters). */
+    os::MachineConfig machine{};
+    /**
+     * When non-empty, write the scheduled trace as Chrome trace-event
+     * JSON (chrome://tracing / Perfetto) to this path.
+     */
+    std::string traceJsonPath;
+};
+
+/** Result of one run. */
+struct RunOutcome
+{
+    /** End-to-end simulated time (task init through completion). */
+    Tick ticks = 0;
+    /** Full schedule, for breakdowns. */
+    sim::ScheduleResult schedule;
+    /** GPU context switches charged (multi-user analysis). */
+    std::uint64_t gpuCtxSwitches = 0;
+
+    double
+    milliseconds() const
+    {
+        return ticksToMs(ticks);
+    }
+};
+
+/** Execute @p config once. */
+Result<RunOutcome> runWorkload(const RunConfig &config);
+
+/** Convenience wrappers. */
+Result<RunOutcome> runBaseline(
+    const std::function<std::unique_ptr<Workload>()> &factory,
+    int users = 1);
+Result<RunOutcome> runHix(
+    const std::function<std::unique_ptr<Workload>()> &factory,
+    int users = 1);
+
+}  // namespace hix::workloads
+
+#endif  // HIX_WORKLOADS_RUNNER_H_

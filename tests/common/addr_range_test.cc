@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for AddrRange interval semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/addr_range.h"
+
+namespace hix
+{
+namespace
+{
+
+TEST(AddrRangeTest, DefaultIsEmpty)
+{
+    AddrRange r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_FALSE(r.contains(0));
+}
+
+TEST(AddrRangeTest, ContainsIsHalfOpen)
+{
+    AddrRange r(0x1000, 0x100);
+    EXPECT_FALSE(r.contains(0xfff));
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x10ff));
+    EXPECT_FALSE(r.contains(0x1100));
+}
+
+TEST(AddrRangeTest, ContainsRange)
+{
+    AddrRange outer(0x1000, 0x1000);
+    EXPECT_TRUE(outer.containsRange(AddrRange(0x1000, 0x1000)));
+    EXPECT_TRUE(outer.containsRange(AddrRange(0x1800, 0x100)));
+    EXPECT_FALSE(outer.containsRange(AddrRange(0x0f00, 0x200)));
+    EXPECT_FALSE(outer.containsRange(AddrRange(0x1f00, 0x200)));
+    // An empty range is contained nowhere by convention.
+    EXPECT_FALSE(outer.containsRange(AddrRange()));
+}
+
+TEST(AddrRangeTest, Overlaps)
+{
+    AddrRange a(0x1000, 0x100);
+    EXPECT_TRUE(a.overlaps(AddrRange(0x10ff, 1)));
+    EXPECT_FALSE(a.overlaps(AddrRange(0x1100, 0x100)));
+    EXPECT_FALSE(a.overlaps(AddrRange(0xf00, 0x100)));
+    EXPECT_TRUE(a.overlaps(AddrRange(0x0, 0x2000)));
+}
+
+TEST(AddrRangeTest, OffsetOf)
+{
+    AddrRange r(0x2000, 0x100);
+    EXPECT_EQ(r.offsetOf(0x2000), 0u);
+    EXPECT_EQ(r.offsetOf(0x2080), 0x80u);
+}
+
+TEST(AddrRangeTest, FromStartEndClampsInverted)
+{
+    AddrRange r = AddrRange::fromStartEnd(0x2000, 0x1000);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(AddrRangeTest, Equality)
+{
+    EXPECT_EQ(AddrRange(0x1000, 0x100), AddrRange(0x1000, 0x100));
+    EXPECT_FALSE(AddrRange(0x1000, 0x100) == AddrRange(0x1000, 0x200));
+}
+
+TEST(AddrRangeTest, ToStringFormatsHex)
+{
+    EXPECT_EQ(AddrRange(0x10, 0x10).toString(), "[0x10, 0x20)");
+}
+
+}  // namespace
+}  // namespace hix

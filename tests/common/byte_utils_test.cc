@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for endian helpers, hex codecs, and constant-time
+ * comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/byte_utils.h"
+
+namespace hix
+{
+namespace
+{
+
+TEST(ByteUtilsTest, LittleEndianRoundTrip32)
+{
+    std::uint8_t buf[4];
+    storeLE32(buf, 0xdeadbeefu);
+    EXPECT_EQ(buf[0], 0xef);
+    EXPECT_EQ(buf[3], 0xde);
+    EXPECT_EQ(loadLE32(buf), 0xdeadbeefu);
+}
+
+TEST(ByteUtilsTest, LittleEndianRoundTrip64)
+{
+    std::uint8_t buf[8];
+    storeLE64(buf, 0x0123456789abcdefull);
+    EXPECT_EQ(buf[0], 0xef);
+    EXPECT_EQ(buf[7], 0x01);
+    EXPECT_EQ(loadLE64(buf), 0x0123456789abcdefull);
+}
+
+TEST(ByteUtilsTest, BigEndianRoundTrip)
+{
+    std::uint8_t buf[8];
+    storeBE32(buf, 0xdeadbeefu);
+    EXPECT_EQ(buf[0], 0xde);
+    EXPECT_EQ(loadBE32(buf), 0xdeadbeefu);
+    storeBE64(buf, 0x0123456789abcdefull);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[7], 0xef);
+    EXPECT_EQ(loadBE64(buf), 0x0123456789abcdefull);
+}
+
+TEST(ByteUtilsTest, HexRoundTrip)
+{
+    Bytes data = {0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(toHex(data), "0001abff");
+    EXPECT_EQ(fromHex("0001abff"), data);
+    EXPECT_EQ(fromHex("0001ABFF"), data);
+}
+
+TEST(ByteUtilsTest, HexEmpty)
+{
+    EXPECT_EQ(toHex(Bytes{}), "");
+    EXPECT_TRUE(fromHex("").empty());
+}
+
+TEST(ByteUtilsTest, XorBytes)
+{
+    std::uint8_t a[4] = {0xff, 0x00, 0xaa, 0x55};
+    const std::uint8_t b[4] = {0x0f, 0xf0, 0xaa, 0x55};
+    xorBytes(a, b, 4);
+    EXPECT_EQ(a[0], 0xf0);
+    EXPECT_EQ(a[1], 0xf0);
+    EXPECT_EQ(a[2], 0x00);
+    EXPECT_EQ(a[3], 0x00);
+}
+
+TEST(ByteUtilsTest, ConstantTimeEqual)
+{
+    Bytes a = fromHex("00112233445566778899aabbccddeeff");
+    Bytes b = a;
+    EXPECT_TRUE(constantTimeEqual(a.data(), b.data(), a.size()));
+    b[15] ^= 1;
+    EXPECT_FALSE(constantTimeEqual(a.data(), b.data(), a.size()));
+    b = a;
+    b[0] ^= 0x80;
+    EXPECT_FALSE(constantTimeEqual(a.data(), b.data(), a.size()));
+}
+
+}  // namespace
+}  // namespace hix

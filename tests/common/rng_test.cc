@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace hix
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, FillProducesRequestedLength)
+{
+    Rng rng(3);
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 1000u}) {
+        Bytes b = rng.bytes(n);
+        EXPECT_EQ(b.size(), n);
+    }
+}
+
+TEST(RngTest, FillIsNotAllZero)
+{
+    Rng rng(3);
+    Bytes b = rng.bytes(256);
+    bool any_nonzero = false;
+    for (auto x : b)
+        any_nonzero |= (x != 0);
+    EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace hix

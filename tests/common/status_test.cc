@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for Status/Result error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hix
+{
+namespace
+{
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status s = errAccessFault("tlb fill denied");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::AccessFault);
+    EXPECT_EQ(s.message(), "tlb fill denied");
+    EXPECT_EQ(s.toString(), "ACCESS_FAULT: tlb fill denied");
+}
+
+TEST(StatusTest, AllCodesHaveNames)
+{
+    for (int c = 0; c <= static_cast<int>(StatusCode::Internal); ++c) {
+        std::string name = statusCodeName(static_cast<StatusCode>(c));
+        EXPECT_NE(name, "UNKNOWN") << "code " << c;
+    }
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly)
+{
+    EXPECT_EQ(errNotFound("a"), errNotFound("b"));
+    EXPECT_FALSE(errNotFound("a") == errAccessFault("a"));
+}
+
+TEST(ResultTest, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(*r, 42);
+    EXPECT_TRUE(r.status().isOk());
+}
+
+TEST(ResultTest, HoldsError)
+{
+    Result<int> r(errResourceExhausted("no EPC pages"));
+    EXPECT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::ResourceExhausted);
+}
+
+TEST(ResultTest, MoveOutValue)
+{
+    Result<std::string> r(std::string("payload"));
+    std::string v = std::move(r).value();
+    EXPECT_EQ(v, "payload");
+}
+
+namespace helpers
+{
+
+Status
+mightFail(bool fail)
+{
+    if (fail)
+        return errIntegrityFailure("mac mismatch");
+    return Status::ok();
+}
+
+Status
+propagate(bool fail)
+{
+    HIX_RETURN_IF_ERROR(mightFail(fail));
+    return Status::ok();
+}
+
+Result<int>
+produce(bool fail)
+{
+    if (fail)
+        return errNotFound("gone");
+    return 7;
+}
+
+Status
+consume(bool fail, int *out)
+{
+    HIX_ASSIGN_OR_RETURN(int v, produce(fail));
+    *out = v;
+    return Status::ok();
+}
+
+}  // namespace helpers
+
+TEST(ResultTest, ReturnIfErrorMacro)
+{
+    EXPECT_TRUE(helpers::propagate(false).isOk());
+    EXPECT_EQ(helpers::propagate(true).code(),
+              StatusCode::IntegrityFailure);
+}
+
+TEST(ResultTest, AssignOrReturnMacro)
+{
+    int out = 0;
+    EXPECT_TRUE(helpers::consume(false, &out).isOk());
+    EXPECT_EQ(out, 7);
+    EXPECT_EQ(helpers::consume(true, &out).code(), StatusCode::NotFound);
+}
+
+}  // namespace
+}  // namespace hix

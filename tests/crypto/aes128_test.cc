@@ -1,0 +1,110 @@
+/**
+ * @file
+ * AES-128 known-answer tests (FIPS 197 / NIST SP 800-38A vectors)
+ * plus round-trip properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/byte_utils.h"
+#include "common/rng.h"
+#include "crypto/aes128.h"
+
+namespace hix::crypto
+{
+namespace
+{
+
+AesKey
+keyFromHex(const std::string &hex)
+{
+    Bytes b = fromHex(hex);
+    AesKey k;
+    std::memcpy(k.data(), b.data(), k.size());
+    return k;
+}
+
+AesBlock
+blockFromHex(const std::string &hex)
+{
+    Bytes b = fromHex(hex);
+    AesBlock blk;
+    std::memcpy(blk.data(), b.data(), blk.size());
+    return blk;
+}
+
+std::string
+blockToHex(const AesBlock &b)
+{
+    return toHex(b.data(), b.size());
+}
+
+TEST(Aes128Test, Fips197AppendixC)
+{
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock pt = blockFromHex("00112233445566778899aabbccddeeff");
+    AesBlock ct = aes.encrypt(pt);
+    EXPECT_EQ(blockToHex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+TEST(Aes128Test, NistSp80038aEcbVectors)
+{
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    struct KnownAnswer
+    {
+        const char *pt;
+        const char *ct;
+    };
+    const KnownAnswer vectors[] = {
+        {"6bc1bee22e409f96e93d7e117393172a",
+         "3ad77bb40d7a3660a89ecaf32466ef97"},
+        {"ae2d8a571e03ac9c9eb76fac45af8e51",
+         "f5d3d58503b9699de785895a96fdbaaf"},
+        {"30c81c46a35ce411e5fbc1191a0a52ef",
+         "43b1cd7f598ece23881b00e3ed030688"},
+        {"f69f2445df4f9b17ad2b417be66c3710",
+         "7b0c785e27e8ad3f8223207104725dd4"},
+    };
+    for (const auto &v : vectors) {
+        AesBlock ct = aes.encrypt(blockFromHex(v.pt));
+        EXPECT_EQ(blockToHex(ct), v.ct);
+        EXPECT_EQ(blockToHex(aes.decrypt(ct)), v.pt);
+    }
+}
+
+TEST(Aes128Test, EncryptDecryptRoundTripRandom)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 50; ++trial) {
+        AesKey key;
+        rng.fill(key.data(), key.size());
+        Aes128 aes(key);
+        AesBlock pt;
+        rng.fill(pt.data(), pt.size());
+        EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+    }
+}
+
+TEST(Aes128Test, InPlaceAliasingWorks)
+{
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock buf = blockFromHex("00112233445566778899aabbccddeeff");
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(blockToHex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    aes.decryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(blockToHex(buf), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128Test, DifferentKeysGiveDifferentCiphertext)
+{
+    Aes128 a(keyFromHex("00000000000000000000000000000000"));
+    Aes128 b(keyFromHex("00000000000000000000000000000001"));
+    AesBlock pt{};
+    EXPECT_NE(blockToHex(a.encrypt(pt)), blockToHex(b.encrypt(pt)));
+}
+
+}  // namespace
+}  // namespace hix::crypto

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * OCB-AES-128 tests: RFC 7253 Appendix A known-answer vectors plus
+ * round-trip, tamper-detection, and nonce-sensitivity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/byte_utils.h"
+#include "common/rng.h"
+#include "crypto/ocb.h"
+
+namespace hix::crypto
+{
+namespace
+{
+
+AesKey
+rfcKey()
+{
+    AesKey k;
+    Bytes b = fromHex("000102030405060708090a0b0c0d0e0f");
+    std::memcpy(k.data(), b.data(), k.size());
+    return k;
+}
+
+OcbNonce
+rfcNonce(std::uint8_t last)
+{
+    // BBAA998877665544332211XX
+    Bytes b = fromHex("bbaa99887766554433221100");
+    b[11] = last;
+    OcbNonce n;
+    std::memcpy(n.data(), b.data(), n.size());
+    return n;
+}
+
+Bytes
+seq(std::size_t n)
+{
+    Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] = static_cast<std::uint8_t>(i);
+    return b;
+}
+
+struct RfcVector
+{
+    std::uint8_t nonce_last;
+    std::size_t ad_len;
+    std::size_t pt_len;
+    const char *expected;  // ciphertext || tag, hex
+};
+
+// RFC 7253 Appendix A, AEAD_AES_128_OCB_TAGLEN128 sample results.
+const RfcVector rfc_vectors[] = {
+    {0x00, 0, 0, "785407bfffc8ad9edcc5520ac9111ee6"},
+    {0x01, 8, 8,
+     "6820b3657b6f615a5725bda0d3b4eb3a257c9af1f8f03009"},
+    {0x02, 8, 0, "81017f8203f081277152fade694a0a00"},
+    {0x03, 0, 8,
+     "45dd69f8f5aae72414054cd1f35d82760b2cd00d2f99bfa9"},
+    {0x04, 16, 16,
+     "571d535b60b277188be5147170a9a22c3ad7a4ff3835b8c5701c1ccec8fc3358"},
+    {0x05, 16, 0, "8cf761b6902ef764462ad86498ca6b97"},
+    {0x06, 0, 16,
+     "5ce88ec2e0692706a915c00aeb8b2396f40e1c743f52436bdf06d8fa1eca343d"},
+    {0x07, 24, 24,
+     "1ca2207308c87c010756104d8840ce1952f09673a448a122c92c62241051f57356d7f3"
+     "c90bb0e07f"},
+    {0x08, 24, 0, "6dc225a071fc1b9f7c69f93b0f1e10de"},
+    {0x09, 0, 24,
+     "221bd0de7fa6fe993eccd769460a0af2d6cded0c395b1c3ce725f32494b9f914d85c0b"
+     "1eb38357ff"},
+    {0x0a, 32, 32,
+     "bd6f6c496201c69296c11efd138a467abd3c707924b964deaffc40319af5a48540fbba"
+     "186c5553c68ad9f592a79a4240"},
+    {0x0b, 32, 0, "fe80690bee8a485d11f32965bc9d2a32"},
+    {0x0c, 0, 32,
+     "2942bfc773bda23cabc6acfd9bfd5835bd300f0973792ef46040c53f1432bcdfb5e1dd"
+     "e3bc18a5f840b52e653444d5df"},
+    {0x0d, 40, 40,
+     "d5ca91748410c1751ff8a2f618255b68a0a12e093ff454606e59f9c1d0ddc54b65e8628"
+     "e568bad7aed07ba06a4a69483a7035490c5769e60"},
+    {0x0e, 40, 0, "c5cd9d1850c141e358649994ee701b68"},
+    {0x0f, 0, 40,
+     "4412923493c57d5de0d700f753cce0d1d2d95060122e9f15a5ddbfc5787e50b5cc55ee5"
+     "07bcb084e479ad363ac366b95a98ca5f3000b1479"},
+};
+
+TEST(OcbTest, Rfc7253KnownAnswers)
+{
+    Ocb ocb(rfcKey());
+    for (const auto &v : rfc_vectors) {
+        Bytes ad = seq(v.ad_len);
+        Bytes pt = seq(v.pt_len);
+        Bytes ct = ocb.encrypt(rfcNonce(v.nonce_last), ad, pt);
+        EXPECT_EQ(toHex(ct), v.expected)
+            << "nonce last byte 0x" << std::hex << int(v.nonce_last);
+
+        auto back = ocb.decrypt(rfcNonce(v.nonce_last), ad, ct);
+        ASSERT_TRUE(back.isOk());
+        EXPECT_EQ(*back, pt);
+    }
+}
+
+TEST(OcbTest, RoundTripRandomLengths)
+{
+    Rng rng(555);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Ocb ocb(key);
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 33u, 100u,
+                            255u, 256u, 1000u, 4096u}) {
+        Bytes pt = rng.bytes(len);
+        Bytes ad = rng.bytes(len % 37);
+        OcbNonce n = makeNonce(1, len + 1);
+        Bytes ct = ocb.encrypt(n, ad, pt);
+        EXPECT_EQ(ct.size(), len + OcbTagSize);
+        auto back = ocb.decrypt(n, ad, ct);
+        ASSERT_TRUE(back.isOk()) << "len " << len;
+        EXPECT_EQ(*back, pt);
+    }
+}
+
+TEST(OcbTest, TamperedCiphertextFailsIntegrity)
+{
+    Rng rng(7);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Ocb ocb(key);
+    Bytes pt = rng.bytes(100);
+    OcbNonce n = makeNonce(0, 1);
+    Bytes ct = ocb.encrypt(n, {}, pt);
+
+    for (std::size_t pos : {0u, 50u, 99u, 100u, 115u}) {
+        Bytes bad = ct;
+        bad[pos] ^= 0x01;
+        auto res = ocb.decrypt(n, {}, bad);
+        EXPECT_FALSE(res.isOk()) << "pos " << pos;
+        EXPECT_EQ(res.status().code(), StatusCode::IntegrityFailure);
+    }
+}
+
+TEST(OcbTest, TamperedAdFailsIntegrity)
+{
+    Rng rng(8);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Ocb ocb(key);
+    Bytes pt = rng.bytes(64);
+    Bytes ad = rng.bytes(20);
+    OcbNonce n = makeNonce(0, 2);
+    Bytes ct = ocb.encrypt(n, ad, pt);
+
+    Bytes bad_ad = ad;
+    bad_ad[3] ^= 0x80;
+    EXPECT_FALSE(ocb.decrypt(n, bad_ad, ct).isOk());
+    EXPECT_TRUE(ocb.decrypt(n, ad, ct).isOk());
+}
+
+TEST(OcbTest, WrongNonceFails)
+{
+    Rng rng(9);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Ocb ocb(key);
+    Bytes pt = rng.bytes(48);
+    Bytes ct = ocb.encrypt(makeNonce(0, 1), {}, pt);
+    EXPECT_FALSE(ocb.decrypt(makeNonce(0, 2), {}, ct).isOk());
+}
+
+TEST(OcbTest, WrongKeyFails)
+{
+    Rng rng(10);
+    AesKey key_a, key_b;
+    rng.fill(key_a.data(), key_a.size());
+    rng.fill(key_b.data(), key_b.size());
+    Ocb a(key_a), b(key_b);
+    Bytes pt = rng.bytes(48);
+    OcbNonce n = makeNonce(0, 1);
+    Bytes ct = a.encrypt(n, {}, pt);
+    EXPECT_FALSE(b.decrypt(n, {}, ct).isOk());
+}
+
+TEST(OcbTest, CiphertextTooShortRejected)
+{
+    Ocb ocb(rfcKey());
+    Bytes short_ct(8, 0);
+    auto res = ocb.decrypt(makeNonce(0, 1), {}, short_ct);
+    EXPECT_EQ(res.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(OcbTest, DistinctNoncesGiveDistinctCiphertext)
+{
+    Ocb ocb(rfcKey());
+    Bytes pt(32, 0xaa);
+    Bytes c1 = ocb.encrypt(makeNonce(1, 1), {}, pt);
+    Bytes c2 = ocb.encrypt(makeNonce(1, 2), {}, pt);
+    EXPECT_NE(toHex(c1), toHex(c2));
+}
+
+TEST(OcbTest, MakeNonceLayout)
+{
+    OcbNonce n = makeNonce(0x01020304, 0x0506070805060708ull);
+    EXPECT_EQ(toHex(n.data(), n.size()), "010203040506070805060708");
+}
+
+}  // namespace
+}  // namespace hix::crypto

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SHA-256 known-answer tests (FIPS 180-4) and streaming-equivalence
+ * properties; HMAC-SHA256 vectors from RFC 4231.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/byte_utils.h"
+#include "common/rng.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace hix::crypto
+{
+namespace
+{
+
+std::string
+digestHex(const Sha256Digest &d)
+{
+    return toHex(d.data(), d.size());
+}
+
+TEST(Sha256Test, EmptyString)
+{
+    EXPECT_EQ(
+        digestHex(Sha256::digest(std::string())),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc)
+{
+    EXPECT_EQ(
+        digestHex(Sha256::digest(std::string("abc"))),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        digestHex(Sha256::digest(std::string(
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA)
+{
+    Sha256 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(
+        digestHex(h.finalize()),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot)
+{
+    Rng rng(99);
+    Bytes data = rng.bytes(10000);
+    Sha256Digest oneshot = Sha256::digest(data);
+
+    // Feed in awkward chunk sizes.
+    Sha256 h;
+    std::size_t pos = 0;
+    std::size_t step = 1;
+    while (pos < data.size()) {
+        std::size_t take = std::min(step, data.size() - pos);
+        h.update(data.data() + pos, take);
+        pos += take;
+        step = step * 3 + 1;
+    }
+    EXPECT_EQ(h.finalize(), oneshot);
+}
+
+TEST(Sha256Test, ResetAllowsReuse)
+{
+    Sha256 h;
+    h.update(std::string("garbage"));
+    h.reset();
+    h.update(std::string("abc"));
+    EXPECT_EQ(
+        digestHex(h.finalize()),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, LengthBoundaryPadding)
+{
+    // 55, 56 and 64 byte messages exercise all padding branches.
+    for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+        Bytes a(n, 0x41);
+        Bytes b(n, 0x41);
+        EXPECT_EQ(Sha256::digest(a), Sha256::digest(b));
+        b[n - 1] ^= 1;
+        EXPECT_NE(Sha256::digest(a), Sha256::digest(b));
+    }
+}
+
+TEST(HmacSha256Test, Rfc4231Case1)
+{
+    Bytes key(20, 0x0b);
+    Bytes data = {'H', 'i', ' ', 'T', 'h', 'e', 'r', 'e'};
+    EXPECT_EQ(
+        toHex(hmacSha256(key, data).data(), Sha256DigestSize),
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2)
+{
+    Bytes key = {'J', 'e', 'f', 'e'};
+    std::string msg = "what do ya want for nothing?";
+    Bytes data(msg.begin(), msg.end());
+    EXPECT_EQ(
+        toHex(hmacSha256(key, data).data(), Sha256DigestSize),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst)
+{
+    // RFC 4231 case 6: 131-byte key.
+    Bytes key(131, 0xaa);
+    std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+    Bytes data(msg.begin(), msg.end());
+    EXPECT_EQ(
+        toHex(hmacSha256(key, data).data(), Sha256DigestSize),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DeriveAesKeyTest, LabelsYieldIndependentKeys)
+{
+    Bytes secret = {1, 2, 3, 4, 5};
+    AesKey a = deriveAesKey(secret, "user->gpu");
+    AesKey b = deriveAesKey(secret, "gpu->user");
+    AesKey a2 = deriveAesKey(secret, "user->gpu");
+    EXPECT_EQ(a, a2);
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hix::crypto

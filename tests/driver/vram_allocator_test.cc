@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the buddy VRAM allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "driver/vram_allocator.h"
+
+namespace hix::driver
+{
+namespace
+{
+
+TEST(VramAllocatorTest, AllocatesAligned)
+{
+    VramAllocator a(0x1000000, 16 * MiB);
+    auto p = a.alloc(4096);
+    ASSERT_TRUE(p.isOk());
+    EXPECT_GE(*p, 0x1000000u);
+    EXPECT_EQ(*p % 4096, 0u);
+    EXPECT_EQ(a.blockSize(*p), 4096u);
+}
+
+TEST(VramAllocatorTest, RoundsUpToPow2)
+{
+    VramAllocator a(0, 16 * MiB);
+    auto p = a.alloc(5000);
+    ASSERT_TRUE(p.isOk());
+    EXPECT_EQ(a.blockSize(*p), 8192u);
+    EXPECT_EQ(a.freeBytes(), 16 * MiB - 8192);
+}
+
+TEST(VramAllocatorTest, DistinctBlocksDoNotOverlap)
+{
+    VramAllocator a(0, 1 * MiB);
+    std::set<Addr> bases;
+    for (int i = 0; i < 16; ++i) {
+        auto p = a.alloc(64 * KiB);
+        ASSERT_TRUE(p.isOk());
+        EXPECT_TRUE(bases.insert(*p).second);
+    }
+    // 16 * 64KiB = the whole megabyte.
+    EXPECT_EQ(a.freeBytes(), 0u);
+    EXPECT_FALSE(a.alloc(1).isOk());
+}
+
+TEST(VramAllocatorTest, FreeAndCoalesce)
+{
+    VramAllocator a(0, 1 * MiB);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 16; ++i) {
+        auto p = a.alloc(64 * KiB);
+        ASSERT_TRUE(p.isOk());
+        blocks.push_back(*p);
+    }
+    for (Addr b : blocks)
+        ASSERT_TRUE(a.free(b).isOk());
+    EXPECT_EQ(a.freeBytes(), 1 * MiB);
+    // After full coalescing, a max-size block is allocatable again.
+    EXPECT_TRUE(a.alloc(1 * MiB).isOk());
+}
+
+TEST(VramAllocatorTest, DoubleFreeRejected)
+{
+    VramAllocator a(0, 1 * MiB);
+    auto p = a.alloc(4096);
+    ASSERT_TRUE(p.isOk());
+    ASSERT_TRUE(a.free(*p).isOk());
+    EXPECT_FALSE(a.free(*p).isOk());
+}
+
+TEST(VramAllocatorTest, FreeOfInteriorAddressRejected)
+{
+    VramAllocator a(0, 1 * MiB);
+    auto p = a.alloc(8192);
+    ASSERT_TRUE(p.isOk());
+    EXPECT_FALSE(a.free(*p + 4096).isOk());
+}
+
+TEST(VramAllocatorTest, OversizeRejected)
+{
+    VramAllocator a(0, 1 * MiB);
+    EXPECT_FALSE(a.alloc(2 * MiB).isOk());
+    EXPECT_FALSE(a.alloc(0).isOk());
+}
+
+TEST(VramAllocatorTest, ReuseAfterFree)
+{
+    VramAllocator a(0, 1 * MiB);
+    auto p1 = a.alloc(512 * KiB);
+    ASSERT_TRUE(p1.isOk());
+    ASSERT_TRUE(a.free(*p1).isOk());
+    auto p2 = a.alloc(512 * KiB);
+    ASSERT_TRUE(p2.isOk());
+    EXPECT_EQ(*p1, *p2);
+}
+
+}  // namespace
+}  // namespace hix::driver

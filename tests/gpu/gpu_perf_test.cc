@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the GTX-580 performance envelope used by kernel cost
+ * models: roofline behaviour, calibration sanity, and monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "gpu/gpu_perf.h"
+
+namespace hix::gpu
+{
+namespace
+{
+
+TEST(GpuPerfTest, MemoryBoundKernelFollowsBandwidth)
+{
+    GpuPerfModel perf;
+    // 1 GB streamed, negligible flops.
+    const Tick t = perf.kernelTicks(1e3, 1e9);
+    const double sec = double(t) / double(SEC);
+    const double bw = 1e9 / sec;
+    EXPECT_NEAR(bw, double(perf.memBwBps) * perf.streamEfficiency,
+                double(perf.memBwBps) * 0.01);
+}
+
+TEST(GpuPerfTest, ComputeBoundKernelFollowsFlops)
+{
+    GpuPerfModel perf;
+    // 1 TFLOP, negligible bytes.
+    const Tick t = perf.kernelTicks(1e12, 1e3);
+    const double sec = double(t) / double(SEC);
+    const double gflops = 1e12 / sec / 1e9;
+    EXPECT_NEAR(gflops, perf.peakFp32Gflops * perf.denseEfficiency,
+                perf.peakFp32Gflops * 0.01);
+}
+
+TEST(GpuPerfTest, RooflineTakesTheMax)
+{
+    GpuPerfModel perf;
+    const Tick mem_only = perf.kernelTicks(0, 1e9);
+    const Tick flop_only = perf.kernelTicks(1e12, 0);
+    const Tick both = perf.kernelTicks(1e12, 1e9);
+    EXPECT_EQ(both, std::max(mem_only, flop_only));
+}
+
+TEST(GpuPerfTest, IrregularKernelsAreSlower)
+{
+    GpuPerfModel perf;
+    EXPECT_GT(perf.kernelTicks(1e11, 1e3, /*regular=*/false),
+              perf.kernelTicks(1e11, 1e3, /*regular=*/true));
+}
+
+TEST(GpuPerfTest, IntegerRateBelowFp32)
+{
+    GpuPerfModel perf;
+    EXPECT_GT(perf.intKernelTicks(1e11, 1e3),
+              perf.kernelTicks(1e11, 1e3));
+}
+
+TEST(GpuPerfTest, MonotoneInWork)
+{
+    GpuPerfModel perf;
+    Tick prev = 0;
+    for (double work = 1e6; work <= 1e12; work *= 10) {
+        const Tick t = perf.kernelTicks(work, work);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(GpuPerfTest, NonZeroFloor)
+{
+    GpuPerfModel perf;
+    EXPECT_GE(perf.kernelTicks(0, 0), 1u);
+}
+
+TEST(GpuPerfTest, Gtx580Calibration)
+{
+    // The envelope matches the board in Table 3.
+    GpuPerfModel perf;
+    EXPECT_NEAR(double(perf.memBwBps), 192e9, 1e9);
+    EXPECT_NEAR(perf.peakFp32Gflops, 1581.0, 10.0);
+}
+
+}  // namespace
+}  // namespace hix::gpu

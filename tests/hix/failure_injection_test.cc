@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Failure injection: resource exhaustion, invalid requests, and
+ * component faults must surface as clean Status errors and must not
+ * corrupt subsequent operation of the platform or other sessions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/machine.h"
+
+namespace hix::core
+{
+namespace
+{
+
+TEST(FailureInjectionTest, TinyEpcFailsEnclaveCreationCleanly)
+{
+    os::MachineConfig config;
+    config.epcSize = 2 * mem::PageSize;  // SECS + one page only
+    os::Machine machine(config);
+    auto ge = GpuEnclave::create(&machine,
+                                 machine.gpu().factoryBiosDigest());
+    ASSERT_FALSE(ge.isOk());
+    EXPECT_EQ(ge.status().code(), StatusCode::ResourceExhausted);
+    // The GPU must not be left half-bound (EGCREATE never ran).
+    EXPECT_FALSE(machine.hixExt().gpuBound(machine.gpu().bdf()));
+}
+
+class FailureTest : public ::testing::Test
+{
+  protected:
+    FailureTest()
+    {
+        ge_result_ = GpuEnclave::create(
+            &machine_, machine_.gpu().factoryBiosDigest());
+        EXPECT_TRUE(ge_result_.isOk());
+    }
+
+    GpuEnclave *ge() { return ge_result_->get(); }
+
+    os::Machine machine_;
+    Result<std::unique_ptr<GpuEnclave>> ge_result_{
+        errInternal("unset")};
+};
+
+TEST_F(FailureTest, VramExhaustionIsRecoverable)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+
+    // Ask for more device memory than the 1 GiB heap can give.
+    auto huge = user.memAlloc(4 * GiB);
+    ASSERT_FALSE(huge.isOk());
+
+    // The session is still healthy.
+    auto small = user.memAlloc(4096);
+    ASSERT_TRUE(small.isOk());
+    ASSERT_TRUE(user.memcpyHtoD(*small, Bytes(64, 1)).isOk());
+}
+
+TEST_F(FailureTest, VramExhaustionByManyAllocations)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    std::vector<Addr> blocks;
+    for (;;) {
+        auto va = user.memAlloc(128 * MiB);
+        if (!va.isOk())
+            break;
+        blocks.push_back(*va);
+        ASSERT_LT(blocks.size(), 64u) << "allocator never exhausted";
+    }
+    EXPECT_GE(blocks.size(), 4u);
+    // Free everything; a big allocation works again.
+    for (Addr va : blocks)
+        ASSERT_TRUE(user.memFree(va).isOk());
+    EXPECT_TRUE(user.memAlloc(256 * MiB).isOk());
+}
+
+TEST_F(FailureTest, UnknownKernelLaunchFailsCleanly)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    EXPECT_FALSE(user.loadModule("no_such_kernel").isOk());
+    EXPECT_FALSE(user.launchKernel(12345, {}).isOk());
+    // Still usable.
+    EXPECT_TRUE(user.memAlloc(4096).isOk());
+}
+
+TEST_F(FailureTest, FreeingUnknownAddressFails)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    EXPECT_FALSE(user.memFree(0xdeadbeef000).isOk());
+}
+
+TEST_F(FailureTest, UseBeforeConnectRejected)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    EXPECT_EQ(user.memAlloc(4096).status().code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(user.close().code(), StatusCode::FailedPrecondition);
+}
+
+TEST_F(FailureTest, DoubleConnectRejected)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    EXPECT_EQ(user.connect().code(), StatusCode::FailedPrecondition);
+}
+
+TEST_F(FailureTest, RequestsAfterCloseFail)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    ASSERT_TRUE(user.close().isOk());
+    EXPECT_FALSE(user.memAlloc(4096).isOk());
+}
+
+TEST_F(FailureTest, ShutdownWithLiveSessions)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    auto va = user.memAlloc(4096);
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(user.memcpyHtoD(*va, Bytes(64, 0x55)).isOk());
+
+    ASSERT_TRUE(ge()->shutdown().isOk());
+    EXPECT_EQ(ge()->sessionCount(), 0u);
+
+    // The user's subsequent requests fail with Unavailable.
+    auto r = user.memAlloc(4096);
+    EXPECT_EQ(r.status().code(), StatusCode::Unavailable);
+
+    // The GPU returned to the OS clean: a fresh enclave can bind and
+    // the old data is gone (device reset scrubbed VRAM).
+    auto fresh = GpuEnclave::create(&machine_,
+                                    machine_.gpu().factoryBiosDigest());
+    EXPECT_TRUE(fresh.isOk()) << fresh.status().toString();
+}
+
+TEST_F(FailureTest, SecondShutdownFails)
+{
+    ASSERT_TRUE(ge()->shutdown().isOk());
+    EXPECT_EQ(ge()->shutdown().code(), StatusCode::FailedPrecondition);
+}
+
+TEST_F(FailureTest, SessionToWrongSessionIdFails)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    crypto::SealedMessage msg;
+    msg.stream = 0;
+    msg.sequence = 1;
+    msg.body = Bytes(32, 0);
+    auto outcome = ge()->request(9999, msg, sim::InvalidOpId);
+    EXPECT_EQ(outcome.status().code(), StatusCode::NotFound);
+}
+
+TEST_F(FailureTest, ZeroLengthTransferIsHarmless)
+{
+    TrustedRuntime user(&machine_, ge(), "app");
+    ASSERT_TRUE(user.connect().isOk());
+    auto va = user.memAlloc(4096);
+    ASSERT_TRUE(va.isOk());
+    EXPECT_TRUE(user.memcpyHtoD(*va, Bytes{}).isOk());
+    auto out = user.memcpyDtoH(*va, 0);
+    ASSERT_TRUE(out.isOk());
+    EXPECT_TRUE(out->empty());
+}
+
+TEST_F(FailureTest, ManySessionsExhaustGracefully)
+{
+    // Sessions beyond the key-slot count wrap slots; churn through
+    // many connect/close cycles to shake out leaks.
+    for (int i = 0; i < 20; ++i) {
+        TrustedRuntime user(&machine_, ge(),
+                            "app" + std::to_string(i));
+        ASSERT_TRUE(user.connect().isOk()) << "iteration " << i;
+        auto va = user.memAlloc(8192);
+        ASSERT_TRUE(va.isOk());
+        ASSERT_TRUE(user.memcpyHtoD(*va, Bytes(128, 7)).isOk());
+        ASSERT_TRUE(user.close().isOk());
+    }
+    EXPECT_EQ(ge()->sessionCount(), 0u);
+}
+
+}  // namespace
+}  // namespace hix::core

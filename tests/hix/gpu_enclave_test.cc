@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for GPU enclave bring-up and the protections it activates:
+ * BIOS attestation, MMIO lockdown engagement, exclusive MMIO access,
+ * termination semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hix/gpu_enclave.h"
+#include "os/attacker.h"
+#include "os/machine.h"
+
+namespace hix::core
+{
+namespace
+{
+
+class GpuEnclaveTest : public ::testing::Test
+{
+  protected:
+    os::Machine machine_;
+};
+
+TEST_F(GpuEnclaveTest, CreateSucceedsOnGenuineBios)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk()) << ge.status().toString();
+    EXPECT_NE((*ge)->enclaveId(), InvalidEnclaveId);
+    EXPECT_TRUE(machine_.hixExt().enclaveOwnsGpu((*ge)->enclaveId()));
+    EXPECT_TRUE(machine_.rootComplex().isLocked(machine_.gpu().bdf()));
+    // The GPU was reset during bring-up.
+    EXPECT_GE(machine_.gpu().stats().resets, 1u);
+}
+
+TEST_F(GpuEnclaveTest, CreateFailsOnFlashedBios)
+{
+    // Attack (Section 5.5, code integrity / GPU BIOS): the adversary
+    // flashes a malicious BIOS before the GPU enclave starts.
+    os::Attacker attacker(&machine_);
+    attacker.flashGpuBios(Bytes(64, 0x66));
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_FALSE(ge.isOk());
+    EXPECT_EQ(ge.status().code(), StatusCode::AttestationFailure);
+}
+
+TEST_F(GpuEnclaveTest, ConfigMeasurementAvailable)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    auto live = machine_.rootComplex().measurePath(machine_.gpu().bdf());
+    ASSERT_TRUE(live.isOk());
+    EXPECT_EQ((*ge)->configMeasurement(), *live);
+}
+
+TEST_F(GpuEnclaveTest, OsCannotTouchGpuMmioAfterBringup)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+
+    os::Attacker attacker(&machine_);
+    ProcessId evil = machine_.os().createProcess("evil");
+    auto leak = attacker.mapAndRead(
+        evil, machine_.gpu().config().barBase(0), 4);
+    EXPECT_EQ(leak.status().code(), StatusCode::AccessFault);
+    EXPECT_FALSE(
+        attacker.mapAndWrite(evil, machine_.gpu().config().barBase(0),
+                             {1, 2, 3, 4})
+            .isOk());
+}
+
+TEST_F(GpuEnclaveTest, RoutingRewriteBlockedAfterBringup)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    os::Attacker attacker(&machine_);
+    EXPECT_EQ(attacker
+                  .rewriteConfig(machine_.gpu().bdf(), pcie::cfg::Bar0,
+                                 0xdead0000)
+                  .code(),
+              StatusCode::LockdownViolation);
+}
+
+TEST_F(GpuEnclaveTest, SecondGpuEnclaveRejected)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    auto second = GpuEnclave::create(
+        &machine_, machine_.gpu().factoryBiosDigest());
+    EXPECT_FALSE(second.isOk());
+}
+
+TEST_F(GpuEnclaveTest, GracefulShutdownReturnsGpu)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    ASSERT_TRUE((*ge)->shutdown().isOk());
+    EXPECT_FALSE(machine_.rootComplex().isLocked(machine_.gpu().bdf()));
+    // A fresh GPU enclave can bind again without a reboot.
+    auto again = GpuEnclave::create(&machine_,
+                                    machine_.gpu().factoryBiosDigest());
+    EXPECT_TRUE(again.isOk()) << again.status().toString();
+}
+
+TEST_F(GpuEnclaveTest, ForcedKillLocksGpuUntilColdBoot)
+{
+    auto ge = GpuEnclave::create(&machine_,
+                                 machine_.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+
+    os::Attacker attacker(&machine_);
+    ASSERT_TRUE(attacker
+                    .killProcessAndEnclave((*ge)->pid(),
+                                           (*ge)->enclaveId())
+                    .isOk());
+
+    // Nobody can bind or touch the GPU now.
+    auto rebind = GpuEnclave::create(&machine_,
+                                     machine_.gpu().factoryBiosDigest());
+    EXPECT_FALSE(rebind.isOk());
+    ProcessId evil = machine_.os().createProcess("evil");
+    EXPECT_FALSE(attacker
+                     .mapAndRead(evil,
+                                 machine_.gpu().config().barBase(1), 4)
+                     .isOk());
+
+    // Cold boot recovers the platform.
+    machine_.coldBoot();
+    auto fresh = GpuEnclave::create(&machine_,
+                                    machine_.gpu().factoryBiosDigest());
+    EXPECT_TRUE(fresh.isOk()) << fresh.status().toString();
+}
+
+}  // namespace
+}  // namespace hix::core

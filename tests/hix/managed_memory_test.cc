@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for HIX-protected demand paging (the Section 5.6 future
+ * work): oversubscription correctness, LRU behaviour, swap
+ * confidentiality, tamper/replay detection on page-in, and kernel
+ * interaction via prefetch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/byte_utils.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/attacker.h"
+#include "os/machine.h"
+
+namespace hix::core
+{
+namespace
+{
+
+constexpr std::uint64_t Page = 64 * KiB;
+
+Bytes
+patternBytes(std::size_t n, std::uint8_t seed)
+{
+    Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] = static_cast<std::uint8_t>(i * 13 + seed);
+    return b;
+}
+
+class ManagedMemoryTest : public ::testing::Test
+{
+  protected:
+    ManagedMemoryTest()
+    {
+        machine_.gpu().kernels().add(
+            "sum_page",
+            [](const gpu::GpuMemAccessor &mem,
+               const gpu::KernelArgs &args) -> Status {
+                std::uint64_t sum = 0;
+                for (std::uint64_t i = 0; i < args[1]; i += 4096) {
+                    auto v = mem.read32(args[0] + i);
+                    if (!v.isOk())
+                        return v.status();
+                    sum += *v;
+                }
+                return mem.write32(args[2],
+                                   static_cast<std::uint32_t>(sum));
+            },
+            [](const gpu::KernelArgs &) { return Tick(1000); });
+
+        ge_result_ = GpuEnclave::create(
+            &machine_, machine_.gpu().factoryBiosDigest());
+        EXPECT_TRUE(ge_result_.isOk());
+        user_ = std::make_unique<TrustedRuntime>(
+            &machine_, ge_result_->get(), "app");
+        EXPECT_TRUE(user_->connect().isOk());
+    }
+
+    os::Machine machine_;
+    Result<std::unique_ptr<GpuEnclave>> ge_result_{
+        errInternal("unset")};
+    std::unique_ptr<TrustedRuntime> user_;
+};
+
+TEST_F(ManagedMemoryTest, OversubscribedRoundTrip)
+{
+    // 8 pages of data, quota of 2 resident pages: every chunk forces
+    // paging, and the data must still round-trip exactly.
+    auto va = user_->memAllocManaged(8 * Page, Page,
+                                     /*max_resident=*/2);
+    ASSERT_TRUE(va.isOk()) << va.status().toString();
+
+    Bytes data = patternBytes(8 * Page, 1);
+    ASSERT_TRUE(user_->memcpyHtoD(*va, data).isOk());
+    auto back = user_->memcpyDtoH(*va, data.size());
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_EQ(*back, data);
+}
+
+TEST_F(ManagedMemoryTest, UntouchedPagesReadZero)
+{
+    auto va = user_->memAllocManaged(4 * Page, Page, 2);
+    ASSERT_TRUE(va.isOk());
+    auto back = user_->memcpyDtoH(*va + 2 * Page, 100);
+    ASSERT_TRUE(back.isOk());
+    for (auto b : *back)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(ManagedMemoryTest, SwapHoldsOnlyCiphertext)
+{
+    auto va = user_->memAllocManaged(4 * Page, Page, 1);
+    ASSERT_TRUE(va.isOk());
+    Bytes secret(4 * Page, 0x5a);
+    ASSERT_TRUE(user_->memcpyHtoD(*va, secret).isOk());
+    // Quota 1: at least 3 pages now live in host swap. Scan all of
+    // DRAM-resident swap content for the plaintext byte pattern; the
+    // pages must be encrypted.
+    os::Attacker attacker(&machine_);
+    // The swap buffer was the most recent large DMA allocation; we
+    // can't see its address via the runtime, so scan a window of
+    // recently allocated frames for a plaintext page.
+    bool plaintext_page_found = false;
+    for (Addr pa = 0x100000; pa < 0x8000000; pa += Page) {
+        auto window = attacker.readDram(pa, 256);
+        if (!window.isOk())
+            continue;
+        int run = 0;
+        for (auto b : *window)
+            run = (b == 0x5a) ? run + 1 : 0;
+        if (run >= 256) {
+            plaintext_page_found = true;
+            break;
+        }
+    }
+    // The user's own staging ring briefly held ciphertext only; the
+    // plaintext exists in VRAM, never in DRAM.
+    EXPECT_FALSE(plaintext_page_found);
+}
+
+TEST_F(ManagedMemoryTest, KernelOnPrefetchedManagedBuffer)
+{
+    auto va = user_->memAllocManaged(2 * Page, Page, 4);
+    ASSERT_TRUE(va.isOk());
+    auto out = user_->memAlloc(4096);
+    ASSERT_TRUE(out.isOk());
+
+    Bytes data(2 * Page, 0);
+    for (std::size_t off = 0; off < data.size(); off += 4096)
+        storeLE32(data.data() + off, 3);
+    ASSERT_TRUE(user_->memcpyHtoD(*va, data).isOk());
+    ASSERT_TRUE(user_->prefetch(*va).isOk());
+
+    auto kid = user_->loadModule("sum_page");
+    ASSERT_TRUE(kid.isOk());
+    ASSERT_TRUE(
+        user_->launchKernel(*kid, {*va, 2 * Page, *out}).isOk());
+    auto result = user_->memcpyDtoH(*out, 4);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(loadLE32(result->data()), 3u * (2 * Page / 4096));
+}
+
+TEST_F(ManagedMemoryTest, KernelOnNonResidentPageFaultsCleanly)
+{
+    // Quota 1 page; after writing 2 pages, page 0 is evicted. A
+    // kernel touching the whole buffer without prefetch must fault.
+    auto va = user_->memAllocManaged(2 * Page, Page, 1);
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(
+        user_->memcpyHtoD(*va, patternBytes(2 * Page, 2)).isOk());
+    auto out = user_->memAlloc(4096);
+    ASSERT_TRUE(out.isOk());
+    auto kid = user_->loadModule("sum_page");
+    ASSERT_TRUE(kid.isOk());
+    EXPECT_FALSE(
+        user_->launchKernel(*kid, {*va, 2 * Page, *out}).isOk());
+}
+
+TEST_F(ManagedMemoryTest, PrefetchBeyondQuotaRejected)
+{
+    auto va = user_->memAllocManaged(8 * Page, Page, 2);
+    ASSERT_TRUE(va.isOk());
+    EXPECT_EQ(user_->prefetch(*va).code(),
+              StatusCode::ResourceExhausted);
+}
+
+TEST_F(ManagedMemoryTest, TamperedSwapDetectedOnPageIn)
+{
+    auto va = user_->memAllocManaged(4 * Page, Page, 1);
+    ASSERT_TRUE(va.isOk());
+    Bytes data = patternBytes(4 * Page, 3);
+    ASSERT_TRUE(user_->memcpyHtoD(*va, data).isOk());
+
+    // Corrupt the entire plausible swap region: flip one byte every
+    // page-sized stride across recently allocated DRAM. Page 3 is
+    // resident; pages 0-2 are in swap somewhere in that region.
+    os::Attacker attacker(&machine_);
+    for (Addr pa = 0x100000; pa < 0x8000000; pa += 4096)
+        (void)attacker.tamperDram(pa, 0x01);
+
+    // Reading back forces page-ins of the tampered pages: the MAC
+    // must catch it and fail the transfer.
+    auto back = user_->memcpyDtoH(*va, data.size());
+    EXPECT_FALSE(back.isOk());
+    EXPECT_GE(machine_.gpu().stats().macFailures, 1u);
+}
+
+TEST_F(ManagedMemoryTest, EvictionAndPageInCountsGrow)
+{
+    auto va = user_->memAllocManaged(6 * Page, Page, 2);
+    ASSERT_TRUE(va.isOk());
+    Bytes data = patternBytes(6 * Page, 4);
+    ASSERT_TRUE(user_->memcpyHtoD(*va, data).isOk());
+    // Re-reading from the front forces more paging traffic; the data
+    // survives multiple full sweeps.
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        auto back = user_->memcpyDtoH(*va, data.size());
+        ASSERT_TRUE(back.isOk());
+        EXPECT_EQ(*back, data);
+    }
+    EXPECT_GT(machine_.gpu().stats().cryptoKernels, 12u);
+}
+
+TEST_F(ManagedMemoryTest, CloseSessionTearsDownManagedState)
+{
+    auto va = user_->memAllocManaged(4 * Page, Page, 2);
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(
+        user_->memcpyHtoD(*va, patternBytes(4 * Page, 5)).isOk());
+    const std::uint64_t vram_free_low = machine_.vram().freeBytes();
+    ASSERT_TRUE(user_->close().isOk());
+    // Resident managed pages (and the session's buffers) returned.
+    EXPECT_GT(machine_.vram().freeBytes(), vram_free_low);
+}
+
+TEST_F(ManagedMemoryTest, BadGeometryRejected)
+{
+    EXPECT_FALSE(user_->memAllocManaged(0, Page, 2).isOk());
+    EXPECT_FALSE(user_->memAllocManaged(Page, 1000, 2).isOk());
+    EXPECT_FALSE(user_->memAllocManaged(Page, Page, 0).isOk());
+    EXPECT_FALSE(user_->prefetch(0xdead0000).isOk());
+}
+
+}  // namespace
+}  // namespace hix::core

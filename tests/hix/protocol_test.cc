@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Wire-protocol tests: round trips, malformed-input rejection, and a
+ * deterministic mutation fuzz over encoded requests (the GPU enclave
+ * must never crash or misparse attacker-supplied plaintext — even
+ * though OCB normally filters it, defense in depth matters when the
+ * channel key is shared with the user).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hix/protocol.h"
+
+namespace hix::core
+{
+namespace
+{
+
+TEST(ProtocolTest, RequestRoundTrip)
+{
+    Request req;
+    req.type = ReqType::LaunchKernel;
+    req.args = {1, 0xdeadbeef, 0xffffffffffffffffull};
+    req.blob = {0x41, 0x42};
+    auto back = decodeRequest(encodeRequest(req));
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back->type, req.type);
+    EXPECT_EQ(back->args, req.args);
+    EXPECT_EQ(back->blob, req.blob);
+}
+
+TEST(ProtocolTest, EmptyRequestRoundTrip)
+{
+    Request req;
+    req.type = ReqType::CloseSession;
+    auto back = decodeRequest(encodeRequest(req));
+    ASSERT_TRUE(back.isOk());
+    EXPECT_TRUE(back->args.empty());
+    EXPECT_TRUE(back->blob.empty());
+}
+
+TEST(ProtocolTest, ResponseRoundTrip)
+{
+    Response resp;
+    resp.code = static_cast<std::uint32_t>(StatusCode::NotFound);
+    resp.vals = {7, 8, 9};
+    auto back = decodeResponse(encodeResponse(resp));
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back->code, resp.code);
+    EXPECT_EQ(back->vals, resp.vals);
+    EXPECT_FALSE(back->isOk());
+}
+
+TEST(ProtocolTest, TruncatedInputsRejected)
+{
+    Request req;
+    req.type = ReqType::MemAlloc;
+    req.args = {4096};
+    Bytes wire = encodeRequest(req);
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        Bytes truncated(wire.begin(), wire.begin() + cut);
+        EXPECT_FALSE(decodeRequest(truncated).isOk())
+            << "accepted truncation at " << cut;
+    }
+}
+
+TEST(ProtocolTest, TrailingGarbageRejected)
+{
+    Request req;
+    req.type = ReqType::MemFree;
+    req.args = {1};
+    Bytes wire = encodeRequest(req);
+    wire.push_back(0x00);
+    EXPECT_FALSE(decodeRequest(wire).isOk());
+}
+
+TEST(ProtocolTest, LengthFieldMutationFuzz)
+{
+    // Mutate each header byte through several values; the decoder
+    // must either reject or return a self-consistent request, never
+    // read out of bounds (ASAN-grade property; here we assert no
+    // crash and consistency).
+    Request req;
+    req.type = ReqType::HtoDBegin;
+    req.args = {0x1000, 0x2000, 0x400, 0x40000};
+    req.blob = Bytes(5, 0x61);
+    const Bytes wire = encodeRequest(req);
+
+    Rng rng(0xf422);
+    for (std::size_t pos = 0; pos < 12; ++pos) {
+        for (int trial = 0; trial < 8; ++trial) {
+            Bytes mutated = wire;
+            mutated[pos] ^= static_cast<std::uint8_t>(
+                1 + rng.nextBelow(255));
+            auto decoded = decodeRequest(mutated);
+            if (decoded.isOk()) {
+                EXPECT_EQ(12 + 8 * decoded->args.size() +
+                              decoded->blob.size(),
+                          mutated.size());
+            }
+        }
+    }
+}
+
+TEST(ProtocolTest, RandomBytesNeverCrashDecoder)
+{
+    Rng rng(0xfa11);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes junk = rng.bytes(rng.nextBelow(200));
+        (void)decodeRequest(junk);
+        (void)decodeResponse(junk);
+    }
+    SUCCEED();
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesCode)
+{
+    Response resp = errorResponse(errIntegrityFailure("x"));
+    EXPECT_EQ(resp.code,
+              static_cast<std::uint32_t>(StatusCode::IntegrityFailure));
+    EXPECT_FALSE(resp.isOk());
+}
+
+}  // namespace
+}  // namespace hix::core

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for page tables, TLB behaviour, and the validating walker —
+ * including the attack primitive (PTE overwrite) that HIX's
+ * validators must catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/iommu.h"
+#include "mem/mmu.h"
+#include "mem/phys_mem.h"
+
+namespace hix::mem
+{
+namespace
+{
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest() : ram_("ram", 16 * MiB), mmu_(&bus_, 8)
+    {
+        EXPECT_TRUE(bus_.attach(AddrRange(0, 16 * MiB), &ram_).isOk());
+        mmu_.setPageTableProvider(
+            [this](ProcessId pid) -> PageTable * {
+                auto it = tables_.find(pid);
+                return it == tables_.end() ? nullptr : &it->second;
+            });
+    }
+
+    PageTable &table(ProcessId pid) { return tables_[pid]; }
+
+    PhysicalBus bus_;
+    PhysMem ram_;
+    Mmu mmu_;
+    std::unordered_map<ProcessId, PageTable> tables_;
+};
+
+TEST_F(MmuTest, TranslateMappedPage)
+{
+    ASSERT_TRUE(
+        table(1).map(0x400000, 0x10000, PermRead | PermWrite).isOk());
+    ExecContext ctx{1, InvalidEnclaveId};
+    auto pa = mmu_.translate(ctx, 0x400123, AccessType::Read);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x10123u);
+}
+
+TEST_F(MmuTest, UnmappedPageFaults)
+{
+    ExecContext ctx{1, InvalidEnclaveId};
+    auto pa = mmu_.translate(ctx, 0x400000, AccessType::Read);
+    EXPECT_FALSE(pa.isOk());
+}
+
+TEST_F(MmuTest, PermissionEnforced)
+{
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ExecContext ctx{1, InvalidEnclaveId};
+    EXPECT_TRUE(mmu_.translate(ctx, 0x400000, AccessType::Read).isOk());
+    auto w = mmu_.translate(ctx, 0x400000, AccessType::Write);
+    EXPECT_EQ(w.status().code(), StatusCode::AccessFault);
+}
+
+TEST_F(MmuTest, TlbHitAfterFill)
+{
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ExecContext ctx{1, InvalidEnclaveId};
+    ASSERT_TRUE(mmu_.translate(ctx, 0x400000, AccessType::Read).isOk());
+    EXPECT_EQ(mmu_.tlb().misses(), 1u);
+    ASSERT_TRUE(mmu_.translate(ctx, 0x400800, AccessType::Read).isOk());
+    EXPECT_EQ(mmu_.tlb().hits(), 1u);
+}
+
+TEST_F(MmuTest, CachedTranslationSurvivesPteOverwrite)
+{
+    // Models real TLB semantics: changing the PTE does not change
+    // already-cached translations until a flush.
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ExecContext ctx{1, InvalidEnclaveId};
+    ASSERT_TRUE(mmu_.translate(ctx, 0x400000, AccessType::Read).isOk());
+
+    table(1).overwrite(0x400000, 0x20000, PermRead);
+    auto pa = mmu_.translate(ctx, 0x400000, AccessType::Read);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x10000u);
+
+    mmu_.tlb().flushPage(1, 0x400000);
+    pa = mmu_.translate(ctx, 0x400000, AccessType::Read);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x20000u);
+}
+
+TEST_F(MmuTest, SeparateProcessesDoNotShareTlbEntries)
+{
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ASSERT_TRUE(table(2).map(0x400000, 0x20000, PermRead).isOk());
+    auto pa1 = mmu_.translate({1, InvalidEnclaveId}, 0x400000,
+                              AccessType::Read);
+    auto pa2 = mmu_.translate({2, InvalidEnclaveId}, 0x400000,
+                              AccessType::Read);
+    ASSERT_TRUE(pa1.isOk());
+    ASSERT_TRUE(pa2.isOk());
+    EXPECT_EQ(*pa1, 0x10000u);
+    EXPECT_EQ(*pa2, 0x20000u);
+}
+
+TEST_F(MmuTest, EnclaveModeTagsTlbSeparately)
+{
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ExecContext outside{1, InvalidEnclaveId};
+    ExecContext inside{1, 55};
+    ASSERT_TRUE(
+        mmu_.translate(outside, 0x400000, AccessType::Read).isOk());
+    // Different enclave tag misses and refills.
+    ASSERT_TRUE(
+        mmu_.translate(inside, 0x400000, AccessType::Read).isOk());
+    EXPECT_EQ(mmu_.tlb().misses(), 2u);
+}
+
+class DenyValidator : public TlbFillValidator
+{
+  public:
+    explicit DenyValidator(Addr deny_ppage) : deny_(deny_ppage) {}
+
+    Status
+    validateFill(const ExecContext &, Addr, Addr ppage,
+                 std::uint8_t) override
+    {
+        if (ppage == deny_)
+            return errAccessFault("validator denied fill");
+        ++allowed;
+        return Status::ok();
+    }
+
+    int allowed = 0;
+
+  private:
+    Addr deny_;
+};
+
+TEST_F(MmuTest, ValidatorCanDenyFill)
+{
+    DenyValidator validator(0x20000);
+    mmu_.addValidator(&validator);
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ASSERT_TRUE(table(1).map(0x401000, 0x20000, PermRead).isOk());
+
+    ExecContext ctx{1, InvalidEnclaveId};
+    EXPECT_TRUE(mmu_.translate(ctx, 0x400000, AccessType::Read).isOk());
+    auto denied = mmu_.translate(ctx, 0x401000, AccessType::Read);
+    EXPECT_EQ(denied.status().code(), StatusCode::AccessFault);
+    EXPECT_EQ(validator.allowed, 1);
+    // A denied fill must not be cached.
+    EXPECT_EQ(mmu_.tlb().size(), 1u);
+}
+
+TEST_F(MmuTest, ReadWriteThroughVirtualAddresses)
+{
+    ASSERT_TRUE(table(1)
+                    .mapRange(0x400000, 0x10000, 2 * PageSize,
+                              PermRead | PermWrite)
+                    .isOk());
+    ExecContext ctx{1, InvalidEnclaveId};
+    Bytes data(PageSize + 10, 0x3c);
+    ASSERT_TRUE(
+        mmu_.write(ctx, 0x400ff0, data.data(), data.size()).isOk());
+    Bytes back(data.size());
+    ASSERT_TRUE(
+        mmu_.read(ctx, 0x400ff0, back.data(), back.size()).isOk());
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(MmuTest, TlbEvictsFifoWhenFull)
+{
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(table(1)
+                        .map(0x400000 + i * PageSize,
+                             0x10000 + i * PageSize, PermRead)
+                        .isOk());
+    }
+    ExecContext ctx{1, InvalidEnclaveId};
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(mmu_.translate(ctx, 0x400000 + i * PageSize,
+                                   AccessType::Read)
+                        .isOk());
+    }
+    // Capacity is 8; the first two entries were evicted.
+    EXPECT_EQ(mmu_.tlb().size(), 8u);
+    ASSERT_TRUE(
+        mmu_.translate(ctx, 0x400000, AccessType::Read).isOk());
+    EXPECT_EQ(mmu_.tlb().misses(), 11u);
+}
+
+TEST(IommuTest, BypassWhenDisabled)
+{
+    Iommu iommu;
+    auto pa = iommu.translate(0x12345);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x12345u);
+}
+
+TEST(IommuTest, TranslatesWhenEnabled)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0x1000, 0x80000).isOk());
+    auto pa = iommu.translate(0x1234);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x80234u);
+    EXPECT_EQ(iommu.translate(0x2000).status().code(),
+              StatusCode::AccessFault);
+}
+
+TEST(IommuTest, OverwriteRedirects)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0x1000, 0x80000).isOk());
+    iommu.overwrite(0x1000, 0x90000);
+    auto pa = iommu.translate(0x1000);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x90000u);
+}
+
+}  // namespace
+}  // namespace hix::mem

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for sparse physical memory and bus routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/phys_bus.h"
+#include "mem/phys_mem.h"
+
+namespace hix::mem
+{
+namespace
+{
+
+TEST(PhysMemTest, UntouchedReadsZero)
+{
+    PhysMem ram("ram", 1 * MiB);
+    Bytes buf(64, 0xaa);
+    ASSERT_TRUE(ram.readAt(0x1000, buf.data(), buf.size()).isOk());
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(ram.touchedPages(), 0u);
+}
+
+TEST(PhysMemTest, WriteReadRoundTrip)
+{
+    PhysMem ram("ram", 1 * MiB);
+    Bytes data = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(ram.writeAt(0x800, data.data(), data.size()).isOk());
+    Bytes back(5);
+    ASSERT_TRUE(ram.readAt(0x800, back.data(), back.size()).isOk());
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(ram.touchedPages(), 1u);
+}
+
+TEST(PhysMemTest, CrossPageAccess)
+{
+    PhysMem ram("ram", 1 * MiB);
+    Bytes data(PageSize + 100, 0x5c);
+    ASSERT_TRUE(
+        ram.writeAt(PageSize - 50, data.data(), data.size()).isOk());
+    Bytes back(data.size());
+    ASSERT_TRUE(
+        ram.readAt(PageSize - 50, back.data(), back.size()).isOk());
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(ram.touchedPages(), 3u);
+}
+
+TEST(PhysMemTest, OutOfBoundsRejected)
+{
+    PhysMem ram("ram", 4096);
+    Bytes buf(10);
+    EXPECT_FALSE(ram.readAt(4090, buf.data(), buf.size()).isOk());
+    EXPECT_FALSE(ram.writeAt(4096, buf.data(), 1).isOk());
+    EXPECT_TRUE(ram.readAt(4086, buf.data(), buf.size()).isOk());
+}
+
+TEST(PhysMemTest, ZeroAtScrubs)
+{
+    PhysMem ram("ram", 64 * KiB);
+    Bytes data(1000, 0xee);
+    ASSERT_TRUE(ram.writeAt(100, data.data(), data.size()).isOk());
+    ASSERT_TRUE(ram.zeroAt(100, 1000).isOk());
+    Bytes back(1000);
+    ASSERT_TRUE(ram.readAt(100, back.data(), back.size()).isOk());
+    for (auto b : back)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(PhysBusTest, RoutesByRange)
+{
+    PhysMem ram("ram", 1 * MiB);
+    PhysMem mmio("mmio", 64 * KiB);
+    PhysicalBus bus;
+    ASSERT_TRUE(bus.attach(AddrRange(0, 1 * MiB), &ram).isOk());
+    ASSERT_TRUE(
+        bus.attach(AddrRange(0xf0000000, 64 * KiB), &mmio).isOk());
+
+    Bytes data = {0xde, 0xad};
+    ASSERT_TRUE(bus.write(0xf0000010, data.data(), data.size()).isOk());
+    Bytes back(2);
+    ASSERT_TRUE(mmio.readAt(0x10, back.data(), 2).isOk());
+    EXPECT_EQ(back, data);
+
+    EXPECT_EQ(bus.targetAt(0x100), &ram);
+    EXPECT_EQ(bus.targetAt(0xf0000000), &mmio);
+    EXPECT_EQ(bus.targetAt(0x50000000), nullptr);
+}
+
+TEST(PhysBusTest, OverlapRejected)
+{
+    PhysMem a("a", 1 * MiB), b("b", 1 * MiB);
+    PhysicalBus bus;
+    ASSERT_TRUE(bus.attach(AddrRange(0, 1 * MiB), &a).isOk());
+    EXPECT_EQ(bus.attach(AddrRange(0x80000, 1 * MiB), &b).code(),
+              StatusCode::AlreadyExists);
+}
+
+TEST(PhysBusTest, UnmappedAccessFails)
+{
+    PhysicalBus bus;
+    Bytes buf(4);
+    EXPECT_EQ(bus.read(0x1234, buf.data(), 4).code(),
+              StatusCode::NotFound);
+}
+
+TEST(PhysBusTest, StraddlingAccessRejected)
+{
+    PhysMem a("a", 64 * KiB), b("b", 64 * KiB);
+    PhysicalBus bus;
+    ASSERT_TRUE(bus.attach(AddrRange(0, 64 * KiB), &a).isOk());
+    ASSERT_TRUE(bus.attach(AddrRange(64 * KiB, 64 * KiB), &b).isOk());
+    Bytes buf(8);
+    EXPECT_FALSE(bus.read(64 * KiB - 4, buf.data(), 8).isOk());
+}
+
+TEST(PhysBusTest, DetachRestoresUnmapped)
+{
+    PhysMem a("a", 64 * KiB);
+    PhysicalBus bus;
+    AddrRange r(0x1000, 64 * KiB);
+    ASSERT_TRUE(bus.attach(r, &a).isOk());
+    ASSERT_TRUE(bus.detach(r).isOk());
+    Bytes buf(4);
+    EXPECT_FALSE(bus.read(0x1000, buf.data(), 4).isOk());
+    EXPECT_EQ(bus.detach(r).code(), StatusCode::NotFound);
+}
+
+}  // namespace
+}  // namespace hix::mem

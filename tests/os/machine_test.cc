@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Full-machine tests: assembly invariants, cold boot, the multi-GPU
+ * configuration (one GPU enclave per device, independent lockdown),
+ * and the Section 5.6 sizing-probe exception knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/byte_utils.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/attacker.h"
+#include "os/machine.h"
+
+namespace hix::os
+{
+namespace
+{
+
+TEST(MachineTest, DefaultAssembly)
+{
+    Machine machine;
+    EXPECT_EQ(machine.gpuCount(), 1);
+    EXPECT_TRUE(
+        machine.rootComplex().isRealDevice(machine.gpu().bdf()));
+    // The MMIO window is claimed on the bus.
+    EXPECT_EQ(machine.bus().targetAt(machine.config().mmioBase),
+              &machine.rootComplex());
+    // The GPU BAR lives inside the window.
+    EXPECT_TRUE(AddrRange(machine.config().mmioBase,
+                          machine.config().mmioSize)
+                    .contains(machine.gpu().config().barBase(0)));
+}
+
+TEST(MachineTest, DumpStatsContainsCounters)
+{
+    Machine machine;
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    std::ostringstream oss;
+    machine.dumpStats(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("gpu0.commands"), std::string::npos);
+    EXPECT_NE(out.find("pcie.mem_writes"), std::string::npos);
+    EXPECT_NE(out.find("tlb.hits"), std::string::npos);
+}
+
+TEST(MachineTest, ColdBootResetsGpuAndSgx)
+{
+    Machine machine;
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    machine.coldBoot();
+    EXPECT_FALSE(machine.rootComplex().isLocked(machine.gpu().bdf()));
+    EXPECT_EQ(machine.vram().freeBytes(), machine.vram().totalBytes());
+}
+
+TEST(MultiGpuTest, TwoGpusEnumerateDisjoint)
+{
+    MachineConfig config;
+    config.gpuCount = 2;
+    Machine machine(config);
+    ASSERT_EQ(machine.gpuCount(), 2);
+    AddrRange a(machine.gpuAt(0).config().barBase(0),
+                machine.gpuAt(0).config().barSize(0));
+    AddrRange b(machine.gpuAt(1).config().barBase(0),
+                machine.gpuAt(1).config().barSize(0));
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_NE(machine.gpuAt(0).bdf().bus, machine.gpuAt(1).bdf().bus);
+}
+
+TEST(MultiGpuTest, OneEnclavePerGpu)
+{
+    MachineConfig config;
+    config.gpuCount = 2;
+    Machine machine(config);
+
+    auto ge0 = core::GpuEnclave::create(
+        &machine, machine.gpuAt(0).factoryBiosDigest(),
+        core::HixConfig{}, 0);
+    ASSERT_TRUE(ge0.isOk()) << ge0.status().toString();
+    auto ge1 = core::GpuEnclave::create(
+        &machine, machine.gpuAt(1).factoryBiosDigest(),
+        core::HixConfig{}, 1);
+    ASSERT_TRUE(ge1.isOk()) << ge1.status().toString();
+
+    EXPECT_TRUE(machine.rootComplex().isLocked(machine.gpuAt(0).bdf()));
+    EXPECT_TRUE(machine.rootComplex().isLocked(machine.gpuAt(1).bdf()));
+
+    // End-to-end sessions against both GPUs.
+    machine.gpuAt(0).kernels().add(
+        "inc0",
+        [](const gpu::GpuMemAccessor &mem,
+           const gpu::KernelArgs &args) -> Status {
+            auto v = mem.read32(args[0]);
+            if (!v.isOk())
+                return v.status();
+            return mem.write32(args[0], *v + 1);
+        },
+        [](const gpu::KernelArgs &) { return Tick(100); });
+    machine.gpuAt(1).kernels().add(
+        "inc1",
+        [](const gpu::GpuMemAccessor &mem,
+           const gpu::KernelArgs &args) -> Status {
+            auto v = mem.read32(args[0]);
+            if (!v.isOk())
+                return v.status();
+            return mem.write32(args[0], *v + 2);
+        },
+        [](const gpu::KernelArgs &) { return Tick(100); });
+
+    core::TrustedRuntime user0(&machine, ge0->get(), "u0", 0);
+    core::TrustedRuntime user1(&machine, ge1->get(), "u1", 1);
+    ASSERT_TRUE(user0.connect().isOk());
+    ASSERT_TRUE(user1.connect().isOk());
+
+    for (auto [user, kernel, delta] :
+         {std::tuple{&user0, "inc0", 1u}, {&user1, "inc1", 2u}}) {
+        auto va = user->memAlloc(4096);
+        ASSERT_TRUE(va.isOk());
+        Bytes init(4, 0);
+        storeLE32(init.data(), 40);
+        ASSERT_TRUE(user->memcpyHtoD(*va, init).isOk());
+        auto kid = user->loadModule(kernel);
+        ASSERT_TRUE(kid.isOk());
+        ASSERT_TRUE(user->launchKernel(*kid, {*va}).isOk());
+        auto out = user->memcpyDtoH(*va, 4);
+        ASSERT_TRUE(out.isOk());
+        EXPECT_EQ(loadLE32(out->data()), 40u + delta);
+    }
+}
+
+TEST(MultiGpuTest, SameGpuCannotBeDoubleBound)
+{
+    MachineConfig config;
+    config.gpuCount = 2;
+    Machine machine(config);
+    auto ge0 = core::GpuEnclave::create(
+        &machine, machine.gpuAt(0).factoryBiosDigest(),
+        core::HixConfig{}, 0);
+    ASSERT_TRUE(ge0.isOk());
+    auto again = core::GpuEnclave::create(
+        &machine, machine.gpuAt(0).factoryBiosDigest(),
+        core::HixConfig{}, 0);
+    EXPECT_FALSE(again.isOk());
+    // The second GPU stays unlocked and free.
+    EXPECT_FALSE(machine.rootComplex().isLocked(machine.gpuAt(1).bdf()));
+}
+
+TEST(MultiGpuTest, KillingOneEnclaveLeavesOtherGpuUsable)
+{
+    MachineConfig config;
+    config.gpuCount = 2;
+    Machine machine(config);
+    auto ge0 = core::GpuEnclave::create(
+        &machine, machine.gpuAt(0).factoryBiosDigest(),
+        core::HixConfig{}, 0);
+    auto ge1 = core::GpuEnclave::create(
+        &machine, machine.gpuAt(1).factoryBiosDigest(),
+        core::HixConfig{}, 1);
+    ASSERT_TRUE(ge0.isOk());
+    ASSERT_TRUE(ge1.isOk());
+
+    Attacker attacker(&machine);
+    ASSERT_TRUE(attacker
+                    .killProcessAndEnclave((*ge0)->pid(),
+                                           (*ge0)->enclaveId())
+                    .isOk());
+
+    // GPU 0 locked out; GPU 1's enclave still works.
+    core::TrustedRuntime user(&machine, ge1->get(), "u", 0);
+    EXPECT_TRUE(user.connect().isOk());
+}
+
+TEST(SizingExceptionTest, ProbeAllowedAddressRewriteStillBlocked)
+{
+    Machine machine;
+    machine.rootComplex().setSizingProbeException(true);
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+
+    auto &rc = machine.rootComplex();
+    const pcie::Bdf bdf = machine.gpu().bdf();
+    const Addr original = machine.gpu().config().barBase(0);
+
+    // Sizing sequence: all-ones write, size readback, restore.
+    ASSERT_TRUE(rc.configWrite(bdf, pcie::cfg::Bar0, 0xffffffff).isOk());
+    auto probe = rc.configRead(bdf, pcie::cfg::Bar0);
+    ASSERT_TRUE(probe.isOk());
+    EXPECT_EQ(*probe,
+              ~std::uint32_t(machine.gpu().config().barSize(0) - 1));
+    ASSERT_TRUE(rc.configWrite(bdf, pcie::cfg::Bar0,
+                               static_cast<std::uint32_t>(original))
+                    .isOk());
+    EXPECT_EQ(machine.gpu().config().barBase(0), original);
+
+    // A write that would actually move the aperture stays blocked.
+    EXPECT_EQ(
+        rc.configWrite(bdf, pcie::cfg::Bar0, 0xdead0000).code(),
+        StatusCode::LockdownViolation);
+}
+
+TEST(SizingExceptionTest, DefaultOffRejectsProbe)
+{
+    Machine machine;
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest());
+    ASSERT_TRUE(ge.isOk());
+    EXPECT_EQ(machine.rootComplex()
+                  .configWrite(machine.gpu().bdf(), pcie::cfg::Bar0,
+                               0xffffffff)
+                  .code(),
+              StatusCode::LockdownViolation);
+}
+
+}  // namespace
+}  // namespace hix::os

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the OS model: process lifecycle, frame allocation honouring
+ * reserved carve-outs (the EPC), anonymous/physical mappings, pinned
+ * DMA buffers, and cross-process shared mappings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "os/os_model.h"
+
+namespace hix::os
+{
+namespace
+{
+
+TEST(OsModelTest, ProcessLifecycle)
+{
+    OsModel os(1 * GiB, {});
+    ProcessId a = os.createProcess("a");
+    ProcessId b = os.createProcess("b");
+    EXPECT_NE(a, b);
+    ASSERT_NE(os.process(a), nullptr);
+    EXPECT_EQ(os.process(a)->name, "a");
+    EXPECT_TRUE(os.process(a)->alive);
+    ASSERT_TRUE(os.killProcess(a).isOk());
+    EXPECT_FALSE(os.process(a)->alive);
+    EXPECT_FALSE(os.killProcess(999).isOk());
+}
+
+TEST(OsModelTest, FrameAllocatorSkipsReservedRanges)
+{
+    const AddrRange epc(64 * MiB, 32 * MiB);
+    OsModel os(256 * MiB, {epc});
+    // Allocate until well past the EPC; no frame may fall inside it.
+    for (int i = 0; i < 40; ++i) {
+        auto pa = os.allocFrames(4 * MiB);
+        ASSERT_TRUE(pa.isOk());
+        AddrRange frame(*pa, 4 * MiB);
+        EXPECT_FALSE(frame.overlaps(epc))
+            << "frame " << frame.toString() << " inside EPC";
+    }
+}
+
+TEST(OsModelTest, FrameExhaustion)
+{
+    OsModel os(16 * MiB, {});
+    ASSERT_TRUE(os.allocFrames(12 * MiB).isOk());
+    EXPECT_EQ(os.allocFrames(8 * MiB).status().code(),
+              StatusCode::ResourceExhausted);
+}
+
+TEST(OsModelTest, MapAnonymousInstallsPtes)
+{
+    OsModel os(256 * MiB, {});
+    ProcessId pid = os.createProcess("p");
+    auto va = os.mapAnonymous(pid, 3 * mem::PageSize,
+                              mem::PermRead | mem::PermWrite);
+    ASSERT_TRUE(va.isOk());
+    mem::PageTable *pt = os.pageTableOf(pid);
+    ASSERT_NE(pt, nullptr);
+    for (int i = 0; i < 3; ++i) {
+        auto pte = pt->lookup(*va + i * mem::PageSize);
+        ASSERT_TRUE(pte.isOk());
+        EXPECT_NE(pte->paddr, 0u);
+    }
+    // Guard page after the mapping.
+    EXPECT_FALSE(pt->lookup(*va + 3 * mem::PageSize).isOk());
+}
+
+TEST(OsModelTest, DistinctMappingsDistinctVa)
+{
+    OsModel os(256 * MiB, {});
+    ProcessId pid = os.createProcess("p");
+    auto a = os.mapAnonymous(pid, 64 * KiB, mem::PermRead);
+    auto b = os.mapAnonymous(pid, 64 * KiB, mem::PermRead);
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_FALSE(AddrRange(*a, 64 * KiB).overlaps(
+        AddrRange(*b, 64 * KiB)));
+}
+
+TEST(OsModelTest, DmaBufferIsMappedAndPinned)
+{
+    OsModel os(256 * MiB, {});
+    ProcessId pid = os.createProcess("p");
+    auto buf = os.allocDmaBuffer(pid, 100000);
+    ASSERT_TRUE(buf.isOk());
+    EXPECT_EQ(buf->size % mem::PageSize, 0u);
+    auto pte = os.pageTableOf(pid)->lookup(buf->vaddr);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, buf->paddr);
+}
+
+TEST(OsModelTest, MapSharedIntoSecondProcess)
+{
+    OsModel os(256 * MiB, {});
+    ProcessId a = os.createProcess("a");
+    ProcessId b = os.createProcess("b");
+    auto buf = os.allocDmaBuffer(a, 64 * KiB);
+    ASSERT_TRUE(buf.isOk());
+    auto vb = os.mapShared(b, *buf, mem::PermRead);
+    ASSERT_TRUE(vb.isOk());
+    auto pte = os.pageTableOf(b)->lookup(*vb);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, buf->paddr);
+}
+
+TEST(OsModelTest, MapPhysicalRejectsUnaligned)
+{
+    OsModel os(256 * MiB, {});
+    ProcessId pid = os.createProcess("p");
+    EXPECT_FALSE(
+        os.mapPhysical(pid, 0x1234, 4096, mem::PermRead).isOk());
+}
+
+TEST(OsModelTest, OperationsOnUnknownProcessFail)
+{
+    OsModel os(256 * MiB, {});
+    EXPECT_FALSE(os.mapAnonymous(42, 4096, mem::PermRead).isOk());
+    EXPECT_EQ(os.pageTableOf(42), nullptr);
+}
+
+}  // namespace
+}  // namespace hix::os

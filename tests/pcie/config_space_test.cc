@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for config space semantics: BAR sizing probes, ROM BAR,
+ * bridge registers, and routing-register classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "pcie/config_space.h"
+
+namespace hix::pcie
+{
+namespace
+{
+
+TEST(ConfigSpaceTest, IdentityRegisters)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 0x10de, 0x1080, 0x030000);
+    EXPECT_EQ(cs.vendorId(), 0x10de);
+    EXPECT_EQ(cs.deviceId(), 0x1080);
+    auto id = cs.read32(cfg::VendorId);
+    ASSERT_TRUE(id.isOk());
+    EXPECT_EQ(*id, 0x108010deu);
+}
+
+TEST(ConfigSpaceTest, HeaderTypeField)
+{
+    ConfigSpace ep(HeaderType::Endpoint, 1, 2, 0);
+    ConfigSpace br(HeaderType::Bridge, 1, 2, 0);
+    auto ep_ht = ep.read32(0x0c);
+    auto br_ht = br.read32(0x0c);
+    ASSERT_TRUE(ep_ht.isOk());
+    ASSERT_TRUE(br_ht.isOk());
+    EXPECT_EQ((*ep_ht >> 16) & 0x7f, 0u);
+    EXPECT_EQ((*br_ht >> 16) & 0x7f, 1u);
+}
+
+TEST(ConfigSpaceTest, BarProgramAndReadBack)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    ASSERT_TRUE(cs.declareBar(0, 16 * MiB).isOk());
+    ASSERT_TRUE(cs.write32(cfg::Bar0, 0xe1000000).isOk());
+    EXPECT_EQ(cs.barBase(0), 0xe1000000u);
+    auto v = cs.read32(cfg::Bar0);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(*v & ~0xfu, 0xe1000000u);
+}
+
+TEST(ConfigSpaceTest, BarAddressAlignedToSize)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    ASSERT_TRUE(cs.declareBar(0, 1 * MiB).isOk());
+    ASSERT_TRUE(cs.write32(cfg::Bar0, 0xe1234567).isOk());
+    EXPECT_EQ(cs.barBase(0), 0xe1200000u);
+}
+
+TEST(ConfigSpaceTest, BarSizingProbe)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    ASSERT_TRUE(cs.declareBar(0, 16 * MiB).isOk());
+    ASSERT_TRUE(cs.write32(cfg::Bar0, 0xe1000000).isOk());
+    // Probe: write all-ones, read back size mask.
+    ASSERT_TRUE(cs.write32(cfg::Bar0, 0xffffffff).isOk());
+    auto probe = cs.read32(cfg::Bar0);
+    ASSERT_TRUE(probe.isOk());
+    EXPECT_EQ(*probe, ~std::uint32_t(16 * MiB - 1));
+    // Restoring the address ends the probe.
+    ASSERT_TRUE(cs.write32(cfg::Bar0, 0xe1000000).isOk());
+    auto restored = cs.read32(cfg::Bar0);
+    ASSERT_TRUE(restored.isOk());
+    EXPECT_EQ(*restored & ~0xfu, 0xe1000000u);
+}
+
+TEST(ConfigSpaceTest, UnimplementedBarReadsZero)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    ASSERT_TRUE(cs.write32(cfg::Bar0 + 4, 0xffffffff).isOk());
+    auto v = cs.read32(cfg::Bar0 + 4);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(*v, 0u);
+}
+
+TEST(ConfigSpaceTest, ExpansionRomEnableBit)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    ASSERT_TRUE(cs.declareExpansionRom(64 * KiB).isOk());
+    ASSERT_TRUE(cs.write32(cfg::ExpansionRom, 0xe2000000).isOk());
+    EXPECT_EQ(cs.expansionRomBase(), 0xe2000000u);
+    EXPECT_FALSE(cs.expansionRomEnabled());
+    ASSERT_TRUE(cs.write32(cfg::ExpansionRom, 0xe2000000 | 1).isOk());
+    EXPECT_TRUE(cs.expansionRomEnabled());
+}
+
+TEST(ConfigSpaceTest, BadBarDeclarations)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    EXPECT_FALSE(cs.declareBar(-1, 4096).isOk());
+    EXPECT_FALSE(cs.declareBar(6, 4096).isOk());
+    EXPECT_FALSE(cs.declareBar(0, 12345).isOk());  // not a power of two
+    ConfigSpace bridge(HeaderType::Bridge, 1, 2, 0);
+    EXPECT_FALSE(bridge.declareBar(2, 4096).isOk());
+}
+
+TEST(ConfigSpaceTest, BridgeBusNumbers)
+{
+    ConfigSpace cs(HeaderType::Bridge, 1, 2, 0);
+    cs.setBusNumbers(0, 3, 5);
+    EXPECT_EQ(cs.secondaryBus(), 3);
+    EXPECT_EQ(cs.subordinateBus(), 5);
+}
+
+TEST(ConfigSpaceTest, BridgeMemoryWindowRoundTrip)
+{
+    ConfigSpace cs(HeaderType::Bridge, 1, 2, 0);
+    cs.setMemoryWindow(0xe0000000, 0xe0ffffff);
+    EXPECT_EQ(cs.memoryWindowBase(), 0xe0000000u);
+    EXPECT_EQ(cs.memoryWindowLimit(), 0xe0ffffffu);
+}
+
+TEST(ConfigSpaceTest, RoutingRegisterClassification)
+{
+    ConfigSpace ep(HeaderType::Endpoint, 1, 2, 0);
+    EXPECT_TRUE(ep.isRoutingRegister(cfg::Bar0));
+    EXPECT_TRUE(ep.isRoutingRegister(cfg::Bar0 + 20));
+    EXPECT_TRUE(ep.isRoutingRegister(cfg::ExpansionRom));
+    EXPECT_FALSE(ep.isRoutingRegister(cfg::VendorId));
+    EXPECT_FALSE(ep.isRoutingRegister(cfg::Command));
+
+    ConfigSpace br(HeaderType::Bridge, 1, 2, 0);
+    EXPECT_TRUE(br.isRoutingRegister(cfg::BusNumbers));
+    EXPECT_TRUE(br.isRoutingRegister(cfg::MemoryWindow));
+    EXPECT_TRUE(br.isRoutingRegister(cfg::MemoryWindow + 4));
+    EXPECT_TRUE(br.isRoutingRegister(cfg::Bar0));
+    EXPECT_FALSE(br.isRoutingRegister(cfg::VendorId));
+}
+
+TEST(ConfigSpaceTest, MisalignedAccessRejected)
+{
+    ConfigSpace cs(HeaderType::Endpoint, 1, 2, 0);
+    EXPECT_FALSE(cs.read32(0x01).isOk());
+    EXPECT_FALSE(cs.write32(0x02, 0).isOk());
+    EXPECT_FALSE(cs.read32(0x100).isOk());
+}
+
+}  // namespace
+}  // namespace hix::pcie

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for TLP construction and BDF formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/byte_utils.h"
+#include "pcie/tlp.h"
+
+namespace hix::pcie
+{
+namespace
+{
+
+TEST(BdfTest, Formatting)
+{
+    EXPECT_EQ((Bdf{1, 0, 0}).toString(), "01:00.0");
+    EXPECT_EQ((Bdf{0x1f, 0x12, 7}).toString(), "1f:12.7");
+}
+
+TEST(BdfTest, Ordering)
+{
+    EXPECT_TRUE((Bdf{0, 0, 0}) < (Bdf{0, 0, 1}));
+    EXPECT_TRUE((Bdf{0, 0, 7}) < (Bdf{0, 1, 0}));
+    EXPECT_TRUE((Bdf{0, 31, 7}) < (Bdf{1, 0, 0}));
+    EXPECT_TRUE((Bdf{1, 2, 3}) == (Bdf{1, 2, 3}));
+    EXPECT_FALSE((Bdf{1, 2, 3}) == (Bdf{1, 2, 4}));
+}
+
+TEST(TlpTest, MemReadCarriesAddressAndLength)
+{
+    Tlp t = Tlp::memRead(0xe0001000, 64);
+    EXPECT_EQ(t.kind, TlpKind::MemRead);
+    EXPECT_EQ(t.addr, 0xe0001000u);
+    EXPECT_EQ(t.length, 64u);
+    EXPECT_TRUE(t.data.empty());
+}
+
+TEST(TlpTest, MemWriteCarriesPayload)
+{
+    Tlp t = Tlp::memWrite(0x1000, {1, 2, 3});
+    EXPECT_EQ(t.kind, TlpKind::MemWrite);
+    EXPECT_EQ(t.length, 3u);
+    EXPECT_EQ(t.data, (Bytes{1, 2, 3}));
+}
+
+TEST(TlpTest, CfgWriteSerializesLittleEndian)
+{
+    Tlp t = Tlp::cfgWrite(Bdf{1, 0, 0}, 0x10, 0xdeadbeef);
+    EXPECT_EQ(t.kind, TlpKind::CfgWrite);
+    EXPECT_EQ(t.reg, 0x10);
+    ASSERT_EQ(t.data.size(), 4u);
+    EXPECT_EQ(loadLE32(t.data.data()), 0xdeadbeefu);
+}
+
+TEST(TlpTest, KindNames)
+{
+    EXPECT_STREQ(tlpKindName(TlpKind::MemRead), "MRd");
+    EXPECT_STREQ(tlpKindName(TlpKind::MemWrite), "MWr");
+    EXPECT_STREQ(tlpKindName(TlpKind::CfgRead), "CfgRd");
+    EXPECT_STREQ(tlpKindName(TlpKind::CfgWrite), "CfgWr");
+}
+
+}  // namespace
+}  // namespace hix::pcie

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the HIX extension: EGCREATE/EGADD semantics, the four
+ * TGMR checks on MMIO TLB fills, lockdown integration, termination
+ * lockout, and cold-boot recovery — the Section 5.5 attack classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/units.h"
+#include "mem/phys_mem.h"
+#include "pcie/root_complex.h"
+#include "sgx/hix_ext.h"
+#include "sgx/sgx_unit.h"
+
+namespace hix::sgx
+{
+namespace
+{
+
+constexpr std::uint64_t RamSize = 64 * MiB;
+constexpr Addr EpcBase = 32 * MiB;
+constexpr std::uint64_t EpcSize = 8 * MiB;
+constexpr Addr MmioBase = 0xe0000000;
+
+/** Minimal GPU-like endpoint with a 1MiB register BAR. */
+class FakeGpu : public pcie::PcieDevice
+{
+  public:
+    FakeGpu()
+        : PcieDevice("fakegpu", 0x10de, 0x1080, 0x030000),
+          regs_(1 * MiB, 0)
+    {
+        EXPECT_TRUE(config().declareBar(0, 1 * MiB).isOk());
+    }
+
+    Status
+    mmioRead(int, std::uint64_t offset, std::uint8_t *data,
+             std::size_t len) override
+    {
+        std::memcpy(data, regs_.data() + offset, len);
+        return Status::ok();
+    }
+
+    Status
+    mmioWrite(int, std::uint64_t offset, const std::uint8_t *data,
+              std::size_t len) override
+    {
+        std::memcpy(regs_.data() + offset, data, len);
+        return Status::ok();
+    }
+
+    Bytes regs_;
+};
+
+class HixExtTest : public ::testing::Test
+{
+  protected:
+    HixExtTest()
+        : ram_("ram", RamSize),
+          rc_(AddrRange(MmioBase, 256 * MiB), &bus_, nullptr),
+          mmu_(&bus_, 32),
+          sgx_(AddrRange(EpcBase, EpcSize), &mmu_, 1),
+          ext_(&sgx_, &rc_)
+    {
+        EXPECT_TRUE(bus_.attach(AddrRange(0, RamSize), &ram_).isOk());
+        EXPECT_TRUE(rc_.attachDevice(0, &gpu_).isOk());
+        EXPECT_TRUE(rc_.enumerate().isOk());
+        EXPECT_TRUE(
+            bus_.attach(AddrRange(MmioBase, 256 * MiB), &rc_).isOk());
+        mmu_.setPageTableProvider([this](ProcessId pid) {
+            return &tables_[pid];
+        });
+    }
+
+    EnclaveId
+    makeEnclave(ProcessId pid)
+    {
+        auto id = sgx_.ecreate(pid, AddrRange(0x10000000, 16 * MiB));
+        EXPECT_TRUE(id.isOk());
+        EXPECT_TRUE(sgx_.einit(*id).isOk());
+        return *id;
+    }
+
+    /** EGCREATE + EGADD one MMIO page + OS PTE install. */
+    void
+    bindGpu(EnclaveId id, ProcessId pid, Addr vaddr = 0x10100000)
+    {
+        ASSERT_TRUE(ext_.egcreate(id, gpu_.bdf()).isOk());
+        ASSERT_TRUE(
+            ext_.egadd(id, vaddr, gpu_.config().barBase(0)).isOk());
+        ASSERT_TRUE(tables_[pid]
+                        .map(vaddr, gpu_.config().barBase(0),
+                             mem::PermRead | mem::PermWrite)
+                        .isOk());
+    }
+
+    mem::PhysicalBus bus_;
+    mem::PhysMem ram_;
+    FakeGpu gpu_;
+    pcie::RootComplex rc_;
+    mem::Mmu mmu_;
+    SgxUnit sgx_;
+    HixExtension ext_;
+    std::unordered_map<ProcessId, mem::PageTable> tables_;
+};
+
+TEST_F(HixExtTest, EgcreateBindsAndLocks)
+{
+    EnclaveId id = makeEnclave(1);
+    ASSERT_TRUE(ext_.egcreate(id, gpu_.bdf()).isOk());
+    EXPECT_TRUE(ext_.enclaveOwnsGpu(id));
+    EXPECT_TRUE(ext_.gpuBound(gpu_.bdf()));
+    EXPECT_TRUE(rc_.isLocked(gpu_.bdf()));
+    auto m = ext_.configMeasurement(id);
+    ASSERT_TRUE(m.isOk());
+}
+
+TEST_F(HixExtTest, EgcreateRequiresInitializedEnclave)
+{
+    auto id = sgx_.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(id.isOk());
+    EXPECT_EQ(ext_.egcreate(*id, gpu_.bdf()).code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST_F(HixExtTest, EgcreateRejectsEmulatedGpu)
+{
+    // Attack (6): a privileged adversary advertises a software GPU at
+    // a BDF the root complex never enumerated.
+    EnclaveId id = makeEnclave(1);
+    EXPECT_EQ(ext_.egcreate(id, pcie::Bdf{7, 0, 0}).code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(HixExtTest, OneGpuOneEnclaveInvariant)
+{
+    EnclaveId a = makeEnclave(1);
+    EnclaveId b = makeEnclave(2);
+    ASSERT_TRUE(ext_.egcreate(a, gpu_.bdf()).isOk());
+    EXPECT_EQ(ext_.egcreate(b, gpu_.bdf()).code(),
+              StatusCode::AlreadyExists);
+}
+
+TEST_F(HixExtTest, EgaddValidatesAddresses)
+{
+    EnclaveId id = makeEnclave(1);
+    ASSERT_TRUE(ext_.egcreate(id, gpu_.bdf()).isOk());
+    const Addr bar = gpu_.config().barBase(0);
+
+    // Unaligned.
+    EXPECT_FALSE(ext_.egadd(id, 0x10100010, bar).isOk());
+    // vaddr outside ELRANGE.
+    EXPECT_FALSE(ext_.egadd(id, 0x50000000, bar).isOk());
+    // paddr outside the GPU BAR apertures (attack: register DRAM).
+    EXPECT_FALSE(ext_.egadd(id, 0x10100000, 0x100000).isOk());
+    // Valid registration.
+    EXPECT_TRUE(ext_.egadd(id, 0x10100000, bar).isOk());
+    // Duplicate vaddr.
+    EXPECT_EQ(ext_.egadd(id, 0x10100000, bar + mem::PageSize).code(),
+              StatusCode::AlreadyExists);
+}
+
+TEST_F(HixExtTest, EgaddWithoutGpuRejected)
+{
+    EnclaveId id = makeEnclave(1);
+    EXPECT_EQ(
+        ext_.egadd(id, 0x10100000, gpu_.config().barBase(0)).code(),
+        StatusCode::FailedPrecondition);
+}
+
+TEST_F(HixExtTest, GpuEnclaveCanTouchRegisteredMmio)
+{
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+
+    Bytes data = {0xca, 0xfe};
+    ASSERT_TRUE(
+        mmu_.write(*ctx, 0x10100000, data.data(), data.size()).isOk());
+    EXPECT_EQ(gpu_.regs_[0], 0xca);
+    EXPECT_EQ(gpu_.regs_[1], 0xfe);
+}
+
+TEST_F(HixExtTest, OsCannotTouchProtectedMmio)
+{
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    // The OS maps the GPU BAR into its own space (pid 9).
+    ASSERT_TRUE(tables_[9]
+                    .map(0x70000000, gpu_.config().barBase(0),
+                         mem::PermRead | mem::PermWrite)
+                    .isOk());
+    mem::ExecContext os_ctx{9, InvalidEnclaveId};
+    Bytes data = {1};
+    EXPECT_EQ(mmu_.write(os_ctx, 0x70000000, data.data(), 1).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(HixExtTest, OtherEnclaveCannotTouchProtectedMmio)
+{
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    EnclaveId other = makeEnclave(2);
+    ASSERT_TRUE(tables_[2]
+                    .map(0x10100000, gpu_.config().barBase(0),
+                         mem::PermRead | mem::PermWrite)
+                    .isOk());
+    auto ctx = sgx_.eenter(2, other);
+    ASSERT_TRUE(ctx.isOk());
+    Bytes data = {1};
+    EXPECT_EQ(mmu_.write(*ctx, 0x10100000, data.data(), 1).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(HixExtTest, UnregisteredVaddrDeniedEvenForOwner)
+{
+    // Check 2/3: the GPU enclave itself must use the registered VA.
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1, 0x10100000);
+    ASSERT_TRUE(tables_[1]
+                    .map(0x10200000, gpu_.config().barBase(0),
+                         mem::PermRead | mem::PermWrite)
+                    .isOk());
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    Bytes data = {1};
+    EXPECT_EQ(mmu_.write(*ctx, 0x10200000, data.data(), 1).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(HixExtTest, PteRemapOfMmioDenied)
+{
+    // MMIO address-translation attack (Section 5.5 (3)): after
+    // registration, the OS rewrites the PTE to point the registered
+    // VA at a different MMIO page. Check 4 must catch it.
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    Bytes data = {1};
+    ASSERT_TRUE(mmu_.write(*ctx, 0x10100000, data.data(), 1).isOk());
+
+    tables_[1].overwrite(0x10100000,
+                         gpu_.config().barBase(0) + mem::PageSize,
+                         mem::PermRead | mem::PermWrite);
+    mmu_.tlb().flushAll();
+    EXPECT_EQ(mmu_.write(*ctx, 0x10100000, data.data(), 1).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(HixExtTest, PteRemapToDramDenied)
+{
+    // Variant: redirect the registered VA to attacker DRAM so the
+    // enclave's doorbells land in attacker-visible memory.
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    tables_[1].overwrite(0x10100000, 0x200000,
+                         mem::PermRead | mem::PermWrite);
+    mmu_.tlb().flushAll();
+    Bytes data = {1};
+    EXPECT_EQ(mmu_.write(*ctx, 0x10100000, data.data(), 1).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(HixExtTest, KilledGpuEnclaveLocksGpuForever)
+{
+    // Section 4.2.3 / Section 5.5 termination attack: killing the
+    // GPU enclave must not free the GPU for anyone.
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    ASSERT_TRUE(sgx_.killEnclave(id).isOk());
+
+    // The dead owner cannot access.
+    mem::ExecContext stale{1, id};
+    Bytes data = {1};
+    EXPECT_EQ(mmu_.write(stale, 0x10100000, data.data(), 1).code(),
+              StatusCode::AccessFault);
+
+    // A fresh GPU enclave cannot rebind the GPU.
+    EnclaveId fresh = makeEnclave(2);
+    EXPECT_EQ(ext_.egcreate(fresh, gpu_.bdf()).code(),
+              StatusCode::AlreadyExists);
+
+    // The OS cannot release the binding by destroying the enclave.
+    EXPECT_EQ(sgx_.destroyEnclave(id).code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST_F(HixExtTest, ColdBootResetFreesGpu)
+{
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    ASSERT_TRUE(sgx_.killEnclave(id).isOk());
+
+    sgx_.platformReset();
+    EXPECT_FALSE(ext_.gpuBound(gpu_.bdf()));
+    EXPECT_FALSE(rc_.isLocked(gpu_.bdf()));
+
+    // A new GPU enclave can now bind.
+    EnclaveId fresh = makeEnclave(3);
+    EXPECT_TRUE(ext_.egcreate(fresh, gpu_.bdf()).isOk());
+}
+
+TEST_F(HixExtTest, GracefulReleaseReturnsGpuToOs)
+{
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    ASSERT_TRUE(ext_.egrelease(id).isOk());
+    EXPECT_FALSE(ext_.enclaveOwnsGpu(id));
+    EXPECT_FALSE(rc_.isLocked(gpu_.bdf()));
+    EXPECT_EQ(ext_.tgmrSize(), 0u);
+
+    // Now the OS can touch the GPU MMIO again.
+    ASSERT_TRUE(tables_[9]
+                    .map(0x70000000, gpu_.config().barBase(0),
+                         mem::PermRead | mem::PermWrite)
+                    .isOk());
+    mem::ExecContext os_ctx{9, InvalidEnclaveId};
+    Bytes data = {1};
+    EXPECT_TRUE(mmu_.write(os_ctx, 0x70000000, data.data(), 1).isOk());
+}
+
+TEST_F(HixExtTest, DeadEnclaveCannotRelease)
+{
+    EnclaveId id = makeEnclave(1);
+    bindGpu(id, 1);
+    ASSERT_TRUE(sgx_.killEnclave(id).isOk());
+    EXPECT_EQ(ext_.egrelease(id).code(), StatusCode::Unavailable);
+}
+
+TEST_F(HixExtTest, LockdownActiveAfterEgcreate)
+{
+    EnclaveId id = makeEnclave(1);
+    ASSERT_TRUE(ext_.egcreate(id, gpu_.bdf()).isOk());
+    EXPECT_EQ(rc_.configWrite(gpu_.bdf(), pcie::cfg::Bar0, 0).code(),
+              StatusCode::LockdownViolation);
+}
+
+TEST_F(HixExtTest, MeasurementStableWhileLocked)
+{
+    EnclaveId id = makeEnclave(1);
+    ASSERT_TRUE(ext_.egcreate(id, gpu_.bdf()).isOk());
+    auto m1 = ext_.configMeasurement(id);
+    ASSERT_TRUE(m1.isOk());
+    // Attacker attempts (and fails) to rewrite routing; measurement
+    // of live config still matches the GECS snapshot.
+    (void)rc_.configWrite(gpu_.bdf(), pcie::cfg::Bar0, 0xdead0000);
+    auto live = rc_.measurePath(gpu_.bdf());
+    ASSERT_TRUE(live.isOk());
+    EXPECT_EQ(*m1, *live);
+}
+
+}  // namespace
+}  // namespace hix::sgx

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Remote attestation tests: the quoting-enclave flow of Section 5.5
+ * — a remote user verifies that the GPU enclave runs the vendor's
+ * unmodified driver on a genuine platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/machine.h"
+#include "sgx/quote.h"
+
+namespace hix::sgx
+{
+namespace
+{
+
+class QuoteTest : public ::testing::Test
+{
+  protected:
+    QuoteTest()
+    {
+        ge_result_ = core::GpuEnclave::create(
+            &machine_, machine_.gpu().factoryBiosDigest());
+        EXPECT_TRUE(ge_result_.isOk());
+        ProcessId qe_pid = machine_.os().createProcess("aesm");
+        auto qe = QuotingEnclave::create(&machine_.sgx(), qe_pid);
+        EXPECT_TRUE(qe.isOk());
+        qe_ = std::make_unique<QuotingEnclave>(std::move(*qe));
+    }
+
+    core::GpuEnclave *ge() { return ge_result_->get(); }
+
+    const Secs *
+    geSecs()
+    {
+        return machine_.sgx().secs(ge()->enclaveId());
+    }
+
+    os::Machine machine_;
+    Result<std::unique_ptr<core::GpuEnclave>> ge_result_{
+        errInternal("unset")};
+    std::unique_ptr<QuotingEnclave> qe_;
+};
+
+TEST_F(QuoteTest, RemoteAttestationOfGpuEnclave)
+{
+    // The GPU enclave reports to the quoting enclave, binding its
+    // routing-config measurement into the report data.
+    ReportData data{};
+    std::memcpy(data.data(), ge()->configMeasurement().data(), 32);
+    auto report = machine_.sgx().ereport(ge()->enclaveId(),
+                                         qe_->enclaveId(), data);
+    ASSERT_TRUE(report.isOk());
+    auto quote = qe_->quote(*report);
+    ASSERT_TRUE(quote.isOk());
+
+    // A remote user holding the vendor's reference measurement and
+    // the attestation verification key accepts the quote.
+    RemoteVerifier verifier(qe_->verificationKey(),
+                            geSecs()->mrenclave);
+    EXPECT_TRUE(verifier.verify(*quote).isOk());
+    // And can read the routing-config measurement out of it.
+    EXPECT_EQ(0, std::memcmp(quote->data.data(),
+                             ge()->configMeasurement().data(), 32));
+}
+
+TEST_F(QuoteTest, TamperedQuoteRejected)
+{
+    auto report = machine_.sgx().ereport(ge()->enclaveId(),
+                                         qe_->enclaveId(), ReportData{});
+    ASSERT_TRUE(report.isOk());
+    auto quote = qe_->quote(*report);
+    ASSERT_TRUE(quote.isOk());
+    RemoteVerifier verifier(qe_->verificationKey(),
+                            geSecs()->mrenclave);
+
+    Quote bad = *quote;
+    bad.mrenclave[0] ^= 1;
+    EXPECT_FALSE(verifier.verify(bad).isOk());
+
+    bad = *quote;
+    bad.data[0] ^= 1;
+    EXPECT_FALSE(verifier.verify(bad).isOk());
+
+    bad = *quote;
+    bad.signature[0] ^= 1;
+    EXPECT_FALSE(verifier.verify(bad).isOk());
+}
+
+TEST_F(QuoteTest, WrongMeasurementRejected)
+{
+    // An impostor enclave (different code) cannot pass as the GPU
+    // enclave even with a genuine quote.
+    ProcessId pid = machine_.os().createProcess("impostor");
+    auto impostor =
+        machine_.sgx().ecreate(pid, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(impostor.isOk());
+    ASSERT_TRUE(machine_.sgx()
+                    .eadd(*impostor, 0x10000000, mem::PermRead,
+                          {0xde, 0xad})
+                    .isOk());
+    ASSERT_TRUE(machine_.sgx().einit(*impostor).isOk());
+
+    auto report = machine_.sgx().ereport(*impostor, qe_->enclaveId(),
+                                         ReportData{});
+    ASSERT_TRUE(report.isOk());
+    auto quote = qe_->quote(*report);
+    ASSERT_TRUE(quote.isOk());
+
+    RemoteVerifier verifier(qe_->verificationKey(),
+                            geSecs()->mrenclave);
+    EXPECT_EQ(verifier.verify(*quote).code(),
+              StatusCode::AttestationFailure);
+}
+
+TEST_F(QuoteTest, UnverifiableReportNotQuotable)
+{
+    // A report MACed for a different target cannot be quoted.
+    ProcessId pid = machine_.os().createProcess("other");
+    auto other =
+        machine_.sgx().ecreate(pid, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(other.isOk());
+    ASSERT_TRUE(machine_.sgx().einit(*other).isOk());
+    auto report = machine_.sgx().ereport(ge()->enclaveId(), *other,
+                                         ReportData{});
+    ASSERT_TRUE(report.isOk());
+    EXPECT_FALSE(qe_->quote(*report).isOk());
+}
+
+TEST_F(QuoteTest, MeasurementPinningInRuntime)
+{
+    // A user that pins the genuine measurement connects fine.
+    core::TrustedRuntime good(&machine_, ge(), "good");
+    good.pinGpuEnclaveMeasurement(geSecs()->mrenclave);
+    EXPECT_TRUE(good.connect().isOk());
+
+    // Pinning a different (vendor-mismatched) measurement refuses
+    // the session even though the transport-level attestation holds.
+    core::TrustedRuntime strict(&machine_, ge(), "strict");
+    crypto::Sha256Digest wrong = geSecs()->mrenclave;
+    wrong[5] ^= 0x10;
+    strict.pinGpuEnclaveMeasurement(wrong);
+    EXPECT_EQ(strict.connect().code(),
+              StatusCode::AttestationFailure);
+}
+
+}  // namespace
+}  // namespace hix::sgx

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the SGX model: enclave lifecycle, measurement, EPCM
+ * enforcement at TLB-fill time, and local attestation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/phys_mem.h"
+#include "sgx/sgx_unit.h"
+
+namespace hix::sgx
+{
+namespace
+{
+
+constexpr Addr RamBase = 0;
+constexpr std::uint64_t RamSize = 64 * MiB;
+constexpr Addr EpcBase = 32 * MiB;
+constexpr std::uint64_t EpcSize = 8 * MiB;
+
+class SgxUnitTest : public ::testing::Test
+{
+  protected:
+    SgxUnitTest()
+        : ram_("ram", RamSize),
+          mmu_(&bus_, 32),
+          sgx_(AddrRange(EpcBase, EpcSize), &mmu_, /*seed=*/1)
+    {
+        EXPECT_TRUE(
+            bus_.attach(AddrRange(RamBase, RamSize), &ram_).isOk());
+        mmu_.setPageTableProvider([this](ProcessId pid) {
+            return &tables_[pid];
+        });
+    }
+
+    /** Create, populate (1 page), and init an enclave for @p pid. */
+    EnclaveId
+    makeEnclave(ProcessId pid, Addr elbase = 0x10000000)
+    {
+        auto id = sgx_.ecreate(pid, AddrRange(elbase, 1 * MiB));
+        EXPECT_TRUE(id.isOk());
+        Bytes code(mem::PageSize, 0x90);
+        auto page = sgx_.eadd(*id, elbase, mem::PermRead | mem::PermWrite,
+                              code);
+        EXPECT_TRUE(page.isOk());
+        EXPECT_TRUE(tables_[pid]
+                        .map(elbase, *page,
+                             mem::PermRead | mem::PermWrite)
+                        .isOk());
+        EXPECT_TRUE(sgx_.einit(*id).isOk());
+        return *id;
+    }
+
+    mem::PhysicalBus bus_;
+    mem::PhysMem ram_;
+    mem::Mmu mmu_;
+    SgxUnit sgx_;
+    std::unordered_map<ProcessId, mem::PageTable> tables_;
+};
+
+TEST_F(SgxUnitTest, EcreateAssignsIds)
+{
+    auto a = sgx_.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    auto b = sgx_.ecreate(2, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_NE(*a, *b);
+    EXPECT_NE(*a, InvalidEnclaveId);
+}
+
+TEST_F(SgxUnitTest, EcreateRejectsUnalignedRange)
+{
+    EXPECT_FALSE(sgx_.ecreate(1, AddrRange(0x10000100, 1 * MiB)).isOk());
+    EXPECT_FALSE(sgx_.ecreate(1, AddrRange(0x10000000, 12345)).isOk());
+}
+
+TEST_F(SgxUnitTest, EaddOutsideElrangeRejected)
+{
+    auto id = sgx_.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(id.isOk());
+    EXPECT_FALSE(
+        sgx_.eadd(*id, 0x20000000, mem::PermRead, {}).isOk());
+}
+
+TEST_F(SgxUnitTest, EaddAfterEinitRejected)
+{
+    EnclaveId id = makeEnclave(1);
+    EXPECT_EQ(sgx_.eadd(id, 0x10001000, mem::PermRead, {}).status().code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST_F(SgxUnitTest, MeasurementDependsOnContent)
+{
+    auto a = sgx_.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    auto b = sgx_.ecreate(2, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    ASSERT_TRUE(
+        sgx_.eadd(*a, 0x10000000, mem::PermRead, {1, 2, 3}).isOk());
+    ASSERT_TRUE(
+        sgx_.eadd(*b, 0x10000000, mem::PermRead, {1, 2, 4}).isOk());
+    EXPECT_NE(sgx_.secs(*a)->mrenclave, sgx_.secs(*b)->mrenclave);
+}
+
+TEST_F(SgxUnitTest, IdenticalEnclavesMeasureIdentically)
+{
+    auto a = sgx_.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    auto b = sgx_.ecreate(2, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(sgx_.eadd(*a, 0x10000000, mem::PermRead, {5}).isOk());
+    ASSERT_TRUE(sgx_.eadd(*b, 0x10000000, mem::PermRead, {5}).isOk());
+    EXPECT_EQ(sgx_.secs(*a)->mrenclave, sgx_.secs(*b)->mrenclave);
+}
+
+TEST_F(SgxUnitTest, EenterChecks)
+{
+    auto id = sgx_.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(id.isOk());
+    // Before EINIT.
+    EXPECT_EQ(sgx_.eenter(1, *id).status().code(),
+              StatusCode::FailedPrecondition);
+    ASSERT_TRUE(sgx_.einit(*id).isOk());
+    // Wrong pid.
+    EXPECT_EQ(sgx_.eenter(2, *id).status().code(),
+              StatusCode::PermissionDenied);
+    auto ctx = sgx_.eenter(1, *id);
+    ASSERT_TRUE(ctx.isOk());
+    EXPECT_EQ(ctx->enclave, *id);
+}
+
+TEST_F(SgxUnitTest, EnclaveCanAccessItsEpcPage)
+{
+    EnclaveId id = makeEnclave(1);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    Bytes buf(16);
+    EXPECT_TRUE(mmu_.read(*ctx, 0x10000000, buf.data(), 16).isOk());
+    EXPECT_EQ(buf[0], 0x90);  // the EADD content landed in EPC DRAM
+}
+
+TEST_F(SgxUnitTest, NonEnclaveAccessToEpcDenied)
+{
+    EnclaveId id = makeEnclave(1);
+    (void)id;
+    // The OS (pid 1 outside the enclave) maps a VA straight at the
+    // EPC page and tries to read it.
+    const Secs *secs = sgx_.secs(id);
+    ASSERT_NE(secs, nullptr);
+    ASSERT_TRUE(tables_[1].map(0x30000000,
+                               EpcBase + 2 * mem::PageSize,
+                               mem::PermRead).isOk());
+    mem::ExecContext os_ctx{1, InvalidEnclaveId};
+    Bytes buf(8);
+    EXPECT_EQ(mmu_.read(os_ctx, 0x30000000, buf.data(), 8).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(SgxUnitTest, OtherEnclaveAccessToEpcDenied)
+{
+    EnclaveId a = makeEnclave(1, 0x10000000);
+    EnclaveId b = makeEnclave(2, 0x10000000);
+    (void)a;
+    // Process 2's OS-controlled table maps enclave B's VA onto
+    // enclave A's EPC page (find it: first REG page of enclave A).
+    // Attack: map B's fresh VA outside ELRANGE to A's EPC page.
+    auto ctx_b = sgx_.eenter(2, b);
+    ASSERT_TRUE(ctx_b.isOk());
+    // Locate A's page by scanning the EPC for a page owned by A.
+    Addr a_page = 0;
+    for (Addr p = EpcBase; p < EpcBase + EpcSize; p += mem::PageSize) {
+        const EpcmEntry *e = sgx_.epc().entryFor(p);
+        if (e && e->owner == a && e->type == EpcPageType::Regular)
+            a_page = p;
+    }
+    ASSERT_NE(a_page, 0u);
+    ASSERT_TRUE(
+        tables_[2].map(0x40000000, a_page, mem::PermRead).isOk());
+    Bytes buf(8);
+    EXPECT_EQ(mmu_.read(*ctx_b, 0x40000000, buf.data(), 8).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(SgxUnitTest, EpcPageAtWrongVaddrDenied)
+{
+    EnclaveId id = makeEnclave(1);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    // The OS remaps a *different* ELRANGE VA onto the same EPC page.
+    auto pte = tables_[1].lookup(0x10000000);
+    ASSERT_TRUE(pte.isOk());
+    ASSERT_TRUE(
+        tables_[1].map(0x10002000, pte->paddr, mem::PermRead).isOk());
+    Bytes buf(8);
+    EXPECT_EQ(mmu_.read(*ctx, 0x10002000, buf.data(), 8).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(SgxUnitTest, ElrangeRedirectionToDramDenied)
+{
+    // MMIO address-translation attack analogue for regular memory:
+    // the OS points an ELRANGE page at ordinary DRAM to intercept
+    // enclave data. The walker must refuse the fill.
+    EnclaveId id = makeEnclave(1);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    tables_[1].overwrite(0x10000000, 0x100000, mem::PermRead);
+    mmu_.tlb().flushAll();
+    Bytes buf(8);
+    EXPECT_EQ(mmu_.read(*ctx, 0x10000000, buf.data(), 8).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(SgxUnitTest, HiddenSecsPageInaccessible)
+{
+    EnclaveId id = makeEnclave(1);
+    const Secs *secs = sgx_.secs(id);
+    ASSERT_NE(secs, nullptr);
+    auto ctx = sgx_.eenter(1, id);
+    ASSERT_TRUE(ctx.isOk());
+    ASSERT_TRUE(tables_[1]
+                    .map(0x10004000, secs->secs_page, mem::PermRead)
+                    .isOk());
+    Bytes buf(8);
+    EXPECT_EQ(mmu_.read(*ctx, 0x10004000, buf.data(), 8).code(),
+              StatusCode::AccessFault);
+}
+
+TEST_F(SgxUnitTest, KilledEnclaveCannotRun)
+{
+    EnclaveId id = makeEnclave(1);
+    ASSERT_TRUE(sgx_.killEnclave(id).isOk());
+    EXPECT_EQ(sgx_.eenter(1, id).status().code(),
+              StatusCode::Unavailable);
+}
+
+TEST_F(SgxUnitTest, DestroyFreesEpcPages)
+{
+    const std::size_t before = sgx_.epc().freePages();
+    EnclaveId id = makeEnclave(1);
+    EXPECT_LT(sgx_.epc().freePages(), before);
+    ASSERT_TRUE(sgx_.destroyEnclave(id).isOk());
+    EXPECT_EQ(sgx_.epc().freePages(), before);
+}
+
+TEST_F(SgxUnitTest, EpcExhaustionReported)
+{
+    AddrRange tiny(EpcBase, 2 * mem::PageSize);
+    mem::Mmu mmu(&bus_, 8);
+    SgxUnit small(tiny, &mmu, 3);
+    auto id = small.ecreate(1, AddrRange(0x10000000, 1 * MiB));
+    ASSERT_TRUE(id.isOk());  // SECS took one page
+    ASSERT_TRUE(
+        small.eadd(*id, 0x10000000, mem::PermRead, {}).isOk());
+    auto fail = small.eadd(*id, 0x10001000, mem::PermRead, {});
+    EXPECT_EQ(fail.status().code(), StatusCode::ResourceExhausted);
+}
+
+TEST_F(SgxUnitTest, LocalAttestationRoundTrip)
+{
+    EnclaveId a = makeEnclave(1, 0x10000000);
+    EnclaveId b = makeEnclave(2, 0x10000000);
+    ReportData data{};
+    data[0] = 0x42;
+    auto report = sgx_.ereport(a, b, data);
+    ASSERT_TRUE(report.isOk());
+    EXPECT_TRUE(sgx_.verifyReport(b, *report).isOk());
+}
+
+TEST_F(SgxUnitTest, TamperedReportRejected)
+{
+    EnclaveId a = makeEnclave(1, 0x10000000);
+    EnclaveId b = makeEnclave(2, 0x10000000);
+    auto report = sgx_.ereport(a, b, ReportData{});
+    ASSERT_TRUE(report.isOk());
+
+    Report bad = *report;
+    bad.data[0] ^= 1;
+    EXPECT_EQ(sgx_.verifyReport(b, bad).code(),
+              StatusCode::AttestationFailure);
+
+    bad = *report;
+    bad.mrenclave[0] ^= 1;
+    EXPECT_FALSE(sgx_.verifyReport(b, bad).isOk());
+}
+
+TEST_F(SgxUnitTest, ReportForWrongTargetRejected)
+{
+    EnclaveId a = makeEnclave(1, 0x10000000);
+    EnclaveId b = makeEnclave(2, 0x10000000);
+    EnclaveId c = makeEnclave(3, 0x10000000);
+    auto report = sgx_.ereport(a, b, ReportData{});
+    ASSERT_TRUE(report.isOk());
+    // c cannot verify a report MACed for b.
+    EXPECT_FALSE(sgx_.verifyReport(c, *report).isOk());
+}
+
+TEST_F(SgxUnitTest, SealKeysBoundToMeasurement)
+{
+    EnclaveId a = makeEnclave(1, 0x10000000);
+    EnclaveId b = makeEnclave(2, 0x10000000);
+    auto ka = sgx_.sealKey(a, "disk");
+    auto kb = sgx_.sealKey(b, "disk");
+    ASSERT_TRUE(ka.isOk());
+    ASSERT_TRUE(kb.isOk());
+    // Identical enclaves (same measurement) share seal keys; a
+    // different label diverges.
+    EXPECT_EQ(*ka, *kb);
+    auto ka2 = sgx_.sealKey(a, "net");
+    ASSERT_TRUE(ka2.isOk());
+    EXPECT_NE(*ka, *ka2);
+}
+
+TEST_F(SgxUnitTest, PlatformResetClearsEverything)
+{
+    EnclaveId id = makeEnclave(1);
+    sgx_.platformReset();
+    EXPECT_EQ(sgx_.secs(id), nullptr);
+    EXPECT_EQ(sgx_.epc().freePages(), sgx_.epc().totalPages());
+}
+
+}  // namespace
+}  // namespace hix::sgx

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hix::sim
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTickFiresInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    EXPECT_EQ(q.run(), 15u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(50), 50u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.curTick(), 100u);
+}
+
+TEST(EventQueueTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace hix::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Property-based tests of the list scheduler: for randomized op DAGs
+ * the schedule must respect dependencies, never overlap two ops on
+ * one resource, account context switches consistently, and report a
+ * makespan equal to the latest finish.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/scheduler.h"
+
+namespace hix::sim
+{
+namespace
+{
+
+struct PropertyCase
+{
+    std::uint64_t seed;
+    std::size_t ops;
+    int resources;
+    int contexts;  //!< 0 = no GPU ops
+};
+
+Trace
+randomTrace(const PropertyCase &param)
+{
+    Rng rng(param.seed);
+    Trace trace;
+    for (std::size_t i = 0; i < param.ops; ++i) {
+        ResourceId res;
+        GpuContextId ctx = NoGpuContext;
+        const int pick = static_cast<int>(rng.nextBelow(3));
+        if (pick == 0 || param.contexts == 0) {
+            res = ResourceId{ResUnit::UserCpu,
+                             static_cast<std::uint16_t>(
+                                 rng.nextBelow(param.resources))};
+        } else if (pick == 1) {
+            res = ResourceId{ResUnit::DmaHtoD, 0};
+        } else {
+            res = ResourceId{ResUnit::GpuCompute, 0};
+            ctx = static_cast<GpuContextId>(
+                rng.nextBelow(param.contexts));
+        }
+        // Up to 3 random backward dependencies.
+        std::vector<OpId> deps;
+        if (i > 0) {
+            for (int d = 0; d < 3; ++d)
+                if (rng.nextBelow(2) == 0)
+                    deps.push_back(
+                        static_cast<OpId>(rng.nextBelow(i)));
+        }
+        trace.add(res, 1 + rng.nextBelow(1000), deps,
+                  OpKind::Control, 0, "", ctx);
+    }
+    return trace;
+}
+
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<PropertyCase>
+{
+};
+
+TEST_P(SchedulerPropertyTest, ScheduleInvariantsHold)
+{
+    const PropertyCase param = GetParam();
+    Trace trace = randomTrace(param);
+    SchedulerConfig config;
+    config.gpuCtxSwitchTicks = 50;
+    auto result = schedule(trace, config);
+
+    Tick max_finish = 0;
+    std::uint64_t observed_switches = 0;
+
+    // Per-resource sorted intervals.
+    std::map<ResourceId, std::vector<std::pair<Tick, Tick>>> busy;
+    std::map<ResourceId, std::vector<std::pair<Tick, GpuContextId>>>
+        gpu_ops;
+
+    for (const Op &op : trace.ops()) {
+        const Tick start = result.start[op.id];
+        const Tick finish = result.finish[op.id];
+        // Duration accounted (switch cost may pad the start).
+        EXPECT_EQ(finish - start, op.duration);
+        max_finish = std::max(max_finish, finish);
+
+        // Dependencies respected.
+        for (OpId dep : op.deps)
+            EXPECT_GE(start, result.finish[dep])
+                << "op " << op.id << " started before dep " << dep;
+
+        busy[op.resource].emplace_back(start, finish);
+        if (op.resource.unit == ResUnit::GpuCompute &&
+            op.gpuCtx != NoGpuContext)
+            gpu_ops[op.resource].emplace_back(start, op.gpuCtx);
+    }
+
+    EXPECT_EQ(result.makespan, max_finish);
+
+    // Resource exclusivity: sort by start; no interval overlaps the
+    // previous one.
+    for (auto &[res, intervals] : busy) {
+        std::sort(intervals.begin(), intervals.end());
+        for (std::size_t i = 1; i < intervals.size(); ++i) {
+            EXPECT_GE(intervals[i].first, intervals[i - 1].second)
+                << "overlap on " << res.toString();
+        }
+    }
+
+    // Context-switch accounting matches the executed order.
+    for (auto &[res, ops] : gpu_ops) {
+        std::sort(ops.begin(), ops.end());
+        GpuContextId last = NoGpuContext;
+        for (const auto &[start, ctx] : ops) {
+            if (last != NoGpuContext && ctx != last)
+                ++observed_switches;
+            last = ctx;
+        }
+    }
+    EXPECT_EQ(result.gpuCtxSwitches, observed_switches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, SchedulerPropertyTest,
+    ::testing::Values(PropertyCase{1, 50, 2, 0},
+                      PropertyCase{2, 200, 3, 2},
+                      PropertyCase{3, 500, 4, 4},
+                      PropertyCase{4, 1000, 2, 3},
+                      PropertyCase{5, 100, 1, 1},
+                      PropertyCase{6, 800, 8, 8},
+                      PropertyCase{7, 300, 2, 2},
+                      PropertyCase{8, 64, 5, 0}),
+    [](const ::testing::TestParamInfo<PropertyCase> &info) {
+        return "seed" + std::to_string(info.param.seed) + "_ops" +
+               std::to_string(info.param.ops);
+    });
+
+}  // namespace
+}  // namespace hix::sim

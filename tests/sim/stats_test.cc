@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace hix::sim
+{
+namespace
+{
+
+TEST(StatsTest, ScalarAccumulates)
+{
+    Scalar s;
+    s.add(1.5);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+    EXPECT_EQ(s.count(), 3u);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(StatsTest, DistributionMoments)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.add(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+}
+
+TEST(StatsTest, EmptyDistributionIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(StatsTest, SingleSampleHasZeroStddev)
+{
+    Distribution d;
+    d.add(42.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 42.0);
+    EXPECT_DOUBLE_EQ(d.max(), 42.0);
+}
+
+TEST(StatsTest, GroupDumpContainsNames)
+{
+    StatGroup g("gpu");
+    g.scalar("kernels") += 3;
+    g.distribution("copy_bytes").add(1024);
+    std::ostringstream oss;
+    g.dump(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("gpu.kernels"), std::string::npos);
+    EXPECT_NE(out.find("gpu.copy_bytes"), std::string::npos);
+}
+
+TEST(StatsTest, GroupReset)
+{
+    StatGroup g("x");
+    g.scalar("a") += 5;
+    g.distribution("b").add(1.0);
+    g.reset();
+    EXPECT_EQ(g.scalar("a").count(), 0u);
+    EXPECT_EQ(g.distribution("b").count(), 0u);
+}
+
+}  // namespace
+}  // namespace hix::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the op-DAG trace and the program-order recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+
+namespace hix::sim
+{
+namespace
+{
+
+constexpr ResourceId cpu0{ResUnit::UserCpu, 0};
+constexpr ResourceId dma{ResUnit::DmaHtoD, 0};
+
+TEST(TraceTest, AddAssignsSequentialIds)
+{
+    Trace t;
+    EXPECT_EQ(t.add(cpu0, 10, {}, OpKind::Control), 0u);
+    EXPECT_EQ(t.add(cpu0, 10, {0}, OpKind::Control), 1u);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.lastOp(), 1u);
+}
+
+TEST(TraceTest, InvalidDepsAreDropped)
+{
+    Trace t;
+    OpId a = t.add(cpu0, 10, {InvalidOpId}, OpKind::Control);
+    EXPECT_TRUE(t.op(a).deps.empty());
+}
+
+TEST(TraceTest, ForwardDependencyPanics)
+{
+    Trace t;
+    t.add(cpu0, 10, {}, OpKind::Control);
+    EXPECT_DEATH(t.add(cpu0, 10, {5}, OpKind::Control), "forward");
+}
+
+TEST(TraceTest, TotalsByKind)
+{
+    Trace t;
+    t.add(cpu0, 10, {}, OpKind::CryptoCpu, 100);
+    t.add(dma, 20, {}, OpKind::Transfer, 200);
+    t.add(dma, 30, {}, OpKind::Transfer, 300);
+    EXPECT_EQ(t.totalDuration(OpKind::Transfer), 50u);
+    EXPECT_EQ(t.totalBytes(OpKind::Transfer), 500u);
+    EXPECT_EQ(t.totalDuration(OpKind::CryptoCpu), 10u);
+    EXPECT_EQ(t.totalDuration(OpKind::Compute), 0u);
+}
+
+TEST(TraceTest, AppendRemapsIds)
+{
+    Trace a;
+    a.add(cpu0, 10, {}, OpKind::Control);
+
+    Trace b;
+    OpId b0 = b.add(cpu0, 5, {}, OpKind::Control);
+    b.add(dma, 7, {b0}, OpKind::Transfer);
+
+    OpId offset = a.append(b);
+    EXPECT_EQ(offset, 1u);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.op(2).deps.at(0), 1u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderDropsOps)
+{
+    TraceRecorder rec;
+    EXPECT_FALSE(rec.enabled());
+    EXPECT_EQ(rec.record(0, cpu0, 10, OpKind::Control), InvalidOpId);
+}
+
+TEST(TraceRecorderTest, ProgramOrderChainsPerActor)
+{
+    Trace t;
+    TraceRecorder rec(&t);
+    OpId a0 = rec.record(0, cpu0, 10, OpKind::Control);
+    OpId b0 = rec.record(1, cpu0, 10, OpKind::Control);
+    OpId a1 = rec.record(0, cpu0, 10, OpKind::Control);
+
+    EXPECT_TRUE(t.op(a0).deps.empty());
+    EXPECT_TRUE(t.op(b0).deps.empty());
+    ASSERT_EQ(t.op(a1).deps.size(), 1u);
+    EXPECT_EQ(t.op(a1).deps[0], a0);
+    EXPECT_EQ(rec.chainTail(0), a1);
+    EXPECT_EQ(rec.chainTail(1), b0);
+}
+
+TEST(TraceRecorderTest, DetachedOpsDoNotMoveChain)
+{
+    Trace t;
+    TraceRecorder rec(&t);
+    OpId a0 = rec.record(0, cpu0, 10, OpKind::Control);
+    OpId d = rec.recordDetached(dma, 20, OpKind::Transfer, {a0});
+    EXPECT_EQ(rec.chainTail(0), a0);
+    rec.setChainTail(0, d);
+    EXPECT_EQ(rec.chainTail(0), d);
+}
+
+TEST(TraceRecorderTest, ExtraDepsAreMerged)
+{
+    Trace t;
+    TraceRecorder rec(&t);
+    OpId a0 = rec.record(0, cpu0, 10, OpKind::Control);
+    OpId b0 = rec.record(1, cpu0, 10, OpKind::Control);
+    OpId a1 = rec.record(0, cpu0, 10, OpKind::Control, 0, "join",
+                         NoGpuContext, {b0});
+    const auto &deps = t.op(a1).deps;
+    EXPECT_EQ(deps.size(), 2u);
+    EXPECT_NE(std::find(deps.begin(), deps.end(), a0), deps.end());
+    EXPECT_NE(std::find(deps.begin(), deps.end(), b0), deps.end());
+}
+
+}  // namespace
+}  // namespace hix::sim

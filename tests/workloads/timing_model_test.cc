@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Timing-model consistency tests: the scheduled simulated times must
+ * obey the analytic relationships the evaluation depends on —
+ * linearity in transfer size, the pipelining bound
+ * max(crypto, transfer) per direction, baseline transfer time
+ * matching bandwidth, and determinism across repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hix/baseline_runtime.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/machine.h"
+#include "workloads/runner.h"
+
+namespace hix::workloads
+{
+namespace
+{
+
+/** Simulated time for one HtoD transfer of @p bytes. */
+Tick
+baselineHtoD(std::uint64_t bytes)
+{
+    os::Machine machine;
+    core::BaselineRuntime user(&machine, "u");
+    EXPECT_TRUE(user.init().isOk());
+    auto va = user.memAlloc(bytes);
+    EXPECT_TRUE(va.isOk());
+    machine.clearTrace();
+    EXPECT_TRUE(user.memcpyHtoD(*va, Bytes(bytes, 1)).isOk());
+    return machine.scheduleTrace().makespan;
+}
+
+Tick
+hixHtoD(std::uint64_t bytes, bool pipeline = true)
+{
+    os::Machine machine;
+    core::HixConfig config;
+    config.pipeline = pipeline;
+    auto ge = core::GpuEnclave::create(
+        &machine, machine.gpu().factoryBiosDigest(), config);
+    EXPECT_TRUE(ge.isOk());
+    core::TrustedRuntime user(&machine, ge->get(), "u");
+    EXPECT_TRUE(user.connect().isOk());
+    auto va = user.memAlloc(bytes);
+    EXPECT_TRUE(va.isOk());
+    machine.clearTrace();
+    EXPECT_TRUE(user.memcpyHtoD(*va, Bytes(bytes, 1)).isOk());
+    return machine.scheduleTrace().makespan;
+}
+
+TEST(TimingModelTest, BaselineTransferMatchesBandwidth)
+{
+    const std::uint64_t bytes = 64 * MiB;
+    const Tick t = baselineHtoD(bytes);
+    const auto &cfg = sim::PlatformConfig::paper();
+    const Tick ideal = transferTicks(bytes, cfg.dmaHtoDBps);
+    // Within 5% of the raw DMA time (setup + control are small).
+    EXPECT_GE(t, ideal);
+    EXPECT_LE(t, ideal + ideal / 20 + 100 * US);
+}
+
+TEST(TimingModelTest, BaselineScalesLinearly)
+{
+    const Tick t1 = baselineHtoD(16 * MiB);
+    const Tick t4 = baselineHtoD(64 * MiB);
+    const double ratio = double(t4) / double(t1);
+    EXPECT_GT(ratio, 3.6);
+    EXPECT_LT(ratio, 4.4);
+}
+
+TEST(TimingModelTest, PipelinedHixApproachesCryptoBound)
+{
+    // Crypto (1.7 GB/s) is the bottleneck; the pipelined transfer
+    // should take ~bytes/cryptoBw, not crypto + transfer.
+    const std::uint64_t bytes = 64 * MiB;
+    const auto &cfg = sim::PlatformConfig::paper();
+    const Tick crypto = transferTicks(bytes, cfg.cpuOcbBps);
+    const Tick dma = transferTicks(bytes, cfg.dmaHtoDBps);
+    const Tick t = hixHtoD(bytes, /*pipeline=*/true);
+    EXPECT_GE(t, crypto);  // cannot beat the bottleneck
+    // Well below the fully serialized sum.
+    EXPECT_LT(t, crypto + dma);
+    // And within 25% of the bound (chunk fill/drain + GPU decrypt).
+    EXPECT_LT(double(t) / double(crypto), 1.25);
+}
+
+TEST(TimingModelTest, SerializedHixNearSumOfStages)
+{
+    const std::uint64_t bytes = 64 * MiB;
+    const auto &cfg = sim::PlatformConfig::paper();
+    const Tick crypto = transferTicks(bytes, cfg.cpuOcbBps);
+    const Tick dma = transferTicks(bytes, cfg.dmaHtoDBps);
+    const Tick t = hixHtoD(bytes, /*pipeline=*/false);
+    EXPECT_GT(t, crypto + dma);
+}
+
+TEST(TimingModelTest, DeterministicAcrossRuns)
+{
+    auto factory = [] { return makeRodinia("HS"); };
+    auto a = runHix(factory);
+    auto b = runHix(factory);
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(a->ticks, b->ticks);
+    EXPECT_EQ(a->gpuCtxSwitches, b->gpuCtxSwitches);
+}
+
+TEST(TimingModelTest, TimingScaleInvariance)
+{
+    // The same nominal transfer, modelled at two functional scales,
+    // must land within a few percent (chunk-boundary residue only).
+    struct Probe : public Workload
+    {
+        std::uint64_t scale;
+        explicit Probe(std::uint64_t s) : Workload("probe"), scale(s) {}
+        std::uint64_t timingScale() const override { return scale; }
+        TransferSpec
+        nominalTransfers() const override
+        {
+            return {64 * MiB, 0};
+        }
+        void registerKernels(gpu::GpuDevice &) override {}
+        Status
+        run(GpuApi &api) override
+        {
+            const std::uint64_t func = 64 * MiB / scale;
+            HIX_ASSIGN_OR_RETURN(Addr va, api.memAlloc(func));
+            HIX_RETURN_IF_ERROR(api.memcpyHtoD(va, Bytes(func, 1)));
+            return api.memFree(va);
+        }
+    };
+
+    auto t4 = runHix([] { return std::make_unique<Probe>(4); });
+    auto t64 = runHix([] { return std::make_unique<Probe>(64); });
+    ASSERT_TRUE(t4.isOk());
+    ASSERT_TRUE(t64.isOk());
+    const double ratio = double(t4->ticks) / double(t64->ticks);
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.05);
+}
+
+TEST(TimingModelTest, VoltaModeRemovesContextSwitches)
+{
+    RunConfig fermi;
+    fermi.factory = [] { return makeRodinia("HS"); };
+    fermi.users = 4;
+    RunConfig volta = fermi;
+    volta.machine.timing.gpuConcurrentContexts = 8;
+    auto f = runWorkload(fermi);
+    auto v = runWorkload(volta);
+    ASSERT_TRUE(f.isOk());
+    ASSERT_TRUE(v.isOk());
+    EXPECT_GT(f->gpuCtxSwitches, 0u);
+    EXPECT_EQ(v->gpuCtxSwitches, 0u);
+    EXPECT_LE(v->ticks, f->ticks);
+}
+
+}  // namespace
+}  // namespace hix::workloads
