@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiuser.dir/bench_multiuser.cc.o"
+  "CMakeFiles/bench_multiuser.dir/bench_multiuser.cc.o.d"
+  "bench_multiuser"
+  "bench_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

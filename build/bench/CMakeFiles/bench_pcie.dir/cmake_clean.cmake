@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcie.dir/bench_pcie.cc.o"
+  "CMakeFiles/bench_pcie.dir/bench_pcie.cc.o.d"
+  "bench_pcie"
+  "bench_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

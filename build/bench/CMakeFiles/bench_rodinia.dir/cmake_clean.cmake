@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rodinia.dir/bench_rodinia.cc.o"
+  "CMakeFiles/bench_rodinia.dir/bench_rodinia.cc.o.d"
+  "bench_rodinia"
+  "bench_rodinia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

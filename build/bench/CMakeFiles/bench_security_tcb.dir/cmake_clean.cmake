@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_tcb.dir/bench_security_tcb.cc.o"
+  "CMakeFiles/bench_security_tcb.dir/bench_security_tcb.cc.o.d"
+  "bench_security_tcb"
+  "bench_security_tcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

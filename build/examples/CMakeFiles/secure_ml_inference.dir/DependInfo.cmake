@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/secure_ml_inference.cpp" "examples/CMakeFiles/secure_ml_inference.dir/secure_ml_inference.cpp.o" "gcc" "examples/CMakeFiles/secure_ml_inference.dir/secure_ml_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hix/CMakeFiles/hix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hix_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hix_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/hix_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hix_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/hix_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hix_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

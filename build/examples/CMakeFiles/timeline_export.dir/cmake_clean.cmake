@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_export.dir/timeline_export.cpp.o"
+  "CMakeFiles/timeline_export.dir/timeline_export.cpp.o.d"
+  "timeline_export"
+  "timeline_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for timeline_export.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_common.dir/addr_range.cc.o"
+  "CMakeFiles/hix_common.dir/addr_range.cc.o.d"
+  "CMakeFiles/hix_common.dir/byte_utils.cc.o"
+  "CMakeFiles/hix_common.dir/byte_utils.cc.o.d"
+  "CMakeFiles/hix_common.dir/logging.cc.o"
+  "CMakeFiles/hix_common.dir/logging.cc.o.d"
+  "CMakeFiles/hix_common.dir/rng.cc.o"
+  "CMakeFiles/hix_common.dir/rng.cc.o.d"
+  "CMakeFiles/hix_common.dir/status.cc.o"
+  "CMakeFiles/hix_common.dir/status.cc.o.d"
+  "libhix_common.a"
+  "libhix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/hix_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/hix_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/auth_channel.cc" "src/crypto/CMakeFiles/hix_crypto.dir/auth_channel.cc.o" "gcc" "src/crypto/CMakeFiles/hix_crypto.dir/auth_channel.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/hix_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/hix_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/ocb.cc" "src/crypto/CMakeFiles/hix_crypto.dir/ocb.cc.o" "gcc" "src/crypto/CMakeFiles/hix_crypto.dir/ocb.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/hix_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/hix_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/x25519.cc" "src/crypto/CMakeFiles/hix_crypto.dir/x25519.cc.o" "gcc" "src/crypto/CMakeFiles/hix_crypto.dir/x25519.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_crypto.dir/aes128.cc.o"
+  "CMakeFiles/hix_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/hix_crypto.dir/auth_channel.cc.o"
+  "CMakeFiles/hix_crypto.dir/auth_channel.cc.o.d"
+  "CMakeFiles/hix_crypto.dir/hmac.cc.o"
+  "CMakeFiles/hix_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/hix_crypto.dir/ocb.cc.o"
+  "CMakeFiles/hix_crypto.dir/ocb.cc.o.d"
+  "CMakeFiles/hix_crypto.dir/sha256.cc.o"
+  "CMakeFiles/hix_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/hix_crypto.dir/x25519.cc.o"
+  "CMakeFiles/hix_crypto.dir/x25519.cc.o.d"
+  "libhix_crypto.a"
+  "libhix_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

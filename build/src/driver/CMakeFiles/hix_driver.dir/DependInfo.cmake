@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/gdev_driver.cc" "src/driver/CMakeFiles/hix_driver.dir/gdev_driver.cc.o" "gcc" "src/driver/CMakeFiles/hix_driver.dir/gdev_driver.cc.o.d"
+  "/root/repo/src/driver/mmio_port.cc" "src/driver/CMakeFiles/hix_driver.dir/mmio_port.cc.o" "gcc" "src/driver/CMakeFiles/hix_driver.dir/mmio_port.cc.o.d"
+  "/root/repo/src/driver/vram_allocator.cc" "src/driver/CMakeFiles/hix_driver.dir/vram_allocator.cc.o" "gcc" "src/driver/CMakeFiles/hix_driver.dir/vram_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hix_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hix_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_driver.dir/gdev_driver.cc.o"
+  "CMakeFiles/hix_driver.dir/gdev_driver.cc.o.d"
+  "CMakeFiles/hix_driver.dir/mmio_port.cc.o"
+  "CMakeFiles/hix_driver.dir/mmio_port.cc.o.d"
+  "CMakeFiles/hix_driver.dir/vram_allocator.cc.o"
+  "CMakeFiles/hix_driver.dir/vram_allocator.cc.o.d"
+  "libhix_driver.a"
+  "libhix_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_context.cc" "src/gpu/CMakeFiles/hix_gpu.dir/gpu_context.cc.o" "gcc" "src/gpu/CMakeFiles/hix_gpu.dir/gpu_context.cc.o.d"
+  "/root/repo/src/gpu/gpu_device.cc" "src/gpu/CMakeFiles/hix_gpu.dir/gpu_device.cc.o" "gcc" "src/gpu/CMakeFiles/hix_gpu.dir/gpu_device.cc.o.d"
+  "/root/repo/src/gpu/kernel_registry.cc" "src/gpu/CMakeFiles/hix_gpu.dir/kernel_registry.cc.o" "gcc" "src/gpu/CMakeFiles/hix_gpu.dir/kernel_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hix_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hix_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_gpu.dir/gpu_context.cc.o"
+  "CMakeFiles/hix_gpu.dir/gpu_context.cc.o.d"
+  "CMakeFiles/hix_gpu.dir/gpu_device.cc.o"
+  "CMakeFiles/hix_gpu.dir/gpu_device.cc.o.d"
+  "CMakeFiles/hix_gpu.dir/kernel_registry.cc.o"
+  "CMakeFiles/hix_gpu.dir/kernel_registry.cc.o.d"
+  "libhix_gpu.a"
+  "libhix_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hix/baseline_runtime.cc" "src/hix/CMakeFiles/hix_core.dir/baseline_runtime.cc.o" "gcc" "src/hix/CMakeFiles/hix_core.dir/baseline_runtime.cc.o.d"
+  "/root/repo/src/hix/gpu_enclave.cc" "src/hix/CMakeFiles/hix_core.dir/gpu_enclave.cc.o" "gcc" "src/hix/CMakeFiles/hix_core.dir/gpu_enclave.cc.o.d"
+  "/root/repo/src/hix/managed_memory.cc" "src/hix/CMakeFiles/hix_core.dir/managed_memory.cc.o" "gcc" "src/hix/CMakeFiles/hix_core.dir/managed_memory.cc.o.d"
+  "/root/repo/src/hix/protocol.cc" "src/hix/CMakeFiles/hix_core.dir/protocol.cc.o" "gcc" "src/hix/CMakeFiles/hix_core.dir/protocol.cc.o.d"
+  "/root/repo/src/hix/trusted_runtime.cc" "src/hix/CMakeFiles/hix_core.dir/trusted_runtime.cc.o" "gcc" "src/hix/CMakeFiles/hix_core.dir/trusted_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/hix_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hix_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hix_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/hix_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hix_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

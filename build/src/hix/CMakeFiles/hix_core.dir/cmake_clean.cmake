@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_core.dir/baseline_runtime.cc.o"
+  "CMakeFiles/hix_core.dir/baseline_runtime.cc.o.d"
+  "CMakeFiles/hix_core.dir/gpu_enclave.cc.o"
+  "CMakeFiles/hix_core.dir/gpu_enclave.cc.o.d"
+  "CMakeFiles/hix_core.dir/managed_memory.cc.o"
+  "CMakeFiles/hix_core.dir/managed_memory.cc.o.d"
+  "CMakeFiles/hix_core.dir/protocol.cc.o"
+  "CMakeFiles/hix_core.dir/protocol.cc.o.d"
+  "CMakeFiles/hix_core.dir/trusted_runtime.cc.o"
+  "CMakeFiles/hix_core.dir/trusted_runtime.cc.o.d"
+  "libhix_core.a"
+  "libhix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

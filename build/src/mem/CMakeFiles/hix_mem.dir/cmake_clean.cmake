@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_mem.dir/iommu.cc.o"
+  "CMakeFiles/hix_mem.dir/iommu.cc.o.d"
+  "CMakeFiles/hix_mem.dir/mmu.cc.o"
+  "CMakeFiles/hix_mem.dir/mmu.cc.o.d"
+  "CMakeFiles/hix_mem.dir/page_table.cc.o"
+  "CMakeFiles/hix_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/hix_mem.dir/phys_bus.cc.o"
+  "CMakeFiles/hix_mem.dir/phys_bus.cc.o.d"
+  "CMakeFiles/hix_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/hix_mem.dir/phys_mem.cc.o.d"
+  "libhix_mem.a"
+  "libhix_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

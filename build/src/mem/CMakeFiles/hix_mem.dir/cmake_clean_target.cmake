@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhix_mem.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_os.dir/attacker.cc.o"
+  "CMakeFiles/hix_os.dir/attacker.cc.o.d"
+  "CMakeFiles/hix_os.dir/machine.cc.o"
+  "CMakeFiles/hix_os.dir/machine.cc.o.d"
+  "CMakeFiles/hix_os.dir/os_model.cc.o"
+  "CMakeFiles/hix_os.dir/os_model.cc.o.d"
+  "libhix_os.a"
+  "libhix_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/config_space.cc" "src/pcie/CMakeFiles/hix_pcie.dir/config_space.cc.o" "gcc" "src/pcie/CMakeFiles/hix_pcie.dir/config_space.cc.o.d"
+  "/root/repo/src/pcie/device.cc" "src/pcie/CMakeFiles/hix_pcie.dir/device.cc.o" "gcc" "src/pcie/CMakeFiles/hix_pcie.dir/device.cc.o.d"
+  "/root/repo/src/pcie/root_complex.cc" "src/pcie/CMakeFiles/hix_pcie.dir/root_complex.cc.o" "gcc" "src/pcie/CMakeFiles/hix_pcie.dir/root_complex.cc.o.d"
+  "/root/repo/src/pcie/tlp.cc" "src/pcie/CMakeFiles/hix_pcie.dir/tlp.cc.o" "gcc" "src/pcie/CMakeFiles/hix_pcie.dir/tlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

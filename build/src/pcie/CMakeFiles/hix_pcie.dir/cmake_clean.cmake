@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_pcie.dir/config_space.cc.o"
+  "CMakeFiles/hix_pcie.dir/config_space.cc.o.d"
+  "CMakeFiles/hix_pcie.dir/device.cc.o"
+  "CMakeFiles/hix_pcie.dir/device.cc.o.d"
+  "CMakeFiles/hix_pcie.dir/root_complex.cc.o"
+  "CMakeFiles/hix_pcie.dir/root_complex.cc.o.d"
+  "CMakeFiles/hix_pcie.dir/tlp.cc.o"
+  "CMakeFiles/hix_pcie.dir/tlp.cc.o.d"
+  "libhix_pcie.a"
+  "libhix_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

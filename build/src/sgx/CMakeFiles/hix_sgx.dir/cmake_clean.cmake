@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_sgx.dir/epc.cc.o"
+  "CMakeFiles/hix_sgx.dir/epc.cc.o.d"
+  "CMakeFiles/hix_sgx.dir/hix_ext.cc.o"
+  "CMakeFiles/hix_sgx.dir/hix_ext.cc.o.d"
+  "CMakeFiles/hix_sgx.dir/quote.cc.o"
+  "CMakeFiles/hix_sgx.dir/quote.cc.o.d"
+  "CMakeFiles/hix_sgx.dir/sgx_unit.cc.o"
+  "CMakeFiles/hix_sgx.dir/sgx_unit.cc.o.d"
+  "libhix_sgx.a"
+  "libhix_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

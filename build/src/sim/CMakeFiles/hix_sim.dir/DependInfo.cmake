@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/hix_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/platform_config.cc" "src/sim/CMakeFiles/hix_sim.dir/platform_config.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/platform_config.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/sim/CMakeFiles/hix_sim.dir/resource.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/resource.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/hix_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/hix_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/hix_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/hix_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/hix_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

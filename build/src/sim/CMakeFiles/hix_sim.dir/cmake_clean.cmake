@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hix_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hix_sim.dir/platform_config.cc.o"
+  "CMakeFiles/hix_sim.dir/platform_config.cc.o.d"
+  "CMakeFiles/hix_sim.dir/resource.cc.o"
+  "CMakeFiles/hix_sim.dir/resource.cc.o.d"
+  "CMakeFiles/hix_sim.dir/scheduler.cc.o"
+  "CMakeFiles/hix_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/hix_sim.dir/stats.cc.o"
+  "CMakeFiles/hix_sim.dir/stats.cc.o.d"
+  "CMakeFiles/hix_sim.dir/trace.cc.o"
+  "CMakeFiles/hix_sim.dir/trace.cc.o.d"
+  "CMakeFiles/hix_sim.dir/trace_export.cc.o"
+  "CMakeFiles/hix_sim.dir/trace_export.cc.o.d"
+  "libhix_sim.a"
+  "libhix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

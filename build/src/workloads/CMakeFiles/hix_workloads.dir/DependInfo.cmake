@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/hix_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/hix_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/workloads/CMakeFiles/hix_workloads.dir/gaussian.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/gaussian.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/hix_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/lud.cc" "src/workloads/CMakeFiles/hix_workloads.dir/lud.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/lud.cc.o.d"
+  "/root/repo/src/workloads/matrix.cc" "src/workloads/CMakeFiles/hix_workloads.dir/matrix.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/matrix.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/workloads/CMakeFiles/hix_workloads.dir/nn.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/nn.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/hix_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/workloads/CMakeFiles/hix_workloads.dir/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/workloads/CMakeFiles/hix_workloads.dir/rodinia.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/rodinia.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/workloads/CMakeFiles/hix_workloads.dir/runner.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/runner.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/workloads/CMakeFiles/hix_workloads.dir/srad.cc.o" "gcc" "src/workloads/CMakeFiles/hix_workloads.dir/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hix/CMakeFiles/hix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hix_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hix_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/hix_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/hix_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hix_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hix_workloads.dir/backprop.cc.o"
+  "CMakeFiles/hix_workloads.dir/backprop.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/bfs.cc.o"
+  "CMakeFiles/hix_workloads.dir/bfs.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/gaussian.cc.o"
+  "CMakeFiles/hix_workloads.dir/gaussian.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/hotspot.cc.o"
+  "CMakeFiles/hix_workloads.dir/hotspot.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/lud.cc.o"
+  "CMakeFiles/hix_workloads.dir/lud.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/matrix.cc.o"
+  "CMakeFiles/hix_workloads.dir/matrix.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/nn.cc.o"
+  "CMakeFiles/hix_workloads.dir/nn.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/nw.cc.o"
+  "CMakeFiles/hix_workloads.dir/nw.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/pathfinder.cc.o"
+  "CMakeFiles/hix_workloads.dir/pathfinder.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/rodinia.cc.o"
+  "CMakeFiles/hix_workloads.dir/rodinia.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/runner.cc.o"
+  "CMakeFiles/hix_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/hix_workloads.dir/srad.cc.o"
+  "CMakeFiles/hix_workloads.dir/srad.cc.o.d"
+  "libhix_workloads.a"
+  "libhix_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hix_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver.dir/driver/gdev_driver_test.cc.o"
+  "CMakeFiles/test_driver.dir/driver/gdev_driver_test.cc.o.d"
+  "CMakeFiles/test_driver.dir/driver/vram_allocator_test.cc.o"
+  "CMakeFiles/test_driver.dir/driver/vram_allocator_test.cc.o.d"
+  "CMakeFiles/test_driver.dir/driver/vram_stress_test.cc.o"
+  "CMakeFiles/test_driver.dir/driver/vram_stress_test.cc.o.d"
+  "test_driver"
+  "test_driver.pdb"
+  "test_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

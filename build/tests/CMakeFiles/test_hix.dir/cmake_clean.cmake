@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hix.dir/hix/failure_injection_test.cc.o"
+  "CMakeFiles/test_hix.dir/hix/failure_injection_test.cc.o.d"
+  "CMakeFiles/test_hix.dir/hix/gpu_enclave_test.cc.o"
+  "CMakeFiles/test_hix.dir/hix/gpu_enclave_test.cc.o.d"
+  "CMakeFiles/test_hix.dir/hix/managed_memory_test.cc.o"
+  "CMakeFiles/test_hix.dir/hix/managed_memory_test.cc.o.d"
+  "CMakeFiles/test_hix.dir/hix/protocol_test.cc.o"
+  "CMakeFiles/test_hix.dir/hix/protocol_test.cc.o.d"
+  "CMakeFiles/test_hix.dir/hix/runtime_test.cc.o"
+  "CMakeFiles/test_hix.dir/hix/runtime_test.cc.o.d"
+  "test_hix"
+  "test_hix.pdb"
+  "test_hix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pcie/config_space_test.cc" "tests/CMakeFiles/test_pcie.dir/pcie/config_space_test.cc.o" "gcc" "tests/CMakeFiles/test_pcie.dir/pcie/config_space_test.cc.o.d"
+  "/root/repo/tests/pcie/root_complex_test.cc" "tests/CMakeFiles/test_pcie.dir/pcie/root_complex_test.cc.o" "gcc" "tests/CMakeFiles/test_pcie.dir/pcie/root_complex_test.cc.o.d"
+  "/root/repo/tests/pcie/tlp_test.cc" "tests/CMakeFiles/test_pcie.dir/pcie/tlp_test.cc.o" "gcc" "tests/CMakeFiles/test_pcie.dir/pcie/tlp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcie/CMakeFiles/hix_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hix_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie.dir/pcie/config_space_test.cc.o"
+  "CMakeFiles/test_pcie.dir/pcie/config_space_test.cc.o.d"
+  "CMakeFiles/test_pcie.dir/pcie/root_complex_test.cc.o"
+  "CMakeFiles/test_pcie.dir/pcie/root_complex_test.cc.o.d"
+  "CMakeFiles/test_pcie.dir/pcie/tlp_test.cc.o"
+  "CMakeFiles/test_pcie.dir/pcie/tlp_test.cc.o.d"
+  "test_pcie"
+  "test_pcie.pdb"
+  "test_pcie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

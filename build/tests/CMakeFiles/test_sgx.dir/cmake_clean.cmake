@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgx.dir/sgx/hix_ext_test.cc.o"
+  "CMakeFiles/test_sgx.dir/sgx/hix_ext_test.cc.o.d"
+  "CMakeFiles/test_sgx.dir/sgx/quote_test.cc.o"
+  "CMakeFiles/test_sgx.dir/sgx/quote_test.cc.o.d"
+  "CMakeFiles/test_sgx.dir/sgx/sgx_unit_test.cc.o"
+  "CMakeFiles/test_sgx.dir/sgx/sgx_unit_test.cc.o.d"
+  "test_sgx"
+  "test_sgx.pdb"
+  "test_sgx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
