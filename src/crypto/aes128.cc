@@ -2,24 +2,58 @@
 
 #include <cstring>
 
+#include "common/byte_utils.h"
+
+// AES-NI path: compiled whenever the compiler supports per-function
+// target attributes (GCC/Clang on x86-64); selected at run time via
+// cpuid so the binary still runs on hosts without the extension.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HIX_AES_HW 1
+#include <immintrin.h>
+#endif
+
 namespace hix::crypto
 {
 
 namespace
 {
 
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    while (b) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
 /**
  * The S-box and its inverse are derived at startup from the GF(2^8)
  * definition in FIPS 197 (multiplicative inverse followed by the
  * affine transform) rather than pasted as literal tables; this makes
- * the construction self-checking.
+ * the construction self-checking. The four encrypt (Te) and four
+ * decrypt (Td) T-tables — SubBytes, ShiftRows, and MixColumns fused
+ * into one 32-bit lookup per state byte — are then built from the
+ * S-box, so the fast path inherits the same provenance.
  */
-struct SboxTables
+struct AesTables
 {
     std::uint8_t sbox[256];
     std::uint8_t inv[256];
+    std::uint32_t te[4][256];
+    std::uint32_t td[4][256];
 
-    SboxTables()
+    AesTables()
     {
         // Build log/antilog tables over GF(2^8) with generator 3.
         std::uint8_t pow[256];
@@ -49,29 +83,35 @@ struct SboxTables
             sbox[i] = res;
             inv[res] = static_cast<std::uint8_t>(i);
         }
+
+        for (int i = 0; i < 256; ++i) {
+            const std::uint8_t s = sbox[i];
+            const std::uint8_t s2 = xtime(s);
+            const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+            // Te0 holds the MixColumns column [02 01 01 03]·S[x] for a
+            // row-0 byte; Te1..Te3 are byte rotations for rows 1..3.
+            std::uint32_t w = (std::uint32_t(s2) << 24) |
+                              (std::uint32_t(s) << 16) |
+                              (std::uint32_t(s) << 8) | std::uint32_t(s3);
+            for (int t = 0; t < 4; ++t) {
+                te[t][i] = w;
+                w = (w >> 8) | (w << 24);
+            }
+
+            const std::uint8_t is = inv[i];
+            std::uint32_t v = (std::uint32_t(gmul(is, 14)) << 24) |
+                              (std::uint32_t(gmul(is, 9)) << 16) |
+                              (std::uint32_t(gmul(is, 13)) << 8) |
+                              std::uint32_t(gmul(is, 11));
+            for (int t = 0; t < 4; ++t) {
+                td[t][i] = v;
+                v = (v >> 8) | (v << 24);
+            }
+        }
     }
 };
 
-const SboxTables tables;
-
-std::uint8_t
-xtime(std::uint8_t a)
-{
-    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
-}
-
-std::uint8_t
-gmul(std::uint8_t a, std::uint8_t b)
-{
-    std::uint8_t p = 0;
-    while (b) {
-        if (b & 1)
-            p ^= a;
-        a = xtime(a);
-        b >>= 1;
-    }
-    return p;
-}
+const AesTables tables;
 
 std::uint32_t
 subWord(std::uint32_t w)
@@ -87,6 +127,29 @@ rotWord(std::uint32_t w)
 {
     return (w << 8) | (w >> 24);
 }
+
+/** InvMixColumns on one big-endian column word (key-schedule only). */
+std::uint32_t
+invMixWord(std::uint32_t w)
+{
+    const std::uint8_t a0 = static_cast<std::uint8_t>(w >> 24);
+    const std::uint8_t a1 = static_cast<std::uint8_t>(w >> 16);
+    const std::uint8_t a2 = static_cast<std::uint8_t>(w >> 8);
+    const std::uint8_t a3 = static_cast<std::uint8_t>(w);
+    return (std::uint32_t(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                          gmul(a3, 9))
+            << 24) |
+           (std::uint32_t(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                          gmul(a3, 13))
+            << 16) |
+           (std::uint32_t(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                          gmul(a3, 11))
+            << 8) |
+           std::uint32_t(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                         gmul(a3, 14));
+}
+
+// ----- Reference (scalar) round functions ------------------------------
 
 void
 addRoundKey(std::uint8_t state[16], const std::uint32_t *rk)
@@ -187,9 +250,111 @@ invMixColumns(std::uint8_t s[16])
     }
 }
 
+// ----- AES-NI engine ---------------------------------------------------
+
+#ifdef HIX_AES_HW
+
+/**
+ * Encrypt @p n blocks with AES instructions, eight blocks per
+ * iteration so the ~4-cycle AESENC latency is hidden by independent
+ * chains. Round keys arrive as the 176 serialized schedule bytes.
+ */
+__attribute__((target("aes,sse2"))) void
+hwEncryptBlocks(const std::uint8_t *rk_bytes, const std::uint8_t *in,
+                std::uint8_t *out, std::size_t n)
+{
+    __m128i rk[11];
+    for (int r = 0; r <= 10; ++r)
+        rk[r] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(rk_bytes + 16 * r));
+    while (n >= 8) {
+        __m128i s[8];
+        for (int b = 0; b < 8; ++b)
+            s[b] = _mm_xor_si128(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(in + 16 * b)),
+                rk[0]);
+        for (int r = 1; r < 10; ++r)
+            for (int b = 0; b < 8; ++b)
+                s[b] = _mm_aesenc_si128(s[b], rk[r]);
+        for (int b = 0; b < 8; ++b)
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 16 * b),
+                             _mm_aesenclast_si128(s[b], rk[10]));
+        in += 8 * AesBlockSize;
+        out += 8 * AesBlockSize;
+        n -= 8;
+    }
+    for (; n > 0; --n) {
+        __m128i s = _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(in)),
+            rk[0]);
+        for (int r = 1; r < 10; ++r)
+            s = _mm_aesenc_si128(s, rk[r]);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                         _mm_aesenclast_si128(s, rk[10]));
+        in += AesBlockSize;
+        out += AesBlockSize;
+    }
+}
+
+/**
+ * Decrypt with AESDEC. The serialized schedule is the
+ * equivalent-inverse-cipher one (middle rounds already through
+ * InvMixColumns), which is exactly the form AESDEC consumes.
+ */
+__attribute__((target("aes,sse2"))) void
+hwDecryptBlocks(const std::uint8_t *rk_bytes, const std::uint8_t *in,
+                std::uint8_t *out, std::size_t n)
+{
+    __m128i rk[11];
+    for (int r = 0; r <= 10; ++r)
+        rk[r] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(rk_bytes + 16 * r));
+    while (n >= 8) {
+        __m128i s[8];
+        for (int b = 0; b < 8; ++b)
+            s[b] = _mm_xor_si128(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(in + 16 * b)),
+                rk[0]);
+        for (int r = 1; r < 10; ++r)
+            for (int b = 0; b < 8; ++b)
+                s[b] = _mm_aesdec_si128(s[b], rk[r]);
+        for (int b = 0; b < 8; ++b)
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 16 * b),
+                             _mm_aesdeclast_si128(s[b], rk[10]));
+        in += 8 * AesBlockSize;
+        out += 8 * AesBlockSize;
+        n -= 8;
+    }
+    for (; n > 0; --n) {
+        __m128i s = _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(in)),
+            rk[0]);
+        for (int r = 1; r < 10; ++r)
+            s = _mm_aesdec_si128(s, rk[r]);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                         _mm_aesdeclast_si128(s, rk[10]));
+        in += AesBlockSize;
+        out += AesBlockSize;
+    }
+}
+
+#endif  // HIX_AES_HW
+
 }  // namespace
 
-Aes128::Aes128(const AesKey &key)
+bool
+Aes128::hwSupported()
+{
+#ifdef HIX_AES_HW
+    return __builtin_cpu_supports("aes") != 0;
+#else
+    return false;
+#endif
+}
+
+Aes128::Aes128(const AesKey &key, AesEngine engine) : engine_(engine)
 {
     // FIPS 197 key expansion for Nk = 4, Nr = 10.
     for (int i = 0; i < 4; ++i) {
@@ -207,10 +372,255 @@ Aes128::Aes128(const AesKey &key)
         }
         enc_keys_[i] = enc_keys_[i - 4] ^ temp;
     }
+
+    // Equivalent inverse cipher: reverse the round order and push the
+    // InvMixColumns through the middle round keys so decryption can
+    // use T-tables in the same shape as encryption.
+    for (int round = 0; round <= NumRounds; ++round) {
+        for (int c = 0; c < 4; ++c) {
+            std::uint32_t w = enc_keys_[4 * (NumRounds - round) + c];
+            if (round != 0 && round != NumRounds)
+                w = invMixWord(w);
+            dec_keys_[4 * round + c] = w;
+        }
+    }
+
+    // Serialize both schedules into the byte order AES instructions
+    // consume; harmless (and unused) on non-AES-NI hosts.
+    for (int i = 0; i < 4 * (NumRounds + 1); ++i) {
+        storeBE32(enc_rk_bytes_.data() + 4 * i, enc_keys_[i]);
+        storeBE32(dec_rk_bytes_.data() + 4 * i, dec_keys_[i]);
+    }
+    use_hw_ = engine_ == AesEngine::Fast && hwSupported();
+}
+
+// ----- Fast (T-table) engine -------------------------------------------
+
+#define HIX_AES_ENC_ROUND(d0, d1, d2, d3, s0, s1, s2, s3, rk)            \
+    do {                                                                 \
+        d0 = tables.te[0][(s0) >> 24] ^                                  \
+             tables.te[1][((s1) >> 16) & 0xff] ^                         \
+             tables.te[2][((s2) >> 8) & 0xff] ^                          \
+             tables.te[3][(s3) & 0xff] ^ (rk)[0];                        \
+        d1 = tables.te[0][(s1) >> 24] ^                                  \
+             tables.te[1][((s2) >> 16) & 0xff] ^                         \
+             tables.te[2][((s3) >> 8) & 0xff] ^                          \
+             tables.te[3][(s0) & 0xff] ^ (rk)[1];                        \
+        d2 = tables.te[0][(s2) >> 24] ^                                  \
+             tables.te[1][((s3) >> 16) & 0xff] ^                         \
+             tables.te[2][((s0) >> 8) & 0xff] ^                          \
+             tables.te[3][(s1) & 0xff] ^ (rk)[2];                        \
+        d3 = tables.te[0][(s3) >> 24] ^                                  \
+             tables.te[1][((s0) >> 16) & 0xff] ^                         \
+             tables.te[2][((s1) >> 8) & 0xff] ^                          \
+             tables.te[3][(s2) & 0xff] ^ (rk)[3];                        \
+    } while (0)
+
+#define HIX_AES_DEC_ROUND(d0, d1, d2, d3, s0, s1, s2, s3, rk)            \
+    do {                                                                 \
+        d0 = tables.td[0][(s0) >> 24] ^                                  \
+             tables.td[1][((s3) >> 16) & 0xff] ^                         \
+             tables.td[2][((s2) >> 8) & 0xff] ^                          \
+             tables.td[3][(s1) & 0xff] ^ (rk)[0];                        \
+        d1 = tables.td[0][(s1) >> 24] ^                                  \
+             tables.td[1][((s0) >> 16) & 0xff] ^                         \
+             tables.td[2][((s3) >> 8) & 0xff] ^                          \
+             tables.td[3][(s2) & 0xff] ^ (rk)[1];                        \
+        d2 = tables.td[0][(s2) >> 24] ^                                  \
+             tables.td[1][((s1) >> 16) & 0xff] ^                         \
+             tables.td[2][((s0) >> 8) & 0xff] ^                          \
+             tables.td[3][(s3) & 0xff] ^ (rk)[2];                        \
+        d3 = tables.td[0][(s3) >> 24] ^                                  \
+             tables.td[1][((s2) >> 16) & 0xff] ^                         \
+             tables.td[2][((s1) >> 8) & 0xff] ^                          \
+             tables.td[3][(s0) & 0xff] ^ (rk)[3];                        \
+    } while (0)
+
+void
+Aes128::encryptBlockFast(const std::uint8_t *in, std::uint8_t *out) const
+{
+    const std::uint32_t *rk = enc_keys_.data();
+    std::uint32_t s0 = loadBE32(in) ^ rk[0];
+    std::uint32_t s1 = loadBE32(in + 4) ^ rk[1];
+    std::uint32_t s2 = loadBE32(in + 8) ^ rk[2];
+    std::uint32_t s3 = loadBE32(in + 12) ^ rk[3];
+    std::uint32_t t0, t1, t2, t3;
+    for (int round = 1; round < NumRounds; ++round) {
+        HIX_AES_ENC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3,
+                          rk + 4 * round);
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+    const std::uint32_t *lk = rk + 4 * NumRounds;
+    const auto *sb = tables.sbox;
+    std::uint32_t o0 = (std::uint32_t(sb[s0 >> 24]) << 24) |
+                       (std::uint32_t(sb[(s1 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s2 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s3 & 0xff]);
+    std::uint32_t o1 = (std::uint32_t(sb[s1 >> 24]) << 24) |
+                       (std::uint32_t(sb[(s2 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s3 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s0 & 0xff]);
+    std::uint32_t o2 = (std::uint32_t(sb[s2 >> 24]) << 24) |
+                       (std::uint32_t(sb[(s3 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s0 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s1 & 0xff]);
+    std::uint32_t o3 = (std::uint32_t(sb[s3 >> 24]) << 24) |
+                       (std::uint32_t(sb[(s0 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s1 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s2 & 0xff]);
+    storeBE32(out, o0 ^ lk[0]);
+    storeBE32(out + 4, o1 ^ lk[1]);
+    storeBE32(out + 8, o2 ^ lk[2]);
+    storeBE32(out + 12, o3 ^ lk[3]);
 }
 
 void
-Aes128::encryptBlock(const std::uint8_t *in, std::uint8_t *out) const
+Aes128::decryptBlockFast(const std::uint8_t *in, std::uint8_t *out) const
+{
+    const std::uint32_t *rk = dec_keys_.data();
+    std::uint32_t s0 = loadBE32(in) ^ rk[0];
+    std::uint32_t s1 = loadBE32(in + 4) ^ rk[1];
+    std::uint32_t s2 = loadBE32(in + 8) ^ rk[2];
+    std::uint32_t s3 = loadBE32(in + 12) ^ rk[3];
+    std::uint32_t t0, t1, t2, t3;
+    for (int round = 1; round < NumRounds; ++round) {
+        HIX_AES_DEC_ROUND(t0, t1, t2, t3, s0, s1, s2, s3,
+                          rk + 4 * round);
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+    const std::uint32_t *lk = rk + 4 * NumRounds;
+    const auto *is = tables.inv;
+    std::uint32_t o0 = (std::uint32_t(is[s0 >> 24]) << 24) |
+                       (std::uint32_t(is[(s3 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(is[(s2 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(is[s1 & 0xff]);
+    std::uint32_t o1 = (std::uint32_t(is[s1 >> 24]) << 24) |
+                       (std::uint32_t(is[(s0 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(is[(s3 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(is[s2 & 0xff]);
+    std::uint32_t o2 = (std::uint32_t(is[s2 >> 24]) << 24) |
+                       (std::uint32_t(is[(s1 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(is[(s0 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(is[s3 & 0xff]);
+    std::uint32_t o3 = (std::uint32_t(is[s3 >> 24]) << 24) |
+                       (std::uint32_t(is[(s2 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(is[(s1 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(is[s0 & 0xff]);
+    storeBE32(out, o0 ^ lk[0]);
+    storeBE32(out + 4, o1 ^ lk[1]);
+    storeBE32(out + 8, o2 ^ lk[2]);
+    storeBE32(out + 12, o3 ^ lk[3]);
+}
+
+void
+Aes128::encryptBlocks4(const std::uint8_t *in, std::uint8_t *out) const
+{
+    // Four independent states interleaved so the four T-table lookup
+    // chains overlap instead of serializing on one block's
+    // round-to-round dependency.
+    const std::uint32_t *rk = enc_keys_.data();
+    std::uint32_t s[16], t[16];
+    for (int b = 0; b < 4; ++b)
+        for (int w = 0; w < 4; ++w)
+            s[4 * b + w] = loadBE32(in + 16 * b + 4 * w) ^ rk[w];
+    for (int round = 1; round < NumRounds; ++round) {
+        const std::uint32_t *k = rk + 4 * round;
+        for (int b = 0; b < 4; ++b)
+            HIX_AES_ENC_ROUND(t[4 * b + 0], t[4 * b + 1], t[4 * b + 2],
+                              t[4 * b + 3], s[4 * b + 0], s[4 * b + 1],
+                              s[4 * b + 2], s[4 * b + 3], k);
+        std::memcpy(s, t, sizeof(s));
+    }
+    const std::uint32_t *lk = rk + 4 * NumRounds;
+    const auto *sb = tables.sbox;
+    for (int b = 0; b < 4; ++b) {
+        const std::uint32_t s0 = s[4 * b], s1 = s[4 * b + 1],
+                            s2 = s[4 * b + 2], s3 = s[4 * b + 3];
+        storeBE32(out + 16 * b,
+                  ((std::uint32_t(sb[s0 >> 24]) << 24) |
+                   (std::uint32_t(sb[(s1 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(sb[(s2 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(sb[s3 & 0xff])) ^
+                      lk[0]);
+        storeBE32(out + 16 * b + 4,
+                  ((std::uint32_t(sb[s1 >> 24]) << 24) |
+                   (std::uint32_t(sb[(s2 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(sb[(s3 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(sb[s0 & 0xff])) ^
+                      lk[1]);
+        storeBE32(out + 16 * b + 8,
+                  ((std::uint32_t(sb[s2 >> 24]) << 24) |
+                   (std::uint32_t(sb[(s3 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(sb[(s0 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(sb[s1 & 0xff])) ^
+                      lk[2]);
+        storeBE32(out + 16 * b + 12,
+                  ((std::uint32_t(sb[s3 >> 24]) << 24) |
+                   (std::uint32_t(sb[(s0 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(sb[(s1 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(sb[s2 & 0xff])) ^
+                      lk[3]);
+    }
+}
+
+void
+Aes128::decryptBlocks4(const std::uint8_t *in, std::uint8_t *out) const
+{
+    const std::uint32_t *rk = dec_keys_.data();
+    std::uint32_t s[16], t[16];
+    for (int b = 0; b < 4; ++b)
+        for (int w = 0; w < 4; ++w)
+            s[4 * b + w] = loadBE32(in + 16 * b + 4 * w) ^ rk[w];
+    for (int round = 1; round < NumRounds; ++round) {
+        const std::uint32_t *k = rk + 4 * round;
+        for (int b = 0; b < 4; ++b)
+            HIX_AES_DEC_ROUND(t[4 * b + 0], t[4 * b + 1], t[4 * b + 2],
+                              t[4 * b + 3], s[4 * b + 0], s[4 * b + 1],
+                              s[4 * b + 2], s[4 * b + 3], k);
+        std::memcpy(s, t, sizeof(s));
+    }
+    const std::uint32_t *lk = rk + 4 * NumRounds;
+    const auto *is = tables.inv;
+    for (int b = 0; b < 4; ++b) {
+        const std::uint32_t s0 = s[4 * b], s1 = s[4 * b + 1],
+                            s2 = s[4 * b + 2], s3 = s[4 * b + 3];
+        storeBE32(out + 16 * b,
+                  ((std::uint32_t(is[s0 >> 24]) << 24) |
+                   (std::uint32_t(is[(s3 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(is[(s2 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(is[s1 & 0xff])) ^
+                      lk[0]);
+        storeBE32(out + 16 * b + 4,
+                  ((std::uint32_t(is[s1 >> 24]) << 24) |
+                   (std::uint32_t(is[(s0 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(is[(s3 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(is[s2 & 0xff])) ^
+                      lk[1]);
+        storeBE32(out + 16 * b + 8,
+                  ((std::uint32_t(is[s2 >> 24]) << 24) |
+                   (std::uint32_t(is[(s1 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(is[(s0 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(is[s3 & 0xff])) ^
+                      lk[2]);
+        storeBE32(out + 16 * b + 12,
+                  ((std::uint32_t(is[s3 >> 24]) << 24) |
+                   (std::uint32_t(is[(s2 >> 16) & 0xff]) << 16) |
+                   (std::uint32_t(is[(s1 >> 8) & 0xff]) << 8) |
+                   std::uint32_t(is[s0 & 0xff])) ^
+                      lk[3]);
+    }
+}
+
+// ----- Reference (scalar) engine ---------------------------------------
+
+void
+Aes128::encryptBlockRef(const std::uint8_t *in, std::uint8_t *out) const
 {
     std::uint8_t state[16];
     std::memcpy(state, in, 16);
@@ -230,7 +640,7 @@ Aes128::encryptBlock(const std::uint8_t *in, std::uint8_t *out) const
 }
 
 void
-Aes128::decryptBlock(const std::uint8_t *in, std::uint8_t *out) const
+Aes128::decryptBlockRef(const std::uint8_t *in, std::uint8_t *out) const
 {
     std::uint8_t state[16];
     std::memcpy(state, in, 16);
@@ -247,6 +657,88 @@ Aes128::decryptBlock(const std::uint8_t *in, std::uint8_t *out) const
     addRoundKey(state, &enc_keys_[0]);
 
     std::memcpy(out, state, 16);
+}
+
+// ----- Public dispatch -------------------------------------------------
+
+void
+Aes128::encryptBlock(const std::uint8_t *in, std::uint8_t *out) const
+{
+#ifdef HIX_AES_HW
+    if (use_hw_) {
+        hwEncryptBlocks(enc_rk_bytes_.data(), in, out, 1);
+        return;
+    }
+#endif
+    if (engine_ == AesEngine::Reference)
+        encryptBlockRef(in, out);
+    else
+        encryptBlockFast(in, out);
+}
+
+void
+Aes128::decryptBlock(const std::uint8_t *in, std::uint8_t *out) const
+{
+#ifdef HIX_AES_HW
+    if (use_hw_) {
+        hwDecryptBlocks(dec_rk_bytes_.data(), in, out, 1);
+        return;
+    }
+#endif
+    if (engine_ == AesEngine::Reference)
+        decryptBlockRef(in, out);
+    else
+        decryptBlockFast(in, out);
+}
+
+void
+Aes128::encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                      std::size_t n) const
+{
+#ifdef HIX_AES_HW
+    if (use_hw_) {
+        hwEncryptBlocks(enc_rk_bytes_.data(), in, out, n);
+        return;
+    }
+#endif
+    if (engine_ != AesEngine::Reference) {
+        while (n >= 4) {
+            encryptBlocks4(in, out);
+            in += 4 * AesBlockSize;
+            out += 4 * AesBlockSize;
+            n -= 4;
+        }
+    }
+    for (; n > 0; --n) {
+        encryptBlock(in, out);
+        in += AesBlockSize;
+        out += AesBlockSize;
+    }
+}
+
+void
+Aes128::decryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                      std::size_t n) const
+{
+#ifdef HIX_AES_HW
+    if (use_hw_) {
+        hwDecryptBlocks(dec_rk_bytes_.data(), in, out, n);
+        return;
+    }
+#endif
+    if (engine_ != AesEngine::Reference) {
+        while (n >= 4) {
+            decryptBlocks4(in, out);
+            in += 4 * AesBlockSize;
+            out += 4 * AesBlockSize;
+            n -= 4;
+        }
+    }
+    for (; n > 0; --n) {
+        decryptBlock(in, out);
+        in += AesBlockSize;
+        out += AesBlockSize;
+    }
 }
 
 }  // namespace hix::crypto

@@ -13,26 +13,54 @@ SealedMessage
 AuthChannel::seal(const Bytes &plaintext, const Bytes &ad)
 {
     SealedMessage msg;
-    msg.stream = send_stream_;
-    msg.sequence = send_seq_++;
-    msg.body =
-        ocb_.encrypt(makeNonce(msg.stream, msg.sequence), ad, plaintext);
+    sealInto(plaintext.data(), plaintext.size(), ad.data(), ad.size(),
+             &msg);
     return msg;
+}
+
+void
+AuthChannel::sealInto(const std::uint8_t *pt, std::size_t pt_len,
+                      const std::uint8_t *ad, std::size_t ad_len,
+                      SealedMessage *msg)
+{
+    msg->stream = send_stream_;
+    msg->sequence = send_seq_++;
+    msg->body.resize(pt_len + OcbTagSize);
+    ocb_.encryptInto(makeNonce(msg->stream, msg->sequence), ad, ad_len,
+                     pt, pt_len, msg->body.data(),
+                     msg->body.data() + pt_len);
 }
 
 Result<Bytes>
 AuthChannel::open(const SealedMessage &msg, const Bytes &ad)
 {
+    Bytes out;
+    Status st = openInto(msg, ad.data(), ad.size(), &out);
+    if (!st.isOk())
+        return st;
+    return out;
+}
+
+Status
+AuthChannel::openInto(const SealedMessage &msg, const std::uint8_t *ad,
+                      std::size_t ad_len, Bytes *plaintext_out)
+{
     if (msg.stream != recv_stream_)
         return errInvalidArgument("message from unexpected stream");
     if (msg.sequence <= recv_seq_)
         return errReplayDetected("stale sequence number");
-    auto plain = ocb_.decrypt(makeNonce(msg.stream, msg.sequence), ad,
-                              msg.body);
-    if (!plain.isOk())
-        return plain.status();
+    if (msg.body.size() < OcbTagSize)
+        return errInvalidArgument("ciphertext shorter than tag");
+    const std::size_t ct_len = msg.body.size() - OcbTagSize;
+    plaintext_out->resize(ct_len);
+    Status st = ocb_.decryptInto(
+        makeNonce(msg.stream, msg.sequence), ad, ad_len,
+        msg.body.data(), ct_len, msg.body.data() + ct_len,
+        plaintext_out->data());
+    if (!st.isOk())
+        return st;
     recv_seq_ = msg.sequence;
-    return plain;
+    return Status::ok();
 }
 
 }  // namespace hix::crypto

@@ -50,6 +50,16 @@ class AuthChannel
     SealedMessage seal(const Bytes &plaintext, const Bytes &ad = {});
 
     /**
+     * Zero-allocation seal: writes stream/sequence and ciphertext ||
+     * tag into @p msg, reusing msg->body's capacity. Once @p msg has
+     * been warmed up to the largest message size, steady-state
+     * sealing performs no heap allocation.
+     */
+    void sealInto(const std::uint8_t *pt, std::size_t pt_len,
+                  const std::uint8_t *ad, std::size_t ad_len,
+                  SealedMessage *msg);
+
+    /**
      * Verify and decrypt a sealed message.
      *
      * Rejects tag mismatches (IntegrityFailure), wrong-stream
@@ -57,6 +67,14 @@ class AuthChannel
      * the last accepted one (ReplayDetected).
      */
     Result<Bytes> open(const SealedMessage &msg, const Bytes &ad = {});
+
+    /**
+     * Zero-allocation open: decrypts into @p plaintext_out (resized
+     * in place, so a warmed-up buffer is reused without allocating).
+     * Same rejection rules as open().
+     */
+    Status openInto(const SealedMessage &msg, const std::uint8_t *ad,
+                    std::size_t ad_len, Bytes *plaintext_out);
 
     /** Sequence number the next seal() will use. */
     std::uint64_t nextSendSequence() const { return send_seq_; }

@@ -3,6 +3,11 @@
  * OCB authenticated encryption (RFC 7253) over AES-128 with 128-bit
  * tags — the AEAD_AES_128_OCB_TAGLEN128 ciphersuite the paper uses
  * for all inter-enclave and DMA data protection (Section 5.2).
+ *
+ * The encryptInto/decryptInto paths are allocation-free: the L-table
+ * is fully precomputed at construction and the bulk loops run four
+ * AES blocks at a time through Aes128::encryptBlocks, so sealing a
+ * message costs |M|/16 + O(1) AES calls and zero heap allocations.
  */
 
 #ifndef HIX_CRYPTO_OCB_H_
@@ -10,7 +15,6 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -39,7 +43,10 @@ OcbNonce makeNonce(std::uint32_t stream, std::uint64_t counter);
 class Ocb
 {
   public:
-    explicit Ocb(const AesKey &key);
+    explicit Ocb(const AesKey &key, AesEngine engine = AesEngine::Fast);
+
+    /** Engine the underlying block cipher runs on. */
+    AesEngine engine() const { return cipher_.engine(); }
 
     /**
      * Encrypt @p plaintext with associated data @p ad.
@@ -50,7 +57,7 @@ class Ocb
 
     /**
      * Raw-pointer variant: writes pt_len ciphertext bytes to @p out
-     * and the tag to @p tag_out.
+     * and the tag to @p tag_out. Performs no heap allocation.
      */
     void encryptInto(const OcbNonce &nonce, const std::uint8_t *ad,
                      std::size_t ad_len, const std::uint8_t *pt,
@@ -66,7 +73,8 @@ class Ocb
 
     /**
      * Raw-pointer variant: decrypts ct_len bytes into @p out and
-     * verifies @p tag (constant-time compare).
+     * verifies @p tag (constant-time compare). Performs no heap
+     * allocation.
      */
     Status decryptInto(const OcbNonce &nonce, const std::uint8_t *ad,
                        std::size_t ad_len, const std::uint8_t *ct,
@@ -74,15 +82,22 @@ class Ocb
                        std::uint8_t *out) const;
 
   private:
+    /** L_0 .. L_63: enough for messages up to 2^64 blocks. */
+    static constexpr std::size_t NumLValues = 64;
+
     AesBlock hashAd(const std::uint8_t *ad, std::size_t ad_len) const;
     AesBlock initialOffset(const OcbNonce &nonce) const;
-    const AesBlock &lValue(std::size_t i) const;
+    const AesBlock &
+    lValue(std::size_t i) const
+    {
+        return l_[i];
+    }
 
     Aes128 cipher_;
     AesBlock l_star_;
     AesBlock l_dollar_;
-    /** L_0 .. L_63, enough for messages up to 2^63 blocks. */
-    mutable std::vector<AesBlock> l_;
+    /** Fully precomputed at construction — no per-message growth. */
+    std::array<AesBlock, NumLValues> l_;
 };
 
 }  // namespace hix::crypto

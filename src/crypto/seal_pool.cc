@@ -1,0 +1,144 @@
+#include "crypto/seal_pool.h"
+
+#include <algorithm>
+
+namespace hix::crypto
+{
+
+namespace
+{
+
+std::size_t
+defaultThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return std::clamp<std::size_t>(hc == 0 ? 1 : hc, 1, 8);
+}
+
+}  // namespace
+
+SealPool::SealPool(std::size_t num_threads)
+{
+    const std::size_t total =
+        num_threads == 0 ? defaultThreads() : num_threads;
+    // The calling thread works too, so spawn one fewer.
+    threads_.reserve(total - 1 < total ? total - 1 : 0);
+    for (std::size_t t = 0; t + 1 < total; ++t)
+        threads_.emplace_back([this, t] { workerLoop(t); });
+}
+
+SealPool::~SealPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &th : threads_)
+        th.join();
+}
+
+SealPool &
+SealPool::shared()
+{
+    static SealPool pool;
+    return pool;
+}
+
+void
+SealPool::workerLoop(std::size_t worker_id)
+{
+    const std::size_t stride = threads_.size() + 1;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        wake_.wait(lk, [&] { return stop_ || job_generation_ != seen; });
+        if (stop_)
+            return;
+        seen = job_generation_;
+        const auto *job = job_;
+        const std::size_t n = job_size_;
+        lk.unlock();
+        // Static slice: chunks are near-equal cost, so index striding
+        // balances without a shared claim counter.
+        for (std::size_t i = worker_id; i < n; i += stride)
+            (*job)(i);
+        lk.lock();
+        ++finished_workers_;
+        done_.notify_all();
+    }
+}
+
+void
+SealPool::parallelFor(std::size_t n,
+                      const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_ = &fn;
+        job_size_ = n;
+        finished_workers_ = 0;
+        ++job_generation_;
+    }
+    wake_.notify_all();
+    // The calling thread takes the last slice.
+    const std::size_t stride = threads_.size() + 1;
+    for (std::size_t i = threads_.size(); i < n; i += stride)
+        fn(i);
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_.wait(lk, [&] { return finished_workers_ == threads_.size(); });
+    job_ = nullptr;
+}
+
+void
+SealPool::sealChunks(const Ocb &ocb, std::uint32_t stream,
+                     std::uint64_t base_counter, const std::uint8_t *pt,
+                     std::size_t pt_len, std::size_t chunk_bytes,
+                     std::uint8_t *out)
+{
+    if (pt_len == 0 || chunk_bytes == 0)
+        return;
+    const std::size_t nchunks = (pt_len + chunk_bytes - 1) / chunk_bytes;
+    const std::size_t out_stride = chunk_bytes + OcbTagSize;
+    parallelFor(nchunks, [&](std::size_t i) {
+        const std::size_t off = i * chunk_bytes;
+        const std::size_t len = std::min(chunk_bytes, pt_len - off);
+        std::uint8_t *dst = out + i * out_stride;
+        ocb.encryptInto(makeNonce(stream, base_counter + i), nullptr, 0,
+                        pt + off, len, dst, dst + len);
+    });
+}
+
+Status
+SealPool::openChunks(const Ocb &ocb, std::uint32_t stream,
+                     std::uint64_t base_counter, const std::uint8_t *ct,
+                     std::size_t pt_len, std::size_t chunk_bytes,
+                     std::uint8_t *out)
+{
+    if (pt_len == 0 || chunk_bytes == 0)
+        return Status::ok();
+    const std::size_t nchunks = (pt_len + chunk_bytes - 1) / chunk_bytes;
+    const std::size_t ct_stride = chunk_bytes + OcbTagSize;
+    std::vector<Status> results(nchunks);
+    parallelFor(nchunks, [&](std::size_t i) {
+        const std::size_t off = i * chunk_bytes;
+        const std::size_t len = std::min(chunk_bytes, pt_len - off);
+        const std::uint8_t *src = ct + i * ct_stride;
+        results[i] = ocb.decryptInto(makeNonce(stream, base_counter + i),
+                                     nullptr, 0, src, len, src + len,
+                                     out + off);
+    });
+    for (const Status &st : results)
+        if (!st.isOk())
+            return st;
+    return Status::ok();
+}
+
+}  // namespace hix::crypto

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small worker pool that seals/opens the pipelined data-path chunks
+ * of one transfer in parallel host threads.
+ *
+ * The paper's Section 5.2 pipeline overlaps chunk encryption with the
+ * DMA of the previous chunk in *simulated* time; this pool mirrors
+ * that overlap in host wall-clock. Each chunk gets a deterministic
+ * nonce (stream, base_counter + index), exactly the nonces the serial
+ * loop would have used, so the produced ciphertexts and tags are
+ * bit-identical to the serial path — parallelism is invisible to the
+ * receiver and to any recorded trace.
+ *
+ * Host speed only: simulated-time costs still come from the platform
+ * timing model.
+ */
+
+#ifndef HIX_CRYPTO_SEAL_POOL_H_
+#define HIX_CRYPTO_SEAL_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "crypto/ocb.h"
+
+namespace hix::crypto
+{
+
+/**
+ * Persistent worker threads executing parallel-for style jobs. One
+ * transfer's chunks are independent (distinct nonces, disjoint
+ * buffers), so they spread across workers with no synchronization
+ * beyond the job barrier.
+ */
+class SealPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 picks a default from
+     *        std::thread::hardware_concurrency (capped at 8).
+     */
+    explicit SealPool(std::size_t num_threads = 0);
+    ~SealPool();
+
+    SealPool(const SealPool &) = delete;
+    SealPool &operator=(const SealPool &) = delete;
+
+    /** Worker count (>= 1). */
+    std::size_t threadCount() const { return threads_.size() + 1; }
+
+    /**
+     * Process-wide shared pool, created on first use. All transfers
+     * share it; jobs from one transfer run back-to-back.
+     */
+    static SealPool &shared();
+
+    /**
+     * Run fn(0) .. fn(n-1) across the workers and the calling thread;
+     * returns when all indices completed.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Seal @p pt_len bytes as ceil(pt_len / chunk_bytes) OCB messages.
+     * Chunk i covers pt[i*chunk_bytes ...) (the last chunk may be
+     * short) and is sealed with nonce (stream, base_counter + i) into
+     * out + i*(chunk_bytes + OcbTagSize) as ciphertext || tag.
+     * Bit-identical to sealing the chunks serially.
+     */
+    void sealChunks(const Ocb &ocb, std::uint32_t stream,
+                    std::uint64_t base_counter, const std::uint8_t *pt,
+                    std::size_t pt_len, std::size_t chunk_bytes,
+                    std::uint8_t *out);
+
+    /**
+     * Inverse of sealChunks: opens chunked ciphertext || tag records
+     * laid out as sealChunks produces them, writing pt_len plaintext
+     * bytes to @p out. Returns the first chunk's failure (by index
+     * order) if any tag check fails.
+     */
+    Status openChunks(const Ocb &ocb, std::uint32_t stream,
+                      std::uint64_t base_counter, const std::uint8_t *ct,
+                      std::size_t pt_len, std::size_t chunk_bytes,
+                      std::uint8_t *out);
+
+  private:
+    void workerLoop(std::size_t worker_id);
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::thread> threads_;
+
+    // Current job state, all guarded by mutex_. Workers take static
+    // index slices (i ≡ worker_id mod threadCount), so there is no
+    // shared claim state to race on.
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t job_size_ = 0;
+    std::size_t finished_workers_ = 0;
+    std::uint64_t job_generation_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace hix::crypto
+
+#endif  // HIX_CRYPTO_SEAL_POOL_H_

@@ -495,23 +495,32 @@ GpuDevice::execCommand(const std::vector<std::uint64_t> &words,
         const crypto::OcbNonce nonce = crypto::makeNonce(
             static_cast<std::uint32_t>(args[4]), args[5]);
 
+        // Reused scratch keeps the crypto "kernel" allocation-free
+        // in steady state (the paging path runs it per page).
         if (op == GpuOp::OcbEncrypt) {
-            auto pt = mem.readBytes(args[1], pt_len);
-            if (!pt.isOk())
-                return pt.status();
-            Bytes ct = slot.ocb->encrypt(nonce, {}, *pt);
-            HIX_RETURN_IF_ERROR(mem.writeBytes(args[2], ct));
+            crypto_in_.resize(pt_len);
+            crypto_out_.resize(pt_len + crypto::OcbTagSize);
+            HIX_RETURN_IF_ERROR(
+                mem.read(args[1], crypto_in_.data(), pt_len));
+            slot.ocb->encryptInto(nonce, nullptr, 0, crypto_in_.data(),
+                                  pt_len, crypto_out_.data(),
+                                  crypto_out_.data() + pt_len);
+            HIX_RETURN_IF_ERROR(mem.write(args[2], crypto_out_.data(),
+                                          crypto_out_.size()));
         } else {
-            auto ct = mem.readBytes(args[1],
-                                    pt_len + crypto::OcbTagSize);
-            if (!ct.isOk())
-                return ct.status();
-            auto pt = slot.ocb->decrypt(nonce, {}, *ct);
-            if (!pt.isOk()) {
+            crypto_in_.resize(pt_len + crypto::OcbTagSize);
+            crypto_out_.resize(pt_len);
+            HIX_RETURN_IF_ERROR(mem.read(args[1], crypto_in_.data(),
+                                         crypto_in_.size()));
+            Status ok = slot.ocb->decryptInto(
+                nonce, nullptr, 0, crypto_in_.data(), pt_len,
+                crypto_in_.data() + pt_len, crypto_out_.data());
+            if (!ok.isOk()) {
                 ++stats_.macFailures;
-                return pt.status();
+                return ok;
             }
-            HIX_RETURN_IF_ERROR(mem.writeBytes(args[2], *pt));
+            HIX_RETURN_IF_ERROR(
+                mem.write(args[2], crypto_out_.data(), pt_len));
         }
         ++stats_.cryptoKernels;
         record(op, GpuEngine::Compute, ctx_id,

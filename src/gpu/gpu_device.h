@@ -172,6 +172,10 @@ class GpuDevice : public pcie::PcieDevice
     std::uint32_t fence_value_ = 0;
     Addr window_base_ = 0;
 
+    /** Reused OCB command scratch (steady state allocates nothing). */
+    Bytes crypto_in_;
+    Bytes crypto_out_;
+
     std::vector<CostRecord> costs_;
     GpuDeviceStats stats_;
     std::string last_error_;

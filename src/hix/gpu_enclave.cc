@@ -443,10 +443,11 @@ GpuEnclave::request(std::uint32_t session_id,
     driver_->setActor(session->geActor);
     ipcArrival(user_op, "request", session->geActor);
 
-    auto plain = session->channel->open(msg);
-    if (!plain.isOk())
-        return plain.status();
-    auto req = decodeRequest(*plain);
+    Status open_st = session->channel->openInto(msg, nullptr, 0,
+                                                &session->ptScratch);
+    if (!open_st.isOk())
+        return open_st;
+    auto req = decodeRequest(session->ptScratch);
 
     Response resp;
     bool close = false;
@@ -458,8 +459,9 @@ GpuEnclave::request(std::uint32_t session_id,
     }
 
     RequestOutcome outcome;
-    outcome.sealedResponse =
-        session->channel->seal(encodeResponse(resp));
+    const Bytes resp_bytes = encodeResponse(resp);
+    session->channel->sealInto(resp_bytes.data(), resp_bytes.size(),
+                               nullptr, 0, &outcome.sealedResponse);
     outcome.doneOp = machine_->recorder().chainTail(session->geActor);
     if (close)
         sessions_.erase(session_id);
@@ -493,19 +495,25 @@ GpuEnclave::pushChunkHtoD(std::uint32_t session_id,
 
     if (!config_.singleCopy) {
         // Naive path (the design Section 4.4.2 rejects): bounce the
-        // data through the enclave with a decrypt + re-encrypt.
-        Bytes ct(ct_len);
-        HIX_RETURN_IF_ERROR(
-            machine_->ram().readAt(host_src, ct.data(), ct.size()));
-        auto pt = session->dataOcb->decrypt(
-            crypto::makeNonce(stream, counter), {}, ct);
-        if (!pt.isOk())
-            return pt.status();
+        // data through the enclave with a decrypt + re-encrypt. Uses
+        // the session scratch so steady state does not allocate.
+        session->ctScratch.resize(ct_len);
+        session->ptScratch.resize(pt_len);
+        HIX_RETURN_IF_ERROR(machine_->ram().readAt(
+            host_src, session->ctScratch.data(), ct_len));
+        HIX_RETURN_IF_ERROR(session->dataOcb->decryptInto(
+            crypto::makeNonce(stream, counter), nullptr, 0,
+            session->ctScratch.data(), pt_len,
+            session->ctScratch.data() + pt_len,
+            session->ptScratch.data()));
         const std::uint32_t naive_stream = stream | 0x80000000u;
-        Bytes rect = session->dataOcb->encrypt(
-            crypto::makeNonce(naive_stream, counter), {}, *pt);
+        session->dataOcb->encryptInto(
+            crypto::makeNonce(naive_stream, counter), nullptr, 0,
+            session->ptScratch.data(), pt_len,
+            session->ctScratch.data(),
+            session->ctScratch.data() + pt_len);
         HIX_RETURN_IF_ERROR(machine_->ram().writeAt(
-            host_src, rect.data(), rect.size()));
+            host_src, session->ctScratch.data(), ct_len));
 
         const auto &t = machine_->config().timing;
         const std::uint64_t nominal = pt_len * config_.timingScale;
@@ -539,11 +547,11 @@ GpuEnclave::pushChunkHtoD(std::uint32_t session_id,
     // GPU, where the in-GPU kernel decrypts it.
     sim::OpId move_op = sim::InvalidOpId;
     if (config_.usePio) {
-        Bytes ct(ct_len);
-        HIX_RETURN_IF_ERROR(
-            machine_->ram().readAt(host_src, ct.data(), ct.size()));
-        HIX_RETURN_IF_ERROR(
-            driver_->writeVramPio(session->gpuCtx, staging, ct));
+        session->ctScratch.resize(ct_len);
+        HIX_RETURN_IF_ERROR(machine_->ram().readAt(
+            host_src, session->ctScratch.data(), ct_len));
+        HIX_RETURN_IF_ERROR(driver_->writeVramPio(
+            session->gpuCtx, staging, session->ctScratch));
         move_op = machine_->recorder().chainTail(session->geActor);
     } else {
         auto dma = driver_->memcpyHtoD(

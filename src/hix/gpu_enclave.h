@@ -46,6 +46,12 @@ struct HixConfig
     bool pipeline = true;
     /** Move ciphertext by BAR1 programmed I/O instead of DMA. */
     bool usePio = false;
+    /**
+     * Seal/open a transfer's chunks on the host-side SealPool worker
+     * threads. Host wall-clock only: ciphertexts are bit-identical
+     * to the serial path and simulated timing is unchanged.
+     */
+    bool parallelHostSealing = true;
 };
 
 /** What a session's data-plane chunk operation produced. */
@@ -201,6 +207,9 @@ class GpuEnclave
         /** Demand-paged allocations (Section 5.6 future work). */
         std::vector<std::unique_ptr<ManagedBuffer>> managed;
         Addr managedVaCursor = 0x4000000000ull;
+        /** Reused scratch so steady-state sealing never allocates. */
+        Bytes ctScratch;
+        Bytes ptScratch;
 
         /** The managed buffer covering [va, va+len), if any. */
         ManagedBuffer *

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "crypto/hmac.h"
+#include "crypto/seal_pool.h"
 
 namespace hix::core
 {
@@ -161,19 +162,20 @@ TrustedRuntime::roundTrip(const Request &req)
         return errFailedPrecondition("not connected");
     const auto &t = machine_->config().timing;
 
-    auto sealed = channel_->seal(encodeRequest(req));
+    const Bytes req_bytes = encodeRequest(req);
+    channel_->sealInto(req_bytes.data(), req_bytes.size(), nullptr, 0,
+                       &sealed_scratch_);
     sim::OpId send_op = recordUser(t.gpuEnclaveDispatch,
                                    sim::OpKind::Control, 0, "req_send");
-    auto outcome = ge_->request(session_id_, sealed, send_op);
+    auto outcome = ge_->request(session_id_, sealed_scratch_, send_op);
     if (!outcome.isOk())
         return outcome.status();
     recordUser(t.ipcMessageLatency, sim::OpKind::Control, 0,
                "resp_recv", {outcome->doneOp});
 
-    auto plain = channel_->open(outcome->sealedResponse);
-    if (!plain.isOk())
-        return plain.status();
-    return decodeResponse(*plain);
+    HIX_RETURN_IF_ERROR(channel_->openInto(outcome->sealedResponse,
+                                           nullptr, 0, &plain_scratch_));
+    return decodeResponse(plain_scratch_);
 }
 
 Result<Addr>
@@ -244,6 +246,22 @@ TrustedRuntime::memcpyHtoD(Addr dst_gpu_va, const Bytes &data)
     HIX_ASSIGN_OR_RETURN(Response resp, roundTrip(req));
     HIX_RETURN_IF_ERROR(statusFromResponse(resp));
 
+    const std::uint32_t stream = GpuEnclave::streamHtoD(session_id_);
+    const std::uint64_t nchunks = (data.size() + chunk - 1) / chunk;
+    const std::uint64_t ct_stride = chunk + crypto::OcbTagSize;
+    // Parallel fast path: seal every chunk of this transfer on the
+    // worker pool up front (host wall-clock only). Nonces are the
+    // same (stream, counter) sequence the serial loop uses below, so
+    // the ring bytes are bit-identical either way.
+    const bool parallel_seal =
+        ge_->hixConfig().parallelHostSealing && nchunks > 1;
+    if (parallel_seal) {
+        seal_scratch_.resize(nchunks * ct_stride);
+        crypto::SealPool::shared().sealChunks(
+            *data_ocb_, stream, ctr_h2d_ + 1, data.data(), data.size(),
+            chunk, seal_scratch_.data());
+    }
+
     sim::OpId last_done = sim::InvalidOpId;
     std::uint64_t off = 0;
     std::uint32_t index = 0;
@@ -255,12 +273,21 @@ TrustedRuntime::memcpyHtoD(Addr dst_gpu_va, const Bytes &data)
         const std::uint64_t ctr = ++ctr_h2d_;
 
         // Functional: encrypt this chunk into the shared ring.
-        Bytes pt(data.begin() + off, data.begin() + off + len);
-        Bytes ct = data_ocb_->encrypt(
-            crypto::makeNonce(GpuEnclave::streamHtoD(session_id_), ctr),
-            {}, pt);
-        HIX_RETURN_IF_ERROR(machine_->ram().writeAt(
-            shared_.paddr + ring_off, ct.data(), ct.size()));
+        if (parallel_seal) {
+            HIX_RETURN_IF_ERROR(machine_->ram().writeAt(
+                shared_.paddr + ring_off,
+                seal_scratch_.data() + index * ct_stride,
+                len + crypto::OcbTagSize));
+        } else {
+            seal_scratch_.resize(ct_stride);
+            data_ocb_->encryptInto(crypto::makeNonce(stream, ctr),
+                                   nullptr, 0, data.data() + off, len,
+                                   seal_scratch_.data(),
+                                   seal_scratch_.data() + len);
+            HIX_RETURN_IF_ERROR(machine_->ram().writeAt(
+                shared_.paddr + ring_off, seal_scratch_.data(),
+                len + crypto::OcbTagSize));
+        }
 
         // Timing: the encryption pass. It must wait for the ring
         // slot's previous consumer; without pipelining it also waits
@@ -312,8 +339,18 @@ TrustedRuntime::memcpyDtoH(Addr src_gpu_va, std::uint64_t len)
     HIX_RETURN_IF_ERROR(statusFromResponse(resp));
     const sim::OpId begin_op = machine_->recorder().chainTail(actor_);
 
-    Bytes out;
-    out.reserve(len);
+    const std::uint32_t stream = GpuEnclave::streamDtoH(session_id_);
+    const std::uint64_t nchunks = (len + chunk - 1) / chunk;
+    const std::uint64_t ct_stride = chunk + crypto::OcbTagSize;
+    const std::uint64_t base_ctr = ctr_d2h_ + 1;
+    // Parallel fast path: collect every chunk's ciphertext while
+    // draining the ring, then open them all on the worker pool.
+    const bool parallel_open =
+        ge_->hixConfig().parallelHostSealing && nchunks > 1;
+    if (parallel_open)
+        seal_scratch_.resize(nchunks * ct_stride);
+
+    Bytes out(len);
     std::uint64_t off = 0;
     std::uint32_t index = 0;
     sim::OpId prev_decrypt = sim::InvalidOpId;
@@ -333,16 +370,23 @@ TrustedRuntime::memcpyDtoH(Addr src_gpu_va, std::uint64_t len)
         if (!result.isOk())
             return result.status();
 
-        // Functional: fetch and decrypt the chunk.
-        Bytes ct(clen + crypto::OcbTagSize);
-        HIX_RETURN_IF_ERROR(machine_->ram().readAt(
-            shared_.paddr + ring_off, ct.data(), ct.size()));
-        auto pt = data_ocb_->decrypt(
-            crypto::makeNonce(GpuEnclave::streamDtoH(session_id_), ctr),
-            {}, ct);
-        if (!pt.isOk())
-            return pt.status();
-        out.insert(out.end(), pt->begin(), pt->end());
+        // Functional: fetch the chunk; decrypt now (serial) or after
+        // the drain loop (parallel).
+        if (parallel_open) {
+            HIX_RETURN_IF_ERROR(machine_->ram().readAt(
+                shared_.paddr + ring_off,
+                seal_scratch_.data() + index * ct_stride,
+                clen + crypto::OcbTagSize));
+        } else {
+            seal_scratch_.resize(ct_stride);
+            HIX_RETURN_IF_ERROR(machine_->ram().readAt(
+                shared_.paddr + ring_off, seal_scratch_.data(),
+                clen + crypto::OcbTagSize));
+            HIX_RETURN_IF_ERROR(data_ocb_->decryptInto(
+                crypto::makeNonce(stream, ctr), nullptr, 0,
+                seal_scratch_.data(), clen,
+                seal_scratch_.data() + clen, out.data() + off));
+        }
 
         // Timing: CPU decryption depends on the chunk's arrival.
         prev_decrypt = recordUser(
@@ -353,6 +397,10 @@ TrustedRuntime::memcpyDtoH(Addr src_gpu_va, std::uint64_t len)
         off += clen;
         ++index;
     }
+    if (parallel_open)
+        HIX_RETURN_IF_ERROR(crypto::SealPool::shared().openChunks(
+            *data_ocb_, stream, base_ctr, seal_scratch_.data(), len,
+            chunk, out.data()));
     return out;
 }
 

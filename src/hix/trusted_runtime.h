@@ -129,6 +129,10 @@ class TrustedRuntime
     std::unique_ptr<crypto::Ocb> data_ocb_;
     std::uint64_t ctr_h2d_ = 0;
     std::uint64_t ctr_d2h_ = 0;
+    /** Reused scratch so steady-state transfers never allocate. */
+    crypto::SealedMessage sealed_scratch_;
+    Bytes plain_scratch_;
+    Bytes seal_scratch_;
     /** Op after which each ring slot may be reused. */
     sim::OpId ring_busy_[2] = {sim::InvalidOpId, sim::InvalidOpId};
     crypto::Sha256Digest pinned_ge_measurement_{};
