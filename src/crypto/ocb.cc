@@ -290,8 +290,10 @@ Ocb::decryptInto(const OcbNonce &nonce, const std::uint8_t *ad,
     xorBlock(expected, ad_hash.data());
 
     if (!constantTimeEqual(expected.data(), tag, OcbTagSize)) {
-        // Leave no plaintext behind on failure.
-        std::memset(out, 0, ct_len);
+        // Leave no plaintext behind on failure. Guard the empty case:
+        // memset on a null out pointer is UB even with length 0.
+        if (ct_len > 0)
+            std::memset(out, 0, ct_len);
         return errIntegrityFailure("OCB tag mismatch");
     }
     return Status::ok();

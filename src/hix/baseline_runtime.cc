@@ -88,6 +88,11 @@ BaselineRuntime::memcpyHtoD(Addr dst_gpu_va, const Bytes &data)
     HIX_RETURN_IF_ERROR(ensureHostBuffer(data.size()));
     HIX_RETURN_IF_ERROR(machine_->ram().writeAt(
         host_buf_.paddr, data.data(), data.size()));
+    // Zero-duration marker between the plaintext landing in the
+    // pinned buffer and the DMA consuming it: the window a
+    // mid-transfer attack strikes in (testing/scenario.h hooks).
+    machine_->recorder().record(actor_, cpu_, 0, sim::OpKind::Control,
+                                0, "h2d_stage");
     driver_->setClient(actor_, cpu_);
     auto r = driver_->memcpyHtoD(ctx_, host_buf_.paddr, dst_gpu_va,
                                  data.size());
@@ -104,6 +109,10 @@ BaselineRuntime::memcpyDtoH(Addr src_gpu_va, std::uint64_t len)
     auto r = driver_->memcpyDtoH(ctx_, src_gpu_va, host_buf_.paddr, len);
     if (!r.isOk())
         return r.status();
+    // Zero-duration marker between the DMA filling the pinned buffer
+    // and the application reading it out (mid-transfer attack hook).
+    machine_->recorder().record(actor_, cpu_, 0, sim::OpKind::Control,
+                                0, "d2h_drain");
     Bytes out(len);
     HIX_RETURN_IF_ERROR(
         machine_->ram().readAt(host_buf_.paddr, out.data(), len));

@@ -12,7 +12,7 @@ namespace hix::core
 namespace
 {
 
-constexpr Addr UserElBase = 0x30000000;
+constexpr Addr UserElBase = TrustedRuntime::UserElBase;
 constexpr std::uint64_t UserElSize = 16 * MiB;
 
 Status

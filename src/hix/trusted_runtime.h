@@ -46,6 +46,10 @@ class TrustedRuntime
     /** The user enclave's id (for tests). */
     EnclaveId enclaveId() const { return eid_; }
     std::uint32_t sessionId() const { return session_id_; }
+    ProcessId pid() const { return pid_; }
+
+    /** ELRANGE base of the user enclave (for protection tests). */
+    static constexpr Addr UserElBase = 0x30000000;
 
     /**
      * Pin the GPU enclave measurement (the vendor-published

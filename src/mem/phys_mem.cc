@@ -29,7 +29,8 @@ PhysMem::pageFor(std::uint64_t offset, bool create)
 Status
 PhysMem::readAt(std::uint64_t offset, std::uint8_t *data, std::size_t len)
 {
-    if (offset + len > size_)
+    // Overflow-safe bound check: offset + len must not wrap.
+    if (len > size_ || offset > size_ - len)
         return errInvalidArgument("read beyond " + name_ + " size");
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(offset);
@@ -50,7 +51,7 @@ Status
 PhysMem::writeAt(std::uint64_t offset, const std::uint8_t *data,
                  std::size_t len)
 {
-    if (offset + len > size_)
+    if (len > size_ || offset > size_ - len)
         return errInvalidArgument("write beyond " + name_ + " size");
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(offset);
@@ -67,7 +68,7 @@ PhysMem::writeAt(std::uint64_t offset, const std::uint8_t *data,
 Status
 PhysMem::zeroAt(std::uint64_t offset, std::uint64_t len)
 {
-    if (offset + len > size_)
+    if (len > size_ || offset > size_ - len)
         return errInvalidArgument("zero beyond " + name_ + " size");
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(offset);

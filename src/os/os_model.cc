@@ -48,6 +48,9 @@ OsModel::pageTableOf(ProcessId pid)
 Result<Addr>
 OsModel::allocFrames(std::uint64_t size)
 {
+    // Reject sizes whose page round-up would wrap 64-bit arithmetic.
+    if (size > ~std::uint64_t(0) - (mem::PageSize - 1))
+        return errResourceExhausted("allocation size overflows");
     size = (size + mem::PageSize - 1) & ~(mem::PageSize - 1);
     Addr base = frame_cursor_;
     // Skip reserved carve-outs (EPC etc.).
@@ -61,7 +64,8 @@ OsModel::allocFrames(std::uint64_t size)
             }
         }
     }
-    if (base + size > ram_size_)
+    // Overflow-safe: base + size must fit without wrapping.
+    if (base > ram_size_ || size > ram_size_ - base)
         return errResourceExhausted("out of physical frames");
     frame_cursor_ = base + size;
     return base;
@@ -87,6 +91,8 @@ OsModel::mapPhysical(ProcessId pid, Addr paddr, std::uint64_t size,
         return errNotFound("no such process");
     if (!mem::pageAligned(paddr))
         return errInvalidArgument("mapPhysical: unaligned paddr");
+    if (size > ~std::uint64_t(0) - (mem::PageSize - 1))
+        return errInvalidArgument("mapPhysical: size overflows");
     size = (size + mem::PageSize - 1) & ~(mem::PageSize - 1);
     const Addr vaddr = proc->vaCursor;
     proc->vaCursor += size + mem::PageSize;  // guard page

@@ -93,7 +93,10 @@ SgxUnit::eadd(EnclaveId enclave, Addr vaddr, std::uint8_t perms,
     storeLE64(meta + 8, perms);
     h.update(meta, sizeof(meta));
     Bytes page(mem::PageSize, 0);
-    std::memcpy(page.data(), content.data(), content.size());
+    // Guard the empty case: memcpy from a null source is UB even
+    // with length 0 (zero-content EADD measures an all-zero page).
+    if (!content.empty())
+        std::memcpy(page.data(), content.data(), content.size());
     h.update(page);
     secs.mrenclave = h.finalize();
 

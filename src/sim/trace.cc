@@ -99,6 +99,7 @@ TraceRecorder::record(std::uint32_t actor, ResourceId resource,
     OpId id = trace_->add(resource, duration, std::move(deps), kind,
                           bytes, std::move(label), gpu_ctx);
     chain_tails_[actor] = id;
+    notify(id);
     return id;
 }
 
@@ -110,8 +111,37 @@ TraceRecorder::recordDetached(ResourceId resource, Tick duration,
 {
     if (!trace_)
         return InvalidOpId;
-    return trace_->add(resource, duration, std::move(deps), kind, bytes,
-                       std::move(label), gpu_ctx);
+    OpId id = trace_->add(resource, duration, std::move(deps), kind,
+                          bytes, std::move(label), gpu_ctx);
+    notify(id);
+    return id;
+}
+
+int
+TraceRecorder::addObserver(OpObserver observer)
+{
+    const int handle = next_observer_++;
+    observers_.emplace_back(handle, std::move(observer));
+    return handle;
+}
+
+void
+TraceRecorder::removeObserver(int handle)
+{
+    std::erase_if(observers_,
+                  [handle](const auto &e) { return e.first == handle; });
+}
+
+void
+TraceRecorder::notify(OpId id)
+{
+    if (observers_.empty())
+        return;
+    // Copy the op: an observer may append further ops (through code it
+    // calls), which can reallocate the trace's storage.
+    const Op op = trace_->op(id);
+    for (const auto &[handle, observer] : observers_)
+        observer(op);
 }
 
 OpId

@@ -16,6 +16,7 @@
 #define HIX_SIM_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -128,6 +129,16 @@ class Trace
 class TraceRecorder
 {
   public:
+    /**
+     * Observer fired after an op is appended to the trace. This is
+     * the security harness's phase hook: functional execution calls
+     * record() at precise points of the modelled software (per
+     * transfer chunk, per kernel launch), so an observer can
+     * interleave an action — e.g. a privileged attack — exactly
+     * between two chunks of a running transfer.
+     */
+    using OpObserver = std::function<void(const Op &)>;
+
     /** A recorder that drops everything. */
     TraceRecorder() = default;
 
@@ -136,6 +147,15 @@ class TraceRecorder
 
     bool enabled() const { return trace_ != nullptr; }
     Trace *trace() { return trace_; }
+
+    /**
+     * Register an observer; returns a handle for removeObserver.
+     * Observers must not record ops themselves (no re-entrancy).
+     */
+    int addObserver(OpObserver observer);
+
+    /** Remove an observer by the handle addObserver returned. */
+    void removeObserver(int handle);
 
     /**
      * Record an op that follows program order for @p actor: it
@@ -169,8 +189,13 @@ class TraceRecorder
     void setChainTail(std::uint32_t actor, OpId op);
 
   private:
+    void notify(OpId id);
+
     Trace *trace_ = nullptr;
     std::vector<OpId> chain_tails_;
+    /** (handle, observer); removal keeps other handles stable. */
+    std::vector<std::pair<int, OpObserver>> observers_;
+    int next_observer_ = 0;
 };
 
 }  // namespace hix::sim

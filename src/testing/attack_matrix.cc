@@ -1,0 +1,145 @@
+#include "testing/attack_matrix.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hix::harness
+{
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::PlaintextLeak:
+        return "plaintext-leak";
+      case Outcome::SilentCorruption:
+        return "silent-corruption";
+      case Outcome::MappingHijack:
+        return "mapping-hijack";
+      case Outcome::AttackAllowed:
+        return "attack-allowed";
+      case Outcome::CiphertextOnly:
+        return "ciphertext-only";
+      case Outcome::Denied:
+        return "denied";
+      case Outcome::Detected:
+        return "detected";
+      case Outcome::LockedOut:
+        return "locked-out";
+      case Outcome::Scrubbed:
+        return "scrubbed";
+    }
+    return "unknown";
+}
+
+bool
+outcomeIsBreach(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::PlaintextLeak:
+      case Outcome::SilentCorruption:
+      case Outcome::MappingHijack:
+      case Outcome::AttackAllowed:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+AttackMatrix::add(AttackCell cell)
+{
+    cells_.push_back(std::move(cell));
+}
+
+int
+AttackMatrix::runAll(std::ostream *progress)
+{
+    results_.clear();
+    results_.reserve(cells_.size());
+    int failures = 0;
+    for (const AttackCell &cell : cells_) {
+        CellRun run;
+        auto result = cell.run();
+        if (!result.isOk()) {
+            run.error = result.status().toString();
+            run.pass = false;
+        } else {
+            run.observed = *result;
+            run.pass = run.observed.outcome == cell.expected;
+        }
+        if (!run.pass)
+            ++failures;
+        if (progress) {
+            *progress << (run.pass ? "  ok   " : "  FAIL ")
+                      << cell.attack << " ["
+                      << runtimeKindName(cell.runtime) << ", "
+                      << phaseName(cell.phase) << "] -> "
+                      << (run.error.empty()
+                              ? outcomeName(run.observed.outcome)
+                              : run.error.c_str());
+            if (!run.observed.detail.empty())
+                *progress << " (" << run.observed.detail << ")";
+            *progress << "\n";
+        }
+        results_.push_back(std::move(run));
+    }
+    return failures;
+}
+
+std::string
+AttackMatrix::toMarkdown() const
+{
+    std::ostringstream md;
+    int passed = 0;
+    for (const CellRun &run : results_)
+        if (run.pass)
+            ++passed;
+
+    md << "# HIX security conformance matrix\n\n";
+    md << "Every privileged-software attack of the paper's Section "
+          "5.5, executed\nagainst the unprotected baseline and "
+          "against HIX at a precise lifecycle\nphase. Baseline cells "
+          "must demonstrate the breach; HIX cells must show\nthe "
+          "wall that stops it.\n\n";
+    md << "Cells: " << results_.size() << " | Passed: " << passed
+       << " | Failed: " << (results_.size() - passed) << "\n\n";
+    md << "| Attack | Primitive | Phase | Runtime | Expected | "
+          "Observed | Pass | Evidence | Paper |\n";
+    md << "|---|---|---|---|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const AttackCell &cell = cells_[i];
+        const CellRun &run = results_[i];
+        md << "| " << cell.attack << " | `" << cell.primitive
+           << "` | " << phaseName(cell.phase) << " | "
+           << runtimeKindName(cell.runtime) << " | "
+           << outcomeName(cell.expected) << " | ";
+        if (run.error.empty())
+            md << outcomeName(run.observed.outcome);
+        else
+            md << "error";
+        md << " | " << (run.pass ? "yes" : "**NO**") << " | "
+           << (run.error.empty() ? run.observed.detail : run.error)
+           << " | " << cell.paperRef << " |\n";
+    }
+    md << "\nOutcome legend: breaches = plaintext-leak, "
+          "silent-corruption, mapping-hijack,\nattack-allowed; walls "
+          "= ciphertext-only, denied, detected, locked-out, "
+          "scrubbed.\n";
+    return md.str();
+}
+
+Status
+AttackMatrix::writeMarkdown(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return errUnavailable("cannot open " + path);
+    out << toMarkdown();
+    out.flush();
+    if (!out)
+        return errUnavailable("short write to " + path);
+    return Status::ok();
+}
+
+}  // namespace hix::harness

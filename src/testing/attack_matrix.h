@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Table-driven security conformance matrix (paper Section 5.5).
+ *
+ * Each cell is one privileged attack primitive, launched against one
+ * runtime (unprotected baseline or HIX) at one lifecycle phase, with
+ * an expected outcome: baseline cells must *demonstrate* the breach
+ * (plaintext leak, silent corruption, hijack), HIX cells must show
+ * the specific wall that stops it (denial, MAC-failure detection,
+ * lockout, scrubbing). Running the matrix produces a pass/fail per
+ * cell and a markdown report artifact, making the paper's attack
+ * table an executable, regression-checked specification.
+ *
+ * Adding a cell is one AttackMatrix::add() call with a closure; see
+ * registerBuiltinCells() in builtin_cells.cc.
+ */
+
+#ifndef HIX_TESTING_ATTACK_MATRIX_H_
+#define HIX_TESTING_ATTACK_MATRIX_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "testing/scenario.h"
+
+namespace hix::harness
+{
+
+/** What the attack achieved (or ran into). */
+enum class Outcome
+{
+    // Breaches — what the baseline cells demonstrate.
+    PlaintextLeak,     //!< attacker recovered victim plaintext
+    SilentCorruption,  //!< victim data corrupted, nothing noticed
+    MappingHijack,     //!< forged translation honoured by hardware
+    AttackAllowed,     //!< privileged action succeeded unchecked
+
+    // Walls — what the HIX cells assert.
+    CiphertextOnly,    //!< attacker sees only OCB ciphertext
+    Denied,            //!< hardware refused the access outright
+    Detected,          //!< cryptographic check caught the tamper
+    LockedOut,         //!< GPU unusable until cold boot
+    Scrubbed,          //!< residual data cleansed before release
+};
+
+const char *outcomeName(Outcome outcome);
+
+/** True for the outcomes that represent a successful breach. */
+bool outcomeIsBreach(Outcome outcome);
+
+/** What one executed cell observed. */
+struct CellResult
+{
+    Outcome outcome = Outcome::AttackAllowed;
+    /** Free-form evidence, e.g. "4091/4096 bytes recovered". */
+    std::string detail;
+};
+
+/** One matrix cell: attack x runtime x phase with its expectation. */
+struct AttackCell
+{
+    /** Row key, e.g. "dram-snoop-h2d". */
+    std::string attack;
+    /** os::Attacker primitive(s) the cell exercises. */
+    std::string primitive;
+    RuntimeKind runtime = RuntimeKind::Baseline;
+    Phase phase = Phase::PreLaunch;
+    Outcome expected = Outcome::AttackAllowed;
+    /** Pointer into the paper, e.g. "S5.5 direct-access attacks". */
+    std::string paperRef;
+    /** Execute the cell; errors mean the cell could not run. */
+    std::function<Result<CellResult>()> run;
+};
+
+/** Result of executing one cell. */
+struct CellRun
+{
+    bool pass = false;
+    /** Set when the cell harness itself failed (not an outcome). */
+    std::string error;
+    CellResult observed;
+};
+
+/**
+ * The registry + runner. Cells execute independently (each builds
+ * its own machine), so one misbehaving cell cannot poison another.
+ */
+class AttackMatrix
+{
+  public:
+    void add(AttackCell cell);
+
+    std::size_t size() const { return cells_.size(); }
+    const std::vector<AttackCell> &cells() const { return cells_; }
+
+    /**
+     * Run every cell; returns the number of failing cells. Per-cell
+     * progress goes to @p progress when non-null.
+     */
+    int runAll(std::ostream *progress = nullptr);
+
+    /** Per-cell results, parallel to cells(); empty before runAll. */
+    const std::vector<CellRun> &results() const { return results_; }
+
+    /** Render the executed matrix as a markdown report. */
+    std::string toMarkdown() const;
+
+    /** Write toMarkdown() to @p path. */
+    Status writeMarkdown(const std::string &path) const;
+
+  private:
+    std::vector<AttackCell> cells_;
+    std::vector<CellRun> results_;
+};
+
+/** Install the built-in Section 5.5 cell set (>= 20 cells). */
+void registerBuiltinCells(AttackMatrix &matrix);
+
+}  // namespace hix::harness
+
+#endif  // HIX_TESTING_ATTACK_MATRIX_H_

@@ -1,0 +1,136 @@
+#include "testing/fuzz.h"
+
+#include "common/rng.h"
+
+namespace hix::harness
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: cheap, well-mixed combine step. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    return h;
+}
+
+}  // namespace
+
+void
+FuzzRunner::add(FuzzTarget target)
+{
+    targets_.push_back(std::move(target));
+}
+
+std::vector<std::uint64_t>
+FuzzRunner::traceFor(const FuzzTarget &target,
+                     std::uint64_t iteration) const
+{
+    // Independent stream per (seed, target, iteration): re-seeding
+    // from a mixed value keeps traces stable when the budget or the
+    // target list changes.
+    std::uint64_t s = mix(seed_, iteration + 1);
+    for (char c : target.name)
+        s = mix(s, static_cast<std::uint64_t>(c));
+    Rng rng(s);
+    const std::size_t span = target.maxOps - target.minOps + 1;
+    const std::size_t n =
+        target.minOps + static_cast<std::size_t>(rng.nextBelow(span));
+    std::vector<std::uint64_t> ops(n);
+    for (std::uint64_t &op : ops)
+        op = rng.next64();
+    return ops;
+}
+
+FuzzVerdict
+FuzzRunner::runTarget(const FuzzTarget &target) const
+{
+    FuzzVerdict verdict;
+    verdict.target = target.name;
+    verdict.seed = seed_;
+    for (std::uint64_t iter = 0; iter < iterations_; ++iter) {
+        std::vector<std::uint64_t> ops = traceFor(target, iter);
+        Status st = target.run(ops);
+        for (std::uint64_t op : ops)
+            verdict.digest = mix(verdict.digest, op);
+        verdict.digest = mix(
+            verdict.digest, static_cast<std::uint64_t>(st.code()));
+        ++verdict.iterations;
+        if (!st.isOk()) {
+            verdict.failed = true;
+            verdict.failingIteration = iter;
+            verdict.message = st.toString();
+            verdict.trace = shrink(target, std::move(ops));
+            // Re-run the shrunk trace for the final message.
+            Status final_st = target.run(verdict.trace);
+            if (!final_st.isOk())
+                verdict.message = final_st.toString();
+            return verdict;
+        }
+    }
+    return verdict;
+}
+
+std::vector<std::uint64_t>
+FuzzRunner::shrink(const FuzzTarget &target,
+                   std::vector<std::uint64_t> failing) const
+{
+    // Greedy delta debugging: repeatedly try to excise spans of
+    // halving length; keep any excision that still fails.
+    for (std::size_t span = failing.size() / 2; span >= 1;
+         span = span / 2) {
+        bool removed = true;
+        while (removed) {
+            removed = false;
+            for (std::size_t start = 0;
+                 start + span <= failing.size();) {
+                std::vector<std::uint64_t> candidate;
+                candidate.reserve(failing.size() - span);
+                candidate.insert(candidate.end(), failing.begin(),
+                                 failing.begin() + start);
+                candidate.insert(candidate.end(),
+                                 failing.begin() + start + span,
+                                 failing.end());
+                if (!target.run(candidate).isOk()) {
+                    failing = std::move(candidate);
+                    removed = true;
+                } else {
+                    start += span;
+                }
+            }
+        }
+        if (span == 1)
+            break;
+    }
+    return failing;
+}
+
+std::vector<FuzzVerdict>
+FuzzRunner::runAll(std::ostream *progress) const
+{
+    std::vector<FuzzVerdict> verdicts;
+    verdicts.reserve(targets_.size());
+    for (const FuzzTarget &target : targets_) {
+        FuzzVerdict v = runTarget(target);
+        if (progress) {
+            *progress << (v.failed ? "  FAIL " : "  ok   ")
+                      << v.target << ": " << v.iterations
+                      << " iteration(s), digest 0x" << std::hex
+                      << v.digest << std::dec;
+            if (v.failed)
+                *progress << " — " << v.message << " (trace of "
+                          << v.trace.size() << " op(s) at iteration "
+                          << v.failingIteration << ")";
+            *progress << "\n";
+        }
+        verdicts.push_back(std::move(v));
+    }
+    return verdicts;
+}
+
+}  // namespace hix::harness

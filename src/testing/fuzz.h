@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic property-fuzz runner with trace shrinking.
+ *
+ * A fuzz target interprets a flat vector of 64-bit operation words as
+ * a sequence of actions against a subsystem plus a shadow model, and
+ * returns an error when a property is violated. The runner derives
+ * every iteration's operation trace from one master seed through
+ * common/rng (xoshiro256**), so a run is fully reproducible: same
+ * seed => identical traces, identical verdict, identical digest.
+ *
+ * On failure the runner shrinks the operation trace with greedy
+ * delta debugging (remove spans of halving size while the failure
+ * persists), so the reported trace is close to minimal and can be
+ * replayed directly through FuzzTarget::run.
+ *
+ * New targets are one registration call; see
+ * registerBuiltinFuzzTargets() in fuzz_targets.cc.
+ */
+
+#ifndef HIX_TESTING_FUZZ_H_
+#define HIX_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hix::harness
+{
+
+/** One registered fuzz target. */
+struct FuzzTarget
+{
+    std::string name;
+    /** Bounds on the per-iteration operation-trace length. */
+    std::size_t minOps = 1;
+    std::size_t maxOps = 48;
+    /**
+     * Interpret @p ops against the subsystem under test; return an
+     * error describing the first property violation, if any.
+     */
+    std::function<Status(const std::vector<std::uint64_t> &ops)> run;
+};
+
+/** Verdict of fuzzing one target. */
+struct FuzzVerdict
+{
+    std::string target;
+    std::uint64_t seed = 0;
+    std::uint64_t iterations = 0;
+    /** Order-sensitive digest over every trace word and status code:
+     *  the determinism witness (same seed => same digest). */
+    std::uint64_t digest = 0;
+    bool failed = false;
+    std::uint64_t failingIteration = 0;
+    /** Shrunk failing operation trace (replayable via run). */
+    std::vector<std::uint64_t> trace;
+    std::string message;
+};
+
+/** The runner: owns the target list and the iteration budget. */
+class FuzzRunner
+{
+  public:
+    FuzzRunner(std::uint64_t seed, std::uint64_t iterations)
+        : seed_(seed), iterations_(iterations)
+    {}
+
+    void add(FuzzTarget target);
+
+    const std::vector<FuzzTarget> &targets() const { return targets_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Fuzz one target for the full iteration budget (stops at the
+     *  first failure, after shrinking it). */
+    FuzzVerdict runTarget(const FuzzTarget &target) const;
+
+    /** Fuzz every registered target. */
+    std::vector<FuzzVerdict> runAll(std::ostream *progress = nullptr) const;
+
+    /** The operation trace iteration @p iteration would receive. */
+    std::vector<std::uint64_t> traceFor(const FuzzTarget &target,
+                                        std::uint64_t iteration) const;
+
+  private:
+    std::vector<std::uint64_t> shrink(
+        const FuzzTarget &target,
+        std::vector<std::uint64_t> failing) const;
+
+    std::uint64_t seed_;
+    std::uint64_t iterations_;
+    std::vector<FuzzTarget> targets_;
+};
+
+/** Install the built-in targets: protocol parsing, AuthChannel
+ *  framing, and MMU/IOMMU/PhysMem mapping state. */
+void registerBuiltinFuzzTargets(FuzzRunner &runner);
+
+}  // namespace hix::harness
+
+#endif  // HIX_TESTING_FUZZ_H_

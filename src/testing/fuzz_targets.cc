@@ -1,0 +1,381 @@
+#include "testing/fuzz_targets.h"
+
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+
+#include "crypto/auth_channel.h"
+#include "crypto/hmac.h"
+#include "hix/protocol.h"
+#include "mem/iommu.h"
+#include "mem/page_table.h"
+#include "mem/phys_mem.h"
+
+namespace hix::harness
+{
+
+namespace
+{
+
+std::string
+hexWord(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+// ----- protocol --------------------------------------------------------
+
+Status
+runProtocol(const std::vector<std::uint64_t> &ops)
+{
+    std::size_t i = 0;
+    auto next = [&]() -> std::uint64_t {
+        return i < ops.size() ? ops[i++] : 0;
+    };
+
+    // Build a structured request from the op stream and round-trip.
+    core::Request req;
+    req.type = static_cast<core::ReqType>(1 + next() % 9);
+    const std::size_t nargs = next() % 6;
+    for (std::size_t a = 0; a < nargs; ++a)
+        req.args.push_back(next());
+    const std::size_t blob_len = next() % 24;
+    for (std::size_t b = 0; b < blob_len; ++b)
+        req.blob.push_back(static_cast<std::uint8_t>(next()));
+
+    Bytes wire = core::encodeRequest(req);
+    auto decoded = core::decodeRequest(wire);
+    if (!decoded.isOk())
+        return errInternal("request roundtrip decode failed: " +
+                           decoded.status().toString());
+    if (decoded->type != req.type || decoded->args != req.args ||
+        decoded->blob != req.blob)
+        return errInternal("request roundtrip mismatch");
+
+    // Same for a response.
+    core::Response resp;
+    resp.code = static_cast<std::uint32_t>(next() % 16);
+    const std::size_t nvals = next() % 5;
+    for (std::size_t v = 0; v < nvals; ++v)
+        resp.vals.push_back(next());
+    Bytes rwire = core::encodeResponse(resp);
+    auto rdec = core::decodeResponse(rwire);
+    if (!rdec.isOk())
+        return errInternal("response roundtrip decode failed: " +
+                           rdec.status().toString());
+    if (rdec->code != resp.code || rdec->vals != resp.vals)
+        return errInternal("response roundtrip mismatch");
+
+    // Mutation: decode must stay total (return a status, never
+    // crash or over-read), and anything it accepts must re-encode
+    // canonically.
+    Bytes mutated = wire;
+    mutated[next() % mutated.size()] ^=
+        static_cast<std::uint8_t>(next() | 1);
+    auto mdec = core::decodeRequest(mutated);
+    if (mdec.isOk()) {
+        auto canon = core::decodeRequest(core::encodeRequest(*mdec));
+        if (!canon.isOk() || canon->type != mdec->type ||
+            canon->args != mdec->args || canon->blob != mdec->blob)
+            return errInternal("accepted mutation is not canonical");
+    }
+
+    // Truncation and garbage extension must be rejected or handled.
+    Bytes truncated(
+        wire.begin(),
+        wire.begin() +
+            static_cast<std::ptrdiff_t>(next() % wire.size()));
+    if (core::decodeRequest(truncated).isOk() &&
+        truncated.size() != wire.size())
+        return errInternal("truncated request accepted");
+    Bytes extended = wire;
+    extended.push_back(static_cast<std::uint8_t>(next()));
+    if (core::decodeRequest(extended).isOk())
+        return errInternal("over-long request accepted");
+    return Status::ok();
+}
+
+// ----- auth channel ----------------------------------------------------
+
+Status
+runAuthChannel(const std::vector<std::uint64_t> &ops)
+{
+    const crypto::AesKey key =
+        crypto::deriveAesKey(Bytes(32, 0x5A), "fuzz-channel");
+    crypto::AuthChannel sender(key, 1, 2);
+    crypto::AuthChannel receiver(key, 2, 1);
+
+    struct InFlight
+    {
+        crypto::SealedMessage msg;
+        Bytes plaintext;
+    };
+    std::deque<InFlight> inflight;
+    std::uint64_t sent = 0;
+
+    for (std::uint64_t op : ops) {
+        switch (op % 5) {
+          case 0: {  // seal a fresh message
+            const std::size_t len = (op >> 8) % 64;
+            Bytes pt(len);
+            for (std::size_t j = 0; j < len; ++j)
+                pt[j] = static_cast<std::uint8_t>(op >> (j % 56));
+            crypto::SealedMessage msg = sender.seal(pt);
+            ++sent;
+            if (msg.sequence != sent)
+                return errInternal("send sequence not monotonic");
+            inflight.push_back(InFlight{std::move(msg), std::move(pt)});
+            break;
+          }
+          case 1: {  // in-order delivery must succeed exactly once
+            if (inflight.empty())
+                break;
+            InFlight m = std::move(inflight.front());
+            inflight.pop_front();
+            auto pt = receiver.open(m.msg);
+            if (!pt.isOk())
+                return errInternal("in-order open rejected: " +
+                                   pt.status().toString());
+            if (*pt != m.plaintext)
+                return errInternal("opened plaintext mismatch");
+            if (receiver.lastAcceptedSequence() != m.msg.sequence)
+                return errInternal("receiver sequence not advanced");
+            break;
+          }
+          case 2: {  // tampered copy must be rejected, original kept
+            if (inflight.empty())
+                break;
+            crypto::SealedMessage copy = inflight.front().msg;
+            const std::size_t bit = (op >> 16) % (copy.body.size() * 8);
+            copy.body[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            auto pt = receiver.open(copy);
+            if (pt.isOk())
+                return errInternal("tampered message accepted");
+            if (pt.status().code() != StatusCode::IntegrityFailure)
+                return errInternal(
+                    "tamper misclassified: " + pt.status().toString());
+            break;
+          }
+          case 3: {  // wrong-stream copy must be rejected
+            if (inflight.empty())
+                break;
+            crypto::SealedMessage copy = inflight.front().msg;
+            copy.stream ^= 0x10;
+            auto pt = receiver.open(copy);
+            if (pt.isOk())
+                return errInternal("wrong-stream message accepted");
+            if (pt.status().code() != StatusCode::InvalidArgument)
+                return errInternal("wrong stream misclassified: " +
+                                   pt.status().toString());
+            break;
+          }
+          case 4: {  // skip-ahead delivery, then replay it
+            if (inflight.empty())
+                break;
+            InFlight m = std::move(inflight.back());
+            inflight.clear();  // older messages become stale
+            auto pt = receiver.open(m.msg);
+            if (!pt.isOk())
+                return errInternal("skip-ahead open rejected: " +
+                                   pt.status().toString());
+            if (*pt != m.plaintext)
+                return errInternal("skip-ahead plaintext mismatch");
+            auto replay = receiver.open(m.msg);
+            if (replay.isOk())
+                return errInternal("replayed message accepted");
+            if (replay.status().code() != StatusCode::ReplayDetected)
+                return errInternal("replay misclassified: " +
+                                   replay.status().toString());
+            break;
+          }
+        }
+    }
+    return Status::ok();
+}
+
+// ----- mapping state ---------------------------------------------------
+
+constexpr std::uint64_t FuzzRamSize = 1 * 1024 * 1024;
+
+/** Small address pool + occasional adversarial extremes. */
+Addr
+pickAddr(std::uint64_t op, unsigned shift)
+{
+    const std::uint64_t sel = (op >> shift) & 0xff;
+    if ((sel & 0x0f) == 0x0f)  // extreme: near the top of the space
+        return (~std::uint64_t(0) << 12) + (sel >> 4);
+    if ((sel & 0x0f) == 0x0e)  // unaligned
+        return (sel % 16) * mem::PageSize + 1 + (sel >> 4);
+    return (sel % 16) * mem::PageSize;
+}
+
+Status
+runMappingState(const std::vector<std::uint64_t> &ops)
+{
+    mem::PageTable pt;
+    std::unordered_map<Addr, mem::Pte> pt_shadow;
+    mem::Iommu iommu;
+    iommu.setEnabled(true);
+    std::unordered_map<Addr, Addr> io_shadow;
+    mem::PhysMem ram("fuzz_ram", FuzzRamSize);
+    std::unordered_map<std::uint64_t, std::uint8_t> ram_shadow;
+
+    for (std::uint64_t op : ops) {
+        const Addr va = pickAddr(op, 8);
+        const Addr pa = pickAddr(op, 16);
+        const std::uint8_t perms =
+            static_cast<std::uint8_t>(1 + (op >> 24) % 7);
+        switch (op % 8) {
+          case 0: {
+            Status st = pt.map(va, pa, perms);
+            const bool aligned =
+                mem::pageAligned(va) && mem::pageAligned(pa);
+            const bool fresh = pt_shadow.find(va) == pt_shadow.end();
+            if (st.isOk() != (aligned && fresh))
+                return errInternal("pt.map verdict mismatch at va " +
+                                   hexWord(va));
+            if (st.isOk())
+                pt_shadow[va] = mem::Pte{pa, perms};
+            break;
+          }
+          case 1: {
+            Status st = pt.unmap(va);
+            const bool present =
+                pt_shadow.erase(mem::pageBase(va)) > 0;
+            if (st.isOk() != present)
+                return errInternal("pt.unmap verdict mismatch at " +
+                                   hexWord(va));
+            break;
+          }
+          case 2: {
+            auto pte = pt.lookup(va);
+            auto it = pt_shadow.find(mem::pageBase(va));
+            if (pte.isOk() != (it != pt_shadow.end()))
+                return errInternal("pt.lookup presence mismatch at " +
+                                   hexWord(va));
+            if (pte.isOk() && (pte->paddr != it->second.paddr ||
+                               pte->perms != it->second.perms))
+                return errInternal("pt.lookup PTE mismatch at " +
+                                   hexWord(va));
+            break;
+          }
+          case 3: {
+            pt.overwrite(va, pa, perms);
+            pt_shadow[mem::pageBase(va)] =
+                mem::Pte{mem::pageBase(pa), perms};
+            break;
+          }
+          case 4: {
+            Status st = iommu.map(va, pa);
+            const bool aligned =
+                mem::pageAligned(va) && mem::pageAligned(pa);
+            const bool fresh = io_shadow.find(va) == io_shadow.end();
+            if (st.isOk() != (aligned && fresh))
+                return errInternal("iommu.map verdict mismatch at " +
+                                   hexWord(va));
+            if (st.isOk())
+                io_shadow[va] = pa;
+            break;
+          }
+          case 5: {
+            iommu.overwrite(va, pa);
+            io_shadow[mem::pageBase(va)] = mem::pageBase(pa);
+            break;
+          }
+          case 6: {
+            auto xlat = iommu.translate(va);
+            auto it = io_shadow.find(mem::pageBase(va));
+            if (xlat.isOk() != (it != io_shadow.end()))
+                return errInternal(
+                    "iommu.translate presence mismatch at " +
+                    hexWord(va));
+            if (xlat.isOk() &&
+                *xlat != it->second + mem::pageOffset(va))
+                return errInternal(
+                    "iommu.translate address mismatch at " +
+                    hexWord(va));
+            break;
+          }
+          case 7: {
+            // PhysMem bounds property: an access is legal iff it
+            // fits entirely inside the memory — including when
+            // offset + len would wrap 64-bit arithmetic.
+            std::uint64_t offset = (op >> 8) % (2 * FuzzRamSize);
+            if (((op >> 4) & 0xf) == 0xf)
+                offset = ~std::uint64_t(0) - ((op >> 32) & 0xff);
+            const std::size_t len = 1 + ((op >> 3) % 8);
+            const bool legal = len <= FuzzRamSize &&
+                               offset <= FuzzRamSize - len;
+            std::uint8_t buf[8];
+            if (op & 0x100000000ull) {
+                for (std::size_t j = 0; j < len; ++j)
+                    buf[j] = static_cast<std::uint8_t>(op >> j);
+                Status st = ram.writeAt(offset, buf, len);
+                if (st.isOk() != legal)
+                    return errInternal(
+                        "PhysMem write bounds verdict mismatch at "
+                        "offset " +
+                        hexWord(offset));
+                if (st.isOk())
+                    for (std::size_t j = 0; j < len; ++j)
+                        ram_shadow[offset + j] = buf[j];
+            } else {
+                Status st = ram.readAt(offset, buf, len);
+                if (st.isOk() != legal)
+                    return errInternal(
+                        "PhysMem read bounds verdict mismatch at "
+                        "offset " +
+                        hexWord(offset));
+                if (st.isOk()) {
+                    for (std::size_t j = 0; j < len; ++j) {
+                        auto it = ram_shadow.find(offset + j);
+                        const std::uint8_t want =
+                            it == ram_shadow.end() ? 0 : it->second;
+                        if (buf[j] != want)
+                            return errInternal(
+                                "PhysMem readback mismatch at "
+                                "offset " +
+                                hexWord(offset + j));
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+FuzzTarget
+protocolFuzzTarget()
+{
+    return FuzzTarget{"protocol", 8, 48, runProtocol};
+}
+
+FuzzTarget
+authChannelFuzzTarget()
+{
+    return FuzzTarget{"auth_channel", 1, 32, runAuthChannel};
+}
+
+FuzzTarget
+mappingStateFuzzTarget()
+{
+    return FuzzTarget{"mapping_state", 1, 64, runMappingState};
+}
+
+void
+registerBuiltinFuzzTargets(FuzzRunner &runner)
+{
+    runner.add(protocolFuzzTarget());
+    runner.add(authChannelFuzzTarget());
+    runner.add(mappingStateFuzzTarget());
+}
+
+}  // namespace hix::harness

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Built-in fuzz targets for the deterministic runner: protocol
+ * parsing, AuthChannel seal/open framing, and MMU/IOMMU/PhysMem
+ * mapping state, each validated against a shadow model.
+ */
+
+#ifndef HIX_TESTING_FUZZ_TARGETS_H_
+#define HIX_TESTING_FUZZ_TARGETS_H_
+
+#include "testing/fuzz.h"
+
+namespace hix::harness
+{
+
+/** Protocol encode/decode roundtrip + mutation robustness. */
+FuzzTarget protocolFuzzTarget();
+
+/** AuthChannel framing: delivery, tamper, replay, stream mixups. */
+FuzzTarget authChannelFuzzTarget();
+
+/** PageTable + IOMMU + PhysMem state vs a shadow model. */
+FuzzTarget mappingStateFuzzTarget();
+
+}  // namespace hix::harness
+
+#endif  // HIX_TESTING_FUZZ_TARGETS_H_

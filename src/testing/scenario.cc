@@ -1,0 +1,342 @@
+#include "testing/scenario.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/rng.h"
+#include "mem/phys_mem.h"
+
+namespace hix::harness
+{
+
+const char *
+runtimeKindName(RuntimeKind kind)
+{
+    switch (kind) {
+      case RuntimeKind::Baseline:
+        return "baseline";
+      case RuntimeKind::Hix:
+        return "hix";
+    }
+    return "unknown";
+}
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::PreLaunch:
+        return "pre-launch";
+      case Phase::MidTransfer:
+        return "mid-transfer";
+      case Phase::MidKernel:
+        return "mid-kernel";
+      case Phase::PostTeardown:
+        return "post-teardown";
+    }
+    return "unknown";
+}
+
+VictimScenario::VictimScenario(const ScenarioOptions &options)
+    : options_(options), attacker_(nullptr)
+{
+    os::MachineConfig cfg;
+    // Four chunks for the default 16 KiB secret: mid-transfer attacks
+    // need several chunk boundaries to strike between.
+    cfg.timing.pipelineChunkBytes = chunk_bytes_;
+    machine_ = std::make_unique<os::Machine>(cfg);
+    attacker_ = os::Attacker(machine_.get());
+
+    Rng rng(options_.seed);
+    secret_ = rng.bytes(options_.secretBytes);
+
+    machine_->gpu().kernels().add(
+        "sec_noop",
+        [](const gpu::GpuMemAccessor &, const gpu::KernelArgs &) {
+            return Status::ok();
+        },
+        [](const gpu::KernelArgs &) { return Tick(10000); });
+}
+
+VictimScenario::~VictimScenario()
+{
+    if (observer_handle_ >= 0)
+        machine_->recorder().removeObserver(observer_handle_);
+}
+
+Status
+VictimScenario::setup()
+{
+    if (options_.runtime == RuntimeKind::Baseline) {
+        baseline_ = std::make_unique<core::BaselineRuntime>(
+            machine_.get(), "victim");
+        HIX_RETURN_IF_ERROR(baseline_->init());
+        HIX_ASSIGN_OR_RETURN(gpu_va_,
+                             baseline_->memAlloc(secret_.size()));
+        if (options_.iommu) {
+            // Warm the pinned staging buffer before turning the IOMMU
+            // on, then identity-map it so the victim's DMA works
+            // until the attacker rewrites the table.
+            HIX_RETURN_IF_ERROR(
+                baseline_->memcpyHtoD(gpu_va_, Bytes(secret_.size())));
+            HIX_RETURN_IF_ERROR(
+                enableIommuIdentity(baseline_->hostBuffer().paddr,
+                                    baseline_->hostBuffer().size));
+        }
+        return Status::ok();
+    }
+
+    auto ge = core::GpuEnclave::create(
+        machine_.get(), machine_->gpu().factoryBiosDigest());
+    if (!ge.isOk())
+        return ge.status();
+    ge_ = std::move(*ge);
+    trusted_ = std::make_unique<core::TrustedRuntime>(
+        machine_.get(), ge_.get(), "victim");
+    HIX_RETURN_IF_ERROR(trusted_->connect());
+    HIX_ASSIGN_OR_RETURN(gpu_va_, trusted_->memAlloc(secret_.size()));
+    if (options_.iommu)
+        HIX_RETURN_IF_ERROR(enableIommuIdentity(
+            trusted_->sharedRing().paddr, trusted_->sharedRing().size));
+    return Status::ok();
+}
+
+Status
+VictimScenario::enableIommuIdentity(Addr paddr, std::uint64_t size)
+{
+    machine_->iommu().setEnabled(true);
+    for (Addr page = mem::pageBase(paddr); page < paddr + size;
+         page += mem::PageSize)
+        machine_->iommu().overwrite(page, page);
+    return Status::ok();
+}
+
+Status
+VictimScenario::upload()
+{
+    if (baseline_) {
+        // The runtime stages one pinned buffer per call; split the
+        // copy so the trace carries one staging op per chunk.
+        for (std::uint64_t off = 0; off < secret_.size();
+             off += chunk_bytes_) {
+            const std::uint64_t len = std::min<std::uint64_t>(
+                chunk_bytes_, secret_.size() - off);
+            Bytes chunk(secret_.begin() + off,
+                        secret_.begin() + off + len);
+            HIX_RETURN_IF_ERROR(
+                baseline_->memcpyHtoD(gpu_va_ + off, chunk));
+        }
+        return Status::ok();
+    }
+    return trusted_->memcpyHtoD(gpu_va_, secret_);
+}
+
+Status
+VictimScenario::launchKernel()
+{
+    if (baseline_) {
+        HIX_ASSIGN_OR_RETURN(gpu::KernelId kid,
+                             baseline_->loadModule("sec_noop"));
+        return baseline_->launchKernel(kid, {gpu_va_, 0});
+    }
+    HIX_ASSIGN_OR_RETURN(gpu::KernelId kid,
+                         trusted_->loadModule("sec_noop"));
+    return trusted_->launchKernel(kid, {gpu_va_, 0});
+}
+
+Result<Bytes>
+VictimScenario::download()
+{
+    if (baseline_) {
+        Bytes out;
+        out.reserve(secret_.size());
+        for (std::uint64_t off = 0; off < secret_.size();
+             off += chunk_bytes_) {
+            const std::uint64_t len = std::min<std::uint64_t>(
+                chunk_bytes_, secret_.size() - off);
+            HIX_ASSIGN_OR_RETURN(Bytes chunk,
+                                 baseline_->memcpyDtoH(gpu_va_ + off,
+                                                       len));
+            out.insert(out.end(), chunk.begin(), chunk.end());
+        }
+        return out;
+    }
+    return trusted_->memcpyDtoH(gpu_va_, secret_.size());
+}
+
+Status
+VictimScenario::teardown()
+{
+    Status first = Status::ok();
+    auto keep = [&first](const Status &st) {
+        if (first.isOk() && !st.isOk())
+            first = st;
+    };
+    if (baseline_) {
+        keep(baseline_->memFree(gpu_va_));
+        keep(baseline_->close());
+    } else if (trusted_) {
+        keep(trusted_->memFree(gpu_va_));
+        keep(trusted_->close());
+    }
+    return first;
+}
+
+void
+VictimScenario::onOp(const std::string &label, int occurrence,
+                     std::function<void()> attack)
+{
+    ensureObserver();
+    hooks_.push_back(Hook{label, occurrence, false, std::move(attack)});
+}
+
+const char *
+VictimScenario::htodChunkLabel() const
+{
+    return baseline_ || options_.runtime == RuntimeKind::Baseline
+               ? "h2d_stage"
+               : "h2d_encrypt";
+}
+
+const char *
+VictimScenario::dtohChunkLabel() const
+{
+    return baseline_ || options_.runtime == RuntimeKind::Baseline
+               ? "d2h_drain"
+               : "d2h_decrypt";
+}
+
+void
+VictimScenario::ensureObserver()
+{
+    if (observer_handle_ >= 0)
+        return;
+    observer_handle_ = machine_->recorder().addObserver(
+        [this](const sim::Op &op) { dispatch(op); });
+}
+
+void
+VictimScenario::dispatch(const sim::Op &op)
+{
+    // Attacks may drive more modelled software (which records ops);
+    // those must not re-trigger hooks.
+    if (in_hook_)
+        return;
+    for (Hook &hook : hooks_) {
+        if (hook.fired || hook.label != op.label)
+            continue;
+        if (--hook.remaining > 0)
+            continue;
+        hook.fired = true;
+        in_hook_ = true;
+        hook.fn();
+        in_hook_ = false;
+    }
+}
+
+Addr
+VictimScenario::stagingPaddr() const
+{
+    return baseline_ ? baseline_->hostBuffer().paddr
+                     : trusted_->sharedRing().paddr;
+}
+
+Addr
+VictimScenario::stagingVaddr() const
+{
+    return baseline_ ? baseline_->hostBuffer().vaddr
+                     : trusted_->sharedRing().vaddr;
+}
+
+ProcessId
+VictimScenario::victimPid() const
+{
+    return baseline_ ? baseline_->pid() : trusted_->pid();
+}
+
+EnclaveId
+VictimScenario::victimEnclaveId() const
+{
+    return trusted_ ? trusted_->enclaveId() : InvalidEnclaveId;
+}
+
+Result<Addr>
+VictimScenario::vramPaddr()
+{
+    if (!baseline_)
+        return errUnavailable(
+            "HIX hides VRAM placement inside the enclave");
+    return baseline_->gdev().vramAddrOf(baseline_->gpuContext(),
+                                        gpu_va_);
+}
+
+Addr
+VictimScenario::bar1Base()
+{
+    return machine_->gpu().config().barBase(1);
+}
+
+ProcessId
+VictimScenario::makeEvilProcess()
+{
+    return machine_->os().createProcess("evil");
+}
+
+Result<Addr>
+VictimScenario::evilFrame(std::uint64_t size, std::uint8_t fill)
+{
+    HIX_ASSIGN_OR_RETURN(Addr frame,
+                         machine_->os().allocFrames(size));
+    Bytes junk(size, fill);
+    HIX_RETURN_IF_ERROR(
+        machine_->ram().writeAt(frame, junk.data(), junk.size()));
+    return frame;
+}
+
+bool
+VictimScenario::vramContains(const Bytes &needle,
+                             std::uint64_t scan_bytes)
+{
+    if (needle.empty())
+        return false;
+    Bytes region(scan_bytes);
+    if (!machine_->gpu()
+             .debugReadVram(0, region.data(), region.size())
+             .isOk())
+        return false;
+    return std::search(region.begin(), region.end(),
+                       std::boyer_moore_horspool_searcher(
+                           needle.begin(), needle.end())) !=
+           region.end();
+}
+
+double
+VictimScenario::matchRatio(const Bytes &a, const Bytes &b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    if (n == 0)
+        return 0.0;
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (a[i] == b[i])
+            ++matches;
+    return static_cast<double>(matches) / static_cast<double>(n);
+}
+
+double
+VictimScenario::bestChunkMatch(const Bytes &observed,
+                               const Bytes &reference,
+                               std::uint64_t chunk)
+{
+    double best = 0.0;
+    for (std::uint64_t off = 0; off < reference.size(); off += chunk) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(chunk, reference.size() - off);
+        Bytes window(reference.begin() + off,
+                     reference.begin() + off + len);
+        best = std::max(best, matchRatio(observed, window));
+    }
+    return best;
+}
+
+}  // namespace hix::harness

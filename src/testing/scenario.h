@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Reusable victim scenario for the security conformance harness.
+ *
+ * A VictimScenario stands up one complete GPU workload — machine,
+ * runtime (unprotected baseline or HIX trusted runtime), a secret
+ * buffer, an upload / kernel / download lifecycle — and exposes the
+ * precise interleaving points an attack cell needs: every lifecycle
+ * step is an explicit call, and onOp() arms a phase hook that fires
+ * the attack between two recorded ops of a running transfer (e.g.
+ * between chunk 2 and chunk 3 of an HtoD copy), using the
+ * sim::TraceRecorder observer added for exactly this purpose.
+ *
+ * The scenario forces a small pipeline chunk (4 KiB) so a 16 KiB
+ * secret moves as four chunks, giving mid-transfer attacks real
+ * chunk boundaries to strike at.
+ */
+
+#ifndef HIX_TESTING_SCENARIO_H_
+#define HIX_TESTING_SCENARIO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hix/baseline_runtime.h"
+#include "hix/gpu_enclave.h"
+#include "hix/trusted_runtime.h"
+#include "os/attacker.h"
+#include "os/machine.h"
+
+namespace hix::harness
+{
+
+/** Which runtime the victim uses: the attack matrix's column pair. */
+enum class RuntimeKind
+{
+    Baseline,  //!< stock Gdev stack, no protection
+    Hix,       //!< GPU enclave + trusted runtime
+};
+
+/** When the attack strikes relative to the victim's lifecycle. */
+enum class Phase
+{
+    PreLaunch,     //!< after session/data setup, before the kernel
+    MidTransfer,   //!< between two chunks of a running copy
+    MidKernel,     //!< while the job occupies the GPU
+    PostTeardown,  //!< after the victim released its resources
+};
+
+const char *runtimeKindName(RuntimeKind kind);
+const char *phaseName(Phase phase);
+
+/** Scenario construction knobs. */
+struct ScenarioOptions
+{
+    RuntimeKind runtime = RuntimeKind::Baseline;
+    /** Enable the IOMMU and identity-map the victim's DMA pages
+     *  (required by the DMA-redirection cells). */
+    bool iommu = false;
+    /** Secret payload size; four pipeline chunks by default. */
+    std::size_t secretBytes = 16 * 1024;
+    /** Seed for the secret contents (deterministic per cell). */
+    std::uint64_t seed = 0x5ec2e7;
+};
+
+/**
+ * One victim workload plus the privileged attacker bound to the same
+ * machine. Attack cells drive the lifecycle step by step and observe
+ * what the attacker could read, corrupt, or deny.
+ */
+class VictimScenario
+{
+  public:
+    explicit VictimScenario(const ScenarioOptions &options = {});
+    ~VictimScenario();
+
+    VictimScenario(const VictimScenario &) = delete;
+    VictimScenario &operator=(const VictimScenario &) = delete;
+
+    // ----- Lifecycle steps (call in order) -----------------------------
+    /** Stand up the runtime; for HIX: boot GPU enclave + connect. */
+    Status setup();
+
+    /** Upload the secret (chunked HtoD copy). */
+    Status upload();
+
+    /** Launch the registered no-op kernel over the buffer. */
+    Status launchKernel();
+
+    /** Download the buffer (chunked DtoH copy). */
+    Result<Bytes> download();
+
+    /** Free the buffer and close the runtime/session. */
+    Status teardown();
+
+    // ----- Phase hooks ---------------------------------------------------
+    /**
+     * Run @p attack when the @p occurrence-th op labelled @p label is
+     * recorded (1-based). Hooks fire between the functional effects
+     * of consecutive data-path steps, which is what "the attacker
+     * strikes mid-transfer" means in a functional-first model.
+     */
+    void onOp(const std::string &label, int occurrence,
+              std::function<void()> attack);
+
+    /** Transfer-chunk op label of this runtime's HtoD data path. */
+    const char *htodChunkLabel() const;
+
+    /** Transfer-chunk op label of this runtime's DtoH data path. */
+    const char *dtohChunkLabel() const;
+
+    // ----- Accessors ------------------------------------------------------
+    os::Machine &machine() { return *machine_; }
+    os::Attacker &attacker() { return attacker_; }
+    const ScenarioOptions &options() const { return options_; }
+    const Bytes &secret() const { return secret_; }
+    std::uint64_t chunkBytes() const { return chunk_bytes_; }
+    Addr gpuVa() const { return gpu_va_; }
+
+    /** Physical address of the victim's DRAM staging area: the pinned
+     *  host buffer (baseline) or the shared ring (HIX). */
+    Addr stagingPaddr() const;
+
+    /** VA of the staging area in the victim process. */
+    Addr stagingVaddr() const;
+
+    ProcessId victimPid() const;
+    EnclaveId victimEnclaveId() const;
+
+    core::BaselineRuntime *baseline() { return baseline_.get(); }
+    core::TrustedRuntime *trusted() { return trusted_.get(); }
+    core::GpuEnclave *gpuEnclave() { return ge_.get(); }
+
+    /** Device-physical address of the victim's VRAM buffer
+     *  (baseline only: HIX hides the allocation inside the enclave). */
+    Result<Addr> vramPaddr();
+
+    /** Host-physical address of the BAR1 VRAM aperture. */
+    Addr bar1Base();
+
+    /** Create a process for the attacker to map things into. */
+    ProcessId makeEvilProcess();
+
+    /** Allocate DRAM frames filled with @p fill for DMA redirection. */
+    Result<Addr> evilFrame(std::uint64_t size, std::uint8_t fill);
+
+    /** Scan the GPU's VRAM for @p needle (test oracle, not modelled
+     *  software); returns true when found. */
+    bool vramContains(const Bytes &needle, std::uint64_t scan_bytes);
+
+    // ----- Observation helpers -------------------------------------------
+    /** Fraction of positions where @p a and @p b agree. */
+    static double matchRatio(const Bytes &a, const Bytes &b);
+
+    /** Best matchRatio of @p observed against any aligned
+     *  @p chunk-sized window of @p reference. */
+    static double bestChunkMatch(const Bytes &observed,
+                                 const Bytes &reference,
+                                 std::uint64_t chunk);
+
+  private:
+    struct Hook
+    {
+        std::string label;
+        int remaining = 0;
+        bool fired = false;
+        std::function<void()> fn;
+    };
+
+    void ensureObserver();
+    void dispatch(const sim::Op &op);
+    Status enableIommuIdentity(Addr paddr, std::uint64_t size);
+
+    ScenarioOptions options_;
+    std::unique_ptr<os::Machine> machine_;
+    os::Attacker attacker_;
+    Bytes secret_;
+    std::uint64_t chunk_bytes_ = 4096;
+
+    std::unique_ptr<core::BaselineRuntime> baseline_;
+    std::unique_ptr<core::GpuEnclave> ge_;
+    std::unique_ptr<core::TrustedRuntime> trusted_;
+    Addr gpu_va_ = 0;
+
+    std::vector<Hook> hooks_;
+    int observer_handle_ = -1;
+    bool in_hook_ = false;
+};
+
+}  // namespace hix::harness
+
+#endif  // HIX_TESTING_SCENARIO_H_

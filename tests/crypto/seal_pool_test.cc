@@ -1,0 +1,202 @@
+/**
+ * @file
+ * SealPool edge cases: empty and single-chunk transfers, chunk
+ * boundaries one byte either side, serial-path bit-equivalence,
+ * tamper detection, and parallelFor index coverage.
+ */
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+#include "crypto/ocb.h"
+#include "crypto/seal_pool.h"
+
+namespace hix::crypto
+{
+namespace
+{
+
+constexpr std::size_t ChunkBytes = 4096;
+constexpr std::uint32_t Stream = 7;
+constexpr std::uint64_t BaseCounter = 1000;
+
+Bytes
+patternBytes(std::size_t n)
+{
+    Bytes out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    return out;
+}
+
+std::size_t
+chunkCount(std::size_t pt_len)
+{
+    return (pt_len + ChunkBytes - 1) / ChunkBytes;
+}
+
+/** Seal then open pt_len bytes, returning the recovered plaintext. */
+void
+roundTrip(std::size_t pt_len)
+{
+    const AesKey key = deriveAesKey(Bytes(32, 0x31), "seal-pool-test");
+    Ocb ocb(key);
+    SealPool pool(3);
+
+    const Bytes pt = patternBytes(pt_len);
+    Bytes sealed(chunkCount(pt_len) * (ChunkBytes + OcbTagSize), 0xa5);
+    pool.sealChunks(ocb, Stream, BaseCounter, pt.data(), pt.size(),
+                    ChunkBytes, sealed.data());
+
+    Bytes back(pt_len, 0);
+    ASSERT_TRUE(pool.openChunks(ocb, Stream, BaseCounter, sealed.data(),
+                                pt_len, ChunkBytes, back.data())
+                    .isOk());
+    EXPECT_EQ(back, pt);
+
+    // Bit-identical to sealing each chunk serially with the same
+    // nonce sequence (the pipeline's correctness contract).
+    for (std::size_t i = 0; i < chunkCount(pt_len); ++i) {
+        const std::size_t off = i * ChunkBytes;
+        const std::size_t len = std::min(ChunkBytes, pt_len - off);
+        const Bytes chunk(pt.begin() + off, pt.begin() + off + len);
+        const Bytes serial = ocb.encrypt(
+            makeNonce(Stream, BaseCounter + i), Bytes{}, chunk);
+        ASSERT_EQ(serial.size(), len + OcbTagSize);
+        EXPECT_EQ(0, std::memcmp(serial.data(),
+                                 sealed.data() +
+                                     i * (ChunkBytes + OcbTagSize),
+                                 serial.size()))
+            << "chunk " << i << " differs from the serial path";
+    }
+}
+
+TEST(SealPoolTest, ZeroByteTransfer)
+{
+    const AesKey key = deriveAesKey(Bytes(32, 0x31), "seal-pool-test");
+    Ocb ocb(key);
+    SealPool pool(2);
+    // No chunks: nothing written, open succeeds vacuously.
+    Bytes guard(8, 0xcc);
+    pool.sealChunks(ocb, Stream, BaseCounter, nullptr, 0, ChunkBytes,
+                    guard.data());
+    EXPECT_EQ(guard, Bytes(8, 0xcc));
+    EXPECT_TRUE(pool.openChunks(ocb, Stream, BaseCounter, guard.data(),
+                                0, ChunkBytes, nullptr)
+                    .isOk());
+}
+
+TEST(SealPoolTest, SingleByte)
+{
+    roundTrip(1);
+}
+
+TEST(SealPoolTest, OneByteUnderChunk)
+{
+    roundTrip(ChunkBytes - 1);
+}
+
+TEST(SealPoolTest, ExactlyOneChunk)
+{
+    roundTrip(ChunkBytes);
+}
+
+TEST(SealPoolTest, OneByteOverChunk)
+{
+    roundTrip(ChunkBytes + 1);
+}
+
+TEST(SealPoolTest, ManyChunksWithShortTail)
+{
+    roundTrip(7 * ChunkBytes + 123);
+}
+
+TEST(SealPoolTest, ExactMultipleOfChunk)
+{
+    roundTrip(4 * ChunkBytes);
+}
+
+TEST(SealPoolTest, TamperedChunkDetected)
+{
+    const AesKey key = deriveAesKey(Bytes(32, 0x31), "seal-pool-test");
+    Ocb ocb(key);
+    SealPool pool(2);
+
+    const std::size_t pt_len = 3 * ChunkBytes + 5;
+    const Bytes pt = patternBytes(pt_len);
+    Bytes sealed(chunkCount(pt_len) * (ChunkBytes + OcbTagSize));
+    pool.sealChunks(ocb, Stream, BaseCounter, pt.data(), pt.size(),
+                    ChunkBytes, sealed.data());
+
+    // Flip one ciphertext bit in the second chunk.
+    sealed[(ChunkBytes + OcbTagSize) + 99] ^= 0x01;
+    Bytes back(pt_len);
+    EXPECT_EQ(pool.openChunks(ocb, Stream, BaseCounter, sealed.data(),
+                              pt_len, ChunkBytes, back.data())
+                  .code(),
+              StatusCode::IntegrityFailure);
+}
+
+TEST(SealPoolTest, WrongBaseCounterDetected)
+{
+    const AesKey key = deriveAesKey(Bytes(32, 0x31), "seal-pool-test");
+    Ocb ocb(key);
+    SealPool pool(2);
+
+    const Bytes pt = patternBytes(ChunkBytes);
+    Bytes sealed(ChunkBytes + OcbTagSize);
+    pool.sealChunks(ocb, Stream, BaseCounter, pt.data(), pt.size(),
+                    ChunkBytes, sealed.data());
+    Bytes back(pt.size());
+    EXPECT_EQ(pool.openChunks(ocb, Stream, BaseCounter + 1,
+                              sealed.data(), pt.size(), ChunkBytes,
+                              back.data())
+                  .code(),
+              StatusCode::IntegrityFailure);
+}
+
+TEST(SealPoolTest, ParallelForCoversEveryIndexOnce)
+{
+    SealPool pool(4);
+    EXPECT_GE(pool.threadCount(), 1u);
+
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(SealPoolTest, ParallelForZeroAndTiny)
+{
+    SealPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    pool.parallelFor(1, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(SealPoolTest, BackToBackJobsReuseWorkers)
+{
+    SealPool pool(2);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(
+            17, [&](std::size_t i) { sum.fetch_add(int(i)); });
+        ASSERT_EQ(sum.load(), 136);  // 0 + 1 + ... + 16
+    }
+}
+
+TEST(SealPoolTest, SharedPoolIsSingleton)
+{
+    EXPECT_EQ(&SealPool::shared(), &SealPool::shared());
+    EXPECT_GE(SealPool::shared().threadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace hix::crypto

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the GPU kernel registry: id assignment, lookup by id and
+ * name, and last-registration-wins name rebinding (module reload).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/kernel_registry.h"
+
+namespace hix::gpu
+{
+namespace
+{
+
+KernelFn
+noopKernel()
+{
+    return [](const GpuMemAccessor &, const KernelArgs &) {
+        return Status::ok();
+    };
+}
+
+TEST(KernelRegistryTest, AssignsSequentialIds)
+{
+    KernelRegistry reg;
+    EXPECT_EQ(reg.size(), 0u);
+    const KernelId a = reg.add("vec_add", noopKernel(),
+                               [](const KernelArgs &) { return Tick(1); });
+    const KernelId b = reg.add("gemm", noopKernel(),
+                               [](const KernelArgs &) { return Tick(2); });
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(KernelRegistryTest, FindByIdReturnsEntry)
+{
+    KernelRegistry reg;
+    const KernelId id = reg.add(
+        "gemm", noopKernel(),
+        [](const KernelArgs &args) { return Tick(args.size() * 10); });
+    const KernelEntry *entry = reg.find(id);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->name, "gemm");
+    EXPECT_EQ(entry->cost(KernelArgs{1, 2, 3}), Tick(30));
+}
+
+TEST(KernelRegistryTest, FindUnknownIdReturnsNull)
+{
+    KernelRegistry reg;
+    EXPECT_EQ(reg.find(0), nullptr);
+    reg.add("k", noopKernel(), [](const KernelArgs &) { return Tick(0); });
+    EXPECT_EQ(reg.find(1), nullptr);
+    EXPECT_EQ(reg.find(0xffff'ffff), nullptr);
+}
+
+TEST(KernelRegistryTest, IdOfFindsByName)
+{
+    KernelRegistry reg;
+    const KernelId id = reg.add(
+        "bfs", noopKernel(), [](const KernelArgs &) { return Tick(5); });
+    auto found = reg.idOf("bfs");
+    ASSERT_TRUE(found.isOk());
+    EXPECT_EQ(*found, id);
+    EXPECT_EQ(reg.idOf("missing").status().code(),
+              StatusCode::NotFound);
+}
+
+TEST(KernelRegistryTest, ReRegisteredNameResolvesToLatest)
+{
+    // Module reload: both entries remain addressable by id, but the
+    // name resolves to the most recent registration.
+    KernelRegistry reg;
+    const KernelId v1 = reg.add(
+        "gemm", noopKernel(), [](const KernelArgs &) { return Tick(1); });
+    const KernelId v2 = reg.add(
+        "gemm", noopKernel(), [](const KernelArgs &) { return Tick(2); });
+    ASSERT_NE(v1, v2);
+    auto found = reg.idOf("gemm");
+    ASSERT_TRUE(found.isOk());
+    EXPECT_EQ(*found, v2);
+    ASSERT_NE(reg.find(v1), nullptr);
+    EXPECT_EQ(reg.find(v1)->cost(KernelArgs{}), Tick(1));
+    EXPECT_EQ(reg.find(v2)->cost(KernelArgs{}), Tick(2));
+}
+
+}  // namespace
+}  // namespace hix::gpu

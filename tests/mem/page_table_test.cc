@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the OS-owned page table: mapping rules, range mapping,
+ * lookup semantics, and the unchecked overwrite attack primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.h"
+
+namespace hix::mem
+{
+namespace
+{
+
+TEST(PageTableTest, MapLookupRoundTrip)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x8000, PermRead | PermWrite).isOk());
+    auto pte = pt.lookup(0x1000);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, 0x8000u);
+    EXPECT_EQ(pte->perms, PermRead | PermWrite);
+}
+
+TEST(PageTableTest, LookupCoversWholePage)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x8000, PermRead).isOk());
+    auto pte = pt.lookup(0x1fff);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, 0x8000u);
+    EXPECT_FALSE(pt.lookup(0x2000).isOk());
+}
+
+TEST(PageTableTest, MapRejectsUnaligned)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.map(0x1001, 0x8000, PermRead).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(pt.map(0x1000, 0x8010, PermRead).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(pt.entryCount(), 0u);
+}
+
+TEST(PageTableTest, DoubleMapRejectedKeepsOriginal)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x8000, PermRead).isOk());
+    EXPECT_EQ(pt.map(0x1000, 0x9000, PermWrite).code(),
+              StatusCode::AlreadyExists);
+    auto pte = pt.lookup(0x1000);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, 0x8000u);
+    EXPECT_EQ(pte->perms, PermRead);
+}
+
+TEST(PageTableTest, UnmapByAnyAddressInPage)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x3000, 0xa000, PermRead).isOk());
+    ASSERT_TRUE(pt.unmap(0x3abc).isOk());
+    EXPECT_FALSE(pt.lookup(0x3000).isOk());
+    EXPECT_EQ(pt.unmap(0x3000).code(), StatusCode::NotFound);
+}
+
+TEST(PageTableTest, MapRangeCoversEveryPage)
+{
+    PageTable pt;
+    ASSERT_TRUE(
+        pt.mapRange(0x10000, 0x80000, 3 * PageSize, PermRead).isOk());
+    EXPECT_EQ(pt.entryCount(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        auto pte = pt.lookup(0x10000 + i * PageSize);
+        ASSERT_TRUE(pte.isOk());
+        EXPECT_EQ(pte->paddr, 0x80000u + i * PageSize);
+    }
+    EXPECT_FALSE(pt.lookup(0x10000 + 3 * PageSize).isOk());
+}
+
+TEST(PageTableTest, MapRangeRoundsUpPartialPage)
+{
+    PageTable pt;
+    ASSERT_TRUE(
+        pt.mapRange(0x20000, 0x90000, PageSize + 1, PermRead).isOk());
+    EXPECT_EQ(pt.entryCount(), 2u);
+}
+
+TEST(PageTableTest, MapRangeCollisionReportsAndKeepsPrefix)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x12000, 0xf0000, PermRead).isOk());
+    EXPECT_EQ(pt.mapRange(0x10000, 0x80000, 4 * PageSize, PermRead)
+                  .code(),
+              StatusCode::AlreadyExists);
+    // Pages before the collision were installed.
+    EXPECT_TRUE(pt.lookup(0x10000).isOk());
+    EXPECT_TRUE(pt.lookup(0x11000).isOk());
+    // The colliding page keeps its original target.
+    auto pte = pt.lookup(0x12000);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, 0xf0000u);
+}
+
+TEST(PageTableTest, OverwriteBypassesAllChecks)
+{
+    // The attacker primitive: unaligned inputs are page-truncated and
+    // existing entries replaced without AlreadyExists.
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x5000, 0xa000, PermRead).isOk());
+    pt.overwrite(0x5678, 0xbeef, PermRead | PermWrite);
+    auto pte = pt.lookup(0x5000);
+    ASSERT_TRUE(pte.isOk());
+    EXPECT_EQ(pte->paddr, pageBase(0xbeef));
+    EXPECT_EQ(pte->perms, PermRead | PermWrite);
+    EXPECT_EQ(pt.entryCount(), 1u);
+}
+
+TEST(PageTableTest, PermForMapsAccessTypes)
+{
+    EXPECT_EQ(permFor(AccessType::Read), PermRead);
+    EXPECT_EQ(permFor(AccessType::Write), PermWrite);
+    EXPECT_EQ(permFor(AccessType::Execute), PermExec);
+}
+
+}  // namespace
+}  // namespace hix::mem

@@ -57,6 +57,31 @@ TEST(PhysMemTest, OutOfBoundsRejected)
     EXPECT_TRUE(ram.readAt(4086, buf.data(), buf.size()).isOk());
 }
 
+TEST(PhysMemTest, HugeOffsetOverflowRejected)
+{
+    // Regression: `offset + len` used to wrap 64-bit arithmetic for
+    // offsets near 2^64 and slip past the bounds check, reading or
+    // writing through the sparse page store.
+    PhysMem ram("ram", 1 * MiB);
+    Bytes buf(16, 0x7f);
+    EXPECT_FALSE(
+        ram.readAt(~std::uint64_t(0) - 7, buf.data(), buf.size())
+            .isOk());
+    EXPECT_FALSE(ram.writeAt(~std::uint64_t(0), buf.data(), 1).isOk());
+    EXPECT_FALSE(ram.zeroAt(~std::uint64_t(0) - 2, 8).isOk());
+    EXPECT_EQ(ram.touchedPages(), 0u);
+}
+
+TEST(PhysMemTest, LenLargerThanMemoryRejected)
+{
+    PhysMem ram("ram", 4096);
+    Bytes buf(8192);
+    EXPECT_FALSE(ram.readAt(0, buf.data(), buf.size()).isOk());
+    EXPECT_FALSE(ram.writeAt(0, buf.data(), buf.size()).isOk());
+    // Edge: the full memory in one access is still fine.
+    EXPECT_TRUE(ram.readAt(0, buf.data(), 4096).isOk());
+}
+
 TEST(PhysMemTest, ZeroAtScrubs)
 {
     PhysMem ram("ram", 64 * KiB);

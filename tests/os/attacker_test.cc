@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the privileged-attacker primitives (paper Section
+ * 3.1): each one is exercised directly against a machine, independent
+ * of any runtime, so the conformance matrix builds on verified tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mmu.h"
+#include "os/attacker.h"
+#include "os/machine.h"
+#include "pcie/config_space.h"
+#include "pcie/tlp.h"
+
+namespace hix::os
+{
+namespace
+{
+
+class AttackerTest : public ::testing::Test
+{
+  protected:
+    Machine machine_;
+    Attacker attacker_{&machine_};
+};
+
+TEST_F(AttackerTest, ReadDramSeesWrittenBytes)
+{
+    const Addr paddr = 0x40000;
+    Bytes data = {0x10, 0x20, 0x30, 0x40, 0x50};
+    ASSERT_TRUE(
+        machine_.ram().writeAt(paddr, data.data(), data.size()).isOk());
+    auto seen = attacker_.readDram(paddr, data.size());
+    ASSERT_TRUE(seen.isOk());
+    EXPECT_EQ(*seen, data);
+}
+
+TEST_F(AttackerTest, TamperDramFlipsExactlyOneByte)
+{
+    const Addr paddr = 0x41000;
+    Bytes data(8, 0x11);
+    ASSERT_TRUE(
+        machine_.ram().writeAt(paddr, data.data(), data.size()).isOk());
+    ASSERT_TRUE(attacker_.tamperDram(paddr + 3, 0x0f).isOk());
+    auto seen = attacker_.readDram(paddr, data.size());
+    ASSERT_TRUE(seen.isOk());
+    for (std::size_t i = 0; i < seen->size(); ++i)
+        EXPECT_EQ((*seen)[i], i == 3 ? 0x11 ^ 0x0f : 0x11) << i;
+    // XOR-ing again restores the original.
+    ASSERT_TRUE(attacker_.tamperDram(paddr + 3, 0x0f).isOk());
+    seen = attacker_.readDram(paddr, data.size());
+    ASSERT_TRUE(seen.isOk());
+    EXPECT_EQ(*seen, data);
+}
+
+TEST_F(AttackerTest, ReadDramOutOfRangeRejected)
+{
+    const std::uint64_t ram_size = machine_.config().ramSize;
+    EXPECT_FALSE(attacker_.readDram(ram_size, 16).isOk());
+    // Regression: an offset near 2^64 used to wrap `offset + len`
+    // past the bounds check and read through the sparse store.
+    EXPECT_FALSE(attacker_.readDram(~std::uint64_t(0) - 4, 16).isOk());
+    EXPECT_FALSE(attacker_.tamperDram(~std::uint64_t(0), 0xff).isOk());
+}
+
+TEST_F(AttackerTest, RemapPteRedirectsVictimTranslation)
+{
+    auto frame_a = machine_.os().allocFrames(mem::PageSize);
+    auto frame_b = machine_.os().allocFrames(mem::PageSize);
+    ASSERT_TRUE(frame_a.isOk());
+    ASSERT_TRUE(frame_b.isOk());
+    Bytes a(16, 0xaa), b(16, 0xbb);
+    ASSERT_TRUE(
+        machine_.ram().writeAt(*frame_a, a.data(), a.size()).isOk());
+    ASSERT_TRUE(
+        machine_.ram().writeAt(*frame_b, b.data(), b.size()).isOk());
+
+    const ProcessId pid = machine_.os().createProcess("victim");
+    auto va = machine_.os().mapPhysical(
+        pid, *frame_a, mem::PageSize, mem::PermRead | mem::PermWrite);
+    ASSERT_TRUE(va.isOk());
+
+    mem::ExecContext ctx{pid, InvalidEnclaveId};
+    Bytes seen(16);
+    ASSERT_TRUE(
+        machine_.mmu().read(ctx, *va, seen.data(), seen.size()).isOk());
+    EXPECT_EQ(seen, a);
+
+    // The attack: rewrite the PTE; the victim's next access now lands
+    // in the attacker-chosen frame.
+    ASSERT_TRUE(attacker_.remapPte(pid, *va, *frame_b).isOk());
+    ASSERT_TRUE(
+        machine_.mmu().read(ctx, *va, seen.data(), seen.size()).isOk());
+    EXPECT_EQ(seen, b);
+}
+
+TEST_F(AttackerTest, RemapPteUnknownProcessRejected)
+{
+    EXPECT_EQ(attacker_.remapPte(9999, 0x1000, 0x2000).code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(AttackerTest, MapAndReadHandlesUnalignedPaddr)
+{
+    const Addr paddr = 0x42003;  // deliberately not page-aligned
+    Bytes data = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+    ASSERT_TRUE(
+        machine_.ram().writeAt(paddr, data.data(), data.size()).isOk());
+    const ProcessId evil = machine_.os().createProcess("evil");
+    auto seen = attacker_.mapAndRead(evil, paddr, data.size());
+    ASSERT_TRUE(seen.isOk());
+    EXPECT_EQ(*seen, data);
+}
+
+TEST_F(AttackerTest, MapAndWriteCorruptsPhysicalMemory)
+{
+    const Addr paddr = 0x43080;
+    const ProcessId evil = machine_.os().createProcess("evil");
+    Bytes payload = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_TRUE(attacker_.mapAndWrite(evil, paddr, payload).isOk());
+    Bytes back(payload.size());
+    ASSERT_TRUE(
+        machine_.ram().readAt(paddr, back.data(), back.size()).isOk());
+    EXPECT_EQ(back, payload);
+}
+
+TEST_F(AttackerTest, RedirectDmaRewritesIommuMapping)
+{
+    machine_.iommu().setEnabled(true);
+    ASSERT_TRUE(machine_.iommu().map(0x10000, 0x20000).isOk());
+    ASSERT_TRUE(attacker_.redirectDma(0x10000, 0x30000).isOk());
+    auto pa = machine_.iommu().translate(0x10000);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x30000u);
+}
+
+TEST_F(AttackerTest, RewriteConfigSucceedsWithoutLockdown)
+{
+    // On a machine with no GPU enclave there is no PCIe lockdown, so
+    // privileged config writes go through — the baseline posture.
+    EXPECT_TRUE(attacker_
+                    .rewriteConfig(machine_.gpu().bdf(),
+                                   pcie::cfg::Bar0, 0xdead0000)
+                    .isOk());
+}
+
+TEST_F(AttackerTest, KillProcessMarksItDead)
+{
+    const ProcessId pid = machine_.os().createProcess("victim");
+    ASSERT_TRUE(machine_.os().process(pid)->alive);
+    ASSERT_TRUE(
+        attacker_.killProcessAndEnclave(pid, InvalidEnclaveId).isOk());
+    EXPECT_FALSE(machine_.os().process(pid)->alive);
+    EXPECT_EQ(attacker_.killProcessAndEnclave(9999, InvalidEnclaveId)
+                  .code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(AttackerTest, FlashGpuBiosReplacesRomContent)
+{
+    const Addr rom_base = machine_.gpu().config().expansionRomBase();
+    const std::uint64_t rom_size =
+        machine_.gpu().config().expansionRomSize();
+    ASSERT_GT(rom_size, 0u);
+
+    Bytes before;
+    ASSERT_TRUE(machine_.rootComplex()
+                    .routeTlp(pcie::Tlp::memRead(rom_base, 4), &before)
+                    .isOk());
+    EXPECT_EQ(before[0], 0x55);  // option-ROM signature
+    EXPECT_EQ(before[1], 0xaa);
+
+    attacker_.flashGpuBios(Bytes(rom_size, 0xeb));
+    Bytes after;
+    ASSERT_TRUE(machine_.rootComplex()
+                    .routeTlp(pcie::Tlp::memRead(rom_base, 4), &after)
+                    .isOk());
+    EXPECT_EQ(after, Bytes(4, 0xeb));
+}
+
+}  // namespace
+}  // namespace hix::os

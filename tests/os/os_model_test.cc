@@ -51,6 +51,25 @@ TEST(OsModelTest, FrameExhaustion)
               StatusCode::ResourceExhausted);
 }
 
+TEST(OsModelTest, AllocFramesOverflowRejected)
+{
+    // Regression: a size near 2^64 used to wrap during page round-up
+    // (yielding 0) or wrap `base + size` past the capacity check.
+    OsModel os(16 * MiB, {});
+    EXPECT_EQ(os.allocFrames(~std::uint64_t(0)).status().code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_EQ(
+        os.allocFrames(~std::uint64_t(0) - mem::PageSize).status().code(),
+        StatusCode::ResourceExhausted);
+    EXPECT_EQ(os.allocFrames(1ull << 60).status().code(),
+              StatusCode::ResourceExhausted);
+    // The failed attempts must not have advanced the frame cursor
+    // past its initial position (low memory is always skipped).
+    auto pa = os.allocFrames(8 * MiB);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 1 * MiB);
+}
+
 TEST(OsModelTest, MapAnonymousInstallsPtes)
 {
     OsModel os(256 * MiB, {});

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Executes the full attack-matrix conformance suite: every
+ * os::Attacker primitive crossed with {baseline, HIX} and a lifecycle
+ * phase, asserting the per-cell expected outcome and emitting the
+ * markdown matrix report artifact.
+ *
+ * Registered with ctest under the fixed name `security_matrix`, so
+ * `ctest -R security_matrix` runs the complete matrix in one process.
+ * Set HIX_MATRIX_REPORT to override the report path (default
+ * security_matrix.md in the working directory).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing/attack_matrix.h"
+
+using namespace hix;
+using namespace hix::harness;
+
+namespace
+{
+
+std::string
+reportPath()
+{
+    const char *env = std::getenv("HIX_MATRIX_REPORT");
+    return env ? env : "security_matrix.md";
+}
+
+/** Builds, runs, and caches the matrix once for every test below. */
+class MatrixFixture : public ::testing::Test
+{
+  protected:
+    static AttackMatrix &
+    matrix()
+    {
+        static AttackMatrix *m = [] {
+            auto *matrix = new AttackMatrix;
+            registerBuiltinCells(*matrix);
+            return matrix;
+        }();
+        return *m;
+    }
+
+    static int
+    failures()
+    {
+        static int n = matrix().runAll(&std::cout);
+        return n;
+    }
+};
+
+TEST_F(MatrixFixture, CoversAtLeastTwentyCells)
+{
+    EXPECT_GE(matrix().size(), 20u);
+}
+
+TEST_F(MatrixFixture, EveryAttackRowCoversBothRuntimes)
+{
+    std::set<std::string> baseline_rows;
+    std::set<std::string> hix_rows;
+    for (const AttackCell &cell : matrix().cells()) {
+        if (cell.runtime == RuntimeKind::Baseline)
+            baseline_rows.insert(cell.attack);
+        else
+            hix_rows.insert(cell.attack);
+    }
+    EXPECT_EQ(baseline_rows, hix_rows);
+}
+
+TEST_F(MatrixFixture, ExpectationsPartitionByRuntime)
+{
+    // The matrix's contract: baseline cells demonstrate the breach,
+    // HIX cells assert the wall that stops it.
+    for (const AttackCell &cell : matrix().cells()) {
+        const bool breach = outcomeIsBreach(cell.expected);
+        if (cell.runtime == RuntimeKind::Baseline)
+            EXPECT_TRUE(breach) << cell.attack;
+        else
+            EXPECT_FALSE(breach) << cell.attack;
+    }
+}
+
+TEST_F(MatrixFixture, EveryCellCitesThePaper)
+{
+    for (const AttackCell &cell : matrix().cells()) {
+        EXPECT_FALSE(cell.paperRef.empty()) << cell.attack;
+        EXPECT_FALSE(cell.primitive.empty()) << cell.attack;
+    }
+}
+
+TEST_F(MatrixFixture, AllCellsMatchExpectedOutcome)
+{
+    ASSERT_EQ(failures(), 0);
+    const auto &cells = matrix().cells();
+    const auto &results = matrix().results();
+    ASSERT_EQ(results.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const AttackCell &cell = cells[i];
+        const CellRun &run = results[i];
+        EXPECT_TRUE(run.error.empty())
+            << cell.attack << " [" << runtimeKindName(cell.runtime)
+            << "]: " << run.error;
+        EXPECT_TRUE(run.pass)
+            << cell.attack << " [" << runtimeKindName(cell.runtime)
+            << "]: expected " << outcomeName(cell.expected)
+            << ", observed " << outcomeName(run.observed.outcome)
+            << " (" << run.observed.detail << ")";
+    }
+}
+
+TEST_F(MatrixFixture, WritesMarkdownReportArtifact)
+{
+    failures();  // ensure the matrix has executed
+    const std::string path = reportPath();
+    ASSERT_TRUE(matrix().writeMarkdown(path).isOk());
+    std::cout << "matrix report written to " << path << "\n";
+
+    const std::string md = matrix().toMarkdown();
+    EXPECT_NE(md.find("| Attack |"), std::string::npos);
+    // One table row per cell.
+    std::size_t rows = 0;
+    for (const AttackCell &cell : matrix().cells())
+        rows += md.find("| " + cell.attack + " |") != std::string::npos;
+    EXPECT_GE(rows, 20u);
+}
+
+}  // namespace
