@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
 #include "crypto/hmac.h"
@@ -51,6 +52,7 @@ struct SweepResult
     std::string path;
     std::size_t bytes = 0;
     double mbPerSec = 0.0;
+    double hostMs = 0.0;  //!< wall clock spent measuring this row
 };
 
 /**
@@ -97,6 +99,13 @@ runSweep()
 
     std::vector<SweepResult> results;
     Rng rng(7);
+    auto timed = [&results](const char *path, std::size_t bytes,
+                            auto &&fn) {
+        bench::HostTimer timer;
+        const double mbps =
+            measureMbps(bytes, std::forward<decltype(fn)>(fn));
+        results.push_back({path, bytes, mbps, timer.ms()});
+    };
     for (std::size_t size : {std::size_t{4} * 1024,
                              std::size_t{64} * 1024,
                              std::size_t{256} * 1024,
@@ -105,37 +114,29 @@ runSweep()
         Bytes out(size + OcbTagSize);
         std::uint64_t ctr = 0;
 
-        results.push_back(
-            {"ocb_seal_reference", size,
-             measureMbps(size, [&] {
-                 ref.encryptInto(makeNonce(1, ++ctr), nullptr, 0,
-                                 pt.data(), size, out.data(),
-                                 out.data() + size);
-             })});
-        results.push_back(
-            {"ocb_seal_ttable", size,
-             measureMbps(size, [&] {
-                 ttable.encryptInto(makeNonce(1, ++ctr), nullptr, 0,
-                                    pt.data(), size, out.data(),
-                                    out.data() + size);
-             })});
-        results.push_back(
-            {"ocb_seal_fast", size,
-             measureMbps(size, [&] {
-                 fast.encryptInto(makeNonce(1, ++ctr), nullptr, 0,
-                                  pt.data(), size, out.data(),
-                                  out.data() + size);
-             })});
+        timed("ocb_seal_reference", size, [&] {
+            ref.encryptInto(makeNonce(1, ++ctr), nullptr, 0,
+                            pt.data(), size, out.data(),
+                            out.data() + size);
+        });
+        timed("ocb_seal_ttable", size, [&] {
+            ttable.encryptInto(makeNonce(1, ++ctr), nullptr, 0,
+                               pt.data(), size, out.data(),
+                               out.data() + size);
+        });
+        timed("ocb_seal_fast", size, [&] {
+            fast.encryptInto(makeNonce(1, ++ctr), nullptr, 0,
+                             pt.data(), size, out.data(),
+                             out.data() + size);
+        });
 
         const std::size_t nchunks = (size + ChunkBytes - 1) / ChunkBytes;
         Bytes chunked(nchunks * (ChunkBytes + OcbTagSize));
-        results.push_back(
-            {"ocb_seal_parallel_chunks", size,
-             measureMbps(size, [&] {
-                 pool.sealChunks(fast, 1, ctr + 1, pt.data(), size,
-                                 ChunkBytes, chunked.data());
-                 ctr += nchunks;
-             })});
+        timed("ocb_seal_parallel_chunks", size, [&] {
+            pool.sealChunks(fast, 1, ctr + 1, pt.data(), size,
+                            ChunkBytes, chunked.data());
+            ctr += nchunks;
+        });
     }
     return results;
 }
@@ -165,24 +166,14 @@ reportSweep(const std::vector<SweepResult> &results)
         std::printf("fast/reference speedup at 64KiB: %.1fx\n\n",
                     fast64 / ref64);
 
-    std::FILE *f = std::fopen("BENCH_crypto.json", "w");
-    if (!f) {
-        std::fprintf(stderr,
-                     "warning: could not write BENCH_crypto.json\n");
-        return;
-    }
-    std::fprintf(f, "{\n  \"benchmark\": \"ocb_seal_throughput\",\n");
-    std::fprintf(f, "  \"unit\": \"MB/s\",\n  \"results\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i)
-        std::fprintf(
-            f,
-            "    {\"path\": \"%s\", \"bytes\": %zu, "
-            "\"mb_per_sec\": %.1f}%s\n",
-            results[i].path.c_str(), results[i].bytes,
-            results[i].mbPerSec, i + 1 < results.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote BENCH_crypto.json\n\n");
+    bench::BenchJson json("crypto");
+    for (const auto &r : results)
+        json.add("path=" + r.path +
+                     " bytes=" + std::to_string(r.bytes),
+                 0, r.hostMs)
+            .metric("mb_per_sec", r.mbPerSec);
+    json.write();
+    std::printf("\n");
 }
 
 // ----- google-benchmark suite ------------------------------------------

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "workloads/runner.h"
 
 using namespace hix;
@@ -19,15 +20,21 @@ namespace
 {
 
 void
-runFigure(int users)
+runFigure(int users, bench::BenchJson &json)
 {
-    std::printf(
-        "Figure %d: Rodinia with %d concurrent users "
-        "(normalized to Gdev 1 user)\n\n",
-        users == 2 ? 8 : 9, users);
+    if (users == 2 || users == 4)
+        std::printf(
+            "Figure %d: Rodinia with %d concurrent users "
+            "(normalized to Gdev 1 user)\n\n",
+            users == 2 ? 8 : 9, users);
+    else
+        std::printf(
+            "Scale-out beyond the paper: Rodinia with %d concurrent "
+            "users (normalized to Gdev 1 user)\n\n",
+            users);
     std::printf(
         " App  | Gdev 1u (ms) | Gdev %du (norm) | HIX %du (norm) |"
-        " HIX/Gdev | ctx switches\n",
+        " HIX/Gdev | ctx switches | host ms\n",
         users, users);
 
     double gdev_sum = 0, hix_sum = 0;
@@ -36,8 +43,12 @@ runFigure(int users)
          {"BP", "BFS", "GS", "HS", "LUD", "NW", "NN", "PF", "SRAD"}) {
         auto factory = [app] { return makeRodinia(app); };
         auto one = runBaseline(factory, 1);
+        bench::HostTimer base_timer;
         auto base = runBaseline(factory, users);
+        const double base_ms = base_timer.ms();
+        bench::HostTimer secure_timer;
         auto secure = runHix(factory, users);
+        const double secure_ms = secure_timer.ms();
         if (!one.isOk() || !base.isOk() || !secure.isOk()) {
             std::printf("%-5s | FAILED\n", app);
             continue;
@@ -50,10 +61,20 @@ runFigure(int users)
         hix_sum += hix_norm;
         ++count;
         std::printf(
-            "%-5s | %12.2f | %14.2f | %13.2f | %+7.1f%% | %12llu\n",
+            "%-5s | %12.2f | %14.2f | %13.2f | %+7.1f%% | %12llu | "
+            "%7.1f\n",
             app, one->milliseconds(), gdev_norm, hix_norm,
             (hix_norm / gdev_norm - 1) * 100,
-            static_cast<unsigned long long>(secure->gpuCtxSwitches));
+            static_cast<unsigned long long>(secure->gpuCtxSwitches),
+            base_ms + secure_ms);
+        const std::string config = std::string("app=") + app +
+                                   " users=" + std::to_string(users);
+        json.add(config + " runtime=gdev", base->ticks, base_ms)
+            .metric("norm_vs_1u", gdev_norm);
+        json.add(config + " runtime=hix", secure->ticks, secure_ms)
+            .metric("norm_vs_1u", hix_norm)
+            .metric("ctx_switches",
+                    double(secure->gpuCtxSwitches));
     }
     std::printf(
         "\nAverage: Gdev %du %.2fx of 1u;  HIX %du %.2fx of 1u;  "
@@ -109,9 +130,14 @@ runVoltaAblation(int users)
 int
 main()
 {
-    runFigure(2);
-    runFigure(4);
+    bench::BenchJson json("multiuser");
+    runFigure(2, json);
+    runFigure(4, json);
+    // Past the paper's figures: contention trends at higher tenancy.
+    runFigure(8, json);
+    runFigure(16, json);
     runVoltaAblation(4);
+    json.write();
     std::printf(
         "Paper reference (Section 5.4): HIX parallel execution is "
         "about 45.2%% worse\nwith two users and 39.7%% worse with four "

@@ -8,7 +8,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "hix/gpu_enclave.h"
 #include "hix/trusted_runtime.h"
 #include "os/machine.h"
@@ -22,10 +24,13 @@ constexpr std::uint64_t Page = 64 * KiB;
 constexpr std::uint64_t Pages = 16;
 constexpr int Sweeps = 3;
 
+bench::BenchJson json("paging");
+
 /** Simulated ms to write + re-read the buffer Sweeps times. */
 double
 run(std::uint32_t quota_pages, bool managed, std::uint64_t *crypto_ops)
 {
+    bench::HostTimer timer;
     os::Machine machine;
     auto ge = core::GpuEnclave::create(
         &machine, machine.gpu().factoryBiosDigest());
@@ -55,7 +60,14 @@ run(std::uint32_t quota_pages, bool managed, std::uint64_t *crypto_ops)
             return -1;
     }
     *crypto_ops = machine.gpu().stats().cryptoKernels;
-    return ticksToMs(machine.scheduleTrace().makespan);
+    const Tick makespan = machine.scheduleTrace().makespan;
+    const std::string config =
+        managed ? "managed quota=" + std::to_string(quota_pages) +
+                      "/" + std::to_string(Pages)
+                : "regular all-resident";
+    json.add(config, makespan, timer.ms())
+        .metric("crypto_kernels", double(*crypto_ops));
+    return ticksToMs(makespan);
 }
 
 }  // namespace
@@ -91,5 +103,6 @@ main()
         "evict/page-in traffic that grows as the\nquota falls — the "
         "cost of extending HIX's guarantees to oversubscribed\nGPU "
         "memory.\n");
+    json.write();
     return 0;
 }

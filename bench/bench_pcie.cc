@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 
+#include "bench_json.h"
 #include "common/units.h"
 #include "mem/phys_mem.h"
 #include "pcie/root_complex.h"
@@ -135,6 +137,63 @@ BM_DmaWrite4K(benchmark::State &state)
 }
 BENCHMARK(BM_DmaWrite4K);
 
+/**
+ * Quick wall-clock sweep for BENCH_pcie.json: ns/op of the hot fabric
+ * paths, independent of the google-benchmark reporters.
+ */
+void
+writeJsonSweep()
+{
+    bench::BenchJson json("pcie");
+    auto timed = [&json](const char *path, auto &&fn) {
+        bench::HostTimer timer;
+        std::size_t calls = 0;
+        do {
+            fn();
+            ++calls;
+        } while (timer.ms() < 20.0);
+        const double total_ms = timer.ms();
+        json.add(std::string("path=") + path, 0, total_ms)
+            .metric("ns_per_op", total_ms * 1e6 / double(calls));
+    };
+
+    Fabric fabric;
+    const Addr bar = fabric.dev.config().barBase(0);
+    Bytes out;
+    timed("mem_tlp_round_trip", [&] {
+        Status st =
+            fabric.rc.routeTlp(Tlp::memRead(bar + 0x40, 4), &out);
+        benchmark::DoNotOptimize(st);
+    });
+    timed("config_read", [&] {
+        auto v = fabric.rc.configRead(fabric.dev.bdf(), cfg::VendorId);
+        benchmark::DoNotOptimize(v);
+    });
+    (void)fabric.rc.lockPath(fabric.dev.bdf());
+    timed("config_write_locked_benign", [&] {
+        Status st =
+            fabric.rc.configWrite(fabric.dev.bdf(), 0x40, 0x1234);
+        benchmark::DoNotOptimize(st);
+    });
+    Bytes data(4096, 0x5a);
+    timed("dma_write_4k", [&] {
+        Status st =
+            fabric.rc.dmaWrite(0x1000, data.data(), data.size());
+        benchmark::DoNotOptimize(st);
+    });
+    json.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    writeJsonSweep();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,7 +8,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "workloads/runner.h"
 
 using namespace hix;
@@ -17,9 +19,12 @@ using namespace hix::workloads;
 namespace
 {
 
+bench::BenchJson json("pipeline");
+
 Tick
 timeConfig(const std::function<std::unique_ptr<Workload>()> &factory,
            bool single_copy, bool pipeline, bool use_pio,
+           const std::string &row_config,
            std::uint64_t chunk_bytes = 0)
 {
     RunConfig config;
@@ -29,12 +34,14 @@ timeConfig(const std::function<std::unique_ptr<Workload>()> &factory,
     config.usePio = use_pio;
     if (chunk_bytes != 0)
         config.machine.timing.pipelineChunkBytes = chunk_bytes;
+    bench::HostTimer timer;
     auto outcome = runWorkload(config);
     if (!outcome.isOk()) {
         std::printf("  run failed: %s\n",
                     outcome.status().toString().c_str());
         return 0;
     }
+    json.add(row_config, outcome->ticks, timer.ms());
     return outcome->ticks;
 }
 
@@ -42,10 +49,15 @@ void
 ablate(const char *name,
        const std::function<std::unique_ptr<Workload>()> &factory)
 {
-    const Tick full = timeConfig(factory, true, true, false);
-    const Tick no_pipe = timeConfig(factory, true, false, false);
-    const Tick naive = timeConfig(factory, false, true, false);
-    const Tick pio = timeConfig(factory, true, true, true);
+    const std::string base = std::string("workload=") + name;
+    const Tick full =
+        timeConfig(factory, true, true, false, base + " variant=full");
+    const Tick no_pipe = timeConfig(factory, true, false, false,
+                                    base + " variant=no_pipeline");
+    const Tick naive = timeConfig(factory, false, true, false,
+                                  base + " variant=double_copy");
+    const Tick pio =
+        timeConfig(factory, true, true, true, base + " variant=pio");
 
     std::printf("%-16s | %10.2f | %10.2f (%+5.1f%%) | %10.2f (%+5.1f%%) |"
                 " %10.2f (%+5.1f%%)\n",
@@ -73,8 +85,10 @@ main()
     std::printf("%12s | %10s\n", "chunk", "HIX (ms)");
     for (std::uint64_t chunk :
          {512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB}) {
-        const Tick t = timeConfig([] { return makeRodinia("PF"); },
-                                  true, true, false, chunk);
+        const Tick t = timeConfig(
+            [] { return makeRodinia("PF"); }, true, true, false,
+            "workload=PF chunk_kib=" + std::to_string(chunk / KiB),
+            chunk);
         std::printf("%9.1f MiB | %10.2f\n",
                     double(chunk) / (1 << 20), ticksToMs(t));
     }
@@ -82,5 +96,6 @@ main()
         "\nExpected shape: pipelining and single-copy each cut the "
         "data-path cost;\nPIO is slower than DMA for bulk data; "
         "moderate chunks (2-8 MiB) win the sweep.\n");
+    json.write();
     return 0;
 }

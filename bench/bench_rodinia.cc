@@ -6,7 +6,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "workloads/runner.h"
 
 using namespace hix;
@@ -24,12 +26,17 @@ main()
 
     const char *apps[] = {"BP", "BFS", "GS", "HS", "LUD",
                           "NW", "NN", "PF", "SRAD"};
+    bench::BenchJson json("rodinia");
     double ratio_sum = 0;
     int count = 0;
     for (const char *app : apps) {
         auto factory = [app] { return makeRodinia(app); };
+        bench::HostTimer base_timer;
         auto base = runBaseline(factory);
+        const double base_ms = base_timer.ms();
+        bench::HostTimer secure_timer;
         auto secure = runHix(factory);
+        const double secure_ms = secure_timer.ms();
         if (!base.isOk() || !secure.isOk()) {
             std::printf("%-5s | FAILED: %s / %s\n", app,
                         base.status().toString().c_str(),
@@ -46,9 +53,14 @@ main()
             app, double(spec.htodBytes) / (1 << 20),
             double(spec.dtohBytes) / (1 << 20), base->milliseconds(),
             secure->milliseconds(), (ratio - 1) * 100);
+        const std::string config = std::string("app=") + app;
+        json.add(config + " runtime=gdev", base->ticks, base_ms);
+        json.add(config + " runtime=hix", secure->ticks, secure_ms)
+            .metric("overhead_vs_gdev", ratio);
     }
     std::printf("\nAverage HIX overhead: %+.1f%%\n",
                 (ratio_sum / count - 1) * 100);
+    json.write();
     std::printf(
         "\nPaper reference (Section 5.3.2): 26.8%% average; BP +81.5%%, "
         "NW +70.1%%,\nPF +154%%; GS comparable; HS/LUD/NN slightly "

@@ -8,8 +8,10 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "hix/baseline_runtime.h"
 #include "hix/gpu_enclave.h"
 #include "hix/trusted_runtime.h"
@@ -22,6 +24,8 @@ namespace
 {
 
 int failures = 0;
+bench::BenchJson json("security_tcb");
+bench::HostTimer row_timer;
 
 void
 row(const char *component, const char *attack, const char *mechanism,
@@ -30,6 +34,10 @@ row(const char *component, const char *attack, const char *mechanism,
     std::printf("%-28s | %-34s | %-24s | %-8s | %s\n", component,
                 attack, mechanism, blocked ? "BLOCKED" : "FAILED!",
                 baseline_note);
+    json.add(std::string(component) + " :: " + attack, 0,
+             row_timer.ms())
+        .metric("blocked", blocked ? 1.0 : 0.0);
+    row_timer.reset();
     if (!blocked)
         ++failures;
 }
@@ -227,5 +235,6 @@ main()
                 failures == 0
                     ? "All HIX defenses held (Table 2 reproduced)."
                     : "SOME DEFENSES FAILED");
+    json.write();
     return failures == 0 ? 0 : 1;
 }

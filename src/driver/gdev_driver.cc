@@ -105,7 +105,7 @@ GdevDriver::scaledDuration(const gpu::CostRecord &record) const
 Result<SubmitResult>
 GdevDriver::submit(gpu::GpuOp op, GpuContextId ctx,
                    const std::vector<std::uint64_t> &args, bool async,
-                   std::vector<sim::OpId> deps)
+                   std::span<const sim::OpId> deps)
 {
     // Functional: push the command words and ring the doorbell.
     std::uint32_t words = 0;
@@ -145,13 +145,14 @@ GdevDriver::submit(gpu::GpuOp op, GpuContextId ctx,
         for (const auto &record : records) {
             if (record.engine == gpu::GpuEngine::Control)
                 continue;  // folded into the control cost
-            std::vector<sim::OpId> gpu_deps = {control};
-            if (last_gpu != sim::InvalidOpId)
-                gpu_deps.push_back(last_gpu);
+            const sim::OpId gpu_deps[2] = {control, last_gpu};
+            const std::size_t ndeps =
+                last_gpu != sim::InvalidOpId ? 2 : 1;
             last_gpu = recorder_->recordDetached(
                 resourceFor(record.engine, record.ctx),
                 scaledDuration(record),
-                kindFor(record.op), std::move(gpu_deps),
+                kindFor(record.op),
+                std::span<const sim::OpId>(gpu_deps, ndeps),
                 record.bytes * config_.timingScale, "",
                 record.ctx);
         }
@@ -270,19 +271,19 @@ GdevDriver::unmapRange(GpuContextId ctx, Addr gpu_va,
 Result<SubmitResult>
 GdevDriver::memcpyHtoD(GpuContextId ctx, Addr host_pa, Addr gpu_va,
                        std::uint64_t bytes, bool async,
-                       std::vector<sim::OpId> deps)
+                       std::span<const sim::OpId> deps)
 {
     return submit(gpu::GpuOp::CopyH2D, ctx, {host_pa, gpu_va, bytes},
-                  async, std::move(deps));
+                  async, deps);
 }
 
 Result<SubmitResult>
 GdevDriver::memcpyDtoH(GpuContextId ctx, Addr gpu_va, Addr host_pa,
                        std::uint64_t bytes, bool async,
-                       std::vector<sim::OpId> deps)
+                       std::span<const sim::OpId> deps)
 {
     return submit(gpu::GpuOp::CopyD2H, ctx, {gpu_va, host_pa, bytes},
-                  async, std::move(deps));
+                  async, deps);
 }
 
 Status
@@ -362,14 +363,13 @@ GdevDriver::loadModule(const std::string &kernel_name)
 Result<SubmitResult>
 GdevDriver::launchKernel(GpuContextId ctx, gpu::KernelId kernel,
                          const gpu::KernelArgs &args, bool async,
-                         std::vector<sim::OpId> deps)
+                         std::span<const sim::OpId> deps)
 {
     std::vector<std::uint64_t> cmd_args;
     cmd_args.reserve(args.size() + 1);
     cmd_args.push_back(kernel);
     cmd_args.insert(cmd_args.end(), args.begin(), args.end());
-    return submit(gpu::GpuOp::KernelLaunch, ctx, cmd_args, async,
-                  std::move(deps));
+    return submit(gpu::GpuOp::KernelLaunch, ctx, cmd_args, async, deps);
 }
 
 Result<SubmitResult>
@@ -382,12 +382,12 @@ Result<SubmitResult>
 GdevDriver::gpuOcb(bool encrypt, GpuContextId ctx, std::uint32_t slot,
                    Addr src_va, Addr dst_va, std::uint64_t pt_bytes,
                    std::uint32_t stream, std::uint64_t counter,
-                   bool async, std::vector<sim::OpId> deps)
+                   bool async, std::span<const sim::OpId> deps)
 {
     return submit(encrypt ? gpu::GpuOp::OcbEncrypt
                           : gpu::GpuOp::OcbDecrypt,
                   ctx, {slot, src_va, dst_va, pt_bytes, stream, counter},
-                  async, std::move(deps));
+                  async, deps);
 }
 
 Result<SubmitResult>

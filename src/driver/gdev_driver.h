@@ -15,8 +15,10 @@
 #ifndef HIX_DRIVER_GDEV_DRIVER_H_
 #define HIX_DRIVER_GDEV_DRIVER_H_
 
+#include <initializer_list>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -143,13 +145,35 @@ class GdevDriver
     Result<SubmitResult> memcpyHtoD(GpuContextId ctx, Addr host_pa,
                                     Addr gpu_va, std::uint64_t bytes,
                                     bool async = false,
-                                    std::vector<sim::OpId> deps = {});
+                                    std::span<const sim::OpId> deps = {});
+
+    /** Braced-list convenience for @p deps. */
+    Result<SubmitResult>
+    memcpyHtoD(GpuContextId ctx, Addr host_pa, Addr gpu_va,
+               std::uint64_t bytes, bool async,
+               std::initializer_list<sim::OpId> deps)
+    {
+        return memcpyHtoD(ctx, host_pa, gpu_va, bytes, async,
+                          std::span<const sim::OpId>(deps.begin(),
+                                                     deps.size()));
+    }
 
     /** DMA copy device->host. */
     Result<SubmitResult> memcpyDtoH(GpuContextId ctx, Addr gpu_va,
                                     Addr host_pa, std::uint64_t bytes,
                                     bool async = false,
-                                    std::vector<sim::OpId> deps = {});
+                                    std::span<const sim::OpId> deps = {});
+
+    /** Braced-list convenience for @p deps. */
+    Result<SubmitResult>
+    memcpyDtoH(GpuContextId ctx, Addr gpu_va, Addr host_pa,
+               std::uint64_t bytes, bool async,
+               std::initializer_list<sim::OpId> deps)
+    {
+        return memcpyDtoH(ctx, gpu_va, host_pa, bytes, async,
+                          std::span<const sim::OpId>(deps.begin(),
+                                                     deps.size()));
+    }
 
     /** Programmed-I/O write through the BAR1 window (small data). */
     Status writeVramPio(GpuContextId ctx, Addr gpu_va,
@@ -167,7 +191,18 @@ class GdevDriver
                                       gpu::KernelId kernel,
                                       const gpu::KernelArgs &args,
                                       bool async = false,
-                                      std::vector<sim::OpId> deps = {});
+                                      std::span<const sim::OpId> deps = {});
+
+    /** Braced-list convenience for @p deps. */
+    Result<SubmitResult>
+    launchKernel(GpuContextId ctx, gpu::KernelId kernel,
+                 const gpu::KernelArgs &args, bool async,
+                 std::initializer_list<sim::OpId> deps)
+    {
+        return launchKernel(ctx, kernel, args, async,
+                            std::span<const sim::OpId>(deps.begin(),
+                                                       deps.size()));
+    }
 
     /** Explicitly zero a device range. */
     Result<SubmitResult> scrub(GpuContextId ctx, Addr gpu_va,
@@ -180,7 +215,20 @@ class GdevDriver
                                 std::uint32_t stream,
                                 std::uint64_t counter,
                                 bool async = false,
-                                std::vector<sim::OpId> deps = {});
+                                std::span<const sim::OpId> deps = {});
+
+    /** Braced-list convenience for @p deps. */
+    Result<SubmitResult>
+    gpuOcb(bool encrypt, GpuContextId ctx, std::uint32_t slot,
+           Addr src_va, Addr dst_va, std::uint64_t pt_bytes,
+           std::uint32_t stream, std::uint64_t counter, bool async,
+           std::initializer_list<sim::OpId> deps)
+    {
+        return gpuOcb(encrypt, ctx, slot, src_va, dst_va, pt_bytes,
+                      stream, counter, async,
+                      std::span<const sim::OpId>(deps.begin(),
+                                                 deps.size()));
+    }
 
     Result<SubmitResult> dhMix(GpuContextId ctx, std::uint32_t slot,
                                Addr in_va, Addr out_va);
@@ -214,7 +262,7 @@ class GdevDriver
     Result<SubmitResult> submit(gpu::GpuOp op, GpuContextId ctx,
                                 const std::vector<std::uint64_t> &args,
                                 bool async,
-                                std::vector<sim::OpId> deps);
+                                std::span<const sim::OpId> deps);
     Tick scaledDuration(const gpu::CostRecord &record) const;
     sim::ResourceId resourceFor(gpu::GpuEngine engine,
                                 GpuContextId ctx) const;

@@ -174,13 +174,11 @@ GpuEnclave::ipcArrival(sim::OpId user_op, const char *label,
                        std::uint32_t actor)
 {
     const auto &t = machine_->config().timing;
-    std::vector<sim::OpId> deps;
-    if (user_op != sim::InvalidOpId)
-        deps.push_back(user_op);
+    // Trace::add drops InvalidOpId entries, so "no user op" needs no
+    // special case.
     return machine_->recorder().record(
         actor, cpu_, t.ipcMessageLatency + t.gpuEnclaveDispatch,
-        sim::OpKind::Control, 0, label, sim::NoGpuContext,
-        std::move(deps));
+        sim::OpKind::Control, 0, label, sim::NoGpuContext, {user_op});
 }
 
 Result<Addr>

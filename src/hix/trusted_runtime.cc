@@ -61,12 +61,11 @@ TrustedRuntime::chunkFor(Addr va, std::uint64_t len) const
 sim::OpId
 TrustedRuntime::recordUser(Tick duration, sim::OpKind kind,
                            std::uint64_t bytes, const char *label,
-                           std::vector<sim::OpId> deps)
+                           std::span<const sim::OpId> deps)
 {
     return machine_->recorder().record(actor_, cpu_, duration, kind,
                                        bytes, label,
-                                       sim::NoGpuContext,
-                                       std::move(deps));
+                                       sim::NoGpuContext, deps);
 }
 
 Status
@@ -292,18 +291,19 @@ TrustedRuntime::memcpyHtoD(Addr dst_gpu_va, const Bytes &data)
         // Timing: the encryption pass. It must wait for the ring
         // slot's previous consumer; without pipelining it also waits
         // for the previous chunk to fully land in the GPU.
-        std::vector<sim::OpId> deps;
+        sim::OpId deps[2];
+        std::size_t ndeps = 0;
         if (ring_busy_[slot] != sim::InvalidOpId)
-            deps.push_back(ring_busy_[slot]);
+            deps[ndeps++] = ring_busy_[slot];
         if (!pipeline && last_done != sim::InvalidOpId)
-            deps.push_back(last_done);
+            deps[ndeps++] = last_done;
         // Per-chunk fixed cost: nonce setup, sealing bookkeeping, and
         // the message-queue notification write.
         sim::OpId enc_op = recordUser(
             2 * t.gpuEnclaveDispatch +
                 transferTicks(len * scale, t.cpuOcbBps),
             sim::OpKind::CryptoCpu, len * scale, "h2d_encrypt",
-            std::move(deps));
+            std::span<const sim::OpId>(deps, ndeps));
 
         auto result = ge_->pushChunkHtoD(session_id_, ring_off, len,
                                          dst_gpu_va + off, ctr, enc_op);
@@ -316,11 +316,11 @@ TrustedRuntime::memcpyHtoD(Addr dst_gpu_va, const Bytes &data)
     }
 
     // Completion notification from the GPU enclave.
-    std::vector<sim::OpId> done_deps;
-    if (last_done != sim::InvalidOpId)
-        done_deps.push_back(last_done);
     recordUser(t.ipcMessageLatency, sim::OpKind::Control, 0, "h2d_done",
-               std::move(done_deps));
+               std::span<const sim::OpId>(&last_done,
+                                          last_done != sim::InvalidOpId
+                                              ? 1
+                                              : 0));
     return Status::ok();
 }
 

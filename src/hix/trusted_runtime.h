@@ -11,8 +11,10 @@
 #ifndef HIX_HIX_TRUSTED_RUNTIME_H_
 #define HIX_HIX_TRUSTED_RUNTIME_H_
 
+#include <initializer_list>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "crypto/auth_channel.h"
@@ -112,7 +114,15 @@ class TrustedRuntime
     Result<Response> roundTrip(const Request &req);
     sim::OpId recordUser(Tick duration, sim::OpKind kind,
                          std::uint64_t bytes, const char *label,
-                         std::vector<sim::OpId> deps = {});
+                         std::span<const sim::OpId> deps = {});
+    sim::OpId
+    recordUser(Tick duration, sim::OpKind kind, std::uint64_t bytes,
+               const char *label, std::initializer_list<sim::OpId> deps)
+    {
+        return recordUser(duration, kind, bytes, label,
+                          std::span<const sim::OpId>(deps.begin(),
+                                                     deps.size()));
+    }
     std::uint64_t functionalChunk() const;
     /** Chunk size for a transfer touching [va, va+len): managed
      * buffers move page-by-page so paging fits any quota. */

@@ -12,6 +12,16 @@
  * has the switch penalty folded into its effective start time, so the
  * engine keeps serving the resident context while it has pending
  * work — the Fermi policy the paper describes.
+ *
+ * Two engines compute the same schedule:
+ *
+ *  - schedule() is the production O(n log n) engine: per-resource
+ *    pending queues feed a global priority queue holding one
+ *    versioned candidate per resource, keyed by (effective dispatch
+ *    time, resident-context tie-break, op id).
+ *  - scheduleReference() is the original O(n · ready) scan, kept as
+ *    the executable specification; the golden-equivalence tests
+ *    assert the two produce bit-identical results.
  */
 
 #ifndef HIX_SIM_SCHEDULER_H_
@@ -67,9 +77,18 @@ struct ScheduleResult
     }
 };
 
-/** Compute a schedule for @p trace. */
+/** Compute a schedule for @p trace (O(n log n) engine). */
 ScheduleResult schedule(const Trace &trace,
                         const SchedulerConfig &config = {});
+
+/**
+ * The original quadratic engine, kept as the executable
+ * specification of the scheduling policy. schedule() must produce a
+ * bit-identical ScheduleResult; tests/sim/scheduler_golden_test.cc
+ * enforces this on recorded workload traces.
+ */
+ScheduleResult scheduleReference(const Trace &trace,
+                                 const SchedulerConfig &config = {});
 
 }  // namespace hix::sim
 

@@ -25,28 +25,83 @@ opKindName(OpKind kind)
     return "unknown";
 }
 
+Trace::Trace()
+{
+    labels_.emplace_back();  // LabelId 0 == ""
+    label_ids_.emplace(std::string(), NoLabel);
+}
+
+LabelId
+Trace::internLabel(std::string_view label)
+{
+    if (label.empty())
+        return NoLabel;
+    auto it = label_ids_.find(label);
+    if (it != label_ids_.end())
+        return it->second;
+    const LabelId id = static_cast<LabelId>(labels_.size());
+    labels_.emplace_back(label);
+    label_ids_.emplace(labels_.back(), id);
+    return id;
+}
+
+std::uint32_t
+Trace::storeDeps(Op &op, std::span<const OpId> deps, OpId chain_dep)
+{
+    // Validate and count first; only spill once the true count is
+    // known. Duplicates are kept (the scheduler tolerates them and the
+    // recorder has always allowed extra_deps to repeat the chain tail).
+    std::uint32_t count = 0;
+    auto check = [&](OpId d) {
+        if (d == InvalidOpId)
+            return false;
+        if (d >= op.id)
+            hix_panic("Trace: forward dependency ", d, " from op ",
+                      op.id);
+        return true;
+    };
+    for (OpId d : deps)
+        if (check(d))
+            ++count;
+    const bool has_chain = check(chain_dep);
+    if (has_chain)
+        ++count;
+    op.depCount = count;
+    if (count <= Op::InlineDeps) {
+        std::uint32_t i = 0;
+        for (OpId d : deps)
+            if (d != InvalidOpId)
+                op.inlineDeps[i++] = d;
+        if (has_chain)
+            op.inlineDeps[i++] = chain_dep;
+        return count;
+    }
+    op.depPoolOffset = static_cast<std::uint32_t>(dep_pool_.size());
+    dep_pool_.reserve(dep_pool_.size() + count);
+    for (OpId d : deps)
+        if (d != InvalidOpId)
+            dep_pool_.push_back(d);
+    if (has_chain)
+        dep_pool_.push_back(chain_dep);
+    return count;
+}
+
 OpId
-Trace::add(ResourceId resource, Tick duration, std::vector<OpId> deps,
-           OpKind kind, std::uint64_t bytes, std::string label,
-           GpuContextId gpu_ctx)
+Trace::add(ResourceId resource, Tick duration, std::span<const OpId> deps,
+           OpKind kind, std::uint64_t bytes, std::string_view label,
+           GpuContextId gpu_ctx, OpId chain_dep)
 {
     Op op;
     op.id = static_cast<OpId>(ops_.size());
     op.resource = resource;
     op.duration = duration;
-    for (OpId d : deps) {
-        if (d == InvalidOpId)
-            continue;
-        if (d >= op.id)
-            hix_panic("Trace: forward dependency ", d, " from op ", op.id);
-        op.deps.push_back(d);
-    }
+    storeDeps(op, deps, chain_dep);
     op.kind = kind;
     op.bytes = bytes;
-    op.label = std::move(label);
+    op.label = internLabel(label);
     op.gpuCtx = gpu_ctx;
-    ops_.push_back(std::move(op));
-    return ops_.back().id;
+    ops_.push_back(op);
+    return op.id;
 }
 
 Tick
@@ -69,35 +124,72 @@ Trace::totalBytes(OpKind kind) const
     return total;
 }
 
+void
+Trace::reserve(std::size_t ops)
+{
+    ops_.reserve(ops);
+}
+
 OpId
 Trace::append(const Trace &other)
 {
     const OpId offset = static_cast<OpId>(ops_.size());
+    ops_.reserve(ops_.size() + other.ops_.size());
+    dep_pool_.reserve(dep_pool_.size() + other.dep_pool_.size());
+
+    // Label ids differ between traces; build the remap once instead of
+    // re-hashing per op.
+    std::vector<LabelId> label_map(other.labels_.size(), NoLabel);
+    for (std::size_t i = 0; i < other.labels_.size(); ++i)
+        label_map[i] = internLabel(other.labels_[i]);
+
     for (const Op &src : other.ops_) {
         Op op = src;
         op.id += offset;
-        for (OpId &d : op.deps)
-            d += offset;
-        ops_.push_back(std::move(op));
+        op.label = label_map[src.label < label_map.size() ? src.label
+                                                          : 0];
+        if (op.depCount <= Op::InlineDeps) {
+            for (std::uint32_t i = 0; i < op.depCount; ++i)
+                op.inlineDeps[i] += offset;
+        } else {
+            const std::uint32_t new_off =
+                static_cast<std::uint32_t>(dep_pool_.size());
+            for (OpId d : other.deps(src))
+                dep_pool_.push_back(d + offset);
+            op.depPoolOffset = new_off;
+        }
+        ops_.push_back(op);
     }
     return offset;
+}
+
+void
+Trace::overwriteDepsForTest(OpId id, std::span<const OpId> deps)
+{
+    Op &op = ops_[id];
+    op.depCount = static_cast<std::uint32_t>(deps.size());
+    if (op.depCount <= Op::InlineDeps) {
+        std::uint32_t i = 0;
+        for (OpId d : deps)
+            op.inlineDeps[i++] = d;
+        return;
+    }
+    op.depPoolOffset = static_cast<std::uint32_t>(dep_pool_.size());
+    dep_pool_.insert(dep_pool_.end(), deps.begin(), deps.end());
 }
 
 OpId
 TraceRecorder::record(std::uint32_t actor, ResourceId resource,
                       Tick duration, OpKind kind, std::uint64_t bytes,
-                      std::string label, GpuContextId gpu_ctx,
-                      std::vector<OpId> extra_deps)
+                      std::string_view label, GpuContextId gpu_ctx,
+                      std::span<const OpId> extra_deps)
 {
     if (!trace_)
         return InvalidOpId;
     if (actor >= chain_tails_.size())
         chain_tails_.resize(actor + 1, InvalidOpId);
-    std::vector<OpId> deps = std::move(extra_deps);
-    if (chain_tails_[actor] != InvalidOpId)
-        deps.push_back(chain_tails_[actor]);
-    OpId id = trace_->add(resource, duration, std::move(deps), kind,
-                          bytes, std::move(label), gpu_ctx);
+    OpId id = trace_->add(resource, duration, extra_deps, kind, bytes,
+                          label, gpu_ctx, chain_tails_[actor]);
     chain_tails_[actor] = id;
     notify(id);
     return id;
@@ -105,14 +197,14 @@ TraceRecorder::record(std::uint32_t actor, ResourceId resource,
 
 OpId
 TraceRecorder::recordDetached(ResourceId resource, Tick duration,
-                              OpKind kind, std::vector<OpId> deps,
-                              std::uint64_t bytes, std::string label,
+                              OpKind kind, std::span<const OpId> deps,
+                              std::uint64_t bytes, std::string_view label,
                               GpuContextId gpu_ctx)
 {
     if (!trace_)
         return InvalidOpId;
-    OpId id = trace_->add(resource, duration, std::move(deps), kind,
-                          bytes, std::move(label), gpu_ctx);
+    OpId id =
+        trace_->add(resource, duration, deps, kind, bytes, label, gpu_ctx);
     notify(id);
     return id;
 }
@@ -137,11 +229,13 @@ TraceRecorder::notify(OpId id)
 {
     if (observers_.empty())
         return;
-    // Copy the op: an observer may append further ops (through code it
-    // calls), which can reallocate the trace's storage.
+    // Copy the op and resolve its label: an observer may append further
+    // ops (through code it calls), which can reallocate the trace's op
+    // and label storage.
     const Op op = trace_->op(id);
+    const std::string label = trace_->labelOf(op);
     for (const auto &[handle, observer] : observers_)
-        observer(op);
+        observer(op, label);
 }
 
 OpId

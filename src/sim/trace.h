@@ -10,6 +10,13 @@
  * computes start/completion times with resource arbitration. Explicit
  * dependencies are what let the HIX chunked data path express its
  * encrypt/transfer pipelining (Section 5.2 of the paper).
+ *
+ * The trace is allocation-lean so multi-million-op recordings (16+
+ * concurrent users, 4 KiB pipeline chunks) stay cheap: op labels are
+ * interned into a per-trace string table and ops carry a 32-bit
+ * LabelId; dependency lists of up to two entries (the common case —
+ * program-order chain plus one pipeline dependency) live inline in
+ * the Op, longer lists spill into one shared pool owned by the Trace.
  */
 
 #ifndef HIX_SIM_TRACE_H_
@@ -17,8 +24,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <limits>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -36,6 +47,12 @@ inline constexpr OpId InvalidOpId = std::numeric_limits<OpId>::max();
 /** GPU context tag for ops that do not run on the GPU. */
 inline constexpr GpuContextId NoGpuContext = ~GpuContextId(0);
 
+/** Interned op-label handle; resolve with Trace::labelOf(). */
+using LabelId = std::uint32_t;
+
+/** LabelId of the empty label (always interned as id 0). */
+inline constexpr LabelId NoLabel = 0;
+
 /** Broad op categories for per-category stats breakdowns. */
 enum class OpKind : std::uint8_t
 {
@@ -47,48 +64,113 @@ enum class OpKind : std::uint8_t
     Init,        //!< one-time setup (task init, attestation, ...)
 };
 
+/** Number of OpKind values (for dense per-kind tables). */
+inline constexpr std::size_t OpKindCount = 6;
+
 const char *opKindName(OpKind kind);
 
-/** One timed hardware action. */
+/**
+ * One timed hardware action. Plain value type with no heap-owning
+ * members: the label is an interned id and dependency lists longer
+ * than InlineDeps live in the owning Trace's shared pool, so resolve
+ * both through the Trace (labelOf() / deps()).
+ */
 struct Op
 {
+    /** Dependencies stored inline before spilling to the pool. */
+    static constexpr std::uint32_t InlineDeps = 2;
+
     OpId id = InvalidOpId;
     /** Resource the op occupies exclusively while running. */
     ResourceId resource;
     /** Service time on the resource, in ticks. */
     Tick duration = 0;
-    /** Ops that must complete before this op may start. */
-    std::vector<OpId> deps;
-    /** GPU context (for context-switch accounting), or NoGpuContext. */
-    GpuContextId gpuCtx = NoGpuContext;
-    OpKind kind = OpKind::Control;
     /** Payload size, for bandwidth stats; zero when not applicable. */
     std::uint64_t bytes = 0;
-    /** Short human-readable label for dumps. */
-    std::string label;
+    /** GPU context (for context-switch accounting), or NoGpuContext. */
+    GpuContextId gpuCtx = NoGpuContext;
+    /** Interned label; Trace::labelOf() resolves it for dumps. */
+    LabelId label = NoLabel;
+    /** Number of prerequisite ops. */
+    std::uint32_t depCount = 0;
+    /** First InlineDeps prerequisites (valid when depCount <= InlineDeps). */
+    OpId inlineDeps[InlineDeps] = {InvalidOpId, InvalidOpId};
+    /** Offset into the trace's dep pool (valid when depCount > InlineDeps). */
+    std::uint32_t depPoolOffset = 0;
+    OpKind kind = OpKind::Control;
 };
 
 /**
  * An append-only op DAG. Traces from several users can be merged for
- * multi-user scheduling; op ids are rewritten during the merge.
+ * multi-user scheduling; op ids, spilled dependency lists, and label
+ * ids are rewritten during the merge.
  */
 class Trace
 {
   public:
+    Trace();
+
     /**
      * Append an op. @p deps lists prerequisite op ids within this
-     * trace.
+     * trace; InvalidOpId entries are dropped. @p chain_dep, when
+     * valid, is appended after @p deps (the recorder's program-order
+     * chain tail) without materialising a combined list.
      *
      * @return the new op's id.
      */
-    OpId add(ResourceId resource, Tick duration, std::vector<OpId> deps,
-             OpKind kind, std::uint64_t bytes = 0, std::string label = {},
-             GpuContextId gpu_ctx = NoGpuContext);
+    OpId add(ResourceId resource, Tick duration,
+             std::span<const OpId> deps, OpKind kind,
+             std::uint64_t bytes = 0, std::string_view label = {},
+             GpuContextId gpu_ctx = NoGpuContext,
+             OpId chain_dep = InvalidOpId);
+
+    /** Braced-list convenience: t.add(r, 10, {a, b}, kind). */
+    OpId
+    add(ResourceId resource, Tick duration,
+        std::initializer_list<OpId> deps, OpKind kind,
+        std::uint64_t bytes = 0, std::string_view label = {},
+        GpuContextId gpu_ctx = NoGpuContext)
+    {
+        return add(resource, duration,
+                   std::span<const OpId>(deps.begin(), deps.size()),
+                   kind, bytes, label, gpu_ctx);
+    }
 
     const std::vector<Op> &ops() const { return ops_; }
     const Op &op(OpId id) const { return ops_[id]; }
     std::size_t size() const { return ops_.size(); }
     bool empty() const { return ops_.empty(); }
+
+    /** Prerequisites of @p op (inline or pooled storage). */
+    std::span<const OpId>
+    deps(const Op &op) const
+    {
+        if (op.depCount <= Op::InlineDeps)
+            return {op.inlineDeps, op.depCount};
+        return {dep_pool_.data() + op.depPoolOffset, op.depCount};
+    }
+
+    /** Prerequisites of the op with id @p id. */
+    std::span<const OpId> deps(OpId id) const { return deps(ops_[id]); }
+
+    /** The interned string behind a LabelId ("" for NoLabel). */
+    const std::string &
+    labelOf(LabelId label) const
+    {
+        return labels_[label < labels_.size() ? label : 0];
+    }
+
+    /** Label of @p op. */
+    const std::string &labelOf(const Op &op) const
+    {
+        return labelOf(op.label);
+    }
+
+    /** Intern @p label (idempotent); "" always maps to NoLabel. */
+    LabelId internLabel(std::string_view label);
+
+    /** Number of distinct interned labels (incl. the empty label). */
+    std::size_t labelCount() const { return labels_.size(); }
 
     /** Id of the most recently added op, or InvalidOpId when empty. */
     OpId
@@ -104,17 +186,55 @@ class Trace
     /** Total bytes attached to ops of a given kind. */
     std::uint64_t totalBytes(OpKind kind) const;
 
-    /** Remove all ops. */
-    void clear() { ops_.clear(); }
+    /** Pre-size op storage for a known recording (multi-user merge). */
+    void reserve(std::size_t ops);
+
+    /** Remove all ops (interned labels are kept: ids stay stable for
+     *  the common record/clear/record cycle between runs). */
+    void
+    clear()
+    {
+        ops_.clear();
+        dep_pool_.clear();
+    }
 
     /**
-     * Append all ops of @p other, remapping ids; returns the id
-     * offset applied to the appended ops.
+     * Append all ops of @p other, remapping op ids, spilled dep
+     * lists, and label ids; returns the id offset applied to the
+     * appended ops.
      */
     OpId append(const Trace &other);
 
+    /**
+     * Test-only: overwrite an op's dependency list without the
+     * forward-reference check, so scheduler cycle-detection paths can
+     * be exercised. Never call from modelled software.
+     */
+    void overwriteDepsForTest(OpId id, std::span<const OpId> deps);
+
   private:
+    struct LabelHash
+    {
+        using is_transparent = void;
+        std::size_t
+        operator()(std::string_view s) const
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
+    std::uint32_t storeDeps(Op &op, std::span<const OpId> deps,
+                            OpId chain_dep);
+
     std::vector<Op> ops_;
+    /** Spilled dependency lists (> Op::InlineDeps entries). */
+    std::vector<OpId> dep_pool_;
+    /** Interned label strings; index == LabelId, [0] == "". */
+    std::vector<std::string> labels_;
+    /** Reverse lookup; heterogeneous find avoids per-record allocs. */
+    std::unordered_map<std::string, LabelId, LabelHash,
+                       std::equal_to<>>
+        label_ids_;
 };
 
 /**
@@ -135,9 +255,11 @@ class TraceRecorder
      * record() at precise points of the modelled software (per
      * transfer chunk, per kernel launch), so an observer can
      * interleave an action — e.g. a privileged attack — exactly
-     * between two chunks of a running transfer.
+     * between two chunks of a running transfer. @p label is the op's
+     * resolved label, stable across trace mutation by the observer.
      */
-    using OpObserver = std::function<void(const Op &)>;
+    using OpObserver =
+        std::function<void(const Op &, const std::string &label)>;
 
     /** A recorder that drops everything. */
     TraceRecorder() = default;
@@ -166,18 +288,44 @@ class TraceRecorder
      */
     OpId record(std::uint32_t actor, ResourceId resource, Tick duration,
                 OpKind kind, std::uint64_t bytes = 0,
-                std::string label = {},
+                std::string_view label = {},
                 GpuContextId gpu_ctx = NoGpuContext,
-                std::vector<OpId> extra_deps = {});
+                std::span<const OpId> extra_deps = {});
+
+    /** Braced-list convenience for @p extra_deps. */
+    OpId
+    record(std::uint32_t actor, ResourceId resource, Tick duration,
+           OpKind kind, std::uint64_t bytes, std::string_view label,
+           GpuContextId gpu_ctx, std::initializer_list<OpId> extra_deps)
+    {
+        return record(actor, resource, duration, kind, bytes, label,
+                      gpu_ctx,
+                      std::span<const OpId>(extra_deps.begin(),
+                                            extra_deps.size()));
+    }
 
     /**
      * Record an op with fully explicit dependencies; does not touch
      * any actor chain. Used by pipelined copies.
      */
     OpId recordDetached(ResourceId resource, Tick duration, OpKind kind,
-                        std::vector<OpId> deps, std::uint64_t bytes = 0,
-                        std::string label = {},
+                        std::span<const OpId> deps,
+                        std::uint64_t bytes = 0,
+                        std::string_view label = {},
                         GpuContextId gpu_ctx = NoGpuContext);
+
+    /** Braced-list convenience for @p deps. */
+    OpId
+    recordDetached(ResourceId resource, Tick duration, OpKind kind,
+                   std::initializer_list<OpId> deps,
+                   std::uint64_t bytes = 0, std::string_view label = {},
+                   GpuContextId gpu_ctx = NoGpuContext)
+    {
+        return recordDetached(
+            resource, duration, kind,
+            std::span<const OpId>(deps.begin(), deps.size()), bytes,
+            label, gpu_ctx);
+    }
 
     /** The tail op of @p actor's program-order chain. */
     OpId chainTail(std::uint32_t actor) const;

@@ -59,9 +59,9 @@ exportChromeTrace(const Trace &trace, const ScheduleResult &schedule,
             static_cast<double>(op.duration) / 1000.0;
         if (dur_us < 0.05)
             dur_us = 0.05;  // keep ops visible
+        const std::string &label = trace.labelOf(op);
         os << ",{\"name\":\""
-           << escaped(op.label.empty() ? opKindName(op.kind)
-                                       : op.label)
+           << escaped(label.empty() ? opKindName(op.kind) : label)
            << "\",\"cat\":\"" << opKindName(op.kind)
            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
            << tids[op.resource] << ",\"ts\":" << start_us

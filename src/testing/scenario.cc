@@ -212,18 +212,21 @@ VictimScenario::ensureObserver()
     if (observer_handle_ >= 0)
         return;
     observer_handle_ = machine_->recorder().addObserver(
-        [this](const sim::Op &op) { dispatch(op); });
+        [this](const sim::Op &op, const std::string &label) {
+            dispatch(op, label);
+        });
 }
 
 void
-VictimScenario::dispatch(const sim::Op &op)
+VictimScenario::dispatch(const sim::Op &op, const std::string &label)
 {
     // Attacks may drive more modelled software (which records ops);
     // those must not re-trigger hooks.
     if (in_hook_)
         return;
+    (void)op;
     for (Hook &hook : hooks_) {
-        if (hook.fired || hook.label != op.label)
+        if (hook.fired || hook.label != label)
             continue;
         if (--hook.remaining > 0)
             continue;

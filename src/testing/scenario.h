@@ -172,7 +172,7 @@ class VictimScenario
     };
 
     void ensureObserver();
-    void dispatch(const sim::Op &op);
+    void dispatch(const sim::Op &op, const std::string &label);
     Status enableIommuIdentity(Addr paddr, std::uint64_t size);
 
     ScenarioOptions options_;

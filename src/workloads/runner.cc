@@ -11,6 +11,32 @@
 namespace hix::workloads
 {
 
+namespace
+{
+
+/** Score the recorded trace and package the outcome. */
+RunOutcome
+collectOutcome(os::Machine &machine, const RunConfig &config)
+{
+    RunOutcome outcome;
+    outcome.schedule = machine.scheduleTrace();
+    outcome.ticks = outcome.schedule.makespan;
+    outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
+    outcome.schedulerConfig.gpuCtxSwitchTicks =
+        config.machine.timing.gpuCtxSwitch;
+    if (config.keepTrace)
+        outcome.trace =
+            std::make_shared<sim::Trace>(machine.trace());
+    if (!config.traceJsonPath.empty()) {
+        std::ofstream file(config.traceJsonPath);
+        sim::exportChromeTrace(machine.trace(), outcome.schedule,
+                               file);
+    }
+    return outcome;
+}
+
+}  // namespace
+
 Result<RunOutcome>
 runWorkload(const RunConfig &config)
 {
@@ -44,16 +70,7 @@ runWorkload(const RunConfig &config)
             BaselineApi api(users[u].get());
             HIX_RETURN_IF_ERROR(jobs[u]->run(api));
         }
-        RunOutcome outcome;
-        outcome.schedule = machine.scheduleTrace();
-        outcome.ticks = outcome.schedule.makespan;
-        outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
-        if (!config.traceJsonPath.empty()) {
-            std::ofstream file(config.traceJsonPath);
-            sim::exportChromeTrace(machine.trace(), outcome.schedule,
-                                   file);
-        }
-        return outcome;
+        return collectOutcome(machine, config);
     }
 
     // --- HIX secure path -------------------------------------------------
@@ -84,16 +101,7 @@ runWorkload(const RunConfig &config)
         TrustedApi api(users[u].get());
         HIX_RETURN_IF_ERROR(jobs[u]->run(api));
     }
-
-    RunOutcome outcome;
-    outcome.schedule = machine.scheduleTrace();
-    outcome.ticks = outcome.schedule.makespan;
-    outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
-    if (!config.traceJsonPath.empty()) {
-        std::ofstream file(config.traceJsonPath);
-        sim::exportChromeTrace(machine.trace(), outcome.schedule, file);
-    }
-    return outcome;
+    return collectOutcome(machine, config);
 }
 
 Result<RunOutcome>

@@ -41,6 +41,12 @@ struct RunConfig
      * JSON (chrome://tracing / Perfetto) to this path.
      */
     std::string traceJsonPath;
+    /**
+     * Keep a copy of the recorded op trace in the outcome. Used by the
+     * golden-equivalence tests and the scheduler bench, which replay
+     * real workload traces through both scheduler engines.
+     */
+    bool keepTrace = false;
 };
 
 /** Result of one run. */
@@ -52,6 +58,10 @@ struct RunOutcome
     sim::ScheduleResult schedule;
     /** GPU context switches charged (multi-user analysis). */
     std::uint64_t gpuCtxSwitches = 0;
+    /** Recorded op trace (only when RunConfig::keepTrace is set). */
+    std::shared_ptr<const sim::Trace> trace;
+    /** Scheduler configuration the run was scored with. */
+    sim::SchedulerConfig schedulerConfig;
 
     double
     milliseconds() const

@@ -74,6 +74,14 @@ TEST_P(SchedulerPropertyTest, ScheduleInvariantsHold)
     config.gpuCtxSwitchTicks = 50;
     auto result = schedule(trace, config);
 
+    // The optimized engine must agree with the reference engine on
+    // every random DAG, bit for bit.
+    auto reference = scheduleReference(trace, config);
+    EXPECT_EQ(result.start, reference.start);
+    EXPECT_EQ(result.finish, reference.finish);
+    EXPECT_EQ(result.makespan, reference.makespan);
+    EXPECT_EQ(result.gpuCtxSwitches, reference.gpuCtxSwitches);
+
     Tick max_finish = 0;
     std::uint64_t observed_switches = 0;
 
@@ -90,7 +98,7 @@ TEST_P(SchedulerPropertyTest, ScheduleInvariantsHold)
         max_finish = std::max(max_finish, finish);
 
         // Dependencies respected.
-        for (OpId dep : op.deps)
+        for (OpId dep : trace.deps(op))
             EXPECT_GE(start, result.finish[dep])
                 << "op " << op.id << " started before dep " << dep;
 
