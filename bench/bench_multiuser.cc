@@ -7,8 +7,10 @@
  * are normalized to Gdev with one user, as in the paper.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "bench_json.h"
 #include "workloads/runner.h"
@@ -18,6 +20,60 @@ using namespace hix::workloads;
 
 namespace
 {
+
+/** Host threads available to the recording pool (the pool sizes
+ * itself to min(users, this)): the wall-clock speedup ceiling. */
+unsigned
+hostThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+}
+
+/** One configuration recorded serially, then in parallel: the ticks
+ * must be bit-identical (the runner's headline guarantee); the host
+ * wall-clock ratio is the recording speedup this PR buys. */
+struct TimedRun
+{
+    Result<RunOutcome> outcome = errInternal("not run");
+    double serialMs = 0;
+    double parallelMs = 0;
+
+    double
+    speedup() const
+    {
+        return parallelMs > 0 ? serialMs / parallelMs : 0;
+    }
+};
+
+TimedRun
+timedRun(const std::function<std::unique_ptr<Workload>()> &factory,
+         int users, bool use_hix)
+{
+    TimedRun run;
+    RunConfig config;
+    config.factory = factory;
+    config.users = users;
+    config.useHix = use_hix;
+
+    config.parallelRecording = false;
+    bench::HostTimer serial_timer;
+    auto serial = runWorkload(config);
+    run.serialMs = serial_timer.ms();
+
+    config.parallelRecording = true;
+    bench::HostTimer parallel_timer;
+    run.outcome = runWorkload(config);
+    run.parallelMs = parallel_timer.ms();
+
+    if (serial.isOk() && run.outcome.isOk() &&
+        serial->ticks != run.outcome->ticks)
+        std::printf("  !! serial/parallel tick mismatch: %llu vs %llu\n",
+                    static_cast<unsigned long long>(serial->ticks),
+                    static_cast<unsigned long long>(
+                        run.outcome->ticks));
+    return run;
+}
 
 void
 runFigure(int users, bench::BenchJson &json)
@@ -34,53 +90,68 @@ runFigure(int users, bench::BenchJson &json)
             users);
     std::printf(
         " App  | Gdev 1u (ms) | Gdev %du (norm) | HIX %du (norm) |"
-        " HIX/Gdev | ctx switches | host ms\n",
+        " HIX/Gdev | ctx switches | rec serial ms | rec parallel ms |"
+        " speedup\n",
         users, users);
 
-    double gdev_sum = 0, hix_sum = 0;
+    double gdev_sum = 0, hix_sum = 0, speedup_sum = 0;
     int count = 0;
     for (const char *app :
          {"BP", "BFS", "GS", "HS", "LUD", "NW", "NN", "PF", "SRAD"}) {
         auto factory = [app] { return makeRodinia(app); };
         auto one = runBaseline(factory, 1);
-        bench::HostTimer base_timer;
-        auto base = runBaseline(factory, users);
-        const double base_ms = base_timer.ms();
-        bench::HostTimer secure_timer;
-        auto secure = runHix(factory, users);
-        const double secure_ms = secure_timer.ms();
-        if (!one.isOk() || !base.isOk() || !secure.isOk()) {
+        TimedRun base = timedRun(factory, users, /*use_hix=*/false);
+        TimedRun secure = timedRun(factory, users, /*use_hix=*/true);
+        if (!one.isOk() || !base.outcome.isOk() ||
+            !secure.outcome.isOk()) {
             std::printf("%-5s | FAILED\n", app);
             continue;
         }
         const double gdev_norm =
-            double(base->ticks) / double(one->ticks);
+            double(base.outcome->ticks) / double(one->ticks);
         const double hix_norm =
-            double(secure->ticks) / double(one->ticks);
+            double(secure.outcome->ticks) / double(one->ticks);
+        const double serial_ms = base.serialMs + secure.serialMs;
+        const double parallel_ms =
+            base.parallelMs + secure.parallelMs;
         gdev_sum += gdev_norm;
         hix_sum += hix_norm;
+        speedup_sum += serial_ms / parallel_ms;
         ++count;
         std::printf(
             "%-5s | %12.2f | %14.2f | %13.2f | %+7.1f%% | %12llu | "
-            "%7.1f\n",
+            "%13.1f | %15.1f | %6.2fx\n",
             app, one->milliseconds(), gdev_norm, hix_norm,
             (hix_norm / gdev_norm - 1) * 100,
-            static_cast<unsigned long long>(secure->gpuCtxSwitches),
-            base_ms + secure_ms);
+            static_cast<unsigned long long>(
+                secure.outcome->gpuCtxSwitches),
+            serial_ms, parallel_ms, serial_ms / parallel_ms);
         const std::string config = std::string("app=") + app +
                                    " users=" + std::to_string(users);
-        json.add(config + " runtime=gdev", base->ticks, base_ms)
-            .metric("norm_vs_1u", gdev_norm);
-        json.add(config + " runtime=hix", secure->ticks, secure_ms)
+        json.add(config + " runtime=gdev", base.outcome->ticks,
+                 base.parallelMs)
+            .metric("norm_vs_1u", gdev_norm)
+            .metric("host_ms_serial", base.serialMs)
+            .metric("host_ms_parallel", base.parallelMs)
+            .metric("record_speedup", base.speedup());
+        json.add(config + " runtime=hix", secure.outcome->ticks,
+                 secure.parallelMs)
             .metric("norm_vs_1u", hix_norm)
             .metric("ctx_switches",
-                    double(secure->gpuCtxSwitches));
+                    double(secure.outcome->gpuCtxSwitches))
+            .metric("host_ms_serial", secure.serialMs)
+            .metric("host_ms_parallel", secure.parallelMs)
+            .metric("record_speedup", secure.speedup())
+            .metric("record_workers",
+                    double(std::min<unsigned>(users, hostThreads())));
     }
     std::printf(
         "\nAverage: Gdev %du %.2fx of 1u;  HIX %du %.2fx of 1u;  "
-        "HIX vs Gdev parallel: %+.1f%%\n\n",
+        "HIX vs Gdev parallel: %+.1f%%;  recording speedup %.2fx "
+        "(%u worker(s) on %u hardware thread(s))\n\n",
         users, gdev_sum / count, users, hix_sum / count,
-        (hix_sum / gdev_sum - 1) * 100);
+        (hix_sum / gdev_sum - 1) * 100, speedup_sum / count,
+        std::min<unsigned>(users, hostThreads()), hostThreads());
 }
 
 }  // namespace
@@ -131,6 +202,10 @@ int
 main()
 {
     bench::BenchJson json("multiuser");
+    std::printf(
+        "Recording pool: min(users, %u hardware thread(s)) workers; "
+        "wall-clock speedup is bounded by that width.\n\n",
+        hostThreads());
     runFigure(2, json);
     runFigure(4, json);
     // Past the paper's figures: contention trends at higher tenancy.

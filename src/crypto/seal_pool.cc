@@ -21,9 +21,12 @@ SealPool::SealPool(std::size_t num_threads)
 {
     const std::size_t total =
         num_threads == 0 ? defaultThreads() : num_threads;
-    // The calling thread works too, so spawn one fewer.
-    threads_.reserve(total - 1 < total ? total - 1 : 0);
-    for (std::size_t t = 0; t + 1 < total; ++t)
+    // The calling thread works too, so spawn one fewer. worker_count_
+    // must be final before the first emplace: workers read it for
+    // their stride while the constructor is still growing threads_.
+    worker_count_ = total > 0 ? total - 1 : 0;
+    threads_.reserve(worker_count_);
+    for (std::size_t t = 0; t < worker_count_; ++t)
         threads_.emplace_back([this, t] { workerLoop(t); });
 }
 
@@ -48,7 +51,7 @@ SealPool::shared()
 void
 SealPool::workerLoop(std::size_t worker_id)
 {
-    const std::size_t stride = threads_.size() + 1;
+    const std::size_t stride = worker_count_ + 1;
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lk(mutex_);
     for (;;) {
@@ -75,11 +78,14 @@ SealPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
-    if (threads_.empty() || n == 1) {
+    if (worker_count_ == 0 || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
+    // One job at a time: the job slot is single-entry, and concurrent
+    // callers (per-user recording threads) must not overwrite it.
+    std::lock_guard<std::mutex> job_turn(caller_mutex_);
     {
         std::lock_guard<std::mutex> lk(mutex_);
         job_ = &fn;
@@ -89,11 +95,11 @@ SealPool::parallelFor(std::size_t n,
     }
     wake_.notify_all();
     // The calling thread takes the last slice.
-    const std::size_t stride = threads_.size() + 1;
-    for (std::size_t i = threads_.size(); i < n; i += stride)
+    const std::size_t stride = worker_count_ + 1;
+    for (std::size_t i = worker_count_; i < n; i += stride)
         fn(i);
     std::unique_lock<std::mutex> lk(mutex_);
-    done_.wait(lk, [&] { return finished_workers_ == threads_.size(); });
+    done_.wait(lk, [&] { return finished_workers_ == worker_count_; });
     job_ = nullptr;
 }
 

@@ -52,7 +52,7 @@ class SealPool
     SealPool &operator=(const SealPool &) = delete;
 
     /** Worker count (>= 1). */
-    std::size_t threadCount() const { return threads_.size() + 1; }
+    std::size_t threadCount() const { return worker_count_ + 1; }
 
     /**
      * Process-wide shared pool, created on first use. All transfers
@@ -63,6 +63,13 @@ class SealPool
     /**
      * Run fn(0) .. fn(n-1) across the workers and the calling thread;
      * returns when all indices completed.
+     *
+     * Safe to call from several threads concurrently (the sharded
+     * multi-user recorder runs one transfer per recording thread):
+     * callers serialize on an internal mutex, so jobs run one at a
+     * time but each still spreads over all workers. Results do not
+     * depend on the caller arrival order — every job's outputs are a
+     * pure function of its own inputs.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -93,9 +100,18 @@ class SealPool
   private:
     void workerLoop(std::size_t worker_id);
 
+    /** Serializes whole parallelFor jobs: the single job slot below
+     * can only describe one job at a time, so concurrent callers take
+     * turns. Always acquired before (and released after) mutex_. */
+    std::mutex caller_mutex_;
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
+    /** Number of spawned workers (threadCount() - 1). Fixed before the
+     * first worker starts: workers must never read threads_.size(),
+     * which the constructor is still growing while early workers run
+     * (a data race TSan catches). */
+    std::size_t worker_count_ = 0;
     std::vector<std::thread> threads_;
 
     // Current job state, all guarded by mutex_. Workers take static

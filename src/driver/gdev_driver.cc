@@ -25,7 +25,8 @@ GdevDriver::GdevDriver(gpu::GpuDevice *device,
       config_(std::move(config)),
       own_vram_(config_.vramHeapBase, config_.vramHeapSize),
       vram_(config_.sharedVram ? config_.sharedVram : &own_vram_),
-      next_ctx_(g_next_ctx.fetch_add(64))
+      next_ctx_(config_.ctxBase != 0 ? config_.ctxBase
+                                     : g_next_ctx.fetch_add(64))
 {
 }
 

@@ -66,6 +66,15 @@ struct GdevConfig
      * safe when it is the device's sole driver.
      */
     VramAllocator *sharedVram = nullptr;
+    /**
+     * First GPU context id this driver hands out. Zero (the default)
+     * draws a block from a process-global counter, which is fine for
+     * single-machine runs but nondeterministic when machines are
+     * built on concurrent threads; the sharded multi-user runner
+     * passes an explicit per-shard base so recorded context ids do
+     * not depend on thread scheduling.
+     */
+    GpuContextId ctxBase = 0;
 };
 
 /** Outcome of a timed submission. */
@@ -111,6 +120,14 @@ class GdevDriver
     // ----- Contexts -------------------------------------------------------
     Result<GpuContextId> createContext();
     Status destroyContext(GpuContextId ctx);
+
+    /**
+     * Pin the id the next createContext() returns. Deterministic-id
+     * injection for the sharded multi-user runner (see
+     * HixConfig::sessionCtxBase); ids the driver already handed out
+     * must not be re-pinned.
+     */
+    void setNextContext(GpuContextId ctx) { next_ctx_ = ctx; }
 
     // ----- Memory ---------------------------------------------------------
     /** Allocate device memory; returns a GPU virtual address. */

@@ -6,7 +6,8 @@ namespace hix::core
 BaselineRuntime::BaselineRuntime(os::Machine *machine, std::string name,
                                  std::uint64_t timing_scale,
                                  std::uint16_t cpu_index,
-                                 BaselineRuntime *mps_leader)
+                                 BaselineRuntime *mps_leader,
+                                 GpuContextId ctx_base)
     : machine_(machine),
       name_(std::move(name)),
       cpu_{sim::ResUnit::UserCpu, cpu_index},
@@ -27,12 +28,29 @@ BaselineRuntime::BaselineRuntime(os::Machine *machine, std::string name,
     cfg.actor = actor_;
     cfg.cpuResource = cpu_;
     cfg.sharedVram = &machine_->vram();
+    cfg.ctxBase = ctx_base;
     driver_ = std::make_shared<driver::GdevDriver>(
         &machine_->gpu(),
         std::make_unique<driver::HostMmioPort>(
             &machine_->rootComplex(), gpu_config.barBase(0),
             gpu_config.barBase(1)),
         &machine_->recorder(), cfg);
+}
+
+Status
+BaselineRuntime::precreateContext()
+{
+    if (initialized_ || ctx_precreated_)
+        return errFailedPrecondition("context already exists");
+    if (mps_leader_)
+        return errFailedPrecondition("MPS follower joins leader ctx");
+    driver_->setClient(actor_, cpu_);
+    auto ctx = driver_->createContext();
+    if (!ctx.isOk())
+        return ctx.status();
+    ctx_ = *ctx;
+    ctx_precreated_ = true;
+    return Status::ok();
 }
 
 Status
@@ -47,7 +65,7 @@ BaselineRuntime::init()
     if (mps_leader_) {
         // Pre-Volta MPS: join the leader's (single) GPU context.
         ctx_ = mps_leader_->ctx_;
-    } else {
+    } else if (!ctx_precreated_) {
         auto ctx = driver_->createContext();
         if (!ctx.isOk())
             return ctx.status();

@@ -33,10 +33,23 @@ class BaselineRuntime
     BaselineRuntime(os::Machine *machine, std::string name,
                     std::uint64_t timing_scale = 1,
                     std::uint16_t cpu_index = 0,
-                    BaselineRuntime *mps_leader = nullptr);
+                    BaselineRuntime *mps_leader = nullptr,
+                    GpuContextId ctx_base = 0);
 
     /** Create the GPU context (Gdev task initialization). */
     Status init();
+
+    /**
+     * Create the GPU context ahead of init(), outside the recorded
+     * window. The sharded multi-user runner uses this to reproduce
+     * pre-Volta MPS follower semantics on a private machine: on a
+     * shared machine only the MPS leader records CtxCreate and
+     * followers join its context, so a follower shard creates its
+     * (private) context during setup — before the trace is cleared —
+     * and init() then records only the task-init op, keeping the
+     * recorded window identical to the shared-machine run.
+     */
+    Status precreateContext();
 
     Result<Addr> memAlloc(std::uint64_t size);
     Status memFree(Addr gpu_va);
@@ -73,6 +86,7 @@ class BaselineRuntime
     GpuContextId ctx_ = 0;
     os::DmaBuffer host_buf_;
     bool initialized_ = false;
+    bool ctx_precreated_ = false;
 };
 
 }  // namespace hix::core

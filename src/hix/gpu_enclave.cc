@@ -144,6 +144,7 @@ GpuEnclave::initialize(const crypto::Sha256Digest &expected_bios)
     gcfg.cpuResource = cpu_;
     gcfg.pioWindowBytes = pio_window;
     gcfg.sharedVram = &m.vramAt(gpu_index_);
+    gcfg.ctxBase = config_.ctxBase;
     driver_ = std::make_unique<driver::GdevDriver>(
         &m.gpuAt(gpu_index_),
         std::make_unique<driver::EnclaveMmioPort>(&m.mmu(), exec_ctx_,
@@ -266,6 +267,8 @@ GpuEnclave::openSession(const sgx::Report &report,
     session.dataOcb = std::make_unique<crypto::Ocb>(
         crypto::deriveAesKey(secret, "hix-session"));
 
+    if (config_.sessionCtxBase != 0)
+        driver_->setNextContext(config_.sessionCtxBase + session.id - 1);
     auto gpu_ctx = driver_->createContext();
     if (!gpu_ctx.isOk())
         return gpu_ctx.status();
@@ -308,6 +311,13 @@ GpuEnclave::sessionOf(std::uint32_t id)
     if (it == sessions_.end())
         return errNotFound("no such session");
     return &it->second;
+}
+
+Result<GpuContextId>
+GpuEnclave::sessionGpuContext(std::uint32_t session)
+{
+    HIX_ASSIGN_OR_RETURN(Session *s, sessionOf(session));
+    return s->gpuCtx;
 }
 
 Response

@@ -52,6 +52,25 @@ struct HixConfig
      * to the serial path and simulated timing is unchanged.
      */
     bool parallelHostSealing = true;
+    /**
+     * First GPU context id the enclave's driver hands out (see
+     * GdevConfig::ctxBase). Zero draws from the process-global
+     * counter; the sharded multi-user runner passes a per-shard base
+     * for thread-schedule-independent context ids. The enclave's own
+     * management context is the first id created, so it gets exactly
+     * this value.
+     */
+    GpuContextId ctxBase = 0;
+    /**
+     * When non-zero, session s (1-based) gets GPU context id
+     * sessionCtxBase + s - 1 instead of the next sequential driver
+     * id. The sharded runner uses this to give the shard's single
+     * session its *canonical merged* context id at record time, which
+     * matters because the driver derives the Volta compute-queue
+     * index (ctx % gpuConcurrentContexts) when the op is recorded —
+     * a merge-time remap could no longer change it.
+     */
+    GpuContextId sessionCtxBase = 0;
 };
 
 /** What a session's data-plane chunk operation produced. */
@@ -183,6 +202,14 @@ class GpuEnclave
 
     /** Number of live sessions. */
     std::size_t sessionCount() const { return sessions_.size(); }
+
+    /** GPU context of the enclave's own management work (DH mixes,
+     * staging). Exposed so the multi-user merge can remap shard-local
+     * context ids to canonical ones. */
+    GpuContextId mgmtContext() const { return mgmt_ctx_; }
+
+    /** GPU context created for @p session, or NotFound. */
+    Result<GpuContextId> sessionGpuContext(std::uint32_t session);
 
   private:
     struct Session

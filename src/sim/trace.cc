@@ -131,7 +131,7 @@ Trace::reserve(std::size_t ops)
 }
 
 OpId
-Trace::append(const Trace &other)
+Trace::append(const Trace &other, const AppendRemap &remap)
 {
     const OpId offset = static_cast<OpId>(ops_.size());
     ops_.reserve(ops_.size() + other.ops_.size());
@@ -148,6 +148,8 @@ Trace::append(const Trace &other)
         op.id += offset;
         op.label = label_map[src.label < label_map.size() ? src.label
                                                           : 0];
+        if (op.gpuCtx != NoGpuContext)
+            op.gpuCtx = remap.mapCtx(op.gpuCtx);
         if (op.depCount <= Op::InlineDeps) {
             for (std::uint32_t i = 0; i < op.depCount; ++i)
                 op.inlineDeps[i] += offset;
@@ -161,6 +163,57 @@ Trace::append(const Trace &other)
         ops_.push_back(op);
     }
     return offset;
+}
+
+namespace
+{
+
+inline void
+fnv1a(std::uint64_t &h, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+}
+
+template <typename T>
+inline void
+fnv1aValue(std::uint64_t &h, T value)
+{
+    fnv1a(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+std::uint64_t
+traceDigest(const Trace &trace)
+{
+    // FNV-1a 64 over a canonical per-op encoding. Labels hash by their
+    // resolved string bytes (not the LabelId), so two traces that
+    // interned the same labels in different orders still digest equal;
+    // dependency lists hash by value, so inline-vs-spilled storage is
+    // invisible. This is exactly the "bit-identical" contract of the
+    // parallel recorder: same ops, same deps, same label text.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    fnv1aValue(h, static_cast<std::uint64_t>(trace.size()));
+    for (const Op &op : trace.ops()) {
+        fnv1aValue(h, static_cast<std::uint8_t>(op.resource.unit));
+        fnv1aValue(h, op.resource.index);
+        fnv1aValue(h, op.duration);
+        fnv1aValue(h, op.bytes);
+        fnv1aValue(h, op.gpuCtx);
+        fnv1aValue(h, static_cast<std::uint8_t>(op.kind));
+        const std::string &label = trace.labelOf(op);
+        fnv1aValue(h, static_cast<std::uint32_t>(label.size()));
+        fnv1a(h, label.data(), label.size());
+        const auto deps = trace.deps(op);
+        fnv1aValue(h, static_cast<std::uint32_t>(deps.size()));
+        for (OpId d : deps)
+            fnv1aValue(h, d);
+    }
+    return h;
 }
 
 void
@@ -234,8 +287,33 @@ TraceRecorder::notify(OpId id)
     // and label storage.
     const Op op = trace_->op(id);
     const std::string label = trace_->labelOf(op);
-    for (const auto &[handle, observer] : observers_)
-        observer(op, label);
+    // Walk observers in handle order instead of by vector position: an
+    // observer may call addObserver/removeObserver on this recorder
+    // (same-thread mutation is part of the contract), which shifts or
+    // reallocates the vector. Handles are issued monotonically and the
+    // vector stays handle-sorted, so "next handle after the last one
+    // fired" is a stable cursor. Observers added during this
+    // notification (handle >= first_new) first fire for the next op;
+    // removed observers that have not fired yet are skipped.
+    const int first_new = next_observer_;
+    int last_fired = -1;
+    for (;;) {
+        std::size_t idx = observers_.size();
+        for (std::size_t i = 0; i < observers_.size(); ++i) {
+            if (observers_[i].first > last_fired) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == observers_.size() ||
+            observers_[idx].first >= first_new)
+            break;
+        last_fired = observers_[idx].first;
+        // Copy so an observer that removes itself stays alive for the
+        // duration of its own invocation.
+        OpObserver fn = observers_[idx].second;
+        fn(op, label);
+    }
 }
 
 OpId

@@ -199,11 +199,46 @@ class Trace
     }
 
     /**
+     * Rewrites applied to ops while they are appended by
+     * append(other, remap). Used by the sharded multi-user recorder:
+     * each user records on a private machine whose GPU context ids
+     * are shard-local, and the merge rewrites them to canonical
+     * per-user ids so the merged trace is deterministic regardless
+     * of shard construction order or threading.
+     */
+    struct AppendRemap
+    {
+        /**
+         * Exact-match gpuCtx rewrites (old -> new). Ops whose context
+         * appears in no entry — including NoGpuContext — keep their
+         * recorded value. Kept as a flat list: real remaps have a
+         * handful of contexts per shard.
+         */
+        std::vector<std::pair<GpuContextId, GpuContextId>> gpuCtx;
+
+        GpuContextId
+        mapCtx(GpuContextId ctx) const
+        {
+            for (const auto &[from, to] : gpuCtx)
+                if (from == ctx)
+                    return to;
+            return ctx;
+        }
+    };
+
+    /**
      * Append all ops of @p other, remapping op ids, spilled dep
      * lists, and label ids; returns the id offset applied to the
      * appended ops.
+     *
+     * Recorder observers attached to a TraceRecorder targeting this
+     * trace do NOT fire for appended ops: append() is a bulk merge of
+     * already-recorded execution, not a recording-time event.
      */
-    OpId append(const Trace &other);
+    OpId append(const Trace &other) { return append(other, AppendRemap{}); }
+
+    /** append() with per-op rewrites (see AppendRemap). */
+    OpId append(const Trace &other, const AppendRemap &remap);
 
     /**
      * Test-only: overwrite an op's dependency list without the
@@ -238,6 +273,16 @@ class Trace
 };
 
 /**
+ * Order-insensitive content digest of a trace: FNV-1a 64 over each
+ * op's resource, duration, bytes, gpuCtx, kind, resolved label string,
+ * and dependency list. Label *ids* and inline-vs-spilled dep storage
+ * do not enter the hash, so two traces recorded through different
+ * interning orders digest equal iff they describe the same op DAG.
+ * This is the equality witness for the parallel-recording guarantee.
+ */
+std::uint64_t traceDigest(const Trace &trace);
+
+/**
  * Scoped recorder handle: components take a TraceRecorder so they can
  * run with recording disabled (pure functional mode) at zero cost.
  *
@@ -245,6 +290,17 @@ class Trace
  * default each recorded op depends on the previous op recorded for
  * the same actor, which models straight-line software. Data-path code
  * that pipelines passes explicit dependency lists instead.
+ *
+ * Thread contract: a recorder (and the trace it targets) is owned by
+ * exactly one recording thread. The sharded multi-user runner gives
+ * every user a private machine/recorder, so recording never crosses
+ * threads. Observers consequently fire synchronously on the recording
+ * thread of their own shard, with the op's label already resolved;
+ * addObserver/removeObserver must be called from that same thread
+ * (before the run starts, or from inside an observer). Calling them
+ * from another thread while recording is a data race by contract —
+ * it is not locked, and the TSan CI job enforces that no such call
+ * exists in the tree.
  */
 class TraceRecorder
 {
@@ -273,10 +329,18 @@ class TraceRecorder
     /**
      * Register an observer; returns a handle for removeObserver.
      * Observers must not record ops themselves (no re-entrancy).
+     * Recording-thread only (see class comment). An observer added
+     * from inside an observer callback first fires for the *next*
+     * recorded op, not the one being notified.
      */
     int addObserver(OpObserver observer);
 
-    /** Remove an observer by the handle addObserver returned. */
+    /**
+     * Remove an observer by the handle addObserver returned.
+     * Recording-thread only. Removing from inside an observer
+     * callback is safe, including self-removal; a removed observer
+     * that has not fired for the current op is skipped.
+     */
     void removeObserver(int handle);
 
     /**

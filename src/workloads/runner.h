@@ -1,9 +1,16 @@
 /**
  * @file
- * Experiment runner: builds a fresh modelled machine, executes a
- * workload on the requested configuration (unprotected Gdev baseline
- * or HIX; 1..N concurrent users), and returns the scheduled simulated
- * time. This is the harness behind every figure-reproducing bench.
+ * Experiment runner: executes a workload on the requested
+ * configuration (unprotected Gdev baseline or HIX; 1..N concurrent
+ * users) and returns the scheduled simulated time. This is the
+ * harness behind every figure-reproducing bench.
+ *
+ * Functional execution is sharded per user: every user gets a private
+ * modelled machine (and, for HIX, a private GPU enclave) and records
+ * into a private sim::Trace, optionally on its own host thread; the
+ * shards are then merged in user-index order with canonical GPU
+ * context ids. See DESIGN.md "Parallel functional execution" for why
+ * the merged trace is bit-identical to a serial recording.
  */
 
 #ifndef HIX_WORKLOADS_RUNNER_H_
@@ -47,6 +54,37 @@ struct RunConfig
      * real workload traces through both scheduler engines.
      */
     bool keepTrace = false;
+    /**
+     * Record each user's shard on its own host thread (true, the
+     * default) or loop over the shards on the calling thread. Both
+     * paths execute identical per-user shards and merge them in user
+     * order, so the merged trace is bit-identical — same traceDigest,
+     * same scheduled ticks — either way; the flag only changes host
+     * wall-clock. Serial mode exists for the determinism tests and
+     * the bench's before/after columns.
+     */
+    bool parallelRecording = true;
+    /**
+     * Recording worker threads used when parallelRecording is on.
+     * 0 (the default) sizes the pool to min(users,
+     * hardware_concurrency), so an over-tenanted run never
+     * oversubscribes the host; a positive value forces exactly that
+     * many workers (the determinism tests force one thread per user so
+     * TSan sees the full interleaving even on small CI machines).
+     * Worker w records users w, w + workers, ... — a static
+     * assignment, so no scheduling decision can leak into the result;
+     * shards are merged by user index regardless of which worker
+     * recorded them.
+     */
+    int recordThreads = 0;
+    /**
+     * Test hook, called for every user shard on that shard's
+     * recording thread after the machine and runtimes are built and
+     * the trace is cleared, just before the recorded window begins.
+     * Used to attach per-shard TraceRecorder observers; the machine
+     * reference is only valid during the call and the shard's run.
+     */
+    std::function<void(int user, os::Machine &machine)> shardHook;
 };
 
 /** Result of one run. */

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Property tests for Trace::append() remapping and traceDigest(), the
+ * two primitives the sharded multi-user recorder's bit-identity
+ * guarantee rests on: randomized source traces (spilled dep lists,
+ * colliding label-interning orders, gpuCtx rewrites) must merge with
+ * all id/label/dep invariants intact, and the digest must see through
+ * representation differences while catching any semantic change.
+ * Also pins the TraceRecorder observer-mutation contract (observers
+ * added/removed from inside a callback, including during appends).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/trace.h"
+
+namespace hix::sim
+{
+namespace
+{
+
+constexpr ResourceId cpu0{ResUnit::UserCpu, 0};
+
+/**
+ * A random trace with the shapes that exercise every append path:
+ * dep lists from empty through spilled (> Op::InlineDeps), labels
+ * drawn from a small pool so traces intern overlapping sets in
+ * different orders, and a mix of GPU-context-tagged and untagged ops.
+ */
+Trace
+randomTrace(Rng &rng, std::size_t n_ops,
+            const std::vector<std::string> &label_pool,
+            const std::vector<GpuContextId> &ctx_pool)
+{
+    Trace t;
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        std::vector<OpId> deps;
+        if (i > 0) {
+            // Up to 5 deps: beyond InlineDeps (2) spills to the pool.
+            const std::size_t want = rng.nextBelow(6);
+            for (std::size_t d = 0; d < want; ++d)
+                deps.push_back(static_cast<OpId>(rng.nextBelow(i)));
+        }
+        const std::string &label =
+            label_pool[rng.nextBelow(label_pool.size())];
+        const GpuContextId ctx =
+            rng.nextBelow(2) == 0
+                ? NoGpuContext
+                : ctx_pool[rng.nextBelow(ctx_pool.size())];
+        const ResourceId res{
+            rng.nextBelow(2) == 0 ? ResUnit::UserCpu
+                                  : ResUnit::GpuCompute,
+            static_cast<std::uint16_t>(rng.nextBelow(3))};
+        t.add(res, rng.nextBelow(1000), deps,
+              static_cast<OpKind>(rng.nextBelow(OpKindCount)),
+              rng.nextBelow(1 << 20), label, ctx);
+    }
+    return t;
+}
+
+std::vector<std::string>
+labelPool()
+{
+    return {"", "h2d_encrypt", "d2h_decrypt", "submit", "kernel",
+            "gdev_task_init", "chunk_h2d"};
+}
+
+TEST(TraceAppendProperty, AppendPreservesEveryOpUnderRemap)
+{
+    Rng rng(0x5eed0001);
+    for (int iter = 0; iter < 50; ++iter) {
+        const std::vector<GpuContextId> ctxs = {7, 42, 0x10000};
+        Trace src = randomTrace(rng, 1 + rng.nextBelow(120),
+                                labelPool(), ctxs);
+
+        // A destination that already interned some labels in a
+        // different order and holds prior ops (nonzero id offset).
+        Trace dst = randomTrace(rng, 1 + rng.nextBelow(40),
+                                {"d2h_decrypt", "unrelated", ""},
+                                {3});
+        const std::size_t dst_before = dst.size();
+
+        Trace::AppendRemap remap;
+        remap.gpuCtx = {{7, 100}, {0x10000, 0}};
+        const OpId offset = dst.append(src, remap);
+        ASSERT_EQ(offset, dst_before);
+        ASSERT_EQ(dst.size(), dst_before + src.size());
+
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            const Op &s = src.op(static_cast<OpId>(i));
+            const Op &d = dst.op(static_cast<OpId>(i) + offset);
+            // Identity: id shifted by exactly the offset.
+            EXPECT_EQ(d.id, s.id + offset);
+            // Value fields unchanged.
+            EXPECT_EQ(d.resource, s.resource);
+            EXPECT_EQ(d.duration, s.duration);
+            EXPECT_EQ(d.bytes, s.bytes);
+            EXPECT_EQ(d.kind, s.kind);
+            // Context rewritten through the remap table only.
+            EXPECT_EQ(d.gpuCtx, s.gpuCtx == NoGpuContext
+                                    ? NoGpuContext
+                                    : remap.mapCtx(s.gpuCtx));
+            // Labels resolve to the same string through new ids.
+            EXPECT_EQ(dst.labelOf(d), src.labelOf(s));
+            // Deps (inline or spilled) shifted, order preserved.
+            const auto sd = src.deps(s);
+            const auto dd = dst.deps(d);
+            ASSERT_EQ(dd.size(), sd.size());
+            for (std::size_t k = 0; k < sd.size(); ++k)
+                EXPECT_EQ(dd[k], sd[k] + offset);
+        }
+    }
+}
+
+TEST(TraceAppendProperty, AppendedDepsNeverReachOutsideTheirShard)
+{
+    // Merged multi-user traces must keep user DAGs disjoint: no
+    // appended op may depend on an op of the destination prefix.
+    Rng rng(0x5eed0002);
+    for (int iter = 0; iter < 20; ++iter) {
+        Trace a = randomTrace(rng, 1 + rng.nextBelow(60), labelPool(),
+                              {1});
+        Trace b = randomTrace(rng, 1 + rng.nextBelow(60), labelPool(),
+                              {2});
+        Trace merged;
+        merged.append(a);
+        const OpId off = merged.append(b);
+        for (std::size_t i = off; i < merged.size(); ++i)
+            for (OpId d : merged.deps(static_cast<OpId>(i)))
+                EXPECT_GE(d, off);
+    }
+}
+
+TEST(TraceAppendProperty, DigestIgnoresLabelInterningOrder)
+{
+    // Same ops, labels interned in opposite orders (different
+    // LabelIds): the digest must agree, because it hashes resolved
+    // strings.
+    Trace a;
+    a.internLabel("alpha");
+    a.internLabel("beta");
+    a.add(cpu0, 5, {}, OpKind::Control, 0, "beta");
+    a.add(cpu0, 6, {0}, OpKind::Control, 0, "alpha");
+
+    Trace b;
+    b.internLabel("beta");
+    b.internLabel("alpha");
+    b.add(cpu0, 5, {}, OpKind::Control, 0, "beta");
+    b.add(cpu0, 6, {0}, OpKind::Control, 0, "alpha");
+
+    ASSERT_NE(a.op(0).label, b.op(0).label);  // representations differ
+    EXPECT_EQ(traceDigest(a), traceDigest(b));
+}
+
+TEST(TraceAppendProperty, DigestIsInvariantUnderAppendRoundTrip)
+{
+    // Appending a trace into an empty destination (identity remap)
+    // re-interns labels and re-bases spilled pools, but the digest
+    // must not change.
+    Rng rng(0x5eed0003);
+    for (int iter = 0; iter < 30; ++iter) {
+        Trace src = randomTrace(rng, 1 + rng.nextBelow(100),
+                                labelPool(), {5, 9});
+        Trace copy;
+        copy.internLabel("unrelated_first_label");
+        copy.append(src);
+        EXPECT_EQ(traceDigest(src), traceDigest(copy));
+    }
+}
+
+TEST(TraceAppendProperty, DigestSeesEverySemanticField)
+{
+    Trace base;
+    base.add(cpu0, 5, {}, OpKind::Control, 10, "x", 3);
+    base.add(cpu0, 6, {0}, OpKind::Control, 0, "y", NoGpuContext);
+    const std::uint64_t d0 = traceDigest(base);
+
+    {
+        Trace t;  // duration changed
+        t.add(cpu0, 7, {}, OpKind::Control, 10, "x", 3);
+        t.add(cpu0, 6, {0}, OpKind::Control, 0, "y", NoGpuContext);
+        EXPECT_NE(traceDigest(t), d0);
+    }
+    {
+        Trace t;  // gpuCtx changed
+        t.add(cpu0, 5, {}, OpKind::Control, 10, "x", 4);
+        t.add(cpu0, 6, {0}, OpKind::Control, 0, "y", NoGpuContext);
+        EXPECT_NE(traceDigest(t), d0);
+    }
+    {
+        Trace t;  // dep dropped
+        t.add(cpu0, 5, {}, OpKind::Control, 10, "x", 3);
+        t.add(cpu0, 6, {}, OpKind::Control, 0, "y", NoGpuContext);
+        EXPECT_NE(traceDigest(t), d0);
+    }
+    {
+        Trace t;  // label changed
+        t.add(cpu0, 5, {}, OpKind::Control, 10, "x", 3);
+        t.add(cpu0, 6, {0}, OpKind::Control, 0, "z", NoGpuContext);
+        EXPECT_NE(traceDigest(t), d0);
+    }
+    {
+        Trace t;  // resource index changed
+        t.add(ResourceId{ResUnit::UserCpu, 1}, 5, {}, OpKind::Control,
+              10, "x", 3);
+        t.add(cpu0, 6, {0}, OpKind::Control, 0, "y", NoGpuContext);
+        EXPECT_NE(traceDigest(t), d0);
+    }
+}
+
+TEST(TraceAppendProperty, AppendDoesNotFireRecorderObservers)
+{
+    // append() is a bulk merge of already-recorded execution, not a
+    // recording event: observers watch record()/recordDetached() only.
+    Trace t;
+    TraceRecorder rec(&t);
+    int fired = 0;
+    rec.addObserver([&](const Op &, const std::string &) { ++fired; });
+    rec.record(0, cpu0, 1, OpKind::Control);
+    ASSERT_EQ(fired, 1);
+
+    Trace other;
+    other.add(cpu0, 2, {}, OpKind::Control, 0, "merged");
+    t.append(other);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TraceObserverContract, ObserverAddedMidNotificationFiresNextOp)
+{
+    Trace t;
+    TraceRecorder rec(&t);
+    std::vector<std::string> outer_seen, inner_seen;
+    rec.addObserver([&](const Op &, const std::string &label) {
+        outer_seen.push_back(label);
+        if (outer_seen.size() == 1) {
+            rec.addObserver(
+                [&](const Op &, const std::string &inner_label) {
+                    inner_seen.push_back(inner_label);
+                });
+        }
+    });
+    rec.record(0, cpu0, 1, OpKind::Control, 0, "first");
+    rec.record(0, cpu0, 1, OpKind::Control, 0, "second");
+
+    // The inner observer was registered while "first" was being
+    // notified: it must not see "first", only later ops.
+    ASSERT_EQ(outer_seen.size(), 2u);
+    ASSERT_EQ(inner_seen.size(), 1u);
+    EXPECT_EQ(inner_seen[0], "second");
+}
+
+TEST(TraceObserverContract, ObserverMayRemoveItselfMidNotification)
+{
+    Trace t;
+    TraceRecorder rec(&t);
+    int once_fired = 0, steady_fired = 0;
+    int once_handle = -1;
+    once_handle = rec.addObserver([&](const Op &, const std::string &) {
+        ++once_fired;
+        rec.removeObserver(once_handle);
+    });
+    rec.addObserver(
+        [&](const Op &, const std::string &) { ++steady_fired; });
+
+    rec.record(0, cpu0, 1, OpKind::Control);
+    rec.record(0, cpu0, 1, OpKind::Control);
+
+    EXPECT_EQ(once_fired, 1);
+    // The steady observer still fires for both ops, including the one
+    // during which its predecessor unregistered.
+    EXPECT_EQ(steady_fired, 2);
+}
+
+TEST(TraceObserverContract, ObserverMayRemoveALaterObserver)
+{
+    Trace t;
+    TraceRecorder rec(&t);
+    int victim_fired = 0;
+    int victim_handle = -1;
+    rec.addObserver([&](const Op &, const std::string &) {
+        if (victim_handle >= 0) {
+            rec.removeObserver(victim_handle);
+            victim_handle = -1;
+        }
+    });
+    victim_handle = rec.addObserver(
+        [&](const Op &, const std::string &) { ++victim_fired; });
+
+    rec.record(0, cpu0, 1, OpKind::Control);
+    // The first observer removed the victim before its turn in the
+    // same notification round: a removed observer never fires late.
+    EXPECT_EQ(victim_fired, 0);
+}
+
+TEST(TraceObserverContract, LabelResolvedEvenAfterObserverMutatesTrace)
+{
+    // Observers get the label by value: even if the callback grows
+    // the trace (reallocating the interned-label table through code
+    // it calls), the string it was handed stays valid and correct.
+    Trace t;
+    TraceRecorder rec(&t);
+    std::vector<std::string> seen;
+    rec.addObserver([&](const Op &, const std::string &label) {
+        seen.push_back(label);
+        if (seen.size() == 1)
+            for (int i = 0; i < 64; ++i)
+                t.add(cpu0, 1, {}, OpKind::Control, 0,
+                      "filler" + std::to_string(i));
+    });
+    rec.record(0, cpu0, 1, OpKind::Control, 0, "watched");
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], "watched");
+}
+
+}  // namespace
+}  // namespace hix::sim
