@@ -66,7 +66,10 @@ run(std::uint32_t quota_pages, bool managed, std::uint64_t *crypto_ops)
                       "/" + std::to_string(Pages)
                 : "regular all-resident";
     json.add(config, makespan, timer.ms())
-        .metric("crypto_kernels", double(*crypto_ops));
+        .metric("crypto_kernels", double(*crypto_ops))
+        .metric("tlb_hits", double(machine.mmu().tlbHits()))
+        .metric("tlb_misses", double(machine.mmu().tlbMisses()))
+        .metric("iotlb_hits", double(machine.iommu().iotlbHits()));
     return ticksToMs(makespan);
 }
 

@@ -41,7 +41,10 @@ timeConfig(const std::function<std::unique_ptr<Workload>()> &factory,
                     outcome.status().toString().c_str());
         return 0;
     }
-    json.add(row_config, outcome->ticks, timer.ms());
+    json.add(row_config, outcome->ticks, timer.ms())
+        .metric("tlb_hits", double(outcome->tlbHits))
+        .metric("tlb_misses", double(outcome->tlbMisses))
+        .metric("iotlb_hits", double(outcome->iotlbHits));
     return outcome->ticks;
 }
 

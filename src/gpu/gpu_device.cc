@@ -22,6 +22,9 @@ constexpr Tick DhOpCost = 80 * US;
 /** Full device reset (state machine + memory controller). */
 constexpr Tick ResetCost = 5 * MS;
 
+/** Copy-engine staging granularity (bounds dma_scratch_ growth). */
+constexpr std::uint64_t DmaChunkBytes = 256 * KiB;
+
 }  // namespace
 
 GpuDevice::GpuDevice(std::string name, const GpuGeometry &geometry,
@@ -350,11 +353,23 @@ GpuDevice::execCommand(const std::vector<std::uint64_t> &words,
             return ctx.status();
         if (!rootComplex())
             return errUnavailable("GPU has no DMA path");
-        Bytes buf(args[2]);
-        HIX_RETURN_IF_ERROR(
-            rootComplex()->dmaRead(args[0], buf.data(), buf.size()));
+        // Stream through the bounded staging buffer: one DMA-in plus
+        // one VRAM write per chunk, never a transfer-sized alloc.
+        if (dma_scratch_.size() < std::min<std::uint64_t>(args[2],
+                                                          DmaChunkBytes))
+            dma_scratch_.resize(
+                std::min<std::uint64_t>(args[2], DmaChunkBytes));
         GpuMemAccessor mem(*ctx, &vram_);
-        HIX_RETURN_IF_ERROR(mem.writeBytes(args[1], buf));
+        std::uint64_t done = 0;
+        while (done < args[2]) {
+            const std::size_t chunk = static_cast<std::size_t>(
+                std::min<std::uint64_t>(DmaChunkBytes, args[2] - done));
+            HIX_RETURN_IF_ERROR(rootComplex()->dmaRead(
+                args[0] + done, dma_scratch_.data(), chunk));
+            HIX_RETURN_IF_ERROR(
+                mem.write(args[1] + done, dma_scratch_.data(), chunk));
+            done += chunk;
+        }
         ++stats_.copiesH2D;
         stats_.bytesH2D += args[2];
         record(op, GpuEngine::CopyHtoD, ctx_id,
@@ -372,12 +387,21 @@ GpuDevice::execCommand(const std::vector<std::uint64_t> &words,
             return ctx.status();
         if (!rootComplex())
             return errUnavailable("GPU has no DMA path");
+        if (dma_scratch_.size() < std::min<std::uint64_t>(args[2],
+                                                          DmaChunkBytes))
+            dma_scratch_.resize(
+                std::min<std::uint64_t>(args[2], DmaChunkBytes));
         GpuMemAccessor mem(*ctx, &vram_);
-        auto buf = mem.readBytes(args[0], args[2]);
-        if (!buf.isOk())
-            return buf.status();
-        HIX_RETURN_IF_ERROR(rootComplex()->dmaWrite(
-            args[1], buf->data(), buf->size()));
+        std::uint64_t done = 0;
+        while (done < args[2]) {
+            const std::size_t chunk = static_cast<std::size_t>(
+                std::min<std::uint64_t>(DmaChunkBytes, args[2] - done));
+            HIX_RETURN_IF_ERROR(
+                mem.read(args[0] + done, dma_scratch_.data(), chunk));
+            HIX_RETURN_IF_ERROR(rootComplex()->dmaWrite(
+                args[1] + done, dma_scratch_.data(), chunk));
+            done += chunk;
+        }
         ++stats_.copiesD2H;
         stats_.bytesD2H += args[2];
         record(op, GpuEngine::CopyDtoH, ctx_id,

@@ -176,6 +176,13 @@ class GpuDevice : public pcie::PcieDevice
     Bytes crypto_in_;
     Bytes crypto_out_;
 
+    /**
+     * Reused copy-engine staging buffer: H2D/D2H stream through it in
+     * bounded chunks instead of allocating a transfer-sized buffer
+     * per command (grow-once, steady state allocates nothing).
+     */
+    Bytes dma_scratch_;
+
     std::vector<CostRecord> costs_;
     GpuDeviceStats stats_;
     std::string last_error_;

@@ -3,6 +3,12 @@
 namespace hix::mem
 {
 
+Iommu::Iommu(std::size_t iotlb_capacity)
+    : geom_(TlbGeometry::forCapacity(iotlb_capacity)),
+      slots_(geom_.slotCount())
+{
+}
+
 Status
 Iommu::map(Addr device_addr, Addr phys_addr)
 {
@@ -11,21 +17,47 @@ Iommu::map(Addr device_addr, Addr phys_addr)
     auto [it, inserted] = table_.emplace(device_addr, phys_addr);
     if (!inserted)
         return errAlreadyExists("device page already mapped");
+    // No IOTLB action needed: misses are never cached, so an absent
+    // page cannot have a stale cached translation.
     return Status::ok();
 }
 
 Status
 Iommu::unmap(Addr device_addr)
 {
-    if (table_.erase(pageBase(device_addr)) == 0)
+    const Addr dpage = pageBase(device_addr);
+    if (table_.erase(dpage) == 0)
         return errNotFound("device page not mapped");
+    invalidatePage(dpage);
     return Status::ok();
 }
 
 void
 Iommu::overwrite(Addr device_addr, Addr phys_addr)
 {
-    table_[pageBase(device_addr)] = pageBase(phys_addr);
+    const Addr dpage = pageBase(device_addr);
+    invalidatePage(dpage);
+    table_[dpage] = pageBase(phys_addr);
+}
+
+void
+Iommu::invalidatePage(Addr dpage)
+{
+    IoSlot *base = &slots_[geom_.setIndex(0, dpage) * geom_.ways];
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+        IoSlot &s = base[w];
+        if (s.epoch == epoch_ && s.dpage == dpage) {
+            s.epoch = 0;
+            --live_;
+        }
+    }
+}
+
+void
+Iommu::flushIotlb()
+{
+    ++epoch_;
+    live_ = 0;
 }
 
 Result<Addr>
@@ -33,9 +65,40 @@ Iommu::translate(Addr device_addr) const
 {
     if (!enabled_)
         return device_addr;
-    auto it = table_.find(pageBase(device_addr));
+    const Addr dpage = pageBase(device_addr);
+    IoSlot *base = &slots_[geom_.setIndex(0, dpage) * geom_.ways];
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+        IoSlot &s = base[w];
+        if (s.epoch == epoch_ && s.dpage == dpage) {
+            s.stamp = ++tick_;
+            ++iotlb_hits_;
+            return s.ppage + pageOffset(device_addr);
+        }
+    }
+    ++iotlb_misses_;
+    auto it = table_.find(dpage);
     if (it == table_.end())
         return errAccessFault("IOMMU fault: device page not mapped");
+    // Fill: prefer an invalid slot, else evict within-set LRU.
+    IoSlot *free_slot = nullptr;
+    IoSlot *victim = nullptr;
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+        IoSlot &s = base[w];
+        if (s.epoch != epoch_) {
+            if (!free_slot)
+                free_slot = &s;
+        } else if (!victim || s.stamp < victim->stamp) {
+            victim = &s;
+        }
+    }
+    IoSlot *dst = free_slot ? free_slot : victim;
+    if (free_slot) {
+        ++live_;
+        dst->epoch = epoch_;
+    }
+    dst->dpage = dpage;
+    dst->ppage = it->second;
+    dst->stamp = ++tick_;
     return it->second + pageOffset(device_addr);
 }
 

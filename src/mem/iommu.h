@@ -5,15 +5,25 @@
  * adversary can redirect any DMA (Section 4.3.3), which is why HIX
  * protects DMA payloads with authenticated encryption instead of
  * trusting this unit.
+ *
+ * Translation is cached in a set-associative IOTLB (same geometry
+ * engine as the CPU TLB). Caching cannot change what the adversary
+ * can do: fills mirror the OS-owned table verbatim, and every table
+ * mutation (unmap/overwrite) invalidates the cached page before it
+ * takes effect, so a translate always returns exactly what the table
+ * would. Negative results (faults) are never cached.
  */
 
 #ifndef HIX_MEM_IOMMU_H_
 #define HIX_MEM_IOMMU_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "mem/mmu.h"
+#include "mem/page.h"
 #include "mem/phys_mem.h"
 
 namespace hix::mem
@@ -21,11 +31,14 @@ namespace hix::mem
 
 /**
  * A single-domain IOMMU. When disabled (bypass mode), device
- * addresses pass through untranslated.
+ * addresses pass through untranslated (and the IOTLB is not
+ * consulted or counted).
  */
 class Iommu
 {
   public:
+    explicit Iommu(std::size_t iotlb_capacity = 64);
+
     /** Enable/disable translation; disabled = identity mapping. */
     void setEnabled(bool enabled) { enabled_ = enabled; }
     bool enabled() const { return enabled_; }
@@ -38,7 +51,9 @@ class Iommu
 
     /**
      * Rewrite a mapping without checks — the attacker primitive for
-     * DMA redirection.
+     * DMA redirection. Invalidates the cached page first, so the
+     * redirect is visible to the very next translate (the attack
+     * model must not be weakened by caching).
      */
     void overwrite(Addr device_addr, Addr phys_addr);
 
@@ -47,9 +62,36 @@ class Iommu
 
     std::size_t entryCount() const { return table_.size(); }
 
+    std::uint64_t iotlbHits() const { return iotlb_hits_; }
+    std::uint64_t iotlbMisses() const { return iotlb_misses_; }
+    /** Live IOTLB entries (for tests). */
+    std::size_t iotlbSize() const { return live_; }
+
+    /** Drop the whole IOTLB (platform reset / tests); O(1). */
+    void flushIotlb();
+
   private:
+    struct IoSlot
+    {
+        Addr dpage = 0;
+        Addr ppage = 0;
+        std::uint64_t epoch = 0;  // 0 = invalid
+        std::uint64_t stamp = 0;  // LRU recency
+    };
+
+    void invalidatePage(Addr dpage);
+
     bool enabled_ = false;
     std::unordered_map<Addr, Addr> table_;  // device page -> phys page
+
+    // IOTLB state; translate() is const, so the cache is mutable.
+    TlbGeometry geom_;
+    mutable std::vector<IoSlot> slots_;
+    mutable std::uint64_t tick_ = 0;
+    std::uint64_t epoch_ = 1;
+    mutable std::size_t live_ = 0;
+    mutable std::uint64_t iotlb_hits_ = 0;
+    mutable std::uint64_t iotlb_misses_ = 0;
 };
 
 }  // namespace hix::mem

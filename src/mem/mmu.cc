@@ -7,12 +7,35 @@
 namespace hix::mem
 {
 
+TlbGeometry
+TlbGeometry::forCapacity(std::size_t capacity, std::size_t ways_hint)
+{
+    capacity = std::max<std::size_t>(1, capacity);
+    ways_hint = std::min(std::max<std::size_t>(1, ways_hint), capacity);
+    const std::size_t target = std::max<std::size_t>(1, capacity / ways_hint);
+    std::size_t sets = 1;
+    while (sets * 2 <= target)
+        sets *= 2;
+    return TlbGeometry{sets, capacity / sets};
+}
+
+Tlb::Tlb(std::size_t capacity, std::size_t ways_hint)
+    : TlbBase(TlbGeometry::forCapacity(capacity, ways_hint)),
+      slots_(geom_.slotCount())
+{
+}
+
 const TlbEntry *
 Tlb::lookup(ProcessId pid, EnclaveId enclave, Addr vpage) const
 {
-    for (const TlbEntry &e : entries_) {
-        if (e.pid == pid && e.enclave == enclave && e.vpage == vpage)
-            return &e;
+    Slot *base = &slots_[geom_.setIndex(pid, vpage) * geom_.ways];
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+        Slot &s = base[w];
+        if (s.epoch == epoch_ && s.entry.vpage == vpage &&
+            s.entry.pid == pid && s.entry.enclave == enclave) {
+            s.stamp = ++tick_;
+            return &s.entry;
+        }
     }
     return nullptr;
 }
@@ -20,34 +43,155 @@ Tlb::lookup(ProcessId pid, EnclaveId enclave, Addr vpage) const
 void
 Tlb::insert(const TlbEntry &entry)
 {
-    if (entries_.size() >= capacity_)
-        entries_.pop_front();
-    entries_.push_back(entry);
+    Slot *base = &slots_[geom_.setIndex(entry.pid, entry.vpage) *
+                         geom_.ways];
+    Slot *free_slot = nullptr;
+    Slot *victim = nullptr;
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+        Slot &s = base[w];
+        if (s.epoch != epoch_) {
+            if (!free_slot)
+                free_slot = &s;
+            continue;
+        }
+        if (s.entry.vpage == entry.vpage && s.entry.pid == entry.pid &&
+            s.entry.enclave == entry.enclave) {
+            s.entry = entry;
+            s.stamp = ++tick_;
+            return;
+        }
+        if (!victim || s.stamp < victim->stamp)
+            victim = &s;
+    }
+    Slot *dst = free_slot ? free_slot : victim;
+    if (free_slot) {
+        ++live_;
+        dst->epoch = epoch_;
+    }
+    dst->entry = entry;
+    dst->stamp = ++tick_;
 }
 
 void
 Tlb::flushAll()
 {
-    entries_.clear();
+    ++epoch_;
+    live_ = 0;
 }
 
 void
 Tlb::flushPid(ProcessId pid)
+{
+    for (Slot &s : slots_) {
+        if (s.epoch == epoch_ && s.entry.pid == pid) {
+            s.epoch = 0;
+            --live_;
+        }
+    }
+}
+
+void
+Tlb::flushPage(ProcessId pid, Addr vpage)
+{
+    // The set index ignores the enclave tag, so every entry the
+    // conservative flush must drop lives in this one set.
+    Slot *base = &slots_[geom_.setIndex(pid, vpage) * geom_.ways];
+    for (std::size_t w = 0; w < geom_.ways; ++w) {
+        Slot &s = base[w];
+        if (s.epoch == epoch_ && s.entry.pid == pid &&
+            s.entry.vpage == vpage) {
+            s.epoch = 0;
+            --live_;
+        }
+    }
+}
+
+TlbReference::TlbReference(std::size_t capacity, std::size_t ways_hint)
+    : TlbBase(TlbGeometry::forCapacity(capacity, ways_hint))
+{
+}
+
+const TlbEntry *
+TlbReference::lookup(ProcessId pid, EnclaveId enclave, Addr vpage) const
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->pid == pid && it->enclave == enclave &&
+            it->vpage == vpage) {
+            // Splice to the back: list order is touch recency.
+            entries_.splice(entries_.end(), entries_, it);
+            return &entries_.back();
+        }
+    }
+    return nullptr;
+}
+
+void
+TlbReference::insert(const TlbEntry &entry)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->pid == entry.pid && it->enclave == entry.enclave &&
+            it->vpage == entry.vpage) {
+            entries_.erase(it);
+            entries_.push_back(entry);
+            return;
+        }
+    }
+    const std::size_t set = geom_.setIndex(entry.pid, entry.vpage);
+    std::size_t in_set = 0;
+    for (const TlbEntry &e : entries_)
+        if (geom_.setIndex(e.pid, e.vpage) == set)
+            ++in_set;
+    if (in_set >= geom_.ways) {
+        // Front-most entry of the set = its least recently touched.
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (geom_.setIndex(it->pid, it->vpage) == set) {
+                entries_.erase(it);
+                break;
+            }
+        }
+    }
+    entries_.push_back(entry);
+}
+
+void
+TlbReference::flushAll()
+{
+    entries_.clear();
+}
+
+void
+TlbReference::flushPid(ProcessId pid)
 {
     entries_.remove_if(
         [pid](const TlbEntry &e) { return e.pid == pid; });
 }
 
 void
-Tlb::flushPage(ProcessId pid, Addr vpage)
+TlbReference::flushPage(ProcessId pid, Addr vpage)
 {
     entries_.remove_if([pid, vpage](const TlbEntry &e) {
         return e.pid == pid && e.vpage == vpage;
     });
 }
 
-Mmu::Mmu(PhysicalBus *bus, std::size_t tlb_capacity)
-    : bus_(bus), tlb_(tlb_capacity)
+namespace
+{
+
+std::unique_ptr<TlbBase>
+makeTlb(TlbEngine engine, std::size_t capacity, std::size_t ways)
+{
+    if (engine == TlbEngine::Reference)
+        return std::make_unique<TlbReference>(capacity, ways);
+    return std::make_unique<Tlb>(capacity, ways);
+}
+
+}  // namespace
+
+Mmu::Mmu(PhysicalBus *bus, std::size_t tlb_capacity, TlbEngine engine,
+         std::size_t tlb_ways)
+    : bus_(bus),
+      engine_(engine),
+      tlb_(makeTlb(engine, tlb_capacity, tlb_ways))
 {
 }
 
@@ -69,13 +213,13 @@ Mmu::translate(const ExecContext &ctx, Addr vaddr, AccessType access)
     const Addr vpage = pageBase(vaddr);
     const std::uint8_t need = permFor(access);
 
-    if (const TlbEntry *hit = tlb_.lookup(ctx.pid, ctx.enclave, vpage)) {
-        tlb_.countHit();
+    if (const TlbEntry *hit = tlb_->lookup(ctx.pid, ctx.enclave, vpage)) {
+        tlb_->countHit();
         if ((hit->perms & need) == 0)
             return errAccessFault("permission denied (TLB)");
         return hit->ppage + pageOffset(vaddr);
     }
-    tlb_.countMiss();
+    tlb_->countMiss();
 
     if (!provider_)
         return errInternal("MMU has no page table provider");
@@ -97,14 +241,85 @@ Mmu::translate(const ExecContext &ctx, Addr vaddr, AccessType access)
             return st;
     }
 
-    tlb_.insert(TlbEntry{ctx.pid, ctx.enclave, vpage, pte->paddr,
-                         pte->perms});
+    tlb_->insert(TlbEntry{ctx.pid, ctx.enclave, vpage, pte->paddr,
+                          pte->perms});
     return pte->paddr + pageOffset(vaddr);
 }
 
 Status
 Mmu::read(const ExecContext &ctx, Addr vaddr, std::uint8_t *data,
           std::size_t len)
+{
+    if (len == 0)
+        return Status::ok();
+    auto first = translate(ctx, vaddr, AccessType::Read);
+    if (!first.isOk())
+        return first.status();
+    Addr run_pa = *first;
+    std::uint64_t run_len =
+        std::min<std::uint64_t>(PageSize - pageOffset(vaddr), len);
+    std::uint64_t covered = run_len;
+    while (covered < len) {
+        auto pa = translate(ctx, vaddr + covered, AccessType::Read);
+        if (!pa.isOk()) {
+            // Flush the pending run before reporting the fault so the
+            // delivered bytes match the per-page reference loop; an
+            // earlier bus error outranks the later translate fault.
+            Status st = bus_->readPages(run_pa, data, run_len);
+            return st.isOk() ? pa.status() : st;
+        }
+        const std::uint64_t take =
+            std::min<std::uint64_t>(PageSize, len - covered);
+        if (*pa == run_pa + run_len) {
+            run_len += take;
+        } else {
+            HIX_RETURN_IF_ERROR(bus_->readPages(run_pa, data, run_len));
+            data += run_len;
+            run_pa = *pa;
+            run_len = take;
+        }
+        covered += take;
+    }
+    return bus_->readPages(run_pa, data, run_len);
+}
+
+Status
+Mmu::write(const ExecContext &ctx, Addr vaddr, const std::uint8_t *data,
+           std::size_t len)
+{
+    if (len == 0)
+        return Status::ok();
+    auto first = translate(ctx, vaddr, AccessType::Write);
+    if (!first.isOk())
+        return first.status();
+    Addr run_pa = *first;
+    std::uint64_t run_len =
+        std::min<std::uint64_t>(PageSize - pageOffset(vaddr), len);
+    std::uint64_t covered = run_len;
+    while (covered < len) {
+        auto pa = translate(ctx, vaddr + covered, AccessType::Write);
+        if (!pa.isOk()) {
+            Status st = bus_->writePages(run_pa, data, run_len);
+            return st.isOk() ? pa.status() : st;
+        }
+        const std::uint64_t take =
+            std::min<std::uint64_t>(PageSize, len - covered);
+        if (*pa == run_pa + run_len) {
+            run_len += take;
+        } else {
+            HIX_RETURN_IF_ERROR(bus_->writePages(run_pa, data, run_len));
+            data += run_len;
+            run_pa = *pa;
+            run_len = take;
+        }
+        covered += take;
+    }
+    return bus_->writePages(run_pa, data, run_len);
+}
+
+Status
+Mmu::readReference(const ExecContext &ctx, Addr vaddr, std::uint8_t *data,
+                   std::size_t len)
 {
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(vaddr);
@@ -121,8 +336,8 @@ Mmu::read(const ExecContext &ctx, Addr vaddr, std::uint8_t *data,
 }
 
 Status
-Mmu::write(const ExecContext &ctx, Addr vaddr, const std::uint8_t *data,
-           std::size_t len)
+Mmu::writeReference(const ExecContext &ctx, Addr vaddr,
+                    const std::uint8_t *data, std::size_t len)
 {
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(vaddr);

@@ -10,6 +10,26 @@
  * for GPU MMIO pages. A denied fill is an access fault; the OS can
  * corrupt its page tables freely but can never make the hardware
  * honour a forged mapping.
+ *
+ * Two TLB engines implement one replacement policy (set-associative,
+ * LRU within a set):
+ *
+ *  - Tlb: open-addressed slot array — O(ways) lookup/insert, O(1)
+ *    epoch-based flushAll. The production engine.
+ *  - TlbReference: the original linear std::list, kept as the golden
+ *    oracle (same pattern as the scalar crypto engine and
+ *    scheduleReference). Its global-recency list order restricted to
+ *    one set is exactly within-set LRU, so both engines make
+ *    bit-identical hit/miss/eviction decisions.
+ *
+ * Conservative-flush contract: entries are keyed (pid, enclave,
+ * vpage), but flushPid/flushPage deliberately ignore the enclave tag
+ * and drop every matching (pid[, vpage]) entry regardless of which
+ * enclave filled it. Flushing is a pure availability operation —
+ * over-flushing can never admit a stale mapping, while under-flushing
+ * could — so the shootdown paths (EREMOVE, TGMR/GECS updates,
+ * teardown) stay conservative. Pinned by the MemGolden flush-contract
+ * tests.
  */
 
 #ifndef HIX_MEM_MMU_H_
@@ -18,11 +38,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "mem/page.h"
 #include "mem/page_table.h"
 #include "mem/phys_bus.h"
 
@@ -66,36 +87,155 @@ class TlbFillValidator
                                 Addr ppage, std::uint8_t perms) = 0;
 };
 
-/** Fully associative TLB with FIFO replacement. */
-class Tlb
+/** Which TLB engine an Mmu (or Iommu) uses. */
+enum class TlbEngine
+{
+    Fast,       ///< Set-associative slot array (production).
+    Reference,  ///< Linear list golden oracle.
+};
+
+/**
+ * Set/way shape shared by both engines. The set index hashes
+ * (pid, vpage) only — never the enclave tag — so flushPage(pid,
+ * vpage), which ignores the enclave, needs to probe exactly one set.
+ */
+struct TlbGeometry
+{
+    std::size_t sets = 1;
+    std::size_t ways = 1;
+
+    /** Default associativity when the caller gives only a capacity. */
+    static constexpr std::size_t DefaultWays = 4;
+
+    /**
+     * Shape for @p capacity entries: sets is the largest power of two
+     * not above capacity / ways_hint, ways the quotient. Effective
+     * capacity sets * ways rounds down for capacities not divisible
+     * by the set count (never below max(1, capacity - sets + 1)).
+     */
+    static TlbGeometry forCapacity(std::size_t capacity,
+                                   std::size_t ways_hint = DefaultWays);
+
+    std::size_t
+    setIndex(ProcessId pid, Addr vpage) const
+    {
+        std::uint64_t h =
+            (vpage / PageSize) ^ (static_cast<std::uint64_t>(pid) << 1);
+        h *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing constant
+        return static_cast<std::size_t>((h >> 40) & (sets - 1));
+    }
+
+    std::size_t slotCount() const { return sets * ways; }
+};
+
+/**
+ * Common TLB interface plus the hit/miss counters, which live here so
+ * both engines count identically.
+ */
+class TlbBase
 {
   public:
-    explicit Tlb(std::size_t capacity) : capacity_(capacity) {}
+    explicit TlbBase(TlbGeometry geom) : geom_(geom) {}
+    virtual ~TlbBase() = default;
 
-    /** Find an entry for (pid, enclave, vpage). */
-    const TlbEntry *lookup(ProcessId pid, EnclaveId enclave,
-                           Addr vpage) const;
+    /**
+     * Find an entry for (pid, enclave, vpage). A hit refreshes the
+     * entry's LRU recency; the returned pointer is valid until the
+     * next mutating call.
+     */
+    virtual const TlbEntry *lookup(ProcessId pid, EnclaveId enclave,
+                                   Addr vpage) const = 0;
 
-    /** Insert an entry, evicting the oldest when full. */
-    void insert(const TlbEntry &entry);
+    /** Insert an entry, evicting within-set LRU when the set is full. */
+    virtual void insert(const TlbEntry &entry) = 0;
 
-    void flushAll();
-    void flushPid(ProcessId pid);
-    void flushPage(ProcessId pid, Addr vpage);
+    virtual void flushAll() = 0;
+    /** Drop every entry of @p pid (enclave tag ignored — see above). */
+    virtual void flushPid(ProcessId pid) = 0;
+    /** Drop every (pid, vpage) entry (enclave tag ignored). */
+    virtual void flushPage(ProcessId pid, Addr vpage) = 0;
 
-    std::size_t size() const { return entries_.size(); }
+    /** Live (valid) entry count. */
+    virtual std::size_t size() const = 0;
+
+    const TlbGeometry &geometry() const { return geom_; }
+    std::size_t capacity() const { return geom_.slotCount(); }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
     /** Count a hit/miss (called by the MMU). */
-    void countHit() { ++hits_; }
-    void countMiss() { ++misses_; }
+    void countHit() const { ++hits_; }
+    void countMiss() const { ++misses_; }
+
+  protected:
+    TlbGeometry geom_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+/**
+ * Production TLB: open-addressed set-associative slot array. A slot
+ * is valid iff its epoch matches the TLB's current epoch, which makes
+ * flushAll an O(1) epoch bump. LRU within a set uses a global touch
+ * tick stamped on every hit and insert.
+ */
+class Tlb : public TlbBase
+{
+  public:
+    explicit Tlb(std::size_t capacity,
+                 std::size_t ways_hint = TlbGeometry::DefaultWays);
+
+    const TlbEntry *lookup(ProcessId pid, EnclaveId enclave,
+                           Addr vpage) const override;
+    void insert(const TlbEntry &entry) override;
+    void flushAll() override;
+    void flushPid(ProcessId pid) override;
+    void flushPage(ProcessId pid, Addr vpage) override;
+    std::size_t size() const override { return live_; }
+
+    /** Current flush epoch (for tests). */
+    std::uint64_t epoch() const { return epoch_; }
 
   private:
-    std::size_t capacity_;
-    std::list<TlbEntry> entries_;  // front = oldest
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    struct Slot
+    {
+        TlbEntry entry;
+        std::uint64_t epoch = 0;  // 0 = never filled; stale = flushed
+        std::uint64_t stamp = 0;  // LRU recency
+    };
+
+    // lookup() is logically const but refreshes LRU recency.
+    mutable std::vector<Slot> slots_;
+    mutable std::uint64_t tick_ = 0;
+    std::uint64_t epoch_ = 1;
+    std::size_t live_ = 0;
+};
+
+/**
+ * Golden-oracle TLB: linear list in global touch-recency order (back
+ * = most recent). Restricted to one set, that order is within-set
+ * recency, so evicting the front-most entry of a full set picks the
+ * same victim as the fast engine's min-stamp slot.
+ */
+class TlbReference : public TlbBase
+{
+  public:
+    explicit TlbReference(
+        std::size_t capacity,
+        std::size_t ways_hint = TlbGeometry::DefaultWays);
+
+    const TlbEntry *lookup(ProcessId pid, EnclaveId enclave,
+                           Addr vpage) const override;
+    void insert(const TlbEntry &entry) override;
+    void flushAll() override;
+    void flushPid(ProcessId pid) override;
+    void flushPage(ProcessId pid, Addr vpage) override;
+    std::size_t size() const override { return entries_.size(); }
+
+  private:
+    // lookup() splices a hit to the back (recency refresh).
+    mutable std::list<TlbEntry> entries_;
 };
 
 /**
@@ -103,6 +243,16 @@ class Tlb
  * process's page table on TLB misses and enforcing validator checks
  * on every fill. Also provides virtual-address read/write helpers
  * that route the resulting physical access over the bus.
+ *
+ * read/write walk once per page, coalesce physically contiguous page
+ * runs, and route each run over the bus once (readPages/writePages).
+ * readReference/writeReference keep the original translate-then-route
+ * per-page loop as the differential oracle. Both deliver identical
+ * bytes and Status codes; the only permitted divergence is that when
+ * a bulk call fails at the *bus* layer, the fast path may already
+ * have translated (and counted) pages beyond the faulting one inside
+ * that same call — translate-level faults (no PTE, permissions,
+ * validator denial) are counted identically.
  */
 class Mmu
 {
@@ -110,7 +260,9 @@ class Mmu
     /** Provider of the (OS-owned) page table for a process. */
     using PageTableProvider = std::function<PageTable *(ProcessId)>;
 
-    Mmu(PhysicalBus *bus, std::size_t tlb_capacity = 64);
+    Mmu(PhysicalBus *bus, std::size_t tlb_capacity = 64,
+        TlbEngine engine = TlbEngine::Fast,
+        std::size_t tlb_ways = TlbGeometry::DefaultWays);
 
     void setPageTableProvider(PageTableProvider provider);
 
@@ -124,20 +276,42 @@ class Mmu
     Result<Addr> translate(const ExecContext &ctx, Addr vaddr,
                            AccessType access);
 
-    /** Virtual-address read through translation and the bus. */
+    /** Virtual-address read: single walk per page, coalesced runs. */
     Status read(const ExecContext &ctx, Addr vaddr, std::uint8_t *data,
                 std::size_t len);
 
-    /** Virtual-address write through translation and the bus. */
+    /** Virtual-address write counterpart of read(). */
     Status write(const ExecContext &ctx, Addr vaddr,
                  const std::uint8_t *data, std::size_t len);
 
-    Tlb &tlb() { return tlb_; }
+    /** Original per-page read loop — the differential oracle. */
+    Status readReference(const ExecContext &ctx, Addr vaddr,
+                         std::uint8_t *data, std::size_t len);
+
+    /** Original per-page write loop — the differential oracle. */
+    Status writeReference(const ExecContext &ctx, Addr vaddr,
+                          const std::uint8_t *data, std::size_t len);
+
+    /** TLB shootdown helpers (see the conservative-flush contract). */
+    void flushTlbAll() { tlb_->flushAll(); }
+    void flushTlbPid(ProcessId pid) { tlb_->flushPid(pid); }
+    void flushTlbPage(ProcessId pid, Addr vpage)
+    {
+        tlb_->flushPage(pid, vpage);
+    }
+
+    std::uint64_t tlbHits() const { return tlb_->hits(); }
+    std::uint64_t tlbMisses() const { return tlb_->misses(); }
+
+    TlbBase &tlb() { return *tlb_; }
+    const TlbBase &tlb() const { return *tlb_; }
+    TlbEngine engine() const { return engine_; }
     PhysicalBus *bus() { return bus_; }
 
   private:
     PhysicalBus *bus_;
-    Tlb tlb_;
+    TlbEngine engine_;
+    std::unique_ptr<TlbBase> tlb_;
     PageTableProvider provider_;
     std::vector<TlbFillValidator *> validators_;
 };

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Page geometry of the modelled machine. Split out of phys_mem.h so
+ * the bus layer can chunk accesses at page granularity without
+ * depending on the DRAM model.
+ */
+
+#ifndef HIX_MEM_PAGE_H_
+#define HIX_MEM_PAGE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hix::mem
+{
+
+/** Page size of the modelled machine (4 KiB, x86-64 base pages). */
+inline constexpr std::uint64_t PageSize = 4096;
+
+/** Page-align an address downwards. */
+constexpr Addr
+pageBase(Addr a)
+{
+    return a & ~(PageSize - 1);
+}
+
+/** Offset of an address within its page. */
+constexpr std::uint64_t
+pageOffset(Addr a)
+{
+    return a & (PageSize - 1);
+}
+
+/** True when @p a is page-aligned. */
+constexpr bool
+pageAligned(Addr a)
+{
+    return pageOffset(a) == 0;
+}
+
+}  // namespace hix::mem
+
+#endif  // HIX_MEM_PAGE_H_

@@ -7,6 +7,12 @@
  * devices. BusTargets register their ranges with the PhysicalBus,
  * which routes physical reads/writes by address — the hardware role
  * split between the CPU's system agent and the PCIe root complex.
+ *
+ * Routing is the innermost loop of every modelled memory access, so
+ * the bus keeps its mappings sorted by start address and routes with
+ * a binary search plus a one-entry most-recently-used cache. The
+ * original linear scan survives as routeReference(), the golden
+ * oracle the differential tests compare against.
  */
 
 #ifndef HIX_MEM_PHYS_BUS_H_
@@ -39,15 +45,54 @@ class BusTarget
     /** Write @p len bytes at @p offset within the claimed range. */
     virtual Status writeAt(std::uint64_t offset,
                            const std::uint8_t *data, std::size_t len) = 0;
+
+    /**
+     * Borrowed read-only view of [offset, offset + len), or nullptr
+     * when the target cannot lend one (side-effecting MMIO, or the
+     * range crosses an internal storage boundary). The pointer is
+     * valid until the next mutating call on the target. Callers must
+     * fall back to readAt() on nullptr.
+     */
+    virtual const std::uint8_t *
+    readSpan(std::uint64_t offset, std::size_t len)
+    {
+        (void)offset;
+        (void)len;
+        return nullptr;
+    }
+
+    /**
+     * Borrowed writable view of [offset, offset + len), or nullptr
+     * (same contract as readSpan). Callers must fall back to
+     * writeAt() on nullptr.
+     */
+    virtual std::uint8_t *
+    writeSpan(std::uint64_t offset, std::size_t len)
+    {
+        (void)offset;
+        (void)len;
+        return nullptr;
+    }
 };
 
 /**
  * Routes physical accesses to the registered target whose range
- * contains the address. Accesses must not straddle targets.
+ * contains the address. Single accesses (read/write) must not
+ * straddle targets; the page-chunked bulk helpers (readPages/
+ * writePages) re-route per page and so may legally cross target
+ * boundaries at page edges, exactly like the per-page loops they
+ * replace.
  */
 class PhysicalBus
 {
   public:
+    /** A claimed range and its owner. */
+    struct Mapping
+    {
+        AddrRange range;
+        BusTarget *target;
+    };
+
     /** Claim @p range for @p target; ranges must not overlap. */
     Status attach(const AddrRange &range, BusTarget *target);
 
@@ -60,22 +105,43 @@ class PhysicalBus
     /** Route a physical write. */
     Status write(Addr addr, const std::uint8_t *data, std::size_t len);
 
+    /**
+     * Bulk read that re-routes at every page boundary, using borrowed
+     * spans when the target lends them. Byte- and Status-identical to
+     * a per-page read() loop: on a mid-run fault nothing past the
+     * faulting page has been read.
+     */
+    Status readPages(Addr addr, std::uint8_t *data, std::size_t len);
+
+    /** Bulk write counterpart of readPages(). */
+    Status writePages(Addr addr, const std::uint8_t *data,
+                      std::size_t len);
+
+    /**
+     * Binary-search route with a one-entry MRU cache. Returns the
+     * mapping containing @p addr, or nullptr. The pointer is
+     * invalidated by attach/detach.
+     */
+    const Mapping *route(Addr addr) const;
+
+    /** Linear-scan golden oracle for route(). */
+    const Mapping *routeReference(Addr addr) const;
+
     /** The target claiming @p addr, or nullptr. */
     BusTarget *targetAt(Addr addr) const;
 
     /** The range claimed by the target covering @p addr. */
     Result<AddrRange> rangeAt(Addr addr) const;
 
+    /** Number of attached mappings. */
+    std::size_t mappingCount() const { return mappings_.size(); }
+
   private:
-    struct Mapping
-    {
-        AddrRange range;
-        BusTarget *target;
-    };
-
-    const Mapping *findMapping(Addr addr) const;
-
-    std::vector<Mapping> mappings_;
+    std::vector<Mapping> mappings_;  // sorted by range.start()
+    // One-entry MRU route cache: index into mappings_, or >= size()
+    // when invalid. Mutable so route() stays usable from const
+    // accessors; invalidated by attach/detach.
+    mutable std::size_t last_route_ = ~std::size_t(0);
 };
 
 }  // namespace hix::mem

@@ -65,6 +65,32 @@ PhysMem::writeAt(std::uint64_t offset, const std::uint8_t *data,
     return Status::ok();
 }
 
+const std::uint8_t *
+PhysMem::readSpan(std::uint64_t offset, std::size_t len)
+{
+    // Shared zero page lent for reads of untouched pages; writes
+    // never see it because writeSpan materialises first.
+    static const std::uint8_t zero_page[PageSize] = {};
+    if (len > size_ || offset > size_ - len)
+        return nullptr;
+    if (len > PageSize - pageOffset(offset))
+        return nullptr;
+    const std::uint8_t *page = pageFor(offset, false);
+    if (!page)
+        return zero_page + pageOffset(offset);
+    return page + pageOffset(offset);
+}
+
+std::uint8_t *
+PhysMem::writeSpan(std::uint64_t offset, std::size_t len)
+{
+    if (len > size_ || offset > size_ - len)
+        return nullptr;
+    if (len > PageSize - pageOffset(offset))
+        return nullptr;
+    return pageFor(offset, true) + pageOffset(offset);
+}
+
 Status
 PhysMem::zeroAt(std::uint64_t offset, std::uint64_t len)
 {

@@ -15,34 +15,11 @@
 
 #include "common/addr_range.h"
 #include "common/types.h"
+#include "mem/page.h"
 #include "mem/phys_bus.h"
 
 namespace hix::mem
 {
-
-/** Page size of the modelled machine (4 KiB, x86-64 base pages). */
-inline constexpr std::uint64_t PageSize = 4096;
-
-/** Page-align an address downwards. */
-constexpr Addr
-pageBase(Addr a)
-{
-    return a & ~(PageSize - 1);
-}
-
-/** Offset of an address within its page. */
-constexpr std::uint64_t
-pageOffset(Addr a)
-{
-    return a & (PageSize - 1);
-}
-
-/** True when @p a is page-aligned. */
-constexpr bool
-pageAligned(Addr a)
-{
-    return pageOffset(a) == 0;
-}
 
 /**
  * Sparse physical memory of a given size. Reads of untouched pages
@@ -61,6 +38,19 @@ class PhysMem : public BusTarget
                   std::size_t len) override;
     Status writeAt(std::uint64_t offset, const std::uint8_t *data,
                    std::size_t len) override;
+
+    /**
+     * Borrowed span within one backing page; untouched pages lend a
+     * shared all-zero page (no materialisation on reads). Returns
+     * nullptr when the request crosses a page boundary or is out of
+     * bounds — callers fall back to readAt().
+     */
+    const std::uint8_t *readSpan(std::uint64_t offset,
+                                 std::size_t len) override;
+
+    /** Writable span within one backing page (materialises it). */
+    std::uint8_t *writeSpan(std::uint64_t offset,
+                            std::size_t len) override;
 
     /** Zero-fill a byte range (used for scrubbing). */
     Status zeroAt(std::uint64_t offset, std::uint64_t len);

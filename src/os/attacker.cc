@@ -30,7 +30,7 @@ Attacker::remapPte(ProcessId pid, Addr vaddr, Addr new_paddr)
         return errNotFound("no such process");
     pt->overwrite(vaddr, new_paddr,
                   mem::PermRead | mem::PermWrite);
-    machine_->mmu().tlb().flushAll();
+    machine_->mmu().flushTlbAll();
     return Status::ok();
 }
 

@@ -58,7 +58,8 @@ Machine::Machine(const MachineConfig &config)
              .isOk())
         hix_panic("Machine: cannot attach MMIO window");
 
-    mmu_ = std::make_unique<mem::Mmu>(&bus_, 256);
+    mmu_ = std::make_unique<mem::Mmu>(&bus_, config_.tlbCapacity,
+                                      config_.tlbEngine);
     sgx_ = std::make_unique<sgx::SgxUnit>(
         AddrRange(config_.epcBase, config_.epcSize), mmu_.get(),
         config_.seed);
@@ -125,8 +126,14 @@ Machine::dumpStats(std::ostream &out) const
     }
     {
         sim::StatGroup g("tlb");
-        g.scalar("hits") += double(mmu_->tlb().hits());
-        g.scalar("misses") += double(mmu_->tlb().misses());
+        g.scalar("hits") += double(mmu_->tlbHits());
+        g.scalar("misses") += double(mmu_->tlbMisses());
+        g.dump(out);
+    }
+    {
+        sim::StatGroup g("iotlb");
+        g.scalar("hits") += double(iommu_.iotlbHits());
+        g.scalar("misses") += double(iommu_.iotlbMisses());
         g.dump(out);
     }
 }
@@ -139,7 +146,8 @@ Machine::coldBoot()
         g->reset();          // scrubs device memory and key slots
     for (auto &v : vram_allocs_)
         v->reset();
-    mmu_->tlb().flushAll();
+    mmu_->flushTlbAll();
+    iommu_.flushIotlb();
 }
 
 }  // namespace hix::os

@@ -47,6 +47,9 @@ struct MachineConfig
     sim::PlatformConfig timing = sim::PlatformConfig::paper();
     std::uint64_t seed = 0x515;
     bool iommuEnabled = false;
+    /** TLB engine (Reference = linear golden oracle, for tests). */
+    mem::TlbEngine tlbEngine = mem::TlbEngine::Fast;
+    std::size_t tlbCapacity = 256;
 };
 
 /**

@@ -181,7 +181,21 @@ RootComplex::routeTlp(const Tlp &tlp, Bytes *read_out)
 Status
 RootComplex::routeMem(const Tlp &tlp, Bytes *read_out)
 {
-    if (tlp.kind == TlpKind::MemRead)
+    if (tlp.kind == TlpKind::MemRead) {
+        read_out->resize(tlp.length);
+        return routeMemRaw(tlp.addr, read_out->data(), nullptr,
+                           tlp.length);
+    }
+    return routeMemRaw(tlp.addr, nullptr, tlp.data.data(),
+                       tlp.data.size());
+}
+
+Status
+RootComplex::routeMemRaw(Addr addr, std::uint8_t *read_data,
+                         const std::uint8_t *write_data, std::size_t len)
+{
+    const bool is_read = read_data != nullptr;
+    if (is_read)
         ++stats_.memReads;
     else
         ++stats_.memWrites;
@@ -191,29 +205,24 @@ RootComplex::routeMem(const Tlp &tlp, Bytes *read_out)
         if (!dev)
             continue;
         // The bridge only forwards addresses inside its window.
-        if (tlp.addr < port->config().memoryWindowBase() ||
-            tlp.addr > port->config().memoryWindowLimit())
+        if (addr < port->config().memoryWindowBase() ||
+            addr > port->config().memoryWindowLimit())
             continue;
 
         std::uint64_t offset = 0;
-        int bar = dev->barContaining(tlp.addr, &offset);
+        int bar = dev->barContaining(addr, &offset);
         if (bar >= 0) {
-            if (tlp.kind == TlpKind::MemRead) {
-                read_out->resize(tlp.length);
-                return dev->mmioRead(bar, offset, read_out->data(),
-                                     tlp.length);
-            }
-            return dev->mmioWrite(bar, offset, tlp.data.data(),
-                                  tlp.data.size());
+            if (is_read)
+                return dev->mmioRead(bar, offset, read_data, len);
+            return dev->mmioWrite(bar, offset, write_data, len);
         }
-        if (dev->romContains(tlp.addr, &offset)) {
-            if (tlp.kind != TlpKind::MemRead)
+        if (dev->romContains(addr, &offset)) {
+            if (!is_read)
                 return errPermissionDenied("expansion ROM is read-only");
             const Bytes &rom = dev->expansionRomImage();
-            read_out->resize(tlp.length);
-            for (std::uint32_t i = 0; i < tlp.length; ++i) {
+            for (std::size_t i = 0; i < len; ++i) {
                 const std::uint64_t idx = offset + i;
-                (*read_out)[i] =
+                read_data[i] =
                     idx < rom.size() ? rom[idx] : std::uint8_t(0xff);
             }
             return Status::ok();
@@ -367,6 +376,20 @@ RootComplex::measurePath(const Bdf &bdf) const
     return h.finalize();
 }
 
+Result<Addr>
+RootComplex::translateDma(Addr addr) const
+{
+    if (!iommu_)
+        return addr;
+    return iommu_->translate(addr);
+}
+
+// The DMA helpers translate once per device page, coalesce physically
+// contiguous page runs, and route each run over RAM once
+// (readPages/writePages). IOMMU page mappings are page-aligned on
+// both sides, so physical page boundaries coincide with device page
+// boundaries and the per-page fault/partial-copy semantics of the
+// old loop are preserved exactly.
 Status
 RootComplex::dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
 {
@@ -375,24 +398,34 @@ RootComplex::dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
     if (mmio_window_.contains(addr))
         return errPermissionDenied(
             "peer-to-peer DMA is not supported by HIX");
-    Addr cursor = addr;
-    while (len > 0) {
-        Addr translated = cursor;
-        if (iommu_) {
-            auto t = iommu_->translate(cursor);
-            if (!t.isOk())
-                return t.status();
-            translated = *t;
+    if (len == 0)
+        return Status::ok();
+    auto first = translateDma(addr);
+    if (!first.isOk())
+        return first.status();
+    Addr run_pa = *first;
+    std::uint64_t run_len = std::min<std::uint64_t>(
+        mem::PageSize - mem::pageOffset(addr), len);
+    std::uint64_t covered = run_len;
+    while (covered < len) {
+        auto pa = translateDma(addr + covered);
+        if (!pa.isOk()) {
+            Status st = ram_->readPages(run_pa, data, run_len);
+            return st.isOk() ? pa.status() : st;
         }
-        const std::uint64_t in_page =
-            mem::PageSize - mem::pageOffset(cursor);
-        const std::size_t take = std::min<std::uint64_t>(in_page, len);
-        HIX_RETURN_IF_ERROR(ram_->read(translated, data, take));
-        data += take;
-        cursor += take;
-        len -= take;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(mem::PageSize, len - covered);
+        if (*pa == run_pa + run_len) {
+            run_len += take;
+        } else {
+            HIX_RETURN_IF_ERROR(ram_->readPages(run_pa, data, run_len));
+            data += run_len;
+            run_pa = *pa;
+            run_len = take;
+        }
+        covered += take;
     }
-    return Status::ok();
+    return ram_->readPages(run_pa, data, run_len);
 }
 
 Status
@@ -404,47 +437,50 @@ RootComplex::dmaWrite(Addr addr, const std::uint8_t *data,
     if (mmio_window_.contains(addr))
         return errPermissionDenied(
             "peer-to-peer DMA is not supported by HIX");
-    Addr cursor = addr;
-    while (len > 0) {
-        Addr translated = cursor;
-        if (iommu_) {
-            auto t = iommu_->translate(cursor);
-            if (!t.isOk())
-                return t.status();
-            translated = *t;
+    if (len == 0)
+        return Status::ok();
+    auto first = translateDma(addr);
+    if (!first.isOk())
+        return first.status();
+    Addr run_pa = *first;
+    std::uint64_t run_len = std::min<std::uint64_t>(
+        mem::PageSize - mem::pageOffset(addr), len);
+    std::uint64_t covered = run_len;
+    while (covered < len) {
+        auto pa = translateDma(addr + covered);
+        if (!pa.isOk()) {
+            Status st = ram_->writePages(run_pa, data, run_len);
+            return st.isOk() ? pa.status() : st;
         }
-        const std::uint64_t in_page =
-            mem::PageSize - mem::pageOffset(cursor);
-        const std::size_t take = std::min<std::uint64_t>(in_page, len);
-        HIX_RETURN_IF_ERROR(ram_->write(translated, data, take));
-        data += take;
-        cursor += take;
-        len -= take;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(mem::PageSize, len - covered);
+        if (*pa == run_pa + run_len) {
+            run_len += take;
+        } else {
+            HIX_RETURN_IF_ERROR(ram_->writePages(run_pa, data, run_len));
+            data += run_len;
+            run_pa = *pa;
+            run_len = take;
+        }
+        covered += take;
     }
-    return Status::ok();
+    return ram_->writePages(run_pa, data, run_len);
 }
 
 Status
 RootComplex::readAt(std::uint64_t offset, std::uint8_t *data,
                     std::size_t len)
 {
-    Bytes out;
-    Status st = routeTlp(
-        Tlp::memRead(mmio_window_.start() + offset,
-                     static_cast<std::uint32_t>(len)),
-        &out);
-    if (!st.isOk())
-        return st;
-    std::copy(out.begin(), out.end(), data);
-    return Status::ok();
+    return routeMemRaw(mmio_window_.start() + offset, data, nullptr,
+                       len);
 }
 
 Status
 RootComplex::writeAt(std::uint64_t offset, const std::uint8_t *data,
                      std::size_t len)
 {
-    return routeTlp(Tlp::memWrite(mmio_window_.start() + offset,
-                                  Bytes(data, data + len)));
+    return routeMemRaw(mmio_window_.start() + offset, nullptr, data,
+                       len);
 }
 
 }  // namespace hix::pcie

@@ -181,6 +181,16 @@ class RootComplex : public mem::BusTarget
     RootPort *portForBdf(const Bdf &bdf) const;
     Status routeMem(const Tlp &tlp, Bytes *read_out);
     Status routeCfg(const Tlp &tlp, Bytes *read_out);
+    /**
+     * Raw-pointer memory routing shared by routeMem and the
+     * BusTarget entry points, so CPU MMIO accesses need no Bytes
+     * allocation or double copy. Exactly one of @p read_data /
+     * @p write_data is non-null.
+     */
+    Status routeMemRaw(Addr addr, std::uint8_t *read_data,
+                       const std::uint8_t *write_data, std::size_t len);
+    /** IOMMU translation of one DMA page (identity without IOMMU). */
+    Result<Addr> translateDma(Addr addr) const;
 
     AddrRange mmio_window_;
     mem::PhysicalBus *ram_;

@@ -61,7 +61,7 @@ HixExtension::egcreate(EnclaveId enclave, const pcie::Bdf &gpu)
 
     // Any stale MMIO translations must not survive the binding.
     if (sgx_->mmu())
-        sgx_->mmu()->tlb().flushAll();
+        sgx_->mmu()->flushTlbAll();
     return Status::ok();
 }
 
@@ -129,7 +129,7 @@ HixExtension::egrelease(EnclaveId enclave)
             ++t;
     }
     if (sgx_->mmu())
-        sgx_->mmu()->tlb().flushAll();
+        sgx_->mmu()->flushTlbAll();
     return Status::ok();
 }
 

@@ -141,7 +141,7 @@ SgxUnit::killEnclave(EnclaveId enclave)
         return errNotFound("no such enclave");
     it->second.dead = true;
     if (mmu_)
-        mmu_->tlb().flushPid(it->second.owner_pid);
+        mmu_->flushTlbPid(it->second.owner_pid);
     return Status::ok();
 }
 
@@ -156,7 +156,7 @@ SgxUnit::destroyEnclave(EnclaveId enclave)
             "GPU enclave must release its GPU before teardown");
     epc_.freeOwnedBy(enclave);
     if (mmu_)
-        mmu_->tlb().flushPid(it->second.owner_pid);
+        mmu_->flushTlbPid(it->second.owner_pid);
     enclaves_.erase(it);
     return Status::ok();
 }
@@ -260,7 +260,7 @@ SgxUnit::platformReset()
         epc_.freeOwnedBy(id);
     enclaves_.clear();
     if (mmu_)
-        mmu_->tlb().flushAll();
+        mmu_->flushTlbAll();
     if (hix_ext_)
         hix_ext_->platformReset();
 }

@@ -1,6 +1,8 @@
 #include "testing/fuzz_targets.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
 
@@ -8,7 +10,9 @@
 #include "crypto/hmac.h"
 #include "hix/protocol.h"
 #include "mem/iommu.h"
+#include "mem/mmu.h"
 #include "mem/page_table.h"
+#include "mem/phys_bus.h"
 #include "mem/phys_mem.h"
 
 namespace hix::harness
@@ -350,6 +354,237 @@ runMappingState(const std::vector<std::uint64_t> &ops)
     return Status::ok();
 }
 
+// ----- memory-system differential --------------------------------------
+
+/**
+ * One half of the mirrored pair. Physical layout: RAM at [0, 1MiB)
+ * plus two page-aligned islands, so bulk runs can cross target
+ * boundaries at page edges without ever straddling one mid-page
+ * (bus-level faults would let the fast path legally run ahead on
+ * translate counting; translate-level faults are the interesting
+ * differential surface and stay exactly comparable).
+ */
+struct MemSystem
+{
+    explicit MemSystem(mem::TlbEngine engine)
+        : ram("diff_ram", FuzzRamSize),
+          hi("diff_hi", 16 * mem::PageSize),
+          mmu(&bus, 16, engine)
+    {
+        (void)bus.attach(AddrRange(0, FuzzRamSize), &ram);
+        (void)bus.attach(AddrRange(HiBase, 16 * mem::PageSize), &hi);
+        mmu.setPageTableProvider([this](ProcessId pid) {
+            return &tables[pid];
+        });
+    }
+
+    static constexpr Addr HiBase = 4 * 1024 * 1024;
+
+    mem::PhysicalBus bus;
+    mem::PhysMem ram;
+    mem::PhysMem hi;
+    mem::Mmu mmu;
+    std::unordered_map<ProcessId, mem::PageTable> tables;
+};
+
+/** Denies fills onto one physical page — identical on both halves. */
+class DenyPpageValidator : public mem::TlbFillValidator
+{
+  public:
+    explicit DenyPpageValidator(Addr deny) : deny_(deny) {}
+
+    Status
+    validateFill(const mem::ExecContext &, Addr, Addr ppage,
+                 std::uint8_t) override
+    {
+        if (ppage == deny_)
+            return errAccessFault("validator denied fill");
+        return Status::ok();
+    }
+
+  private:
+    Addr deny_;
+};
+
+Status
+runMemorySystem(const std::vector<std::uint64_t> &ops)
+{
+    MemSystem fast(mem::TlbEngine::Fast);
+    MemSystem ref(mem::TlbEngine::Reference);
+    const Addr denied_ppage = 7 * mem::PageSize;
+    DenyPpageValidator deny_fast(denied_ppage);
+    DenyPpageValidator deny_ref(denied_ppage);
+    fast.mmu.addValidator(&deny_fast);
+    ref.mmu.addValidator(&deny_ref);
+
+    auto checkCounters = [&](const char *where) -> Status {
+        if (fast.mmu.tlbHits() != ref.mmu.tlbHits() ||
+            fast.mmu.tlbMisses() != ref.mmu.tlbMisses())
+            return errInternal(std::string("TLB hit/miss divergence ") +
+                               where);
+        if (fast.mmu.tlb().size() != ref.mmu.tlb().size())
+            return errInternal(std::string("TLB size divergence ") +
+                               where);
+        return Status::ok();
+    };
+
+    // Virtual pages 0..31 at 0x400000; physical pages constrained to
+    // the attached targets (RAM pages 0..255 or the hi island).
+    auto pickVa = [](std::uint64_t op, unsigned shift) -> Addr {
+        return 0x400000 + ((op >> shift) % 32) * mem::PageSize;
+    };
+    auto pickPa = [](std::uint64_t op, unsigned shift) -> Addr {
+        const std::uint64_t sel = (op >> shift) & 0xff;
+        if ((sel & 0x7) == 0x7)
+            return MemSystem::HiBase + (sel % 16) * mem::PageSize;
+        return (sel % 200) * mem::PageSize;
+    };
+
+    std::vector<std::uint8_t> buf_fast(3 * mem::PageSize + 64);
+    std::vector<std::uint8_t> buf_ref(buf_fast.size());
+
+    for (std::uint64_t op : ops) {
+        const mem::ExecContext ctx{
+            static_cast<ProcessId>(1 + (op >> 40) % 2),
+            ((op >> 44) % 3 == 0) ? InvalidEnclaveId
+                                  : EnclaveId(50 + (op >> 44) % 3)};
+        const Addr va = pickVa(op, 8);
+        const Addr pa = pickPa(op, 16);
+        const std::uint8_t perms =
+            static_cast<std::uint8_t>(1 + (op >> 24) % 7);
+        switch (op % 8) {
+          case 0: {
+            Status a = fast.tables[ctx.pid].map(va, pa, perms);
+            Status b = ref.tables[ctx.pid].map(va, pa, perms);
+            if (a.code() != b.code())
+                return errInternal("pt.map divergence at " + hexWord(va));
+            break;
+          }
+          case 1: {
+            Status a = fast.tables[ctx.pid].unmap(va);
+            Status b = ref.tables[ctx.pid].unmap(va);
+            if (a.code() != b.code())
+                return errInternal("pt.unmap divergence at " +
+                                   hexWord(va));
+            break;
+          }
+          case 2: {
+            // Raw PTE overwrite with NO flush: both TLBs must serve
+            // the same stale translation until a shootdown.
+            fast.tables[ctx.pid].overwrite(va, pa, perms);
+            ref.tables[ctx.pid].overwrite(va, pa, perms);
+            break;
+          }
+          case 3: {
+            const auto access = (op >> 28) % 2 == 0
+                                    ? mem::AccessType::Read
+                                    : mem::AccessType::Write;
+            auto a = fast.mmu.translate(ctx, va + (op >> 52) % 64,
+                                        access);
+            auto b = ref.mmu.translate(ctx, va + (op >> 52) % 64,
+                                       access);
+            if (a.isOk() != b.isOk())
+                return errInternal("translate verdict divergence at " +
+                                   hexWord(va));
+            if (a.isOk() && *a != *b)
+                return errInternal("translate address divergence at " +
+                                   hexWord(va));
+            if (!a.isOk() && a.status().code() != b.status().code())
+                return errInternal("translate code divergence at " +
+                                   hexWord(va));
+            HIX_RETURN_IF_ERROR(checkCounters("after translate"));
+            break;
+          }
+          case 4: {  // bulk read vs per-page reference loop
+            const std::size_t len =
+                1 + (op >> 32) % (3 * mem::PageSize);
+            const Addr addr = va + (op >> 52) % 64;
+            std::fill(buf_fast.begin(), buf_fast.end(), 0xAA);
+            std::fill(buf_ref.begin(), buf_ref.end(), 0xAA);
+            Status a = fast.mmu.read(ctx, addr, buf_fast.data(), len);
+            Status b =
+                ref.mmu.readReference(ctx, addr, buf_ref.data(), len);
+            if (a.code() != b.code())
+                return errInternal("bulk read code divergence at " +
+                                   hexWord(addr));
+            if (buf_fast != buf_ref)
+                return errInternal("bulk read byte divergence at " +
+                                   hexWord(addr));
+            HIX_RETURN_IF_ERROR(checkCounters("after bulk read"));
+            break;
+          }
+          case 5: {  // bulk write vs per-page reference loop
+            const std::size_t len =
+                1 + (op >> 32) % (3 * mem::PageSize);
+            const Addr addr = va + (op >> 52) % 64;
+            for (std::size_t j = 0; j < len; ++j)
+                buf_fast[j] = static_cast<std::uint8_t>(op >> (j % 56));
+            Status a = fast.mmu.write(ctx, addr, buf_fast.data(), len);
+            Status b =
+                ref.mmu.writeReference(ctx, addr, buf_fast.data(), len);
+            if (a.code() != b.code())
+                return errInternal("bulk write code divergence at " +
+                                   hexWord(addr));
+            HIX_RETURN_IF_ERROR(checkCounters("after bulk write"));
+            break;
+          }
+          case 6: {  // shootdowns, all three shapes
+            switch ((op >> 36) % 3) {
+              case 0:
+                fast.mmu.flushTlbPage(ctx.pid, va);
+                ref.mmu.flushTlbPage(ctx.pid, va);
+                break;
+              case 1:
+                fast.mmu.flushTlbPid(ctx.pid);
+                ref.mmu.flushTlbPid(ctx.pid);
+                break;
+              default:
+                fast.mmu.flushTlbAll();
+                ref.mmu.flushTlbAll();
+                break;
+            }
+            HIX_RETURN_IF_ERROR(checkCounters("after flush"));
+            break;
+          }
+          case 7: {  // bus routing differential, holes included
+            const Addr addr = (op >> 8) % (8 * 1024 * 1024);
+            const auto *a = fast.bus.route(addr);
+            const auto *b = fast.bus.routeReference(addr);
+            if ((a == nullptr) != (b == nullptr))
+                return errInternal("bus route presence divergence at " +
+                                   hexWord(addr));
+            if (a && (!(a->range == b->range) || a->target != b->target))
+                return errInternal("bus route mapping divergence at " +
+                                   hexWord(addr));
+            break;
+          }
+        }
+    }
+
+    // Final sweep: every mapped virtual page must read back the same
+    // bytes through both paths.
+    for (ProcessId pid : {ProcessId(1), ProcessId(2)}) {
+        const mem::ExecContext ctx{pid, InvalidEnclaveId};
+        for (int page = 0; page < 32; ++page) {
+            const Addr addr = 0x400000 + Addr(page) * mem::PageSize;
+            Status a = fast.mmu.read(ctx, addr, buf_fast.data(),
+                                     mem::PageSize);
+            Status b = ref.mmu.readReference(ctx, addr, buf_ref.data(),
+                                             mem::PageSize);
+            if (a.code() != b.code())
+                return errInternal("final sweep code divergence at " +
+                                   hexWord(addr));
+            if (a.isOk() &&
+                !std::equal(buf_fast.begin(),
+                            buf_fast.begin() + mem::PageSize,
+                            buf_ref.begin()))
+                return errInternal("final sweep byte divergence at " +
+                                   hexWord(addr));
+        }
+    }
+    return checkCounters("at end");
+}
+
 }  // namespace
 
 FuzzTarget
@@ -370,12 +605,19 @@ mappingStateFuzzTarget()
     return FuzzTarget{"mapping_state", 1, 64, runMappingState};
 }
 
+FuzzTarget
+memorySystemFuzzTarget()
+{
+    return FuzzTarget{"memory_system", 1, 64, runMemorySystem};
+}
+
 void
 registerBuiltinFuzzTargets(FuzzRunner &runner)
 {
     runner.add(protocolFuzzTarget());
     runner.add(authChannelFuzzTarget());
     runner.add(mappingStateFuzzTarget());
+    runner.add(memorySystemFuzzTarget());
 }
 
 }  // namespace hix::harness

@@ -22,6 +22,17 @@ FuzzTarget authChannelFuzzTarget();
 /** PageTable + IOMMU + PhysMem state vs a shadow model. */
 FuzzTarget mappingStateFuzzTarget();
 
+/**
+ * Memory-system fast-path differential: two mirrored machines (bus +
+ * RAM + page tables + validating MMU) driven by one op stream, one
+ * with the set-associative TLB and coalesced bulk copies, the other
+ * with the linear TlbReference and the per-page reference loop.
+ * Bytes, Status codes, translations, TLB sizes, and hit/miss
+ * counters must stay identical; bus routing is additionally checked
+ * against routeReference().
+ */
+FuzzTarget memorySystemFuzzTarget();
+
 }  // namespace hix::harness
 
 #endif  // HIX_TESTING_FUZZ_TARGETS_H_

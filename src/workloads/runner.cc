@@ -41,6 +41,9 @@ struct Shard
 {
     sim::Trace trace;
     sim::Trace::AppendRemap remap;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t iotlbHits = 0;
 };
 
 /**
@@ -79,6 +82,9 @@ recordShard(const RunConfig &config, Workload &job, int user,
         BaselineApi api(&rt);
         HIX_RETURN_IF_ERROR(job.run(api));
         shard.remap.gpuCtx = {{rt.gpuContext(), CanonicalBaselineCtx}};
+        shard.tlbHits = machine.mmu().tlbHits();
+        shard.tlbMisses = machine.mmu().tlbMisses();
+        shard.iotlbHits = machine.iommu().iotlbHits();
         shard.trace = std::move(machine.trace());
         return shard;
     }
@@ -116,6 +122,9 @@ recordShard(const RunConfig &config, Workload &job, int user,
         {(*ge)->mgmtContext(), CanonicalMgmtCtx},
         {*session_ctx, CanonicalMgmtCtx + 1 + GpuContextId(user)},
     };
+    shard.tlbHits = machine.mmu().tlbHits();
+    shard.tlbMisses = machine.mmu().tlbMisses();
+    shard.iotlbHits = machine.iommu().iotlbHits();
     shard.trace = std::move(machine.trace());
     return shard;
 }
@@ -140,6 +149,11 @@ collectOutcome(std::vector<Result<Shard>> &shards,
         merged.append((*shard).trace, (*shard).remap);
 
     RunOutcome outcome;
+    for (auto &shard : shards) {
+        outcome.tlbHits += (*shard).tlbHits;
+        outcome.tlbMisses += (*shard).tlbMisses;
+        outcome.iotlbHits += (*shard).iotlbHits;
+    }
     outcome.schedulerConfig.gpuCtxSwitchTicks =
         config.machine.timing.gpuCtxSwitch;
     outcome.schedule = sim::schedule(merged, outcome.schedulerConfig);

@@ -96,6 +96,15 @@ struct RunOutcome
     sim::ScheduleResult schedule;
     /** GPU context switches charged (multi-user analysis). */
     std::uint64_t gpuCtxSwitches = 0;
+    /**
+     * CPU TLB and IOTLB traffic summed over all user shards (each
+     * shard runs on a private machine). Exported into the bench JSON
+     * rows so memory-system regressions show up next to the timing
+     * they would eventually distort.
+     */
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t iotlbHits = 0;
     /** Recorded op trace (only when RunConfig::keepTrace is set). */
     std::shared_ptr<const sim::Trace> trace;
     /** Scheduler configuration the run was scored with. */

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Golden-equivalence wall for the memory-system fast path. Each suite
+ * drives the production engine and its linear reference oracle with
+ * one deterministic op stream and requires bit-identical observable
+ * behaviour:
+ *
+ *  - MemGoldenTlb: the set-associative Tlb vs the TlbReference list,
+ *    at several geometries (including fully-associative and 1x1).
+ *  - MemGoldenMmu: mirrored bus+RAM+page-table machines, bulk
+ *    coalesced read/write vs the per-page reference loop — bytes,
+ *    Status codes, and hit/miss counters, including mid-span
+ *    translate faults.
+ *  - MemGoldenBus: binary-search + MRU-cache routing vs the linear
+ *    scan under attach/detach churn.
+ *  - MemGoldenIotlb: IOTLB coherence against the OS-owned table
+ *    (unmap/overwrite invalidate before taking effect), counters,
+ *    and O(1) flush.
+ *
+ * CI gates on this suite (ctest -R MemGolden); the sanitize and tsan
+ * jobs run it under ASan/UBSan and TSan.
+ */
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/iommu.h"
+#include "mem/mmu.h"
+#include "mem/phys_bus.h"
+#include "mem/phys_mem.h"
+
+namespace hix::mem
+{
+namespace
+{
+
+/** SplitMix64: tiny, deterministic, no global RNG state. */
+struct Rng
+{
+    std::uint64_t state;
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+};
+
+// ----- MemGoldenTlb ----------------------------------------------------
+
+void
+driveTlbPair(TlbBase &fast, TlbBase &ref, std::uint64_t seed,
+             int iterations)
+{
+    Rng rng{seed};
+    for (int i = 0; i < iterations; ++i) {
+        const std::uint64_t r = rng.next();
+        const ProcessId pid = 1 + r % 3;
+        const EnclaveId enclave =
+            (r >> 8) % 3 == 0 ? InvalidEnclaveId
+                              : EnclaveId(40 + (r >> 8) % 3);
+        const Addr vpage = ((r >> 16) % 24) * PageSize;
+        switch ((r >> 40) % 8) {
+          case 0:
+          case 1:
+          case 2: {  // insert
+            TlbEntry e{pid, enclave, vpage,
+                       ((r >> 24) % 64) * PageSize, PermRead};
+            fast.insert(e);
+            ref.insert(e);
+            break;
+          }
+          case 6:
+            switch ((r >> 44) % 8) {
+              case 0:
+                fast.flushAll();
+                ref.flushAll();
+                break;
+              case 1:
+                fast.flushPid(pid);
+                ref.flushPid(pid);
+                break;
+              default:
+                fast.flushPage(pid, vpage);
+                ref.flushPage(pid, vpage);
+                break;
+            }
+            break;
+          default: {  // lookup (also refreshes LRU recency)
+            const TlbEntry *a = fast.lookup(pid, enclave, vpage);
+            const TlbEntry *b = ref.lookup(pid, enclave, vpage);
+            ASSERT_EQ(a == nullptr, b == nullptr)
+                << "presence diverged at op " << i;
+            if (a) {
+                EXPECT_EQ(a->ppage, b->ppage) << "at op " << i;
+                EXPECT_EQ(a->perms, b->perms) << "at op " << i;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(fast.size(), ref.size()) << "size diverged at op " << i;
+    }
+}
+
+TEST(MemGoldenTlb, EnginesAgreeAcrossGeometries)
+{
+    struct Shape
+    {
+        std::size_t capacity;
+        std::size_t ways;
+    };
+    for (Shape s : {Shape{8, 4}, Shape{16, 2}, Shape{8, 8},
+                    Shape{1, 1}, Shape{6, 4}}) {
+        Tlb fast(s.capacity, s.ways);
+        TlbReference ref(s.capacity, s.ways);
+        ASSERT_EQ(fast.geometry().sets, ref.geometry().sets);
+        ASSERT_EQ(fast.geometry().ways, ref.geometry().ways);
+        driveTlbPair(fast, ref, 0x600D + s.capacity * 31 + s.ways,
+                     4000);
+    }
+}
+
+TEST(MemGoldenTlb, EpochFlushIsObservationallyComplete)
+{
+    // flushAll is an O(1) epoch bump; nothing stale may survive it,
+    // across repeated flush/refill cycles (epoch reuse of slots).
+    Tlb fast(8);
+    TlbReference ref(8);
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        driveTlbPair(fast, ref, 0xF1u * (cycle + 1), 200);
+        fast.flushAll();
+        ref.flushAll();
+        ASSERT_EQ(fast.size(), 0u);
+        ASSERT_EQ(ref.size(), 0u);
+        for (Addr vpage = 0; vpage < 24 * PageSize; vpage += PageSize)
+            for (ProcessId pid : {ProcessId(1), ProcessId(2),
+                                  ProcessId(3)})
+                ASSERT_EQ(fast.lookup(pid, InvalidEnclaveId, vpage),
+                          nullptr);
+    }
+}
+
+// ----- MemGoldenMmu ----------------------------------------------------
+
+constexpr std::uint64_t GoldenRamSize = 1 * MiB;
+
+/** One mirrored half: bus + RAM + per-pid page tables + MMU. */
+struct Half
+{
+    explicit Half(TlbEngine engine)
+        : ram("golden_ram", GoldenRamSize), mmu(&bus, 16, engine)
+    {
+        EXPECT_TRUE(
+            bus.attach(AddrRange(0, GoldenRamSize), &ram).isOk());
+        mmu.setPageTableProvider(
+            [this](ProcessId pid) { return &tables[pid]; });
+    }
+
+    PhysicalBus bus;
+    PhysMem ram;
+    Mmu mmu;
+    std::unordered_map<ProcessId, PageTable> tables;
+};
+
+class MemGoldenMmu : public ::testing::Test
+{
+  protected:
+    MemGoldenMmu() : fast_(TlbEngine::Fast), ref_(TlbEngine::Reference)
+    {}
+
+    void
+    mapBoth(ProcessId pid, Addr va, Addr pa, std::uint8_t perms)
+    {
+        ASSERT_TRUE(fast_.tables[pid].map(va, pa, perms).isOk());
+        ASSERT_TRUE(ref_.tables[pid].map(va, pa, perms).isOk());
+    }
+
+    void
+    expectCountersEqual(const char *where)
+    {
+        EXPECT_EQ(fast_.mmu.tlbHits(), ref_.mmu.tlbHits()) << where;
+        EXPECT_EQ(fast_.mmu.tlbMisses(), ref_.mmu.tlbMisses()) << where;
+        EXPECT_EQ(fast_.mmu.tlb().size(), ref_.mmu.tlb().size())
+            << where;
+    }
+
+    Half fast_;
+    Half ref_;
+};
+
+TEST_F(MemGoldenMmu, RandomizedBulkOpsMatchReferenceExactly)
+{
+    // Sparse VA layout with holes and varied physical placement:
+    // contiguous runs, reversed pages, strided pages. Bulk spans
+    // regularly cross holes mid-run, exercising the partial-fault
+    // path.
+    for (int i = 0; i < 48; ++i) {
+        if (i % 5 == 4)
+            continue;  // hole every fifth page
+        const Addr va = 0x400000 + Addr(i) * PageSize;
+        const Addr pa = (i % 3 == 0)
+                            ? Addr(i) * PageSize
+                            : (64 + (i * 7) % 128) * PageSize;
+        mapBoth(1, va, pa, PermRead | PermWrite);
+    }
+    // A second process, partially read-only.
+    for (int i = 0; i < 8; ++i)
+        mapBoth(2, 0x400000 + Addr(i) * PageSize,
+                (200 + i) * PageSize,
+                i < 4 ? (PermRead | PermWrite) : PermRead);
+
+    Rng rng{0x90140};
+    std::vector<std::uint8_t> buf_fast(4 * PageSize);
+    std::vector<std::uint8_t> buf_ref(4 * PageSize);
+    for (int op = 0; op < 3000; ++op) {
+        const std::uint64_t r = rng.next();
+        const ExecContext ctx{static_cast<ProcessId>(1 + r % 2),
+                              InvalidEnclaveId};
+        const Addr addr = 0x400000 + ((r >> 8) % 50) * PageSize +
+                          (r >> 16) % PageSize;
+        const std::size_t len =
+            1 + (r >> 32) % (3 * PageSize + PageSize / 2);
+        if ((r >> 4) % 2 == 0) {
+            std::fill(buf_fast.begin(), buf_fast.end(), 0xCC);
+            std::fill(buf_ref.begin(), buf_ref.end(), 0xCC);
+            Status a = fast_.mmu.read(ctx, addr, buf_fast.data(), len);
+            Status b =
+                ref_.mmu.readReference(ctx, addr, buf_ref.data(), len);
+            ASSERT_EQ(a.code(), b.code()) << "read op " << op;
+            ASSERT_EQ(buf_fast, buf_ref) << "read bytes op " << op;
+        } else {
+            for (std::size_t j = 0; j < len; ++j)
+                buf_fast[j] =
+                    static_cast<std::uint8_t>(r >> (j % 56));
+            Status a = fast_.mmu.write(ctx, addr, buf_fast.data(), len);
+            Status b = ref_.mmu.writeReference(ctx, addr,
+                                               buf_fast.data(), len);
+            ASSERT_EQ(a.code(), b.code()) << "write op " << op;
+        }
+        if (op % 97 == 0) {
+            fast_.mmu.flushTlbPid(ctx.pid);
+            ref_.mmu.flushTlbPid(ctx.pid);
+        }
+        expectCountersEqual("mid-stream");
+        if (HasFatalFailure() || HasNonfatalFailure())
+            FAIL() << "diverged at op " << op;
+    }
+    // Both RAMs hold identical contents after the full stream.
+    std::vector<std::uint8_t> a(GoldenRamSize);
+    std::vector<std::uint8_t> b(GoldenRamSize);
+    ASSERT_TRUE(fast_.ram.readAt(0, a.data(), a.size()).isOk());
+    ASSERT_TRUE(ref_.ram.readAt(0, b.data(), b.size()).isOk());
+    EXPECT_TRUE(a == b) << "RAM images diverged";
+}
+
+TEST_F(MemGoldenMmu, MidSpanFaultDeliversIdenticalPrefix)
+{
+    // Pages 0 and 1 mapped, page 2 is a hole: a 3-page read faults on
+    // the hole but must have delivered the first two pages — in both
+    // engines, with identical counters.
+    mapBoth(1, 0x400000, 0x10000, PermRead | PermWrite);
+    mapBoth(1, 0x401000, 0x30000, PermRead | PermWrite);
+    ExecContext ctx{1, InvalidEnclaveId};
+
+    std::vector<std::uint8_t> seed(2 * PageSize);
+    for (std::size_t i = 0; i < seed.size(); ++i)
+        seed[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    ASSERT_TRUE(
+        fast_.mmu.write(ctx, 0x400000, seed.data(), seed.size()).isOk());
+    ASSERT_TRUE(ref_.mmu
+                    .writeReference(ctx, 0x400000, seed.data(),
+                                    seed.size())
+                    .isOk());
+
+    std::vector<std::uint8_t> got_fast(3 * PageSize, 0xEE);
+    std::vector<std::uint8_t> got_ref(3 * PageSize, 0xEE);
+    Status a =
+        fast_.mmu.read(ctx, 0x400000, got_fast.data(), got_fast.size());
+    Status b = ref_.mmu.readReference(ctx, 0x400000, got_ref.data(),
+                                      got_ref.size());
+    EXPECT_EQ(a.code(), StatusCode::NotFound);
+    EXPECT_EQ(a.code(), b.code());
+    EXPECT_EQ(got_fast, got_ref);
+    EXPECT_TRUE(std::equal(seed.begin(), seed.end(), got_fast.begin()));
+    expectCountersEqual("after mid-span fault");
+}
+
+TEST_F(MemGoldenMmu, ValidatorDenialCountsIdentically)
+{
+    class DenyOdd : public TlbFillValidator
+    {
+      public:
+        Status
+        validateFill(const ExecContext &, Addr, Addr ppage,
+                     std::uint8_t) override
+        {
+            if ((ppage / PageSize) % 2 == 1)
+                return errAccessFault("validator denied fill");
+            return Status::ok();
+        }
+    };
+    DenyOdd deny_fast, deny_ref;
+    fast_.mmu.addValidator(&deny_fast);
+    ref_.mmu.addValidator(&deny_ref);
+    mapBoth(1, 0x400000, 2 * PageSize, PermRead | PermWrite);
+    mapBoth(1, 0x401000, 3 * PageSize, PermRead | PermWrite);  // denied
+    ExecContext ctx{1, InvalidEnclaveId};
+
+    std::vector<std::uint8_t> buf_fast(2 * PageSize, 0x5A);
+    std::vector<std::uint8_t> buf_ref(2 * PageSize, 0x5A);
+    Status a =
+        fast_.mmu.read(ctx, 0x400000, buf_fast.data(), buf_fast.size());
+    Status b = ref_.mmu.readReference(ctx, 0x400000, buf_ref.data(),
+                                      buf_ref.size());
+    EXPECT_EQ(a.code(), StatusCode::AccessFault);
+    EXPECT_EQ(a.code(), b.code());
+    EXPECT_EQ(buf_fast, buf_ref);
+    // The denied fill was not cached by either engine.
+    EXPECT_EQ(fast_.mmu.tlb().size(), 1u);
+    expectCountersEqual("after denial");
+}
+
+// ----- MemGoldenBus ----------------------------------------------------
+
+TEST(MemGoldenBus, RoutingMatchesReferenceUnderChurn)
+{
+    PhysicalBus bus;
+    std::vector<std::unique_ptr<PhysMem>> mems;
+    std::vector<AddrRange> attached;
+    Rng rng{0xB05};
+
+    auto check = [&](Addr addr) {
+        const auto *fast = bus.route(addr);
+        const auto *ref = bus.routeReference(addr);
+        ASSERT_EQ(fast == nullptr, ref == nullptr)
+            << "presence at " << addr;
+        if (fast) {
+            EXPECT_EQ(fast->target, ref->target);
+            EXPECT_TRUE(fast->range == ref->range);
+        }
+    };
+
+    for (int op = 0; op < 2000; ++op) {
+        const std::uint64_t r = rng.next();
+        switch (r % 3) {
+          case 0: {  // attach a fresh page-aligned island
+            const Addr base = ((r >> 8) % 512) * PageSize;
+            const std::uint64_t size = (1 + (r >> 24) % 4) * PageSize;
+            auto mem = std::make_unique<PhysMem>("island", size);
+            if (bus.attach(AddrRange(base, size), mem.get()).isOk()) {
+                mems.push_back(std::move(mem));
+                attached.push_back(AddrRange(base, size));
+            }
+            break;
+          }
+          case 1: {  // detach one island
+            if (!attached.empty()) {
+                const std::size_t idx = (r >> 8) % attached.size();
+                ASSERT_TRUE(bus.detach(attached[idx]).isOk());
+                attached.erase(attached.begin() + idx);
+            }
+            break;
+          }
+          default:  // probe: random addrs, range edges, far misses
+            check((r >> 8) % (600 * PageSize));
+            if (!attached.empty()) {
+                const AddrRange &range =
+                    attached[(r >> 16) % attached.size()];
+                check(range.start());
+                check(range.end() - 1);
+                check(range.end());
+            }
+            check(~0ull);
+            break;
+        }
+        ASSERT_EQ(bus.mappingCount(), attached.size());
+        if (::testing::Test::HasFatalFailure())
+            FAIL() << "diverged at op " << op;
+    }
+}
+
+// ----- MemGoldenIotlb --------------------------------------------------
+
+TEST(MemGoldenIotlb, TranslateAlwaysMirrorsTheTable)
+{
+    // The IOTLB may never return anything the OS-owned table would
+    // not: unmap and overwrite invalidate the cached page before they
+    // take effect.
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0x1000, 0x80000).isOk());
+
+    auto pa = iommu.translate(0x1234);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x80234u);
+    EXPECT_EQ(iommu.iotlbMisses(), 1u);
+    pa = iommu.translate(0x1008);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(iommu.iotlbHits(), 1u);
+
+    // Redirect: the very next translate sees the new target.
+    iommu.overwrite(0x1000, 0x90000);
+    pa = iommu.translate(0x1004);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x90004u);
+    EXPECT_EQ(iommu.iotlbMisses(), 2u) << "stale entry served";
+
+    // Unmap: cached page must not survive as a ghost mapping.
+    ASSERT_TRUE(iommu.unmap(0x1000).isOk());
+    EXPECT_EQ(iommu.translate(0x1000).status().code(),
+              StatusCode::AccessFault);
+    EXPECT_EQ(iommu.iotlbSize(), 0u);
+}
+
+TEST(MemGoldenIotlb, RandomizedShadowDifferential)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    std::unordered_map<Addr, Addr> shadow;
+    Rng rng{0x10D1F};
+    for (int op = 0; op < 5000; ++op) {
+        const std::uint64_t r = rng.next();
+        const Addr dpage = ((r >> 8) % 32) * PageSize;
+        const Addr ppage = ((r >> 16) % 256) * PageSize;
+        switch (r % 5) {
+          case 0: {
+            Status st = iommu.map(dpage, ppage);
+            if (shadow.count(dpage))
+                ASSERT_FALSE(st.isOk());
+            else {
+                ASSERT_TRUE(st.isOk());
+                shadow[dpage] = ppage;
+            }
+            break;
+          }
+          case 1: {
+            Status st = iommu.unmap(dpage);
+            ASSERT_EQ(st.isOk(), shadow.erase(dpage) > 0);
+            break;
+          }
+          case 2:
+            iommu.overwrite(dpage, ppage);
+            shadow[dpage] = ppage;
+            break;
+          case 3:
+            iommu.flushIotlb();
+            ASSERT_EQ(iommu.iotlbSize(), 0u);
+            break;
+          default: {
+            const Addr off = (r >> 48) % PageSize;
+            auto pa = iommu.translate(dpage + off);
+            auto it = shadow.find(dpage);
+            if (it == shadow.end()) {
+                ASSERT_FALSE(pa.isOk()) << "ghost mapping at op " << op;
+            } else {
+                ASSERT_TRUE(pa.isOk()) << "lost mapping at op " << op;
+                ASSERT_EQ(*pa, it->second + off) << "at op " << op;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(iommu.entryCount(), shadow.size());
+        ASSERT_LE(iommu.iotlbSize(),
+                  std::min<std::size_t>(64, shadow.size()));
+    }
+    EXPECT_GT(iommu.iotlbHits(), 0u);
+    EXPECT_GT(iommu.iotlbMisses(), 0u);
+}
+
+TEST(MemGoldenIotlb, CapacityBoundAndLruRefill)
+{
+    Iommu iommu(4);  // 1 set x 4 ways or 2x2 — capacity 4 either way
+    iommu.setEnabled(true);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(
+            iommu.map(Addr(i) * PageSize, Addr(64 + i) * PageSize)
+                .isOk());
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(iommu.translate(Addr(i) * PageSize).isOk());
+    EXPECT_EQ(iommu.iotlbMisses(), 8u);
+    EXPECT_LE(iommu.iotlbSize(), 4u);
+    // Every translate still returns the right answer after eviction.
+    for (int i = 0; i < 8; ++i) {
+        auto pa = iommu.translate(Addr(i) * PageSize + 4);
+        ASSERT_TRUE(pa.isOk());
+        EXPECT_EQ(*pa, Addr(64 + i) * PageSize + 4);
+    }
+}
+
+TEST(MemGoldenIotlb, DisabledModeBypassesAndDoesNotCount)
+{
+    Iommu iommu;
+    ASSERT_TRUE(iommu.map(0x1000, 0x80000).isOk());
+    auto pa = iommu.translate(0x1234);
+    ASSERT_TRUE(pa.isOk());
+    EXPECT_EQ(*pa, 0x1234u);  // identity, table ignored
+    EXPECT_EQ(iommu.iotlbHits(), 0u);
+    EXPECT_EQ(iommu.iotlbMisses(), 0u);
+    EXPECT_EQ(iommu.iotlbSize(), 0u);
+}
+
+}  // namespace
+}  // namespace hix::mem

@@ -173,7 +173,7 @@ TEST_F(MmuTest, ReadWriteThroughVirtualAddresses)
     EXPECT_EQ(back, data);
 }
 
-TEST_F(MmuTest, TlbEvictsFifoWhenFull)
+TEST_F(MmuTest, TlbStaysAtCapacityUnderPressure)
 {
     for (int i = 0; i < 10; ++i) {
         ASSERT_TRUE(table(1)
@@ -187,11 +187,134 @@ TEST_F(MmuTest, TlbEvictsFifoWhenFull)
                                    AccessType::Read)
                         .isOk());
     }
-    // Capacity is 8; the first two entries were evicted.
+    // Capacity is 8; two entries were evicted somewhere.
     EXPECT_EQ(mmu_.tlb().size(), 8u);
-    ASSERT_TRUE(
-        mmu_.translate(ctx, 0x400000, AccessType::Read).isOk());
-    EXPECT_EQ(mmu_.tlb().misses(), 11u);
+    EXPECT_EQ(mmu_.tlb().misses(), 10u);
+}
+
+TEST_F(MmuTest, TlbEvictsLeastRecentlyUsedWhenFull)
+{
+    // Fully associative (ways = capacity) so the victim is the
+    // globally least-recently-used entry, independent of the hash.
+    // Both engines must agree (they share the replacement policy).
+    for (int i = 0; i < 9; ++i) {
+        ASSERT_TRUE(table(1)
+                        .map(0x400000 + i * PageSize,
+                             0x10000 + i * PageSize, PermRead)
+                        .isOk());
+    }
+    for (TlbEngine engine : {TlbEngine::Fast, TlbEngine::Reference}) {
+        Mmu mmu(&bus_, 8, engine, /*tlb_ways=*/8);
+        mmu.setPageTableProvider([this](ProcessId pid) -> PageTable * {
+            auto it = tables_.find(pid);
+            return it == tables_.end() ? nullptr : &it->second;
+        });
+        ExecContext ctx{1, InvalidEnclaveId};
+        for (int i = 0; i < 8; ++i) {
+            ASSERT_TRUE(mmu.translate(ctx, 0x400000 + i * PageSize,
+                                      AccessType::Read)
+                            .isOk());
+        }
+        EXPECT_EQ(mmu.tlbMisses(), 8u);
+        // Touch page 0: it becomes most-recent, page 1 is now LRU.
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x400000, AccessType::Read).isOk());
+        EXPECT_EQ(mmu.tlbHits(), 1u);
+        // Insert page 8 into the full TLB: evicts page 1, not page 0
+        // (under FIFO the victim would have been page 0).
+        ASSERT_TRUE(mmu.translate(ctx, 0x400000 + 8 * PageSize,
+                                  AccessType::Read)
+                        .isOk());
+        EXPECT_EQ(mmu.tlb().size(), 8u);
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x400000, AccessType::Read).isOk());
+        EXPECT_EQ(mmu.tlbHits(), 2u) << "page 0 was wrongly evicted";
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x401000, AccessType::Read).isOk());
+        EXPECT_EQ(mmu.tlbMisses(), 10u) << "page 1 was not the victim";
+    }
+}
+
+TEST_F(MmuTest, FlushPageIgnoresEnclaveTag)
+{
+    // Conservative-flush contract: one (pid, vpage) cached under three
+    // different enclave tags; flushTlbPage drops all three.
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    for (TlbEngine engine : {TlbEngine::Fast, TlbEngine::Reference}) {
+        Mmu mmu(&bus_, 8, engine);
+        mmu.setPageTableProvider([this](ProcessId pid) -> PageTable * {
+            auto it = tables_.find(pid);
+            return it == tables_.end() ? nullptr : &it->second;
+        });
+        for (EnclaveId e : {InvalidEnclaveId, EnclaveId(55),
+                            EnclaveId(77)}) {
+            ASSERT_TRUE(mmu.translate({1, e}, 0x400000,
+                                      AccessType::Read)
+                            .isOk());
+        }
+        EXPECT_EQ(mmu.tlb().size(), 3u);
+        mmu.flushTlbPage(1, 0x400000);
+        EXPECT_EQ(mmu.tlb().size(), 0u);
+    }
+}
+
+TEST_F(MmuTest, FlushPidDropsAllEnclaveEntriesOfThatPid)
+{
+    // Conservative-flush contract: flushPid ignores the enclave tag
+    // and leaves other processes' entries alone.
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ASSERT_TRUE(table(1).map(0x401000, 0x11000, PermRead).isOk());
+    ASSERT_TRUE(table(2).map(0x400000, 0x20000, PermRead).isOk());
+    for (TlbEngine engine : {TlbEngine::Fast, TlbEngine::Reference}) {
+        Mmu mmu(&bus_, 8, engine);
+        mmu.setPageTableProvider([this](ProcessId pid) -> PageTable * {
+            auto it = tables_.find(pid);
+            return it == tables_.end() ? nullptr : &it->second;
+        });
+        ASSERT_TRUE(mmu.translate({1, InvalidEnclaveId}, 0x400000,
+                                  AccessType::Read)
+                        .isOk());
+        ASSERT_TRUE(
+            mmu.translate({1, 55}, 0x401000, AccessType::Read).isOk());
+        ASSERT_TRUE(mmu.translate({2, InvalidEnclaveId}, 0x400000,
+                                  AccessType::Read)
+                        .isOk());
+        EXPECT_EQ(mmu.tlb().size(), 3u);
+        mmu.flushTlbPid(1);
+        EXPECT_EQ(mmu.tlb().size(), 1u);
+        // pid 2's entry survived and still hits.
+        ASSERT_TRUE(mmu.translate({2, InvalidEnclaveId}, 0x400000,
+                                  AccessType::Read)
+                        .isOk());
+        EXPECT_EQ(mmu.tlbHits(), 1u);
+    }
+}
+
+TEST_F(MmuTest, CapacityOneTlbDegeneratesGracefully)
+{
+    // 1 set x 1 way: every distinct key evicts the previous one.
+    ASSERT_TRUE(table(1).map(0x400000, 0x10000, PermRead).isOk());
+    ASSERT_TRUE(table(1).map(0x401000, 0x11000, PermRead).isOk());
+    for (TlbEngine engine : {TlbEngine::Fast, TlbEngine::Reference}) {
+        Mmu mmu(&bus_, 1, engine);
+        mmu.setPageTableProvider([this](ProcessId pid) -> PageTable * {
+            auto it = tables_.find(pid);
+            return it == tables_.end() ? nullptr : &it->second;
+        });
+        ExecContext ctx{1, InvalidEnclaveId};
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x400000, AccessType::Read).isOk());
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x400000, AccessType::Read).isOk());
+        EXPECT_EQ(mmu.tlbHits(), 1u);
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x401000, AccessType::Read).isOk());
+        EXPECT_EQ(mmu.tlb().size(), 1u);
+        ASSERT_TRUE(
+            mmu.translate(ctx, 0x400000, AccessType::Read).isOk());
+        EXPECT_EQ(mmu.tlbMisses(), 3u);
+        EXPECT_EQ(mmu.tlb().size(), 1u);
+    }
 }
 
 TEST(IommuTest, BypassWhenDisabled)
