@@ -85,7 +85,8 @@ Machine::scheduleTrace() const
 {
     sim::SchedulerConfig cfg;
     cfg.gpuCtxSwitchTicks = config_.timing.gpuCtxSwitch;
-    return sim::schedule(trace_, cfg);
+    cfg.threads = config_.schedulerThreads;
+    return sim::scheduleWith(config_.schedulerEngine, trace_, cfg);
 }
 
 void

@@ -1,9 +1,14 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <functional>
 #include <queue>
+#include <span>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -468,6 +473,1198 @@ schedule(const Trace &trace, const SchedulerConfig &config)
         if (kind_seen[k])
             res.kindBusy[static_cast<OpKind>(k)] = kind_busy[k];
     return res;
+}
+
+// ---------------------------------------------------------------------------
+// scheduleParallel: component / window worker pool over a cache-lean
+// core.
+//
+// The engine is built from three bit-identical pieces:
+//
+//  1. A cache-lean serial core. All per-op state lives in one 24-byte
+//     record (HotOp); the per-resource candidate is a cache that a
+//     single arrival merges into in O(1) (it is exactly the
+//     candLess-min refresh() would compute), and a full refresh only
+//     runs after a commit on that resource, because lastCtx/freeAt —
+//     the only inputs that can invalidate other entries' candidates —
+//     change only then. The op's start time is written back into the
+//     dead ready slot at commit; finish = start + dur is recomputed in
+//     the final unzip, so the commit loop touches no side arrays.
+//
+//  2. Component fan-out. Resources linked by a dependency edge are
+//     unioned; ops on resources in different components never
+//     interact (per-resource state is only mutated by that resource's
+//     commits, and cross-resource influence travels only along
+//     dependency edges), so each component is an independent
+//     scheduling problem. Components run on a worker pool, largest
+//     first, writing disjoint slices of the shared start/finish
+//     arrays; per-component stats merge in component-id order.
+//
+//  3. A window-synchronized engine for a single shared component. Let
+//     L be the minimum duration over ops that have a dependent on
+//     another resource. Within a window [T0, T0 + L), every commit
+//     starts at or after T0, so any cross-resource arrival it
+//     produces lands at or after T0 + L — the *next* window. Each
+//     resource can therefore commit everything with effective time
+//     below T0 + L without consulting the others; cross arrivals are
+//     exchanged through per-thread-pair outboxes at a barrier, applied
+//     by the owning thread (max-ready and pending-decrement are
+//     commutative, and the pending counter reaches zero only on the
+//     final edge, so the push sees the fully-resolved ready time), and
+//     the next T0 is the reduced minimum candidate. Serial tie-breaks
+//     never reach across a window boundary (strictly smaller eff
+//     always wins), so per-resource commit sequences — and hence every
+//     output field — are bit-identical to schedule().
+//
+// Traces whose shape exceeds the packed-field limits of HotOp (2^32
+// durations, 2^16 deps per op, 2^16 resources or GPU contexts) fall
+// back to schedule() wholesale.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+namespace par
+{
+
+struct HotOp
+{
+    Tick ready = 0;             // dep high-water; start after commit
+    std::uint32_t dur = 0;
+    std::uint32_t depOff = 0;   // dependents CSR begin
+    std::uint16_t pending = 0;  // deps not yet committed
+    std::uint16_t ctx = 0;      // dense gpu ctx (0 == none)
+    std::uint16_t res = 0;      // dense resource (component-local)
+    std::uint8_t kind = 0;
+    std::uint8_t pad = 0;
+};
+static_assert(sizeof(HotOp) == 24);
+
+/** Min-id queue tuned for the commit loop's near-sorted arrival
+ *  order: ascending pushes append to a FIFO (O(1) push AND pop);
+ *  the rare out-of-order id falls into a small binary heap. */
+struct IdHeap
+{
+    std::vector<OpId> fifo;  // ascending run; live ids at [head, end)
+    std::size_t head = 0;
+    std::vector<OpId> ovf;   // min-heap of out-of-order arrivals
+    bool
+    empty() const
+    {
+        return head == fifo.size() && ovf.empty();
+    }
+    OpId
+    top() const
+    {
+        if (head == fifo.size())
+            return ovf[0];
+        if (ovf.empty() || fifo[head] < ovf[0])
+            return fifo[head];
+        return ovf[0];
+    }
+    void
+    push(OpId x)
+    {
+        if (head == fifo.size()) {
+            fifo.clear();
+            head = 0;
+            fifo.push_back(x);
+        } else if (x >= fifo.back()) {
+            fifo.push_back(x);
+        } else {
+            ovf.push_back(x);
+            std::push_heap(ovf.begin(), ovf.end(),
+                           std::greater<OpId>{});
+        }
+    }
+    void
+    pop()
+    {
+        if (head != fifo.size() &&
+            (ovf.empty() || fifo[head] < ovf[0])) {
+            ++head;
+            // Amortized compaction keeps the dead prefix bounded.
+            if (head >= 4096 && head * 2 >= fifo.size()) {
+                fifo.erase(fifo.begin(),
+                           fifo.begin() +
+                               static_cast<std::ptrdiff_t>(head));
+                head = 0;
+            }
+        } else {
+            std::pop_heap(ovf.begin(), ovf.end(),
+                          std::greater<OpId>{});
+            ovf.pop_back();
+        }
+    }
+};
+
+struct FutEnt
+{
+    Tick rt;
+    OpId id;
+};
+struct FutGreater
+{
+    bool
+    operator()(const FutEnt &a, const FutEnt &b) const
+    {
+        return a.rt != b.rt ? a.rt > b.rt : a.id > b.id;
+    }
+};
+/** Min-(rt, id) queue with the same near-sorted-FIFO shape as IdHeap:
+ *  producer finishes arrive in commit order, so per-resource pushes
+ *  are (almost) nondecreasing and the common path is O(1). */
+struct FutHeap
+{
+    std::vector<FutEnt> fifo;  // nondecreasing (rt, id) run
+    std::size_t head = 0;
+    std::vector<FutEnt> ovf;   // min-heap of out-of-order arrivals
+    bool
+    empty() const
+    {
+        return head == fifo.size() && ovf.empty();
+    }
+    const FutEnt &
+    top() const
+    {
+        if (head == fifo.size())
+            return ovf[0];
+        if (ovf.empty() || !FutGreater{}(fifo[head], ovf[0]))
+            return fifo[head];
+        return ovf[0];
+    }
+    void
+    push(FutEnt x)
+    {
+        if (head == fifo.size()) {
+            fifo.clear();
+            head = 0;
+            fifo.push_back(x);
+        } else if (!FutGreater{}(fifo.back(), x)) {
+            fifo.push_back(x);
+        } else {
+            ovf.push_back(x);
+            std::push_heap(ovf.begin(), ovf.end(), FutGreater{});
+        }
+    }
+    void
+    pop()
+    {
+        if (head != fifo.size() &&
+            (ovf.empty() || !FutGreater{}(fifo[head], ovf[0]))) {
+            ++head;
+            if (head >= 4096 && head * 2 >= fifo.size()) {
+                fifo.erase(fifo.begin(),
+                           fifo.begin() +
+                               static_cast<std::ptrdiff_t>(head));
+                head = 0;
+            }
+        } else {
+            std::pop_heap(ovf.begin(), ovf.end(), FutGreater{});
+            ovf.pop_back();
+        }
+    }
+    /** Remove the entry with op id @p id (the GPU residency tie-break
+     *  can commit a non-minimal future entry). */
+    void
+    erase(OpId id)
+    {
+        for (std::size_t i = head; i < fifo.size(); ++i) {
+            if (fifo[i].id == id) {
+                fifo.erase(fifo.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+                return;
+            }
+        }
+        for (std::size_t i = 0; i < ovf.size(); ++i) {
+            if (ovf[i].id == id) {
+                ovf[i] = ovf.back();
+                ovf.pop_back();
+                std::make_heap(ovf.begin(), ovf.end(), FutGreater{});
+                return;
+            }
+        }
+    }
+};
+
+struct Cand
+{
+    Tick eff = MaxTick;
+    OpId id = InvalidOpId;
+    std::uint8_t notResident = 0;
+    std::uint8_t src = 0;  // 1 = backlog, 2 = future
+};
+
+inline bool
+candLess(const Cand &a, const Cand &b)
+{
+    if (a.eff != b.eff)
+        return a.eff < b.eff;
+    if (a.notResident != b.notResident)
+        return a.notResident < b.notResident;
+    return a.id < b.id;
+}
+
+struct Res
+{
+    Tick freeAt = 0;
+    std::uint32_t lastCtx = 0;  // dense; 0 == none
+    bool isGpu = false;
+    std::uint32_t backlogCount = 0;
+    FutHeap future;
+    IdHeap backlog;
+    std::vector<IdHeap> byCtx;
+};
+
+/** Per-resource queues + candidate cache over a HotOp array. */
+struct SchedState
+{
+    const HotOp *hot = nullptr;
+    std::vector<Res> rs;
+    std::vector<Cand> cand;
+};
+
+inline void
+pushArrival(SchedState &s, std::uint32_t ridx, OpId id, Tick rt)
+{
+    Res &r = s.rs[ridx];
+    Cand e;
+    if (rt > r.freeAt) {
+        r.future.push({rt, id});
+        e = {rt, id, 0, 2};
+    } else {
+        ++r.backlogCount;
+        if (r.isGpu)
+            r.byCtx[s.hot[id].ctx].push(id);
+        else
+            r.backlog.push(id);
+        e = {r.freeAt, id, 0, 1};
+    }
+    if (r.isGpu) {
+        const std::uint32_t ctx = s.hot[id].ctx;
+        e.notResident = ctx != 0 && r.lastCtx != 0 && r.lastCtx != ctx;
+    }
+    // refreshRes() computes the candLess-min over per-entry candidates
+    // {max(rt, freeAt), notResident, id}; a single arrival therefore
+    // merges in O(1).
+    if (candLess(e, s.cand[ridx]))
+        s.cand[ridx] = e;
+}
+
+inline void
+refreshRes(SchedState &s, std::uint32_t ridx, std::vector<FutEnt> &tie_buf)
+{
+    Res &r = s.rs[ridx];
+    while (!r.future.empty() && r.future.top().rt <= r.freeAt) {
+        const OpId id = r.future.top().id;
+        r.future.pop();
+        ++r.backlogCount;
+        if (r.isGpu)
+            r.byCtx[s.hot[id].ctx].push(id);
+        else
+            r.backlog.push(id);
+    }
+    Cand c;
+    if (r.backlogCount > 0) {
+        if (!r.isGpu) {
+            c = {r.freeAt, r.backlog.top(), 0, 1};
+        } else if (r.lastCtx == 0) {
+            OpId best = InvalidOpId;
+            for (const IdHeap &h : r.byCtx)
+                if (!h.empty())
+                    best = std::min(best, h.top());
+            c = {r.freeAt, best, 0, 1};
+        } else {
+            OpId best = InvalidOpId;
+            const IdHeap &rh = r.byCtx[r.lastCtx];
+            if (!rh.empty())
+                best = rh.top();
+            const IdHeap &nh = r.byCtx[0];
+            if (!nh.empty())
+                best = std::min(best, nh.top());
+            if (best != InvalidOpId) {
+                c = {r.freeAt, best, 0, 1};
+            } else {
+                for (const IdHeap &h : r.byCtx)
+                    if (!h.empty())
+                        best = std::min(best, h.top());
+                c = {r.freeAt, best, 1, 1};
+            }
+        }
+    } else if (!r.future.empty()) {
+        if (!r.isGpu) {
+            c = {r.future.top().rt, r.future.top().id, 0, 2};
+        } else {
+            // Earliest-ready tie group may mix resident and foreign
+            // contexts; pop the group to rank it, then push it back.
+            const Tick rt_min = r.future.top().rt;
+            tie_buf.clear();
+            OpId best = InvalidOpId;
+            bool best_res = false;
+            while (!r.future.empty() && r.future.top().rt == rt_min) {
+                const FutEnt e = r.future.top();
+                r.future.pop();
+                tie_buf.push_back(e);
+                const bool resident = s.hot[e.id].ctx == 0 ||
+                                      r.lastCtx == 0 ||
+                                      r.lastCtx == s.hot[e.id].ctx;
+                if (best == InvalidOpId || (resident && !best_res) ||
+                    (resident == best_res && e.id < best)) {
+                    best = e.id;
+                    best_res = resident;
+                }
+            }
+            for (const FutEnt &e : tie_buf)
+                r.future.push(e);
+            c = {rt_min, best,
+                 static_cast<std::uint8_t>(best_res ? 0 : 1), 2};
+        }
+    }
+    s.cand[ridx] = c;
+}
+
+/** Remove candidate @p c (resource @p ridx's current pick) from its
+ *  queue. */
+inline void
+popCand(SchedState &s, std::uint32_t ridx, const Cand &c)
+{
+    Res &r = s.rs[ridx];
+    if (c.src == 1) {
+        --r.backlogCount;
+        if (r.isGpu)
+            r.byCtx[s.hot[c.id].ctx].pop();
+        else
+            r.backlog.pop();
+    } else if (r.future.top().id == c.id) {
+        r.future.pop();
+    } else {
+        // Non-top future commit (GPU residency tie-break may pick a
+        // non-minimal entry).
+        r.future.erase(c.id);
+    }
+}
+
+/**
+ * One pass over the trace computing everything every parallel path
+ * needs: dense resource/context indices, per-resource busy totals,
+ * the cross-resource lookahead (min duration over ops with a
+ * dependent on another resource), resource-connected components, and
+ * the lean-core eligibility gates.
+ */
+struct Prepared
+{
+    bool leanOk = true;
+    std::uint32_t nres = 0;
+    std::uint32_t nctx = 0;
+    Tick crossLookahead = MaxTick;  // MaxTick: no cross edges at all
+    Tick maxResBusy = 0;
+    std::uint32_t compCount = 0;
+    std::size_t edges = 0;
+    std::vector<ResourceId> resources;      // dense id -> ResourceId
+    std::vector<std::uint8_t> gpuRes;       // dense id -> is GpuCompute
+    std::vector<std::uint32_t> resOf;       // op -> dense resource
+    std::vector<std::uint16_t> ctxOf;       // op -> dense ctx (0 = none)
+    std::vector<std::uint32_t> compOfRes;   // dense resource -> component
+    std::vector<std::uint32_t> depStart;    // dependents CSR offsets (n+1)
+};
+
+/**
+ * Tiny open-addressed 32-bit-key -> dense-index map. prepare() looks
+ * up a resource and a context per op, so the table must stay in L1 —
+ * unordered_map's per-node indirection costs more than the rest of
+ * the per-op work combined on merged multi-user traces. A new key is
+ * assigned the next dense index (== size() before the call), so the
+ * caller detects insertion by comparing the returned value against
+ * its own count. Values are bounded (<= 0x10000 by the lean gates),
+ * so an all-ones slot can never be a live entry.
+ */
+class FlatIndex
+{
+public:
+    FlatIndex() { slots_.assign(64, kEmpty); }
+
+    std::uint32_t
+    indexOf(std::uint32_t key)
+    {
+        std::uint32_t mask =
+            static_cast<std::uint32_t>(slots_.size()) - 1;
+        std::uint32_t i = (key * 0x9e3779b1u) & mask;
+        while (slots_[i] != kEmpty) {
+            if (static_cast<std::uint32_t>(slots_[i] >> 32) == key)
+                return static_cast<std::uint32_t>(slots_[i]);
+            i = (i + 1) & mask;
+        }
+        const std::uint32_t val = count_++;
+        slots_[i] = (std::uint64_t(key) << 32) | val;
+        if (2 * count_ > slots_.size())
+            grow();
+        return val;
+    }
+
+    std::uint32_t size() const { return count_; }
+
+private:
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t(0);
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, kEmpty);
+        const std::uint32_t mask =
+            static_cast<std::uint32_t>(slots_.size()) - 1;
+        for (std::uint64_t s : old) {
+            if (s == kEmpty)
+                continue;
+            std::uint32_t i =
+                (static_cast<std::uint32_t>(s >> 32) * 0x9e3779b1u) &
+                mask;
+            while (slots_[i] != kEmpty)
+                i = (i + 1) & mask;
+            slots_[i] = s;
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::uint32_t count_ = 0;
+};
+
+/** ResourceIdHash is injective (unit << 16 | index fits 24 bits), so
+ *  it doubles as the packed FlatIndex key. */
+inline std::uint32_t
+packRes(ResourceId r)
+{
+    return (static_cast<std::uint32_t>(r.unit) << 16) | r.index;
+}
+
+Prepared
+prepare(const Trace &trace, std::vector<HotOp> *hot)
+{
+    const auto &ops = trace.ops();
+    const std::size_t n = ops.size();
+    Prepared p;
+    p.resOf.resize(n);
+    p.ctxOf.resize(n);
+    p.depStart.assign(n + 1, 0);
+    if (hot)
+        hot->assign(n + 1, HotOp{});  // whole-trace records, same pass
+
+    FlatIndex res_index;
+    FlatIndex ctx_index;
+    ctx_index.indexOf(NoGpuContext);  // dense ctx 0 == none
+    std::vector<std::uint32_t> parent;  // union-find over resources
+    std::vector<Tick> res_busy;
+
+    auto find = [&](std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];  // path halving
+            x = parent[x];
+        }
+        return x;
+    };
+
+    ResourceId rk{};
+    std::uint32_t rv = ~0u;
+    GpuContextId xk = NoGpuContext;
+    std::uint32_t xv = 0;
+    for (const Op &op : ops) {
+        if (rv == ~0u || !(op.resource == rk)) {
+            rv = res_index.indexOf(packRes(op.resource));
+            if (rv == p.resources.size()) {  // first appearance
+                p.resources.push_back(op.resource);
+                p.gpuRes.push_back(op.resource.unit ==
+                                   ResUnit::GpuCompute);
+                parent.push_back(rv);
+                res_busy.push_back(0);
+            }
+            rk = op.resource;
+        }
+        p.resOf[op.id] = rv;
+        if (op.gpuCtx != xk) {
+            xv = ctx_index.indexOf(op.gpuCtx);
+            xk = op.gpuCtx;
+        }
+        if (op.duration > 0xffffffffULL || op.depCount > 0xffff ||
+            p.resources.size() > 0x10000 || ctx_index.size() > 0x10000) {
+            p.leanOk = false;  // caller falls back to schedule()
+            return p;
+        }
+        p.ctxOf[op.id] = static_cast<std::uint16_t>(xv);
+        res_busy[rv] += op.duration;
+        p.edges += op.depCount;
+        if (hot) {
+            HotOp &h = (*hot)[op.id];
+            h.res = static_cast<std::uint16_t>(rv);
+            h.ctx = static_cast<std::uint16_t>(xv);
+            h.dur = static_cast<std::uint32_t>(op.duration);
+            h.kind = static_cast<std::uint8_t>(op.kind);
+            h.pending = static_cast<std::uint16_t>(op.depCount);
+        }
+        const std::uint32_t a = find(rv);
+        if (hot) {
+            // Producer res and dur share one HotOp cache line (filled
+            // earlier in this pass — deps point backwards), where
+            // resOf[d] + ops[d].duration would touch two.
+            const HotOp *hs = hot->data();
+            for (OpId d : trace.deps(op)) {
+                ++p.depStart[d + 1];
+                const HotOp &hd = hs[d];
+                if (hd.res == rv)
+                    continue;
+                if (hd.dur < p.crossLookahead)
+                    p.crossLookahead = hd.dur;
+                const std::uint32_t b = find(hd.res);
+                if (b != a)
+                    parent[b] = a;  // a stays a root
+            }
+        } else {
+            for (OpId d : trace.deps(op)) {
+                ++p.depStart[d + 1];
+                const std::uint32_t rb = p.resOf[d];
+                if (rb == rv)
+                    continue;
+                const Tick ddur = ops[d].duration;
+                if (ddur < p.crossLookahead)
+                    p.crossLookahead = ddur;
+                const std::uint32_t b = find(rb);
+                if (b != a)
+                    parent[b] = a;  // a stays a root
+            }
+        }
+    }
+
+    p.nres = static_cast<std::uint32_t>(p.resources.size());
+    p.nctx = static_cast<std::uint32_t>(ctx_index.size());
+    for (Tick b : res_busy)
+        if (b > p.maxResBusy)
+            p.maxResBusy = b;
+    for (std::size_t i = 0; i < n; ++i)
+        p.depStart[i + 1] += p.depStart[i];
+
+    // Dense component ids in first-appearance op order (matches
+    // Trace::components()).
+    std::vector<std::uint32_t> dense(p.nres, ~0u);
+    for (const Op &op : ops) {
+        const std::uint32_t root = find(p.resOf[op.id]);
+        if (dense[root] == ~0u)
+            dense[root] = p.compCount++;
+    }
+    p.compOfRes.resize(p.nres);
+    for (std::uint32_t r = 0; r < p.nres; ++r)
+        p.compOfRes[r] = dense[find(r)];
+    return p;
+}
+
+/** Finish the whole-trace hot array prepare() started (depOff
+ *  offsets, including the sentinel in the extra record) and fill the
+ *  dependents CSR. Consumes prep.depStart as the scatter cursor (the
+ *  offsets live on in hot[].depOff). */
+void
+finishHotWhole(const Trace &trace, Prepared &prep,
+               std::vector<HotOp> &hot, std::vector<OpId> &dependents)
+{
+    const std::size_t n = trace.size();
+    for (std::size_t i = 0; i <= n; ++i)
+        hot[i].depOff = prep.depStart[i];
+    dependents.resize(prep.edges);
+    for (const Op &op : trace.ops())
+        for (OpId d : trace.deps(op))
+            dependents[prep.depStart[d]++] = op.id;
+}
+
+/**
+ * Same, for one component's member list (ascending global op ids).
+ * Dependents carry component-local ids; @p local_of is a shared
+ * n-sized scratch written at disjoint indices (every op belongs to
+ * exactly one component). @p res_local_map must be nres-sized and all
+ * ~0u on entry; the caller resets the entries listed in
+ * @p resources_local (global dense resource ids, first-appearance
+ * order) afterwards.
+ */
+void
+buildHotSubset(const Trace &trace, const Prepared &prep,
+               std::span<const OpId> members, std::uint32_t *local_of,
+               std::vector<std::uint32_t> &res_local_map,
+               std::vector<std::uint32_t> &resources_local,
+               std::vector<HotOp> &hot, std::vector<OpId> &dependents)
+{
+    const std::size_t m = members.size();
+    hot.assign(m + 1, HotOp{});
+    resources_local.clear();
+    std::vector<std::uint32_t> dep_count(m + 1, 0);
+    std::size_t edges = 0;
+    for (std::size_t l = 0; l < m; ++l) {
+        const OpId g = members[l];
+        local_of[g] = static_cast<std::uint32_t>(l);
+        const Op &op = trace.op(g);
+        const std::uint32_t gr = prep.resOf[g];
+        std::uint32_t lr = res_local_map[gr];
+        if (lr == ~0u) {
+            lr = static_cast<std::uint32_t>(resources_local.size());
+            res_local_map[gr] = lr;
+            resources_local.push_back(gr);
+        }
+        HotOp &h = hot[l];
+        h.res = static_cast<std::uint16_t>(lr);
+        h.ctx = prep.ctxOf[g];
+        h.dur = static_cast<std::uint32_t>(op.duration);
+        h.kind = static_cast<std::uint8_t>(op.kind);
+        h.pending = static_cast<std::uint16_t>(op.depCount);
+        edges += op.depCount;
+        // Deps precede the op and share its component, so their local
+        // ids are already assigned.
+        for (OpId d : trace.deps(op))
+            ++dep_count[local_of[d] + 1];
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        dep_count[i + 1] += dep_count[i];
+    dependents.resize(edges);
+    std::vector<std::uint32_t> cursor(dep_count.begin(),
+                                      dep_count.end() - 1);
+    for (std::size_t l = 0; l < m; ++l)
+        for (OpId d : trace.deps(trace.op(members[l])))
+            dependents[cursor[local_of[d]]++] = static_cast<OpId>(l);
+    for (std::size_t i = 0; i <= m; ++i)
+        hot[i].depOff = dep_count[i];
+}
+
+/** Accumulated output of one lean-core run (local resource ids). */
+struct LeanOut
+{
+    std::uint64_t ctxSwitches = 0;
+    std::size_t scheduled = 0;
+    std::vector<Tick> busy, lastFree;
+    std::vector<std::uint64_t> opCount;
+    Tick kindBusy[OpKindCount] = {};
+    bool kindSeen[OpKindCount] = {};
+};
+
+/**
+ * The serial lean core: commits every schedulable op, leaving each
+ * op's start time in hot[i].ready. @p is_gpu is indexed by local
+ * dense resource id.
+ */
+void
+runLeanLoop(std::vector<HotOp> &hot, const std::vector<OpId> &dependents,
+            const std::vector<std::uint8_t> &is_gpu, std::size_t nctx,
+            Tick switch_cost, LeanOut &out)
+{
+    const std::size_t m = hot.size() - 1;
+    const std::size_t nres = is_gpu.size();
+    SchedState s;
+    s.hot = hot.data();
+    s.rs.resize(nres);
+    s.cand.resize(nres);
+    for (std::size_t r = 0; r < nres; ++r) {
+        s.rs[r].isGpu = is_gpu[r] != 0;
+        if (s.rs[r].isGpu)
+            s.rs[r].byCtx.resize(nctx);
+    }
+    out.busy.assign(nres, 0);
+    out.lastFree.assign(nres, 0);
+    out.opCount.assign(nres, 0);
+
+    std::vector<FutEnt> tie_buf;
+    for (std::size_t i = 0; i < m; ++i)
+        if (hot[i].pending == 0)
+            pushArrival(s, hot[i].res, static_cast<OpId>(i),
+                        hot[i].ready);
+    for (std::size_t r = 0; r < nres; ++r)
+        refreshRes(s, static_cast<std::uint32_t>(r), tie_buf);
+
+    for (;;) {
+        // Linear argmin over per-resource candidates. Empty slots
+        // carry eff == MaxTick so candLess screens them without a
+        // separate validity branch; all-empty leaves an invalid pick.
+        std::uint32_t ridx = 0;
+        for (std::uint32_t r2 = 1; r2 < nres; ++r2)
+            if (candLess(s.cand[r2], s.cand[ridx]))
+                ridx = r2;
+        if (s.cand[ridx].id == InvalidOpId)
+            break;
+
+        const Cand c = s.cand[ridx];
+        const OpId id = c.id;
+        Res &r = s.rs[ridx];
+        HotOp &h = hot[id];
+        popCand(s, ridx, c);
+
+        Tick start = std::max(h.ready, r.freeAt);
+        if (r.isGpu && h.ctx != 0) {
+            if (r.lastCtx != 0 && r.lastCtx != h.ctx) {
+                start += switch_cost;
+                ++out.ctxSwitches;
+            }
+            r.lastCtx = h.ctx;
+        }
+
+        // Commit order correlates with op-id order in steady state;
+        // pull the records ~64 commits ahead into cache with write
+        // intent.
+        __builtin_prefetch(
+            &hot[std::min<std::size_t>(std::size_t(id) + 64, m - 1)],
+            1);
+
+        const Tick finish = start + h.dur;
+        r.freeAt = finish;
+        out.busy[ridx] += h.dur;
+        if (finish > out.lastFree[ridx])
+            out.lastFree[ridx] = finish;
+        ++out.opCount[ridx];
+        out.kindBusy[h.kind] += h.dur;
+        out.kindSeen[h.kind] = true;
+        ++out.scheduled;
+
+        const std::uint32_t dep_end = (&h)[1].depOff;
+        for (std::uint32_t e = h.depOff; e < dep_end; ++e) {
+            const OpId dep = dependents[e];
+            HotOp &hd = hot[dep];
+            if (finish > hd.ready)
+                hd.ready = finish;
+            if (--hd.pending == 0)
+                pushArrival(s, hd.res, dep, hd.ready);
+        }
+        h.ready = start;  // slot is dead; start lives here now
+        refreshRes(s, ridx, tie_buf);
+    }
+}
+
+/** Whole-trace serial lean path (also the threads==1 path). */
+ScheduleResult
+runLeanWhole(const Trace &trace, const SchedulerConfig &config,
+             Prepared &prep, std::vector<HotOp> &hot)
+{
+    const std::size_t n = trace.size();
+    ScheduleResult res;
+
+    std::vector<OpId> dependents;
+    finishHotWhole(trace, prep, hot, dependents);
+
+    LeanOut out;
+    runLeanLoop(hot, dependents, prep.gpuRes, prep.nctx,
+                config.gpuCtxSwitchTicks, out);
+    if (out.scheduled != n)
+        hix_panic("scheduler: dependency cycle, scheduled ",
+                  out.scheduled, " of ", n, " ops");
+
+    res.gpuCtxSwitches = out.ctxSwitches;
+    // push_back, not assign-then-overwrite: at 1M ops the redundant
+    // zero pass is measurable.
+    res.start.reserve(n);
+    res.finish.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        res.start.push_back(hot[i].ready);
+        res.finish.push_back(hot[i].ready + hot[i].dur);
+    }
+    for (std::uint32_t r = 0; r < prep.nres; ++r) {
+        ResourceUsage &use = res.usage[prep.resources[r]];
+        use.busy = out.busy[r];
+        use.lastFree = out.lastFree[r];
+        use.ops = out.opCount[r];
+        if (out.lastFree[r] > res.makespan)
+            res.makespan = out.lastFree[r];
+    }
+    for (std::size_t k = 0; k < OpKindCount; ++k)
+        if (out.kindSeen[k])
+            res.kindBusy[static_cast<OpKind>(k)] = out.kindBusy[k];
+    return res;
+}
+
+/** Fan resource-connected components out across a worker pool. */
+ScheduleResult
+runComponents(const Trace &trace, const SchedulerConfig &config,
+              const Prepared &prep, unsigned threads)
+{
+    const std::size_t n = trace.size();
+    const std::uint32_t nc = prep.compCount;
+
+    std::vector<std::uint32_t> sizes(nc, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++sizes[prep.compOfRes[prep.resOf[i]]];
+    std::vector<std::vector<OpId>> members(nc);
+    for (std::uint32_t c = 0; c < nc; ++c)
+        members[c].reserve(sizes[c]);
+    for (std::size_t i = 0; i < n; ++i)
+        members[prep.compOfRes[prep.resOf[i]]].push_back(
+            static_cast<OpId>(i));
+
+    // Claim largest components first so the pool drains evenly.
+    std::vector<std::uint32_t> order(nc);
+    for (std::uint32_t c = 0; c < nc; ++c)
+        order[c] = c;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return sizes[a] != sizes[b] ? sizes[a] > sizes[b]
+                                              : a < b;
+              });
+
+    ScheduleResult res;
+    res.start.assign(n, 0);
+    res.finish.assign(n, 0);
+
+    std::vector<std::uint32_t> local_of(n);
+    std::vector<LeanOut> outs(nc);
+    std::vector<std::vector<std::uint32_t>> comp_resources(nc);
+    std::atomic<std::uint32_t> next{0};
+
+    auto workerFn = [&]() {
+        std::vector<std::uint32_t> res_local_map(prep.nres, ~0u);
+        std::vector<HotOp> hot;
+        std::vector<OpId> dependents;
+        std::vector<std::uint8_t> is_gpu;
+        for (;;) {
+            const std::uint32_t k =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= nc)
+                break;
+            const std::uint32_t comp = order[k];
+            const auto &mem = members[comp];
+            buildHotSubset(trace, prep, mem, local_of.data(),
+                           res_local_map, comp_resources[comp], hot,
+                           dependents);
+            is_gpu.clear();
+            for (std::uint32_t gr : comp_resources[comp])
+                is_gpu.push_back(prep.gpuRes[gr]);
+            runLeanLoop(hot, dependents, is_gpu, prep.nctx,
+                        config.gpuCtxSwitchTicks, outs[comp]);
+            // Disjoint slices of the shared start/finish arrays.
+            for (std::size_t l = 0; l < mem.size(); ++l) {
+                res.start[mem[l]] = hot[l].ready;
+                res.finish[mem[l]] = hot[l].ready + hot[l].dur;
+            }
+            for (std::uint32_t gr : comp_resources[comp])
+                res_local_map[gr] = ~0u;
+        }
+    };
+
+    const unsigned workers = std::min<unsigned>(threads, nc);
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(workerFn);
+    workerFn();
+    for (std::thread &t : pool)
+        t.join();
+
+    // Deterministic merge in component-id order.
+    std::size_t scheduled = 0;
+    for (const LeanOut &o : outs)
+        scheduled += o.scheduled;
+    if (scheduled != n)
+        hix_panic("scheduler: dependency cycle, scheduled ", scheduled,
+                  " of ", n, " ops");
+    Tick kind_busy[OpKindCount] = {};
+    bool kind_seen[OpKindCount] = {};
+    for (std::uint32_t c = 0; c < nc; ++c) {
+        const LeanOut &o = outs[c];
+        res.gpuCtxSwitches += o.ctxSwitches;
+        for (std::size_t lr = 0; lr < comp_resources[c].size(); ++lr) {
+            ResourceUsage &use =
+                res.usage[prep.resources[comp_resources[c][lr]]];
+            use.busy = o.busy[lr];
+            use.lastFree = o.lastFree[lr];
+            use.ops = o.opCount[lr];
+            if (o.lastFree[lr] > res.makespan)
+                res.makespan = o.lastFree[lr];
+        }
+        for (std::size_t k = 0; k < OpKindCount; ++k) {
+            kind_busy[k] += o.kindBusy[k];
+            kind_seen[k] = kind_seen[k] || o.kindSeen[k];
+        }
+    }
+    for (std::size_t k = 0; k < OpKindCount; ++k)
+        if (kind_seen[k])
+            res.kindBusy[static_cast<OpKind>(k)] = kind_busy[k];
+    return res;
+}
+
+/** Window-synchronized multi-thread engine for one shared
+ *  component. */
+ScheduleResult
+runWindowed(const Trace &trace, const SchedulerConfig &config,
+            Prepared &prep, unsigned threads,
+            std::vector<HotOp> &hot)
+{
+    const std::size_t n = trace.size();
+    const Tick window_len = prep.crossLookahead;  // >= 1 by the gate
+    const unsigned T = std::min<unsigned>(threads, prep.nres);
+    const Tick switch_cost = config.gpuCtxSwitchTicks;
+
+    std::vector<OpId> dependents;
+    finishHotWhole(trace, prep, hot, dependents);
+
+    SchedState s;
+    s.hot = hot.data();
+    s.rs.resize(prep.nres);
+    s.cand.resize(prep.nres);
+    for (std::uint32_t r = 0; r < prep.nres; ++r) {
+        s.rs[r].isGpu = prep.gpuRes[r] != 0;
+        if (s.rs[r].isGpu)
+            s.rs[r].byCtx.resize(prep.nctx);
+    }
+
+    // Static resource ownership; all per-resource state (queues,
+    // candidate, hot records of ops on that resource, accounting) is
+    // touched only by the owner thread.
+    std::vector<std::vector<std::uint32_t>> owned(T);
+    for (std::uint32_t r = 0; r < prep.nres; ++r)
+        owned[r % T].push_back(r);
+
+    std::vector<Tick> busy(prep.nres, 0), last_free(prep.nres, 0);
+    std::vector<std::uint64_t> op_count(prep.nres, 0),
+        switches(prep.nres, 0);
+    std::vector<Tick> kind_busy(std::size_t(prep.nres) * OpKindCount, 0);
+    std::vector<std::uint8_t> kind_seen(
+        std::size_t(prep.nres) * OpKindCount, 0);
+
+    // Seed sources and the first window start single-threaded.
+    {
+        std::vector<FutEnt> seed_tie;
+        for (std::size_t i = 0; i < n; ++i)
+            if (hot[i].pending == 0)
+                pushArrival(s, hot[i].res, static_cast<OpId>(i),
+                            hot[i].ready);
+        for (std::uint32_t r = 0; r < prep.nres; ++r)
+            refreshRes(s, r, seed_tie);
+    }
+    Tick window_start = MaxTick;
+    for (std::uint32_t r = 0; r < prep.nres; ++r)
+        if (s.cand[r].eff < window_start)
+            window_start = s.cand[r].eff;
+    bool stop = false, cycle = false;
+    std::size_t total_scheduled = 0;
+    if (window_start == MaxTick) {
+        stop = true;
+        cycle = n != 0;
+    }
+
+    struct alignas(64) Slot
+    {
+        Tick localMin = MaxTick;
+        std::size_t scheduled = 0;  // cumulative
+    };
+    std::vector<Slot> slots(T);
+    // outbox[src * T + dst]: cross-resource arrivals produced by
+    // thread src for resources owned by dst this window. Written only
+    // by src in the commit phase, drained only by dst in the apply
+    // phase; the two phases are barrier-separated.
+    std::vector<std::vector<std::pair<OpId, Tick>>> outbox(
+        std::size_t(T) * T);
+
+    auto onWindowDone = [&]() noexcept {
+        total_scheduled = 0;
+        Tick t0 = MaxTick;
+        for (const Slot &sl : slots) {
+            total_scheduled += sl.scheduled;
+            if (sl.localMin < t0)
+                t0 = sl.localMin;
+        }
+        if (total_scheduled == n)
+            stop = true;
+        else if (t0 == MaxTick) {
+            stop = true;  // candidates exhausted with ops left
+            cycle = true;
+        } else
+            window_start = t0;
+    };
+    // Two barriers, not one: a std::barrier runs its completion at
+    // EVERY phase, and the mid-window sync (outboxes written -> safe
+    // to drain) must not run the reduction while localMin values are
+    // still stale from the previous window.
+    std::barrier<> bar_mid(T);
+    std::barrier bar(T, onWindowDone);
+
+    auto workerFn = [&](unsigned me) {
+        std::vector<FutEnt> tie_buf;
+        const auto &mine = owned[me];
+        Slot &slot = slots[me];
+        while (!stop) {
+            const Tick wend = window_start + window_len;
+            for (std::uint32_t ridx : mine) {
+                while (s.cand[ridx].id != InvalidOpId &&
+                       s.cand[ridx].eff < wend) {
+                    const Cand c = s.cand[ridx];
+                    const OpId id = c.id;
+                    Res &r = s.rs[ridx];
+                    HotOp &h = hot[id];
+                    popCand(s, ridx, c);
+
+                    Tick start = std::max(h.ready, r.freeAt);
+                    if (r.isGpu && h.ctx != 0) {
+                        if (r.lastCtx != 0 && r.lastCtx != h.ctx) {
+                            start += switch_cost;
+                            ++switches[ridx];
+                        }
+                        r.lastCtx = h.ctx;
+                    }
+                    const Tick finish = start + h.dur;
+                    r.freeAt = finish;
+                    busy[ridx] += h.dur;
+                    if (finish > last_free[ridx])
+                        last_free[ridx] = finish;
+                    ++op_count[ridx];
+                    kind_busy[std::size_t(ridx) * OpKindCount +
+                              h.kind] += h.dur;
+                    kind_seen[std::size_t(ridx) * OpKindCount +
+                              h.kind] = 1;
+                    ++slot.scheduled;
+
+                    const std::uint32_t dep_end = (&h)[1].depOff;
+                    for (std::uint32_t e = h.depOff; e < dep_end;
+                         ++e) {
+                        const OpId dep = dependents[e];
+                        const std::uint32_t tr = hot[dep].res;
+                        if (tr == ridx) {
+                            // Same resource: apply in-order now.
+                            HotOp &hd = hot[dep];
+                            if (finish > hd.ready)
+                                hd.ready = finish;
+                            if (--hd.pending == 0)
+                                pushArrival(s, tr, dep, hd.ready);
+                        } else {
+                            // Cross resource: finish >= wend (the op
+                            // has a cross dependent, so dur >=
+                            // window_len); hand to the owner.
+                            outbox[std::size_t(me) * T + tr % T]
+                                .emplace_back(dep, finish);
+                        }
+                    }
+                    h.ready = start;
+                    refreshRes(s, ridx, tie_buf);
+                }
+            }
+            bar_mid.arrive_and_wait();  // all outboxes complete
+            for (unsigned src = 0; src < T; ++src) {
+                auto &in = outbox[std::size_t(src) * T + me];
+                for (const auto &[dep, fin] : in) {
+                    HotOp &hd = hot[dep];
+                    if (fin > hd.ready)
+                        hd.ready = fin;
+                    if (--hd.pending == 0)
+                        pushArrival(s, hd.res, dep, hd.ready);
+                }
+                in.clear();
+            }
+            Tick lmin = MaxTick;
+            for (std::uint32_t ridx : mine)
+                if (s.cand[ridx].eff < lmin)
+                    lmin = s.cand[ridx].eff;
+            slot.localMin = lmin;
+            bar.arrive_and_wait();  // reduce: next T0, or stop
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(T - 1);
+    for (unsigned w = 1; w < T; ++w)
+        pool.emplace_back(workerFn, w);
+    workerFn(0);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (cycle) {
+        std::size_t done = 0;
+        for (const Slot &sl : slots)
+            done += sl.scheduled;
+        hix_panic("scheduler: dependency cycle, scheduled ", done,
+                  " of ", n, " ops");
+    }
+
+    ScheduleResult res;
+    res.start.reserve(n);
+    res.finish.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        res.start.push_back(hot[i].ready);
+        res.finish.push_back(hot[i].ready + hot[i].dur);
+    }
+    Tick kb[OpKindCount] = {};
+    bool ks[OpKindCount] = {};
+    for (std::uint32_t r = 0; r < prep.nres; ++r) {
+        ResourceUsage &use = res.usage[prep.resources[r]];
+        use.busy = busy[r];
+        use.lastFree = last_free[r];
+        use.ops = op_count[r];
+        if (last_free[r] > res.makespan)
+            res.makespan = last_free[r];
+        res.gpuCtxSwitches += switches[r];
+        for (std::size_t k = 0; k < OpKindCount; ++k) {
+            kb[k] += kind_busy[std::size_t(r) * OpKindCount + k];
+            ks[k] = ks[k] ||
+                    kind_seen[std::size_t(r) * OpKindCount + k] != 0;
+        }
+    }
+    for (std::size_t k = 0; k < OpKindCount; ++k)
+        if (ks[k])
+            res.kindBusy[static_cast<OpKind>(k)] = kb[k];
+    return res;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+bool
+windowEligible(const Prepared &prep, std::size_t n, unsigned threads)
+{
+    if (threads < 2 || prep.nres < 2)
+        return false;
+    const Tick lookahead = prep.crossLookahead;
+    // lookahead == 0: a zero-duration op feeds another resource, so a
+    // window could observe a same-tick cross arrival — unsound.
+    // lookahead == MaxTick: no cross edges (then compCount > 1 and the
+    // component path applies anyway).
+    if (lookahead == 0 || lookahead == MaxTick)
+        return false;
+    // ~maxResBusy / lookahead windows, two pool-wide barriers each;
+    // only profitable when each window carries a fat batch of ops.
+    return prep.maxResBusy / lookahead <= n / 64;
+}
+
+}  // namespace par
+}  // namespace
+
+ScheduleResult
+scheduleParallel(const Trace &trace, const SchedulerConfig &config,
+                 unsigned threads)
+{
+    const std::size_t n = trace.size();
+    if (n == 0)
+        return schedule(trace, config);
+    const unsigned t = par::resolveThreads(threads);
+    std::vector<par::HotOp> hot;
+    par::Prepared prep = par::prepare(trace, &hot);
+    if (!prep.leanOk)
+        return schedule(trace, config);
+    if (t > 1 && prep.compCount > 1)
+        return par::runComponents(trace, config, prep, t);
+    if (par::windowEligible(prep, n, t))
+        return par::runWindowed(trace, config, prep, t, hot);
+    return par::runLeanWhole(trace, config, prep, hot);
+}
+
+ScheduleResult
+scheduleParallel(const Trace &trace, const SchedulerConfig &config)
+{
+    return scheduleParallel(trace, config, config.threads);
+}
+
+ScheduleResult
+scheduleWith(SchedulerEngine engine, const Trace &trace,
+             const SchedulerConfig &config)
+{
+    switch (engine) {
+      case SchedulerEngine::Reference:
+        return scheduleReference(trace, config);
+      case SchedulerEngine::Parallel:
+        return scheduleParallel(trace, config);
+      case SchedulerEngine::Fast:
+        break;
+    }
+    return schedule(trace, config);
 }
 
 }  // namespace hix::sim

@@ -13,7 +13,7 @@
  * engine keeps serving the resident context while it has pending
  * work — the Fermi policy the paper describes.
  *
- * Two engines compute the same schedule:
+ * Three engines compute the same schedule:
  *
  *  - schedule() is the production O(n log n) engine: per-resource
  *    pending queues feed a global priority queue holding one
@@ -22,6 +22,13 @@
  *  - scheduleReference() is the original O(n · ready) scan, kept as
  *    the executable specification; the golden-equivalence tests
  *    assert the two produce bit-identical results.
+ *  - scheduleParallel() partitions the trace by resource-connected
+ *    component and schedules components on a worker pool; a single
+ *    shared component runs either the window-synchronized
+ *    multi-thread engine (when the trace's cross-resource lookahead
+ *    makes windows cheap) or a cache-lean serial core. All paths are
+ *    bit-identical to schedule() (see DESIGN.md "Parallel timing
+ *    engine").
  */
 
 #ifndef HIX_SIM_SCHEDULER_H_
@@ -29,6 +36,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
@@ -43,6 +51,21 @@ struct SchedulerConfig
 {
     /** GPU context-switch cost on the compute engine, in ticks. */
     Tick gpuCtxSwitchTicks = 0;
+    /**
+     * Worker threads for scheduleParallel(): 0 (the default) sizes
+     * the pool to the hardware thread count. The thread count never
+     * changes the result — every path is bit-identical to
+     * schedule() — only host wall-clock.
+     */
+    unsigned threads = 0;
+};
+
+/** Which scheduling engine scores a run (all bit-identical). */
+enum class SchedulerEngine : std::uint8_t
+{
+    Fast,       //!< schedule(): serial O(n log n) production engine
+    Reference,  //!< scheduleReference(): executable specification
+    Parallel,   //!< scheduleParallel(): component/window worker pool
 };
 
 /** Per-resource utilisation summary. */
@@ -69,11 +92,18 @@ struct ScheduleResult
     /** Number of GPU context switches charged. */
     std::uint64_t gpuCtxSwitches = 0;
 
-    /** Finish time of a specific op (for per-phase measurements). */
-    Tick
+    /**
+     * Finish time of a specific op (for per-phase measurements).
+     * Returns std::nullopt for an op id outside the schedule instead
+     * of a silent 0, which reads like "finished at tick 0" and has
+     * masked off-by-one probe bugs in benches.
+     */
+    std::optional<Tick>
     finishOf(OpId id) const
     {
-        return id < finish.size() ? finish[id] : 0;
+        if (id < finish.size())
+            return finish[id];
+        return std::nullopt;
     }
 };
 
@@ -89,6 +119,33 @@ ScheduleResult schedule(const Trace &trace,
  */
 ScheduleResult scheduleReference(const Trace &trace,
                                  const SchedulerConfig &config = {});
+
+/**
+ * Parallel engine: bit-identical to schedule() at every thread
+ * count.
+ *
+ * Resource-connected components (Trace::components()) are
+ * independent sub-problems and fan out across a bounded worker pool,
+ * largest component first. A trace that is one shared component runs
+ * the window-synchronized multi-thread engine when its cross-resource
+ * dependency lookahead makes synchronization windows cheap enough to
+ * pay for their barriers, and a cache-lean serial core otherwise
+ * (that core is also what each component worker runs). Traces whose
+ * shape exceeds the lean core's packed-field limits fall back to
+ * schedule() — still bit-identical, never wrong.
+ */
+ScheduleResult scheduleParallel(const Trace &trace,
+                                const SchedulerConfig &config = {});
+
+/** scheduleParallel() with an explicit worker count (overrides
+ *  SchedulerConfig::threads; 0 = hardware concurrency). */
+ScheduleResult scheduleParallel(const Trace &trace,
+                                const SchedulerConfig &config,
+                                unsigned threads);
+
+/** Dispatch on a SchedulerEngine knob (runner / machine configs). */
+ScheduleResult scheduleWith(SchedulerEngine engine, const Trace &trace,
+                            const SchedulerConfig &config = {});
 
 }  // namespace hix::sim
 

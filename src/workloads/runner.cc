@@ -156,7 +156,9 @@ collectOutcome(std::vector<Result<Shard>> &shards,
     }
     outcome.schedulerConfig.gpuCtxSwitchTicks =
         config.machine.timing.gpuCtxSwitch;
-    outcome.schedule = sim::schedule(merged, outcome.schedulerConfig);
+    outcome.schedulerConfig.threads = config.schedulerThreads;
+    outcome.schedule = sim::scheduleWith(config.schedulerEngine, merged,
+                                         outcome.schedulerConfig);
     outcome.ticks = outcome.schedule.makespan;
     outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
     if (!config.traceJsonPath.empty()) {

@@ -85,6 +85,15 @@ struct RunConfig
      * reference is only valid during the call and the shard's run.
      */
     std::function<void(int user, os::Machine &machine)> shardHook;
+    /**
+     * Which scheduling engine scores the merged trace. All engines
+     * are bit-identical (the golden suites enforce it); Parallel
+     * additionally spreads scheduling across schedulerThreads host
+     * threads for large multi-tenant traces.
+     */
+    sim::SchedulerEngine schedulerEngine = sim::SchedulerEngine::Fast;
+    /** Worker threads for the Parallel engine (0 = hardware count). */
+    unsigned schedulerThreads = 0;
 };
 
 /** Result of one run. */

@@ -190,6 +190,18 @@ TEST(SchedulerTest, FermiResidentContextWinsDispatchTie)
     }
 }
 
+TEST(SchedulerTest, FinishOfOutOfRangeIsNullopt)
+{
+    Trace t;
+    OpId a = t.add(cpu0, 10, {}, OpKind::Control);
+    auto res = schedule(t);
+    EXPECT_EQ(res.finishOf(a), 10u);
+    // Past-the-end probes used to read as "finished at tick 0"; they
+    // must be distinguishable from a real tick now.
+    EXPECT_EQ(res.finishOf(static_cast<OpId>(1)), std::nullopt);
+    EXPECT_EQ(res.finishOf(InvalidOpId), std::nullopt);
+}
+
 TEST(SchedulerDeathTest, DependencyCyclePanicsInBothEngines)
 {
     // The public Trace API cannot create cycles (forward deps panic
@@ -203,6 +215,7 @@ TEST(SchedulerDeathTest, DependencyCyclePanicsInBothEngines)
     t.overwriteDepsForTest(a, back_edge);
     EXPECT_DEATH(schedule(t), "dependency cycle");
     EXPECT_DEATH(scheduleReference(t), "dependency cycle");
+    EXPECT_DEATH(scheduleParallel(t, {}, 4), "dependency cycle");
 }
 
 }  // namespace

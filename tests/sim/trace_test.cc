@@ -172,6 +172,53 @@ TEST(TraceRecorderTest, ProgramOrderChainsPerActor)
     EXPECT_EQ(rec.chainTail(1), b0);
 }
 
+TEST(TraceComponentsTest, DisjointAppendedShardsStayDisjoint)
+{
+    // Per-user shards that never share a resource (the parallel
+    // recorder's per-user traces) must map to distinct components
+    // after append(), numbered in first-appearance op order.
+    Trace a;
+    a.add(cpu0, 10, {}, OpKind::Control);
+    a.add(cpu0, 10, {0}, OpKind::Control);
+    Trace b;
+    const ResourceId cpu1{ResUnit::UserCpu, 1};
+    b.add(cpu1, 10, {}, OpKind::Control);
+    b.add(cpu1, 10, {0}, OpKind::Control);
+
+    Trace merged;
+    merged.append(a);
+    merged.append(b);
+    const Trace::Components comps = merged.components();
+    EXPECT_EQ(comps.count, 2u);
+    ASSERT_EQ(comps.opComponent.size(), 4u);
+    EXPECT_EQ(comps.opComponent[0], 0u);
+    EXPECT_EQ(comps.opComponent[1], 0u);
+    EXPECT_EQ(comps.opComponent[2], 1u);
+    EXPECT_EQ(comps.opComponent[3], 1u);
+}
+
+TEST(TraceComponentsTest, CrossResourceDependencyMergesComponents)
+{
+    Trace t;
+    OpId a = t.add(cpu0, 10, {}, OpKind::Control);
+    t.add(dma, 10, {a}, OpKind::Transfer);  // links cpu0 and dma
+    const ResourceId cpu1{ResUnit::UserCpu, 1};
+    t.add(cpu1, 10, {}, OpKind::Control);   // independent
+
+    const Trace::Components comps = t.components();
+    EXPECT_EQ(comps.count, 2u);
+    EXPECT_EQ(comps.opComponent[0], comps.opComponent[1]);
+    EXPECT_NE(comps.opComponent[0], comps.opComponent[2]);
+}
+
+TEST(TraceComponentsTest, EmptyTraceHasNoComponents)
+{
+    Trace t;
+    const Trace::Components comps = t.components();
+    EXPECT_EQ(comps.count, 0u);
+    EXPECT_TRUE(comps.opComponent.empty());
+}
+
 TEST(TraceRecorderTest, DetachedOpsDoNotMoveChain)
 {
     Trace t;

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Golden-equivalence wall for the parallel scheduler engine:
+ * scheduleParallel() must produce a bit-identical ScheduleResult to
+ * schedule() at every thread count, on every trace shape the engine
+ * can encounter — recorded Rodinia runs (including multi-user traces
+ * with real context-switch pressure), synthetic multi-user pipelines,
+ * merged multi-trace DAGs, component-disjoint traces, the
+ * window-eligible wide-and-coarse shape, and the all-one-resource
+ * pathological case — across context-switch costs. The TSan CI job
+ * runs this suite under -fsanitize=thread (ctest -R
+ * SchedulerParallel); do not rename it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/scheduler.h"
+#include "workloads/runner.h"
+#include "workloads/workload.h"
+
+namespace hix::workloads
+{
+namespace
+{
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8, 16};
+
+/** Field-by-field, bit-for-bit comparison against the fast engine. */
+void
+expectIdentical(const sim::ScheduleResult &fast,
+                const sim::ScheduleResult &par, const char *what)
+{
+    EXPECT_EQ(fast.makespan, par.makespan) << what;
+    EXPECT_EQ(fast.gpuCtxSwitches, par.gpuCtxSwitches) << what;
+    EXPECT_EQ(fast.start, par.start) << what;
+    EXPECT_EQ(fast.finish, par.finish) << what;
+    EXPECT_EQ(fast.kindBusy, par.kindBusy) << what;
+    ASSERT_EQ(fast.usage.size(), par.usage.size()) << what;
+    for (const auto &[res, use] : fast.usage) {
+        auto it = par.usage.find(res);
+        ASSERT_NE(it, par.usage.end()) << what << " " << res.toString();
+        EXPECT_EQ(it->second.busy, use.busy) << what;
+        EXPECT_EQ(it->second.lastFree, use.lastFree) << what;
+        EXPECT_EQ(it->second.ops, use.ops) << what;
+    }
+}
+
+/** scheduleParallel across every thread count vs schedule(). */
+void
+expectParallelEquivalence(const sim::Trace &trace,
+                          const sim::SchedulerConfig &cfg)
+{
+    const sim::ScheduleResult fast = sim::schedule(trace, cfg);
+    for (unsigned threads : kThreadCounts) {
+        const sim::ScheduleResult par =
+            sim::scheduleParallel(trace, cfg, threads);
+        expectIdentical(
+            fast, par,
+            ("threads=" + std::to_string(threads)).c_str());
+    }
+    // The SchedulerConfig::threads knob must behave like the explicit
+    // argument.
+    sim::SchedulerConfig knob = cfg;
+    knob.threads = 3;
+    expectIdentical(fast, sim::scheduleParallel(trace, knob),
+                    "config.threads=3");
+}
+
+/** The bench's multi-user pipeline shape, CI-sized. */
+sim::Trace
+makePipeline(int users, int lanes, std::size_t total_ops)
+{
+    sim::Trace trace;
+    trace.reserve(total_ops);
+    Rng rng(0x5ced);
+    const sim::ResourceId dma{sim::ResUnit::DmaHtoD, 0};
+    const sim::ResourceId gpu{sim::ResUnit::GpuCompute, 0};
+    std::vector<std::vector<sim::OpId>> tails(
+        users, std::vector<sim::OpId>(lanes, sim::InvalidOpId));
+    std::size_t added = 0;
+    for (std::size_t i = 0; added + 3 <= total_ops; ++i) {
+        const int u = static_cast<int>(i % users);
+        const int l = static_cast<int>((i / users) % lanes);
+        const sim::ResourceId cpu{sim::ResUnit::UserCpu,
+                                  static_cast<std::uint16_t>(u)};
+        const sim::OpId tail = tails[u][l];
+        const sim::OpId enc = trace.add(
+            cpu, 50 + rng.nextBelow(200),
+            std::span<const sim::OpId>(
+                &tail, tail != sim::InvalidOpId ? 1 : 0),
+            sim::OpKind::CryptoCpu, 4096, "enc");
+        const sim::OpId xfer =
+            trace.add(dma, 20 + rng.nextBelow(80), {enc},
+                      sim::OpKind::Transfer, 4096, "xfer");
+        tails[u][l] = trace.add(
+            gpu, 100 + rng.nextBelow(400), {xfer},
+            sim::OpKind::Compute, 0, "kernel",
+            static_cast<GpuContextId>(u));
+        added += 3;
+    }
+    return trace;
+}
+
+sim::Trace
+recordRodinia(const std::string &app, int users, bool use_hix,
+              sim::SchedulerConfig *cfg_out)
+{
+    RunConfig config;
+    config.factory = [app] { return makeRodinia(app); };
+    config.users = users;
+    config.useHix = use_hix;
+    config.keepTrace = true;
+    auto outcome = runWorkload(config);
+    EXPECT_TRUE(outcome.isOk()) << outcome.status().toString();
+    if (!outcome.isOk() || !outcome->trace)
+        return {};
+    if (cfg_out)
+        *cfg_out = outcome->schedulerConfig;
+    return *outcome->trace;
+}
+
+TEST(SchedulerParallelTest, RecordedRodiniaTraces)
+{
+    for (const char *app : {"BP", "BFS"}) {
+        sim::SchedulerConfig cfg;
+        const sim::Trace trace = recordRodinia(app, 1, true, &cfg);
+        ASSERT_GT(trace.size(), 0u);
+        expectParallelEquivalence(trace, cfg);
+    }
+}
+
+TEST(SchedulerParallelTest, RecordedMultiUserContextSwitchTrace)
+{
+    // LUD with four isolated users carries real context-switch
+    // pressure; the parallel engine must reproduce the switch count
+    // and the switch-inflated start times exactly.
+    sim::SchedulerConfig cfg;
+    const sim::Trace trace = recordRodinia("LUD", 4, true, &cfg);
+    ASSERT_GT(trace.size(), 0u);
+    const sim::ScheduleResult fast = sim::schedule(trace, cfg);
+    EXPECT_GT(fast.gpuCtxSwitches, 0u);
+    expectParallelEquivalence(trace, cfg);
+}
+
+TEST(SchedulerParallelTest, SyntheticPipelineAcrossCtxCosts)
+{
+    const sim::Trace trace = makePipeline(8, 16, 30'000);
+    for (Tick cost : {Tick(0), Tick(50), Tick(1000)}) {
+        sim::SchedulerConfig cfg;
+        cfg.gpuCtxSwitchTicks = cost;
+        expectParallelEquivalence(trace, cfg);
+    }
+}
+
+TEST(SchedulerParallelTest, MergedMultiUserTraces)
+{
+    sim::SchedulerConfig cfg;
+    const sim::Trace a = recordRodinia("BP", 2, false, &cfg);
+    const sim::Trace b = recordRodinia("BFS", 2, true, nullptr);
+    ASSERT_GT(a.size(), 0u);
+    ASSERT_GT(b.size(), 0u);
+    sim::Trace merged;
+    merged.append(a);
+    merged.append(b);
+    merged.append(a);
+    expectParallelEquivalence(merged, cfg);
+}
+
+TEST(SchedulerParallelTest, DisjointComponentsFanOut)
+{
+    // Users that never share a resource: one component per user, the
+    // shape the component worker pool parallelises perfectly.
+    sim::Trace trace;
+    Rng rng(0xd15);
+    const int users = 6;
+    std::vector<sim::OpId> tails(users, sim::InvalidOpId);
+    for (int round = 0; round < 500; ++round) {
+        for (int u = 0; u < users; ++u) {
+            const sim::ResourceId cpu{sim::ResUnit::UserCpu,
+                                      static_cast<std::uint16_t>(u)};
+            const sim::OpId tail = tails[u];
+            tails[u] = trace.add(
+                cpu, 10 + rng.nextBelow(90),
+                std::span<const sim::OpId>(
+                    &tail, tail != sim::InvalidOpId ? 1 : 0),
+                sim::OpKind::Compute, 0, "w");
+        }
+    }
+    EXPECT_EQ(trace.components().count,
+              static_cast<std::uint32_t>(users));
+    sim::SchedulerConfig cfg;
+    cfg.gpuCtxSwitchTicks = 50;
+    expectParallelEquivalence(trace, cfg);
+}
+
+TEST(SchedulerParallelTest, WindowEligibleWideCoarseTrace)
+{
+    // 128 equally-loaded resources, every op feeding a neighbouring
+    // resource with uniform coarse durations: cross-resource lookahead
+    // equals the op duration and each window carries ~128 commits, so
+    // this single-component trace satisfies the window-synchronized
+    // engine's profitability gate at thread counts >= 2. Uniform
+    // durations also maximise cross-resource dispatch ties, stressing
+    // the determinism argument. Resource 0 is the GPU compute engine
+    // with rotating contexts so window commits exercise residency and
+    // switch accounting too.
+    sim::Trace trace;
+    const int nres = 128;
+    const std::size_t n = 25'600;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int r = static_cast<int>(i % nres);
+        const sim::ResourceId res =
+            r == 0 ? sim::ResourceId{sim::ResUnit::GpuCompute, 0}
+                   : sim::ResourceId{sim::ResUnit::UserCpu,
+                                     static_cast<std::uint16_t>(r)};
+        std::vector<sim::OpId> deps;
+        if (i >= static_cast<std::size_t>(nres))
+            deps.push_back(static_cast<sim::OpId>(i - nres + 1));
+        const GpuContextId ctx =
+            r == 0 ? static_cast<GpuContextId>(1 + (i / nres) % 4)
+                   : sim::NoGpuContext;
+        trace.add(res, 100, deps, sim::OpKind::Compute, 0, "", ctx);
+    }
+    EXPECT_EQ(trace.components().count, 1u);
+    for (Tick cost : {Tick(0), Tick(50)}) {
+        sim::SchedulerConfig cfg;
+        cfg.gpuCtxSwitchTicks = cost;
+        expectParallelEquivalence(trace, cfg);
+    }
+}
+
+TEST(SchedulerParallelTest, AllOpsOneResourcePathological)
+{
+    // Degenerate single-resource trace: no component or window
+    // parallelism available at any thread count; every path must
+    // still agree.
+    sim::Trace trace;
+    Rng rng(0x1);
+    sim::OpId tail = sim::InvalidOpId;
+    const sim::ResourceId gpu{sim::ResUnit::GpuCompute, 0};
+    for (int i = 0; i < 2'000; ++i) {
+        const bool chained = (i % 3) != 0 && tail != sim::InvalidOpId;
+        tail = trace.add(
+            gpu, 1 + rng.nextBelow(50),
+            std::span<const sim::OpId>(&tail, chained ? 1 : 0),
+            sim::OpKind::Compute, 0, "",
+            static_cast<GpuContextId>(i % 5));
+    }
+    sim::SchedulerConfig cfg;
+    cfg.gpuCtxSwitchTicks = 25;
+    expectParallelEquivalence(trace, cfg);
+}
+
+TEST(SchedulerParallelTest, RepeatRunsAreStable)
+{
+    // Thread scheduling must never leak into the result: repeated
+    // parallel runs of the same trace are bit-identical.
+    const sim::Trace trace = makePipeline(4, 8, 12'000);
+    sim::SchedulerConfig cfg;
+    cfg.gpuCtxSwitchTicks = 50;
+    const sim::ScheduleResult first =
+        sim::scheduleParallel(trace, cfg, 8);
+    for (int rep = 0; rep < 4; ++rep)
+        expectIdentical(first, sim::scheduleParallel(trace, cfg, 8),
+                        "repeat");
+}
+
+TEST(SchedulerParallelTest, EmptyAndTinyTraces)
+{
+    sim::Trace empty;
+    const sim::ScheduleResult none =
+        sim::scheduleParallel(empty, {}, 8);
+    EXPECT_EQ(none.makespan, 0u);
+    EXPECT_TRUE(none.start.empty());
+    EXPECT_TRUE(none.finish.empty());
+
+    sim::Trace one;
+    one.add({sim::ResUnit::UserCpu, 0}, 7, {}, sim::OpKind::Control);
+    expectParallelEquivalence(one, {});
+}
+
+}  // namespace
+}  // namespace hix::workloads
