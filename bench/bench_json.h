@@ -115,8 +115,11 @@ class BenchJson
                 escaped(name_).c_str(), escaped(row.config_).c_str(),
                 static_cast<unsigned long long>(row.ticks_),
                 row.host_ms_);
+            // %.12g keeps integer-valued metrics (tick counts in the
+            // low billions, e.g. ticks_streaming) exact so gates can
+            // compare them with ==, while still trimming float noise.
             for (const auto &[key, value] : row.metrics_)
-                std::fprintf(f, ", \"%s\": %.6g",
+                std::fprintf(f, ", \"%s\": %.12g",
                              escaped(key).c_str(), value);
             std::fprintf(f, "}%s\n",
                          i + 1 < rows_.size() ? "," : "");

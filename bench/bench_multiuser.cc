@@ -30,19 +30,35 @@ hostThreads()
     return hc == 0 ? 1 : hc;
 }
 
-/** One configuration recorded serially, then in parallel: the ticks
- * must be bit-identical (the runner's headline guarantee); the host
- * wall-clock ratio is the recording speedup this PR buys. */
+/** One configuration recorded serially, then in parallel, then as the
+ * streaming schedule-while-recording pipeline: the ticks must be
+ * bit-identical all three ways (the runner's headline guarantee); the
+ * host wall-clock ratios are the recording speedup and the pipeline
+ * overlap the two parallel modes buy. */
 struct TimedRun
 {
     Result<RunOutcome> outcome = errInternal("not run");
+    Result<RunOutcome> streaming = errInternal("not run");
     double serialMs = 0;
     double parallelMs = 0;
+    double streamingMs = 0;
 
     double
     speedup() const
     {
         return parallelMs > 0 ? serialMs / parallelMs : 0;
+    }
+
+    /** Fraction of the two-phase record+schedule wall the streaming
+     * pipeline hides by overlapping the stages (0 = none). */
+    double
+    overlap() const
+    {
+        if (!outcome.isOk())
+            return 0;
+        const double two_phase =
+            outcome->hostRecordMs + outcome->hostScheduleMs;
+        return two_phase > 0 ? 1 - streamingMs / two_phase : 0;
     }
 };
 
@@ -66,12 +82,23 @@ timedRun(const std::function<std::unique_ptr<Workload>()> &factory,
     run.outcome = runWorkload(config);
     run.parallelMs = parallel_timer.ms();
 
+    config.streaming = true;
+    bench::HostTimer streaming_timer;
+    run.streaming = runWorkload(config);
+    run.streamingMs = streaming_timer.ms();
+
     if (serial.isOk() && run.outcome.isOk() &&
         serial->ticks != run.outcome->ticks)
         std::printf("  !! serial/parallel tick mismatch: %llu vs %llu\n",
                     static_cast<unsigned long long>(serial->ticks),
                     static_cast<unsigned long long>(
                         run.outcome->ticks));
+    if (run.outcome.isOk() && run.streaming.isOk() &&
+        run.outcome->ticks != run.streaming->ticks)
+        std::printf(
+            "  !! two-phase/streaming tick mismatch: %llu vs %llu\n",
+            static_cast<unsigned long long>(run.outcome->ticks),
+            static_cast<unsigned long long>(run.streaming->ticks));
     return run;
 }
 
@@ -103,7 +130,8 @@ runFigure(int users, bench::BenchJson &json)
         TimedRun base = timedRun(factory, users, /*use_hix=*/false);
         TimedRun secure = timedRun(factory, users, /*use_hix=*/true);
         if (!one.isOk() || !base.outcome.isOk() ||
-            !secure.outcome.isOk()) {
+            !secure.outcome.isOk() || !base.streaming.isOk() ||
+            !secure.streaming.isOk()) {
             std::printf("%-5s | FAILED\n", app);
             continue;
         }
@@ -133,7 +161,12 @@ runFigure(int users, bench::BenchJson &json)
             .metric("norm_vs_1u", gdev_norm)
             .metric("host_ms_serial", base.serialMs)
             .metric("host_ms_parallel", base.parallelMs)
-            .metric("record_speedup", base.speedup());
+            .metric("record_speedup", base.speedup())
+            .metric("ticks_streaming", double(base.streaming->ticks))
+            .metric("host_ms_streaming", base.streamingMs)
+            .metric("stream_overlap", base.overlap())
+            .metric("stream_queue_depth_max",
+                    double(base.streaming->streamQueueDepthMax));
         json.add(config + " runtime=hix", secure.outcome->ticks,
                  secure.parallelMs)
             .metric("norm_vs_1u", hix_norm)
@@ -143,7 +176,29 @@ runFigure(int users, bench::BenchJson &json)
             .metric("host_ms_parallel", secure.parallelMs)
             .metric("record_speedup", secure.speedup())
             .metric("record_workers",
-                    double(std::min<unsigned>(users, hostThreads())));
+                    double(std::min<unsigned>(users, hostThreads())))
+            .metric("ticks_streaming", double(secure.streaming->ticks))
+            .metric("host_ms_streaming", secure.streamingMs)
+            .metric("stream_overlap", secure.overlap())
+            .metric("stream_queue_depth_max",
+                    double(secure.streaming->streamQueueDepthMax));
+
+        // Streaming acceptance at the 16-user preset: end-to-end wall
+        // within 1.15x of the slower pipeline stage (i.e. the faster
+        // stage rides almost entirely under the slower one).
+        if (users == 16) {
+            for (const TimedRun *run : {&base, &secure}) {
+                const double bound =
+                    1.15 * std::max((*run).outcome->hostRecordMs,
+                                    (*run).outcome->hostScheduleMs);
+                std::printf(
+                    "      stream e2e %.1f ms vs 1.15*max(record "
+                    "%.1f, schedule %.1f) = %.1f ms  [%s]\n",
+                    (*run).streamingMs, (*run).outcome->hostRecordMs,
+                    (*run).outcome->hostScheduleMs, bound,
+                    (*run).streamingMs <= bound ? "ok" : "OVER");
+            }
+        }
     }
     std::printf(
         "\nAverage: Gdev %du %.2fx of 1u;  HIX %du %.2fx of 1u;  "

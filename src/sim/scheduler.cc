@@ -8,6 +8,7 @@
 #include <span>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -521,8 +522,10 @@ schedule(const Trace &trace, const SchedulerConfig &config)
 // back to schedule() wholesale.
 // ---------------------------------------------------------------------------
 
-namespace
-{
+// Named (not anonymous) so StreamingScheduler::Impl — an externally
+// visible type — can hold these without -Wsubobject-linkage noise;
+// the namespace is still private to this translation unit in
+// practice (nothing declares it elsewhere).
 namespace par
 {
 
@@ -1269,41 +1272,37 @@ runLeanWhole(const Trace &trace, const SchedulerConfig &config,
     return res;
 }
 
-/** Fan resource-connected components out across a worker pool. */
-ScheduleResult
-runComponents(const Trace &trace, const SchedulerConfig &config,
-              const Prepared &prep, unsigned threads)
+/**
+ * Schedule each member list on a worker pool, largest list first.
+ * Every list must be an ascending, dependency- and resource-closed
+ * set of op ids (a resource-connected component or a union of them).
+ * Start/finish land in @p res (pre-sized to the trace); per-list
+ * stats land in @p outs / @p comp_resources (pre-sized to the list
+ * count), which the caller merges deterministically.
+ */
+void
+runCompLists(const Trace &trace, const SchedulerConfig &config,
+             const Prepared &prep, unsigned threads,
+             const std::vector<std::vector<OpId>> &members,
+             ScheduleResult &res, std::vector<LeanOut> &outs,
+             std::vector<std::vector<std::uint32_t>> &comp_resources)
 {
-    const std::size_t n = trace.size();
-    const std::uint32_t nc = prep.compCount;
+    const auto nc = static_cast<std::uint32_t>(members.size());
+    if (nc == 0)
+        return;
 
-    std::vector<std::uint32_t> sizes(nc, 0);
-    for (std::size_t i = 0; i < n; ++i)
-        ++sizes[prep.compOfRes[prep.resOf[i]]];
-    std::vector<std::vector<OpId>> members(nc);
-    for (std::uint32_t c = 0; c < nc; ++c)
-        members[c].reserve(sizes[c]);
-    for (std::size_t i = 0; i < n; ++i)
-        members[prep.compOfRes[prep.resOf[i]]].push_back(
-            static_cast<OpId>(i));
-
-    // Claim largest components first so the pool drains evenly.
+    // Claim largest lists first so the pool drains evenly.
     std::vector<std::uint32_t> order(nc);
     for (std::uint32_t c = 0; c < nc; ++c)
         order[c] = c;
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
-                  return sizes[a] != sizes[b] ? sizes[a] > sizes[b]
-                                              : a < b;
+                  return members[a].size() != members[b].size()
+                             ? members[a].size() > members[b].size()
+                             : a < b;
               });
 
-    ScheduleResult res;
-    res.start.assign(n, 0);
-    res.finish.assign(n, 0);
-
-    std::vector<std::uint32_t> local_of(n);
-    std::vector<LeanOut> outs(nc);
-    std::vector<std::vector<std::uint32_t>> comp_resources(nc);
+    std::vector<std::uint32_t> local_of(trace.size());
     std::atomic<std::uint32_t> next{0};
 
     auto workerFn = [&]() {
@@ -1336,7 +1335,8 @@ runComponents(const Trace &trace, const SchedulerConfig &config,
         }
     };
 
-    const unsigned workers = std::min<unsigned>(threads, nc);
+    const unsigned workers = std::max<unsigned>(
+        1, std::min<unsigned>(threads, nc));
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (unsigned w = 1; w < workers; ++w)
@@ -1344,6 +1344,34 @@ runComponents(const Trace &trace, const SchedulerConfig &config,
     workerFn();
     for (std::thread &t : pool)
         t.join();
+}
+
+/** Fan resource-connected components out across a worker pool. */
+ScheduleResult
+runComponents(const Trace &trace, const SchedulerConfig &config,
+              const Prepared &prep, unsigned threads)
+{
+    const std::size_t n = trace.size();
+    const std::uint32_t nc = prep.compCount;
+
+    std::vector<std::uint32_t> sizes(nc, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++sizes[prep.compOfRes[prep.resOf[i]]];
+    std::vector<std::vector<OpId>> members(nc);
+    for (std::uint32_t c = 0; c < nc; ++c)
+        members[c].reserve(sizes[c]);
+    for (std::size_t i = 0; i < n; ++i)
+        members[prep.compOfRes[prep.resOf[i]]].push_back(
+            static_cast<OpId>(i));
+
+    ScheduleResult res;
+    res.start.assign(n, 0);
+    res.finish.assign(n, 0);
+
+    std::vector<LeanOut> outs(nc);
+    std::vector<std::vector<std::uint32_t>> comp_resources(nc);
+    runCompLists(trace, config, prep, threads, members, res, outs,
+                 comp_resources);
 
     // Deterministic merge in component-id order.
     std::size_t scheduled = 0;
@@ -1625,7 +1653,6 @@ windowEligible(const Prepared &prep, std::size_t n, unsigned threads)
 }
 
 }  // namespace par
-}  // namespace
 
 ScheduleResult
 scheduleParallel(const Trace &trace, const SchedulerConfig &config,
@@ -1665,6 +1692,395 @@ scheduleWith(SchedulerEngine engine, const Trace &trace,
         break;
     }
     return schedule(trace, config);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingScheduler: shard intake + merge-once join.
+//
+// Correctness rests on two facts the existing engines already pin:
+//
+//  1. Scheduling a resource-connected component in isolation is
+//     bit-identical to the whole-trace schedule restricted to that
+//     component (runComponents' premise, enforced by the
+//     SchedulerParallel golden wall). A shard component whose
+//     resources appear in no other shard is a component of the final
+//     merged trace, so its intake-time schedule — computed on the
+//     shard trace with component-local op ids (ascending in merged-id
+//     order, since append() preserves order), component-local dense
+//     resource ids (injective relabels are invisible to the lean
+//     core), and post-remap GPU context ids densified with 0 == none
+//     (exactly what prepare() would assign) — already IS its slice of
+//     the final result.
+//
+//  2. Every ScheduleResult aggregate is a per-component disjoint
+//     union (start/finish, usage keys) or a commutative fold
+//     (makespan max, kindBusy and gpuCtxSwitches sums), so folding
+//     surviving intake results with the join's (re)scheduled groups
+//     in any order reproduces the two-phase fields bit for bit.
+//
+// The intake tracks resource ownership across shards with a
+// union-find over shard components: a shard component that shares a
+// resource with an earlier shard is never speculatively scheduled
+// (on the Fermi preset every user shares the DMA engines and the
+// single compute context, so shard 0 is the only eager winner and
+// the join reschedules everything — the overlap win there is the
+// incremental merge plus recording/scheduling pipelining, not result
+// reuse), and a later shard touching a scheduled component's
+// resource invalidates the stored result at the join.
+// ---------------------------------------------------------------------------
+
+/** One shard component accepted by the streaming intake. Named
+ *  linkage for the same -Wsubobject-linkage reason as par above. */
+struct EarlyComp
+{
+    std::vector<OpId> members;          // merged-trace op ids, ascending
+    std::vector<ResourceId> resources;  // first-appearance order
+    par::LeanOut out;
+    std::vector<Tick> start;            // per member (same index)
+    std::vector<std::uint32_t> dur;     // per member
+    bool scheduled = false;             // intake result present
+};
+
+struct StreamingScheduler::Impl
+{
+    SchedulerConfig config;
+    unsigned threads = 0;
+    Trace merged;
+    bool finished = false;
+    /** Incremental mirror of prepare()'s lean-core gates; when any
+     *  trips, finish() discards intake results and falls back to
+     *  schedule() on the merged trace — identical either way. */
+    bool leanOk = true;
+
+    std::vector<EarlyComp> comps;
+    std::vector<std::uint32_t> parent;  // union-find over comps
+    std::unordered_map<ResourceId, std::uint32_t, ResourceIdHash>
+        resOwner;  // resource -> first comp that used it
+    std::unordered_set<GpuContextId> ctxSeen;  // post-remap, incl. none
+    StreamingStats stats;
+
+    std::uint32_t
+    find(std::uint32_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];  // path halving
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(std::uint32_t a, std::uint32_t b)
+    {
+        const std::uint32_t ra = find(a);
+        const std::uint32_t rb = find(b);
+        if (ra != rb)
+            parent[rb] = ra;
+    }
+
+    void scheduleIntake(const Trace &shard,
+                        const Trace::AppendRemap &remap, OpId offset,
+                        const std::unordered_map<ResourceId,
+                                                 std::uint32_t,
+                                                 ResourceIdHash> &local_res,
+                        EarlyComp &ec,
+                        std::vector<std::uint32_t> &local_of);
+};
+
+/**
+ * Run the lean core over one shard component straight from the shard
+ * trace (the merged trace's Op array is still growing, but this
+ * component's slice of it is final). Mirrors buildHotSubset() +
+ * runLeanLoop() on the merged trace: local ids ascend in merged-id
+ * order, dense resources come from the intake registration pass, and
+ * contexts are remapped before densifying so 0 == none is preserved.
+ */
+void
+StreamingScheduler::Impl::scheduleIntake(
+    const Trace &shard, const Trace::AppendRemap &remap, OpId offset,
+    const std::unordered_map<ResourceId, std::uint32_t,
+                             ResourceIdHash> &local_res,
+    EarlyComp &ec, std::vector<std::uint32_t> &local_of)
+{
+    const std::size_t m = ec.members.size();
+    std::vector<par::HotOp> hot(m + 1);
+    par::FlatIndex ctx_index;
+    ctx_index.indexOf(NoGpuContext);  // dense ctx 0 == none
+
+    std::vector<std::uint32_t> dep_count(m + 1, 0);
+    std::size_t edges = 0;
+    for (std::size_t l = 0; l < m; ++l) {
+        const OpId sl = ec.members[l] - offset;
+        local_of[sl] = static_cast<std::uint32_t>(l);
+        const Op &op = shard.op(sl);
+        GpuContextId ctx = op.gpuCtx;
+        if (ctx != NoGpuContext)
+            ctx = remap.mapCtx(ctx);
+        par::HotOp &h = hot[l];
+        h.res = static_cast<std::uint16_t>(local_res.at(op.resource));
+        h.ctx = static_cast<std::uint16_t>(ctx_index.indexOf(ctx));
+        h.dur = static_cast<std::uint32_t>(op.duration);
+        h.kind = static_cast<std::uint8_t>(op.kind);
+        h.pending = static_cast<std::uint16_t>(op.depCount);
+        edges += op.depCount;
+        // Deps precede the op and stay inside the component.
+        for (OpId d : shard.deps(op))
+            ++dep_count[local_of[d] + 1];
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        dep_count[i + 1] += dep_count[i];
+    std::vector<OpId> dependents(edges);
+    std::vector<std::uint32_t> cursor(dep_count.begin(),
+                                      dep_count.end() - 1);
+    for (std::size_t l = 0; l < m; ++l)
+        for (OpId d : shard.deps(shard.op(ec.members[l] - offset)))
+            dependents[cursor[local_of[d]]++] = static_cast<OpId>(l);
+    for (std::size_t i = 0; i <= m; ++i)
+        hot[i].depOff = dep_count[i];
+
+    std::vector<std::uint8_t> is_gpu;
+    is_gpu.reserve(ec.resources.size());
+    for (const ResourceId &r : ec.resources)
+        is_gpu.push_back(r.unit == ResUnit::GpuCompute);
+
+    par::runLeanLoop(hot, dependents, is_gpu, ctx_index.size(),
+                     config.gpuCtxSwitchTicks, ec.out);
+    if (ec.out.scheduled != m)
+        return;  // cycle inside the shard; the join detects and panics
+    ec.start.resize(m);
+    ec.dur.resize(m);
+    for (std::size_t l = 0; l < m; ++l) {
+        ec.start[l] = hot[l].ready;
+        ec.dur[l] = hot[l].dur;
+    }
+    ec.scheduled = true;
+}
+
+StreamingScheduler::StreamingScheduler(const SchedulerConfig &config,
+                                       unsigned threads)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->config = config;
+    impl_->threads = threads != 0 ? threads : config.threads;
+    impl_->ctxSeen.insert(NoGpuContext);  // prepare() seeds dense 0
+}
+
+StreamingScheduler::~StreamingScheduler() = default;
+
+void
+StreamingScheduler::addShard(const Trace &shard,
+                             const Trace::AppendRemap &remap)
+{
+    Impl &im = *impl_;
+    if (im.finished)
+        hix_panic("StreamingScheduler: addShard after finish");
+    ++im.stats.shards;
+    const OpId offset = im.merged.append(shard, remap);
+
+    // Incremental lean-core gates, mirroring prepare().
+    for (const Op &op : shard.ops()) {
+        if (op.duration > 0xffffffffULL || op.depCount > 0xffff)
+            im.leanOk = false;
+        GpuContextId ctx = op.gpuCtx;
+        if (ctx != NoGpuContext)
+            ctx = remap.mapCtx(ctx);
+        im.ctxSeen.insert(ctx);
+    }
+
+    const Trace::Components sc = shard.components();
+    const auto base = static_cast<std::uint32_t>(im.comps.size());
+    im.comps.resize(base + sc.count);
+    for (std::uint32_t c = 0; c < sc.count; ++c) {
+        im.parent.push_back(base + c);
+        im.comps[base + c].members.reserve(sc.sizes[c]);
+    }
+    for (const Op &op : shard.ops())
+        im.comps[base + sc.opComponent[op.id]].members.push_back(
+            op.id + offset);
+
+    // Register this shard's resources; one owned by an earlier shard
+    // links the two components — neither side's intake result can
+    // survive the join.
+    std::unordered_map<ResourceId, std::uint32_t, ResourceIdHash>
+        local_res;  // resource -> component-local dense index
+    std::vector<char> shared(sc.count, 0);
+    for (const Op &op : shard.ops()) {
+        const std::uint32_t c = sc.opComponent[op.id];
+        EarlyComp &ec = im.comps[base + c];
+        auto [it, inserted] = local_res.try_emplace(
+            op.resource,
+            static_cast<std::uint32_t>(ec.resources.size()));
+        if (!inserted)
+            continue;
+        ec.resources.push_back(op.resource);
+        auto [owner, fresh] =
+            im.resOwner.try_emplace(op.resource, base + c);
+        if (!fresh) {
+            im.unite(owner->second, base + c);
+            shared[c] = 1;
+        }
+    }
+    if (im.resOwner.size() > 0x10000 || im.ctxSeen.size() > 0x10000)
+        im.leanOk = false;
+    if (!im.leanOk)
+        return;
+
+    // Speculatively schedule the components still private to this
+    // shard while later users are recording.
+    std::vector<std::uint32_t> local_of(shard.size());
+    for (std::uint32_t c = 0; c < sc.count; ++c) {
+        if (shared[c])
+            continue;
+        EarlyComp &ec = im.comps[base + c];
+        im.scheduleIntake(shard, remap, offset, local_res, ec,
+                          local_of);
+        if (ec.scheduled)
+            ++im.stats.earlyComps;
+    }
+}
+
+ScheduleResult
+StreamingScheduler::finish()
+{
+    Impl &im = *impl_;
+    if (im.finished)
+        hix_panic("StreamingScheduler: finish called twice");
+    im.finished = true;
+    const std::size_t n = im.merged.size();
+    if (n == 0 || !im.leanOk)
+        return schedule(im.merged, im.config);
+
+    const auto nc = static_cast<std::uint32_t>(im.comps.size());
+    std::vector<std::uint32_t> group_size(nc, 0);
+    for (std::uint32_t c = 0; c < nc; ++c)
+        ++group_size[im.find(c)];
+    bool any_valid = false;
+    std::vector<char> valid(nc, 0);
+    for (std::uint32_t c = 0; c < nc; ++c) {
+        valid[c] =
+            im.comps[c].scheduled && group_size[im.find(c)] == 1;
+        any_valid = any_valid || valid[c] != 0;
+    }
+    if (!any_valid) {
+        // Nothing survived — one cross-shard group (the Fermi preset:
+        // all users share the DMA engines and compute context). The
+        // whole merged trace takes the parallel engine's normal
+        // dispatch, windowed path included.
+        im.stats.joinOps = n;
+        return scheduleParallel(im.merged, im.config, im.threads);
+    }
+
+    par::Prepared prep = par::prepare(im.merged, nullptr);
+    if (!prep.leanOk)
+        return schedule(im.merged, im.config);  // gates re-trip: safe
+
+    // Concatenate each dirty group's member lists. Components of one
+    // shard can join the same group through different resources of a
+    // later shard, and their ids interleave — sort to restore the
+    // ascending order buildHotSubset() requires.
+    std::vector<std::uint32_t> group_list(nc, ~0u);
+    std::vector<std::vector<OpId>> dirty;
+    for (std::uint32_t c = 0; c < nc; ++c) {
+        if (valid[c])
+            continue;
+        const std::uint32_t root = im.find(c);
+        if (group_list[root] == ~0u) {
+            group_list[root] =
+                static_cast<std::uint32_t>(dirty.size());
+            dirty.emplace_back();
+        }
+        auto &list = dirty[group_list[root]];
+        list.insert(list.end(), im.comps[c].members.begin(),
+                    im.comps[c].members.end());
+    }
+    for (auto &list : dirty)
+        std::sort(list.begin(), list.end());
+
+    ScheduleResult res;
+    res.start.assign(n, 0);
+    res.finish.assign(n, 0);
+    std::vector<par::LeanOut> outs(dirty.size());
+    std::vector<std::vector<std::uint32_t>> dirty_res(dirty.size());
+    par::runCompLists(im.merged, im.config, prep,
+                      par::resolveThreads(im.threads), dirty, res,
+                      outs, dirty_res);
+
+    // Merge once: rescheduled groups first, then surviving intake
+    // results. Usage keys are disjoint by construction; the folds are
+    // commutative, so this order is just for readability.
+    std::size_t scheduled = 0;
+    Tick kind_busy[OpKindCount] = {};
+    bool kind_seen[OpKindCount] = {};
+    for (std::size_t g = 0; g < dirty.size(); ++g) {
+        const par::LeanOut &o = outs[g];
+        scheduled += o.scheduled;
+        res.gpuCtxSwitches += o.ctxSwitches;
+        for (std::size_t lr = 0; lr < dirty_res[g].size(); ++lr) {
+            ResourceUsage &use =
+                res.usage[prep.resources[dirty_res[g][lr]]];
+            use.busy = o.busy[lr];
+            use.lastFree = o.lastFree[lr];
+            use.ops = o.opCount[lr];
+            if (o.lastFree[lr] > res.makespan)
+                res.makespan = o.lastFree[lr];
+        }
+        for (std::size_t k = 0; k < OpKindCount; ++k) {
+            kind_busy[k] += o.kindBusy[k];
+            kind_seen[k] = kind_seen[k] || o.kindSeen[k];
+        }
+        im.stats.joinOps += dirty[g].size();
+    }
+    for (std::uint32_t c = 0; c < nc; ++c) {
+        if (!valid[c])
+            continue;
+        const EarlyComp &ec = im.comps[c];
+        const par::LeanOut &o = ec.out;
+        scheduled += o.scheduled;
+        res.gpuCtxSwitches += o.ctxSwitches;
+        for (std::size_t l = 0; l < ec.members.size(); ++l) {
+            res.start[ec.members[l]] = ec.start[l];
+            res.finish[ec.members[l]] = ec.start[l] + ec.dur[l];
+        }
+        for (std::size_t lr = 0; lr < ec.resources.size(); ++lr) {
+            ResourceUsage &use = res.usage[ec.resources[lr]];
+            use.busy = o.busy[lr];
+            use.lastFree = o.lastFree[lr];
+            use.ops = o.opCount[lr];
+            if (o.lastFree[lr] > res.makespan)
+                res.makespan = o.lastFree[lr];
+        }
+        for (std::size_t k = 0; k < OpKindCount; ++k) {
+            kind_busy[k] += o.kindBusy[k];
+            kind_seen[k] = kind_seen[k] || o.kindSeen[k];
+        }
+        ++im.stats.reusedComps;
+        im.stats.reusedOps += ec.members.size();
+    }
+    if (scheduled != n)
+        hix_panic("scheduler: dependency cycle, scheduled ", scheduled,
+                  " of ", n, " ops");
+    for (std::size_t k = 0; k < OpKindCount; ++k)
+        if (kind_seen[k])
+            res.kindBusy[static_cast<OpKind>(k)] = kind_busy[k];
+    return res;
+}
+
+const Trace &
+StreamingScheduler::merged() const
+{
+    return impl_->merged;
+}
+
+Trace
+StreamingScheduler::takeMerged()
+{
+    return std::move(impl_->merged);
+}
+
+const StreamingStats &
+StreamingScheduler::stats() const
+{
+    return impl_->stats;
 }
 
 }  // namespace hix::sim

@@ -269,9 +269,12 @@ Trace::components() const
     std::vector<std::uint32_t> dense(parent.size(), ~0u);
     for (const Op &op : ops_) {
         const std::uint32_t root = find(res_of[op.id]);
-        if (dense[root] == ~0u)
+        if (dense[root] == ~0u) {
             dense[root] = out.count++;
+            out.sizes.push_back(0);
+        }
         out.opComponent[op.id] = dense[root];
+        ++out.sizes[dense[root]];
     }
     return out;
 }

@@ -263,6 +263,9 @@ class Trace
          * partition is deterministic for a given trace.
          */
         std::vector<std::uint32_t> opComponent;
+        /** Ops per component (indexed by component id). The streaming
+         *  scheduler sizes its per-component member lists from this. */
+        std::vector<std::uint32_t> sizes;
     };
 
     /** Compute the resource-connected components (one pass). */

@@ -1,7 +1,12 @@
 #include "workloads/runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -45,6 +50,98 @@ struct Shard
     std::uint64_t tlbMisses = 0;
     std::uint64_t iotlbHits = 0;
 };
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+msBetween(SteadyClock::time_point from, SteadyClock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+/**
+ * Bounded multi-producer single-consumer hand-off between the
+ * recording workers and the streaming consumer. Producers block while
+ * the queue is at capacity, which bounds peak shard memory; the
+ * consumer pops exactly one item per recorded user, so the queue
+ * always drains and every producer's final push completes even on a
+ * failed run. The high-water mark is exported as
+ * RunOutcome::streamQueueDepthMax.
+ */
+class ShardQueue
+{
+  public:
+    explicit ShardQueue(std::size_t cap) : cap_(cap > 0 ? cap : 1) {}
+
+    void
+    push(int user, Result<Shard> shard)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        can_push_.wait(lock, [&] { return q_.size() < cap_; });
+        q_.emplace_back(user, std::move(shard));
+        if (q_.size() > high_)
+            high_ = static_cast<std::uint32_t>(q_.size());
+        can_pop_.notify_one();
+    }
+
+    std::pair<int, Result<Shard>>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        can_pop_.wait(lock, [&] { return !q_.empty(); });
+        auto item = std::move(q_.front());
+        q_.pop_front();
+        can_push_.notify_one();
+        return item;
+    }
+
+    std::uint32_t
+    depthMax() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return high_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable can_push_;
+    std::condition_variable can_pop_;
+    std::deque<std::pair<int, Result<Shard>>> q_;
+    std::size_t cap_;
+    std::uint32_t high_ = 0;
+};
+
+/** Recording worker-pool width for @p config (shared by the
+ *  two-phase and streaming paths so their shard assignment — and
+ *  hence host behavior under forced thread counts — matches). */
+int
+recordWorkers(const RunConfig &config)
+{
+    // Size the worker pool to the host unless the caller forces a
+    // width: more recording threads than hardware threads is pure
+    // scheduling churn (measured ~15% slower than serial at 16 users
+    // on one core), while min(users, cores) approaches a cores-fold
+    // speedup on multicore hosts.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    int workers = config.recordThreads > 0
+                      ? config.recordThreads
+                      : static_cast<int>(
+                            std::min<unsigned>(config.users, hw));
+    if (workers > config.users)
+        workers = config.users;
+    return workers;
+}
+
+/** True when recording loops on the calling thread (no pool). */
+bool
+serialRecording(const RunConfig &config, int workers)
+{
+    return !config.parallelRecording || config.users == 1 ||
+           (workers == 1 && config.recordThreads == 0);
+}
 
 /**
  * Build user @p user's private machine and runtimes, run the
@@ -176,6 +273,8 @@ collectOutcome(std::vector<Result<Shard>> &shards,
 Result<RunOutcome>
 runWorkload(const RunConfig &config)
 {
+    if (config.streaming)
+        return runWorkloadStreaming(config);
     if (!config.factory)
         return errInvalidArgument("no workload factory");
     if (config.users < 1)
@@ -192,46 +291,146 @@ runWorkload(const RunConfig &config)
     for (int u = 0; u < config.users; ++u)
         shards.push_back(errInternal("shard not recorded"));
 
-    // Size the worker pool to the host unless the caller forces a
-    // width: more recording threads than hardware threads is pure
-    // scheduling churn (measured ~15% slower than serial at 16 users
-    // on one core), while min(users, cores) approaches a cores-fold
-    // speedup on multicore hosts.
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        hw = 1;
-    int workers = config.recordThreads > 0
-                      ? config.recordThreads
-                      : static_cast<int>(
-                            std::min<unsigned>(config.users, hw));
-    if (workers > config.users)
-        workers = config.users;
-
-    if (!config.parallelRecording || config.users == 1 ||
-        (workers == 1 && config.recordThreads == 0)) {
+    const int workers = recordWorkers(config);
+    const auto record_start = SteadyClock::now();
+    if (serialRecording(config, workers)) {
         for (int u = 0; u < config.users; ++u)
             shards[u] = recordShard(config, *jobs[u], u, scale);
-        return collectOutcome(shards, config);
+    } else {
+        // Shards share no mutable state (each has a private machine
+        // and trace; the process-wide SealPool serializes callers and
+        // its outputs are order-independent), so workers record with
+        // no locking on the hot path. The user -> worker map is
+        // static (round-robin by index) and each worker writes only
+        // its own shard slots, so the vector needs no synchronization
+        // beyond the joins.
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (int w = 0; w < workers; ++w) {
+            threads.emplace_back([&, w] {
+                for (int u = w; u < config.users; u += workers)
+                    shards[u] = recordShard(config, *jobs[u], u, scale);
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
     }
+    const auto record_end = SteadyClock::now();
+    auto outcome = collectOutcome(shards, config);
+    if (outcome.isOk()) {
+        (*outcome).hostRecordMs = msBetween(record_start, record_end);
+        (*outcome).hostScheduleMs =
+            msBetween(record_end, SteadyClock::now());
+    }
+    return outcome;
+}
 
-    // Shards share no mutable state (each has a private machine and
-    // trace; the process-wide SealPool serializes callers and its
-    // outputs are order-independent), so workers record with no
-    // locking on the hot path. The user -> worker map is static
-    // (round-robin by index) and each worker writes only its own
-    // shard slots, so the vector needs no synchronization beyond the
-    // joins.
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (int w = 0; w < workers; ++w) {
-        threads.emplace_back([&, w] {
-            for (int u = w; u < config.users; u += workers)
-                shards[u] = recordShard(config, *jobs[u], u, scale);
-        });
+Result<RunOutcome>
+runWorkloadStreaming(const RunConfig &config)
+{
+    if (!config.factory)
+        return errInvalidArgument("no workload factory");
+    if (config.users < 1)
+        return errInvalidArgument("users must be >= 1");
+
+    std::vector<std::unique_ptr<Workload>> jobs;
+    for (int u = 0; u < config.users; ++u)
+        jobs.push_back(config.factory());
+    const std::uint64_t scale = jobs[0]->timingScale();
+    const int workers = recordWorkers(config);
+
+    RunOutcome outcome;
+    outcome.schedulerConfig.gpuCtxSwitchTicks =
+        config.machine.timing.gpuCtxSwitch;
+    outcome.schedulerConfig.threads = config.schedulerThreads;
+    sim::StreamingScheduler streamer(outcome.schedulerConfig,
+                                     config.schedulerThreads);
+
+    // Shards feed the scheduler in user-index order (the reorder
+    // buffer below restores it), so the first failure met in order IS
+    // the lowest-index failure — the same deterministic error the
+    // two-phase path reports. After a failure the remaining shards
+    // are still recorded and drained (never fed), which keeps every
+    // producer's final push unblocked and the workload side effects
+    // identical to a two-phase failed run.
+    bool failed = false;
+    Status failure;
+    auto consume = [&](Result<Shard> &&shard) {
+        if (failed)
+            return;
+        if (!shard.isOk()) {
+            failed = true;
+            failure = shard.status();
+            return;
+        }
+        Shard &s = *shard;
+        outcome.tlbHits += s.tlbHits;
+        outcome.tlbMisses += s.tlbMisses;
+        outcome.iotlbHits += s.iotlbHits;
+        streamer.addShard(s.trace, s.remap);
+    };
+
+    const auto record_start = SteadyClock::now();
+    if (serialRecording(config, workers)) {
+        // Serial: record and feed each shard in turn on the calling
+        // thread. Intake overlap is moot here; the path exists so the
+        // determinism tests can pin streaming == two-phase with the
+        // recording pool taken out of the picture.
+        for (int u = 0; u < config.users; ++u)
+            consume(recordShard(config, *jobs[u], u, scale));
+    } else {
+        const std::size_t cap =
+            config.streamingQueueCap > 0
+                ? static_cast<std::size_t>(config.streamingQueueCap)
+                : static_cast<std::size_t>(workers);
+        ShardQueue queue(cap);
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (int w = 0; w < workers; ++w) {
+            threads.emplace_back([&, w] {
+                for (int u = w; u < config.users; u += workers)
+                    queue.push(u,
+                               recordShard(config, *jobs[u], u, scale));
+            });
+        }
+        // Consumer: pop one completion per user, park out-of-order
+        // arrivals in a reorder buffer, and feed the scheduler in
+        // user-index order (merged op ids are append-order dependent).
+        std::map<int, Result<Shard>> reorder;
+        int next_user = 0;
+        for (int received = 0; received < config.users; ++received) {
+            auto item = queue.pop();
+            reorder.emplace(item.first, std::move(item.second));
+            while (!reorder.empty() &&
+                   reorder.begin()->first == next_user) {
+                consume(std::move(reorder.begin()->second));
+                reorder.erase(reorder.begin());
+                ++next_user;
+            }
+        }
+        for (auto &thread : threads)
+            thread.join();
+        outcome.streamQueueDepthMax = queue.depthMax();
     }
-    for (auto &thread : threads)
-        thread.join();
-    return collectOutcome(shards, config);
+    const auto record_end = SteadyClock::now();
+    outcome.hostRecordMs = msBetween(record_start, record_end);
+    if (failed)
+        return failure;
+
+    outcome.schedule = streamer.finish();
+    outcome.hostScheduleMs = msBetween(record_end, SteadyClock::now());
+    outcome.ticks = outcome.schedule.makespan;
+    outcome.gpuCtxSwitches = outcome.schedule.gpuCtxSwitches;
+    outcome.streamStats = streamer.stats();
+    if (!config.traceJsonPath.empty()) {
+        std::ofstream file(config.traceJsonPath);
+        sim::exportChromeTrace(streamer.merged(), outcome.schedule,
+                               file);
+    }
+    if (config.keepTrace)
+        outcome.trace =
+            std::make_shared<sim::Trace>(streamer.takeMerged());
+    return outcome;
 }
 
 Result<RunOutcome>

@@ -8,9 +8,19 @@
  * Functional execution is sharded per user: every user gets a private
  * modelled machine (and, for HIX, a private GPU enclave) and records
  * into a private sim::Trace, optionally on its own host thread; the
- * shards are then merged in user-index order with canonical GPU
- * context ids. See DESIGN.md "Parallel functional execution" for why
- * the merged trace is bit-identical to a serial recording.
+ * shards are merged in user-index order with canonical GPU context
+ * ids. See DESIGN.md "Parallel functional execution" for why the
+ * merged trace is bit-identical to a serial recording.
+ *
+ * Recording and scheduling can run two-phase (record everything, then
+ * score the merged trace) or as a streaming pipeline
+ * (RunConfig::streaming): completed shards flow through a bounded
+ * queue into a sim::StreamingScheduler that schedules shard-private
+ * components while later users are still recording and pays the
+ * cross-shard merge once at the final join. Both paths are
+ * bit-identical — same traceDigest(), same ScheduleResult fields —
+ * at every recording/scheduling thread count (see DESIGN.md
+ * "Streaming pipeline").
  */
 
 #ifndef HIX_WORKLOADS_RUNNER_H_
@@ -94,6 +104,26 @@ struct RunConfig
     sim::SchedulerEngine schedulerEngine = sim::SchedulerEngine::Fast;
     /** Worker threads for the Parallel engine (0 = hardware count). */
     unsigned schedulerThreads = 0;
+    /**
+     * Stream completed shards into the scheduler while later users
+     * are still recording instead of running the two phases
+     * back-to-back. Opt-in; results are bit-identical to the
+     * two-phase path (the streaming golden wall enforces digest and
+     * full-ScheduleResult equality), only host wall-clock changes.
+     * When set, schedulerEngine is ignored for the join — the
+     * streaming front-end always drives the parallel machinery,
+     * which is itself bit-identical to every engine.
+     */
+    bool streaming = false;
+    /**
+     * Capacity of the bounded shard queue between the recording pool
+     * and the streaming consumer; 0 (the default) sizes it to the
+     * recording worker count so every worker can hand off one shard
+     * without blocking. Producers block when the queue is full, which
+     * bounds peak memory to cap + users-in-flight shards. Any
+     * capacity >= 1 yields the same result.
+     */
+    int streamingQueueCap = 0;
 };
 
 /** Result of one run. */
@@ -118,6 +148,18 @@ struct RunOutcome
     std::shared_ptr<const sim::Trace> trace;
     /** Scheduler configuration the run was scored with. */
     sim::SchedulerConfig schedulerConfig;
+    /**
+     * Host wall-clock of the two pipeline stages, for the streaming
+     * overlap metrics in bench_multiuser: recording (until the last
+     * shard is recorded; streaming intake work interleaves here) and
+     * merge+schedule (two-phase) or the final join (streaming).
+     */
+    double hostRecordMs = 0;
+    double hostScheduleMs = 0;
+    /** Streaming only: high-water mark of the bounded shard queue. */
+    std::uint32_t streamQueueDepthMax = 0;
+    /** Streaming only: front-end intake/join work counters. */
+    sim::StreamingStats streamStats;
 
     double
     milliseconds() const
@@ -126,8 +168,20 @@ struct RunOutcome
     }
 };
 
-/** Execute @p config once. */
+/** Execute @p config once (routes to runWorkloadStreaming() when
+ *  RunConfig::streaming is set). */
 Result<RunOutcome> runWorkload(const RunConfig &config);
+
+/**
+ * Streaming pipeline: record shards on the worker pool, feed each
+ * completed shard through a bounded queue into a
+ * sim::StreamingScheduler on the calling thread (a reorder buffer
+ * restores user-index order), and score with one final join.
+ * Bit-identical to runWorkload() with streaming off; error reporting
+ * keeps the lowest-user-index-wins contract and the queue always
+ * drains, so recording workers never block on a failed run.
+ */
+Result<RunOutcome> runWorkloadStreaming(const RunConfig &config);
 
 /** Convenience wrappers. */
 Result<RunOutcome> runBaseline(

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Property tests for the sim::StreamingScheduler front-end: randomized
+ * synthetic shards — disjoint and resource-sharing, GPU-context
+ * remapped, spilled dep lists, occasionally empty — fed through a
+ * reorder buffer in randomized completion orders must produce results
+ * bit-identical to appending everything and scheduling the merged
+ * trace, at every worker-thread count, including the packed-field
+ * fallback path. This is the sim-layer half of the streaming wall;
+ * tests/workloads/streaming_record_schedule_test.cc covers the
+ * runner-layer half on real recorded workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace hix::sim
+{
+namespace
+{
+
+struct SynthShard
+{
+    Trace trace;
+    Trace::AppendRemap remap;
+};
+
+/**
+ * A random shard for user @p user: a private CPU resource always, a
+ * second private resource sometimes, and — with probability
+ * @p share_pct — ops on the globally shared DMA/compute resources that
+ * entangle this shard with every other one (the Fermi regime). Ops on
+ * the compute engine carry a shard-local GPU context id remapped to
+ * the canonical 1 + user at merge, mirroring the multi-user runner.
+ */
+SynthShard
+randomShard(Rng &rng, int user, std::size_t n_ops, unsigned share_pct)
+{
+    const GpuContextId local_ctx = 0x10000 + GpuContextId(user);
+    const ResourceId priv_cpu{ResUnit::UserCpu,
+                              static_cast<std::uint16_t>(user)};
+    const ResourceId priv_alt{ResUnit::UserCpu,
+                              static_cast<std::uint16_t>(100 + user)};
+    const ResourceId shared_dma{ResUnit::DmaHtoD, 0};
+    const ResourceId shared_gpu{ResUnit::GpuCompute, 0};
+
+    SynthShard shard;
+    shard.remap.gpuCtx = {{local_ctx, 1 + GpuContextId(user)}};
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        ResourceId res = priv_cpu;
+        GpuContextId ctx = NoGpuContext;
+        const std::uint64_t roll = rng.nextBelow(100);
+        if (roll < share_pct) {
+            res = rng.nextBelow(2) == 0 ? shared_dma : shared_gpu;
+            if (res.unit == ResUnit::GpuCompute)
+                ctx = local_ctx;
+        } else if (roll < share_pct + 20) {
+            res = priv_alt;
+        }
+        std::vector<OpId> deps;
+        if (i > 0) {
+            // Up to 4 deps: beyond Op::InlineDeps (2) spills.
+            const std::size_t want = rng.nextBelow(5);
+            for (std::size_t d = 0; d < want; ++d)
+                deps.push_back(static_cast<OpId>(rng.nextBelow(i)));
+        }
+        shard.trace.add(res, rng.nextBelow(500), deps,
+                        static_cast<OpKind>(rng.nextBelow(OpKindCount)),
+                        rng.nextBelow(1 << 16), "", ctx);
+    }
+    return shard;
+}
+
+void
+expectScheduleEqual(const ScheduleResult &got,
+                    const ScheduleResult &want)
+{
+    EXPECT_EQ(got.makespan, want.makespan);
+    EXPECT_EQ(got.gpuCtxSwitches, want.gpuCtxSwitches);
+    ASSERT_EQ(got.start, want.start);
+    ASSERT_EQ(got.finish, want.finish);
+    ASSERT_EQ(got.usage.size(), want.usage.size());
+    for (const auto &[res, use] : want.usage) {
+        const auto it = got.usage.find(res);
+        ASSERT_NE(it, got.usage.end()) << res.toString();
+        EXPECT_EQ(it->second.busy, use.busy) << res.toString();
+        EXPECT_EQ(it->second.lastFree, use.lastFree) << res.toString();
+        EXPECT_EQ(it->second.ops, use.ops) << res.toString();
+    }
+    EXPECT_EQ(got.kindBusy, want.kindBusy);
+}
+
+/**
+ * Feed shards to a StreamingScheduler in the given completion order
+ * through a reorder buffer that restores merge (index) order — the
+ * runner's consumer loop, distilled. Returns the finished result.
+ */
+ScheduleResult
+feedInOrder(const std::vector<SynthShard> &shards,
+            const std::vector<std::size_t> &arrival,
+            const SchedulerConfig &config, unsigned threads,
+            std::uint64_t *merged_digest = nullptr)
+{
+    StreamingScheduler streamer(config, threads);
+    std::map<std::size_t, const SynthShard *> reorder;
+    std::size_t next = 0;
+    for (std::size_t idx : arrival) {
+        reorder.emplace(idx, &shards[idx]);
+        while (!reorder.empty() && reorder.begin()->first == next) {
+            const SynthShard *s = reorder.begin()->second;
+            streamer.addShard(s->trace, s->remap);
+            reorder.erase(reorder.begin());
+            ++next;
+        }
+    }
+    EXPECT_EQ(next, shards.size());
+    ScheduleResult res = streamer.finish();
+    if (merged_digest)
+        *merged_digest = traceDigest(streamer.merged());
+    return res;
+}
+
+std::vector<std::size_t>
+shuffledOrder(Rng &rng, std::size_t n)
+{
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+    return order;
+}
+
+TEST(StreamingIntakeProperty, ArrivalOrderNeverChangesTheResult)
+{
+    Rng rng(0x57bea301);
+    for (int iter = 0; iter < 40; ++iter) {
+        const std::size_t n_shards = 1 + rng.nextBelow(6);
+        // Sweep the sharing regime: 0 keeps every shard a private
+        // component (intake results survive the join); higher values
+        // entangle shards through the global DMA/compute resources so
+        // the join reschedules cross-shard groups.
+        const unsigned share_pct =
+            static_cast<unsigned>(rng.nextBelow(4)) * 15;
+        std::vector<SynthShard> shards;
+        for (std::size_t u = 0; u < n_shards; ++u) {
+            // Occasionally empty: a user whose workload recorded
+            // nothing must not perturb ids or stats of later shards.
+            const std::size_t n_ops =
+                rng.nextBelow(10) == 0 ? 0 : 1 + rng.nextBelow(80);
+            shards.push_back(randomShard(rng, static_cast<int>(u),
+                                         n_ops, share_pct));
+        }
+
+        SchedulerConfig config;
+        config.gpuCtxSwitchTicks = rng.nextBelow(2) == 0 ? 0 : 37;
+        Trace merged;
+        for (const SynthShard &s : shards)
+            merged.append(s.trace, s.remap);
+        const ScheduleResult want = schedule(merged, config);
+        const std::uint64_t want_digest = traceDigest(merged);
+
+        for (unsigned threads : {1u, 2u, 4u}) {
+            // In-order arrival plus two random completion orders.
+            std::vector<std::size_t> in_order(n_shards);
+            std::iota(in_order.begin(), in_order.end(),
+                      std::size_t(0));
+            for (int perm = 0; perm < 3; ++perm) {
+                const auto arrival =
+                    perm == 0 ? in_order
+                              : shuffledOrder(rng, n_shards);
+                std::uint64_t digest = 0;
+                const ScheduleResult got = feedInOrder(
+                    shards, arrival, config, threads, &digest);
+                EXPECT_EQ(digest, want_digest)
+                    << "iter " << iter << " threads " << threads;
+                expectScheduleEqual(got, want);
+            }
+        }
+    }
+}
+
+TEST(StreamingIntakeProperty, PackedFieldFallbackStaysBitIdentical)
+{
+    // An op whose duration exceeds the lean core's packed 32-bit field
+    // flips the whole streaming run onto the schedule() fallback; the
+    // result must not change. The oversized shard arrives *after*
+    // earlier shards were already eagerly scheduled, so the fallback
+    // must also discard those intake results.
+    Rng rng(0x57bea302);
+    std::vector<SynthShard> shards;
+    for (int u = 0; u < 3; ++u)
+        shards.push_back(randomShard(rng, u, 40, 30));
+    SynthShard big;
+    big.trace.add(ResourceId{ResUnit::UserCpu, 3}, Tick(0x1'0000'0001),
+                  {}, OpKind::Compute, 0, "oversized");
+    shards.push_back(std::move(big));
+    shards.push_back(randomShard(rng, 4, 40, 30));
+
+    SchedulerConfig config;
+    config.gpuCtxSwitchTicks = 37;
+    Trace merged;
+    for (const SynthShard &s : shards)
+        merged.append(s.trace, s.remap);
+    const ScheduleResult want = schedule(merged, config);
+
+    std::vector<std::size_t> in_order(shards.size());
+    std::iota(in_order.begin(), in_order.end(), std::size_t(0));
+    for (unsigned threads : {1u, 4u})
+        expectScheduleEqual(
+            feedInOrder(shards, in_order, config, threads), want);
+}
+
+TEST(StreamingIntakeProperty, FinishWithoutShardsMatchesEmptyTrace)
+{
+    StreamingScheduler streamer;
+    const ScheduleResult got = streamer.finish();
+    const ScheduleResult want = schedule(Trace{});
+    expectScheduleEqual(got, want);
+    EXPECT_EQ(streamer.stats().shards, 0u);
+    EXPECT_EQ(streamer.merged().size(), 0u);
+}
+
+TEST(StreamingIntakeProperty, StatsPartitionOpsBetweenReuseAndJoin)
+{
+    Rng rng(0x57bea303);
+    for (int iter = 0; iter < 10; ++iter) {
+        const unsigned share_pct =
+            static_cast<unsigned>(rng.nextBelow(3)) * 25;
+        std::vector<SynthShard> shards;
+        std::size_t total = 0;
+        for (int u = 0; u < 4; ++u) {
+            shards.push_back(randomShard(rng, u, 30, share_pct));
+            total += shards.back().trace.size();
+        }
+        StreamingScheduler streamer;
+        for (const SynthShard &s : shards)
+            streamer.addShard(s.trace, s.remap);
+        streamer.finish();
+        const StreamingStats &st = streamer.stats();
+        EXPECT_EQ(st.shards, 4u);
+        EXPECT_EQ(st.reusedOps + st.joinOps, total);
+        EXPECT_GE(st.earlyComps, st.reusedComps);
+        if (share_pct == 0) {
+            // Fully disjoint shards: every intake result survives.
+            EXPECT_EQ(st.joinOps, 0u);
+            EXPECT_EQ(st.reusedOps, total);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace hix::sim
