@@ -39,14 +39,27 @@ struct TimedRun
 {
     Result<RunOutcome> outcome = errInternal("not run");
     Result<RunOutcome> streaming = errInternal("not run");
+    Result<RunOutcome> forked = errInternal("not run");
     double serialMs = 0;
     double parallelMs = 0;
     double streamingMs = 0;
+    double forkedMs = 0;
 
     double
     speedup() const
     {
         return parallelMs > 0 ? serialMs / parallelMs : 0;
+    }
+
+    /** Session-startup speedup the copy-on-write fork path buys:
+     * cold per-user boot cost over forked per-user boot cost. */
+    double
+    forkSpeedup() const
+    {
+        if (!outcome.isOk() || !forked.isOk() ||
+            forked->hostBootMs <= 0)
+            return 0;
+        return outcome->hostBootMs / forked->hostBootMs;
     }
 
     /** Fraction of the two-phase record+schedule wall the streaming
@@ -87,6 +100,15 @@ timedRun(const std::function<std::unique_ptr<Workload>()> &factory,
     run.streaming = runWorkload(config);
     run.streamingMs = streaming_timer.ms();
 
+    // Fourth leg: parallel recording with forkSessions on — every
+    // user shard forks the copy-on-write template snapshot instead
+    // of cold-booting a private machine. Must stay bit-identical.
+    config.streaming = false;
+    config.forkSessions = true;
+    bench::HostTimer forked_timer;
+    run.forked = runWorkload(config);
+    run.forkedMs = forked_timer.ms();
+
     if (serial.isOk() && run.outcome.isOk() &&
         serial->ticks != run.outcome->ticks)
         std::printf("  !! serial/parallel tick mismatch: %llu vs %llu\n",
@@ -99,6 +121,12 @@ timedRun(const std::function<std::unique_ptr<Workload>()> &factory,
             "  !! two-phase/streaming tick mismatch: %llu vs %llu\n",
             static_cast<unsigned long long>(run.outcome->ticks),
             static_cast<unsigned long long>(run.streaming->ticks));
+    if (run.outcome.isOk() && run.forked.isOk() &&
+        run.outcome->ticks != run.forked->ticks)
+        std::printf(
+            "  !! cold/forked tick mismatch: %llu vs %llu\n",
+            static_cast<unsigned long long>(run.outcome->ticks),
+            static_cast<unsigned long long>(run.forked->ticks));
     return run;
 }
 
@@ -122,6 +150,7 @@ runFigure(int users, bench::BenchJson &json)
         users, users);
 
     double gdev_sum = 0, hix_sum = 0, speedup_sum = 0;
+    double gdev_fork_sum = 0, hix_fork_sum = 0;
     int count = 0;
     for (const char *app :
          {"BP", "BFS", "GS", "HS", "LUD", "NW", "NN", "PF", "SRAD"}) {
@@ -131,7 +160,8 @@ runFigure(int users, bench::BenchJson &json)
         TimedRun secure = timedRun(factory, users, /*use_hix=*/true);
         if (!one.isOk() || !base.outcome.isOk() ||
             !secure.outcome.isOk() || !base.streaming.isOk() ||
-            !secure.streaming.isOk()) {
+            !secure.streaming.isOk() || !base.forked.isOk() ||
+            !secure.forked.isOk()) {
             std::printf("%-5s | FAILED\n", app);
             continue;
         }
@@ -145,6 +175,8 @@ runFigure(int users, bench::BenchJson &json)
         gdev_sum += gdev_norm;
         hix_sum += hix_norm;
         speedup_sum += serial_ms / parallel_ms;
+        gdev_fork_sum += base.forkSpeedup();
+        hix_fork_sum += secure.forkSpeedup();
         ++count;
         std::printf(
             "%-5s | %12.2f | %14.2f | %13.2f | %+7.1f%% | %12llu | "
@@ -166,7 +198,16 @@ runFigure(int users, bench::BenchJson &json)
             .metric("host_ms_streaming", base.streamingMs)
             .metric("stream_overlap", base.overlap())
             .metric("stream_queue_depth_max",
-                    double(base.streaming->streamQueueDepthMax));
+                    double(base.streaming->streamQueueDepthMax))
+            .metric("ticks_fork", double(base.forked->ticks))
+            .metric("host_ms_fork", base.forkedMs)
+            .metric("boot_ms", base.outcome->hostBootMs)
+            .metric("boot_ms_fork", base.forked->hostBootMs)
+            .metric("fork_speedup", base.forkSpeedup())
+            .metric("resident_pages_per_session",
+                    double(base.forked->residentPages) / users)
+            .metric("resident_pages_per_session_cold",
+                    double(base.outcome->residentPages) / users);
         json.add(config + " runtime=hix", secure.outcome->ticks,
                  secure.parallelMs)
             .metric("norm_vs_1u", hix_norm)
@@ -181,7 +222,16 @@ runFigure(int users, bench::BenchJson &json)
             .metric("host_ms_streaming", secure.streamingMs)
             .metric("stream_overlap", secure.overlap())
             .metric("stream_queue_depth_max",
-                    double(secure.streaming->streamQueueDepthMax));
+                    double(secure.streaming->streamQueueDepthMax))
+            .metric("ticks_fork", double(secure.forked->ticks))
+            .metric("host_ms_fork", secure.forkedMs)
+            .metric("boot_ms", secure.outcome->hostBootMs)
+            .metric("boot_ms_fork", secure.forked->hostBootMs)
+            .metric("fork_speedup", secure.forkSpeedup())
+            .metric("resident_pages_per_session",
+                    double(secure.forked->residentPages) / users)
+            .metric("resident_pages_per_session_cold",
+                    double(secure.outcome->residentPages) / users);
 
         // Streaming acceptance at the 16-user preset: end-to-end wall
         // within 1.15x of the slower pipeline stage (i.e. the faster
@@ -203,10 +253,15 @@ runFigure(int users, bench::BenchJson &json)
     std::printf(
         "\nAverage: Gdev %du %.2fx of 1u;  HIX %du %.2fx of 1u;  "
         "HIX vs Gdev parallel: %+.1f%%;  recording speedup %.2fx "
-        "(%u worker(s) on %u hardware thread(s))\n\n",
+        "(%u worker(s) on %u hardware thread(s))\n",
         users, gdev_sum / count, users, hix_sum / count,
         (hix_sum / gdev_sum - 1) * 100, speedup_sum / count,
         std::min<unsigned>(users, hostThreads()), hostThreads());
+    std::printf(
+        "Session startup (snapshot/fork vs cold boot): Gdev %.2fx, "
+        "HIX %.2fx faster per-user boot; forked sessions own 0 "
+        "private pages at window-open.\n\n",
+        gdev_fork_sum / count, hix_fork_sum / count);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "gpu/gpu_device.h"
 
 #include <cstring>
+#include <mutex>
 
 #include "common/byte_utils.h"
 #include "common/logging.h"
@@ -25,6 +26,35 @@ constexpr Tick ResetCost = 5 * MS;
 /** Copy-engine staging granularity (bounds dma_scratch_ growth). */
 constexpr std::uint64_t DmaChunkBytes = 256 * KiB;
 
+/**
+ * The factory BIOS depends only on the ROM size (deterministic body,
+ * seed-independent), so generating + hashing it once per geometry
+ * takes the 64 KiB pattern loop and SHA-256 out of every machine
+ * construction; the image itself is shared (the ROM is immutable
+ * once flashed), so constructing a device is a refcount bump, not a
+ * 64 KiB copy. Mutex-guarded: machines are built on concurrent
+ * recording threads.
+ */
+struct BiosImage
+{
+    std::shared_ptr<const Bytes> image;
+    crypto::Sha256Digest digest{};
+};
+
+std::mutex &
+biosCacheMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::map<std::uint64_t, BiosImage> &
+biosCache()
+{
+    static std::map<std::uint64_t, BiosImage> cache;
+    return cache;
+}
+
 }  // namespace
 
 GpuDevice::GpuDevice(std::string name, const GpuGeometry &geometry,
@@ -43,9 +73,18 @@ GpuDevice::GpuDevice(std::string name, const GpuGeometry &geometry,
         !config().declareBar(1, geometry_.bar1Size).isOk() ||
         !config().declareExpansionRom(geometry_.romSize).isOk())
         hix_panic("GpuDevice: bad geometry");
-    Bytes bios = makeFactoryBios();
-    factory_bios_digest_ = crypto::Sha256::digest(bios);
-    setExpansionRomImage(std::move(bios));
+    std::lock_guard<std::mutex> lock(biosCacheMutex());
+    auto it = biosCache().find(geometry_.romSize);
+    if (it == biosCache().end()) {
+        BiosImage entry;
+        entry.image =
+            std::make_shared<const Bytes>(makeFactoryBios());
+        entry.digest = crypto::Sha256::digest(*entry.image);
+        it = biosCache().emplace(geometry_.romSize, std::move(entry))
+                 .first;
+    }
+    factory_bios_digest_ = it->second.digest;
+    setExpansionRomImage(it->second.image);
 }
 
 Bytes
@@ -121,6 +160,57 @@ GpuDevice::reset()
     ++stats_.resets;
     record(GpuOp::Nop, GpuEngine::Control, ~GpuContextId(0), ResetCost,
            0);
+}
+
+GpuDevice::State
+GpuDevice::captureState() const
+{
+    State s;
+    s.vram = vram_.snapshot();
+    s.contexts = contexts_;
+    s.kernels = kernels_;
+    s.keySlots.reserve(key_slots_.size());
+    for (const auto &slot : key_slots_)
+        s.keySlots.push_back({slot.pair, slot.have_pair, slot.key});
+    s.fifo = fifo_;
+    s.cmdStatus = cmd_status_;
+    s.fenceValue = fence_value_;
+    s.windowBase = window_base_;
+    s.rng = rng_;
+    s.stats = stats_;
+    s.lastError = last_error_;
+    s.config = config();
+    s.rom = sharedExpansionRomImage();
+    return s;
+}
+
+void
+GpuDevice::restoreState(const State &state)
+{
+    if (!vram_.adopt(state.vram).isOk())
+        hix_panic("GpuDevice: VRAM snapshot size mismatch");
+    contexts_ = state.contexts;
+    kernels_ = state.kernels;
+    key_slots_.clear();
+    key_slots_.resize(state.keySlots.size());
+    for (std::size_t i = 0; i < state.keySlots.size(); ++i) {
+        KeySlot &slot = key_slots_[i];
+        slot.pair = state.keySlots[i].pair;
+        slot.have_pair = state.keySlots[i].have_pair;
+        slot.key = state.keySlots[i].key;
+        if (slot.key)
+            slot.ocb = std::make_unique<crypto::Ocb>(*slot.key);
+    }
+    fifo_ = state.fifo;
+    cmd_status_ = state.cmdStatus;
+    fence_value_ = state.fenceValue;
+    window_base_ = state.windowBase;
+    rng_ = state.rng;
+    stats_ = state.stats;
+    last_error_ = state.lastError;
+    config() = state.config;
+    setExpansionRomImage(state.rom);
+    costs_.clear();
 }
 
 Result<GpuContext *>

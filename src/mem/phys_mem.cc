@@ -10,19 +10,36 @@ PhysMem::PhysMem(std::string name, std::uint64_t size)
 {
 }
 
+const std::uint8_t *
+PhysMem::peekPage(std::uint64_t offset) const
+{
+    auto it = pages_.find(offset / PageSize);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
 std::uint8_t *
-PhysMem::pageFor(std::uint64_t offset, bool create)
+PhysMem::mutPage(std::uint64_t offset, bool overwrite_all)
 {
     const std::uint64_t page = offset / PageSize;
     auto it = pages_.find(page);
-    if (it != pages_.end())
+    if (it != pages_.end() && it->second.use_count() == 1)
         return it->second.get();
-    if (!create)
-        return nullptr;
-    auto storage = std::make_unique<std::uint8_t[]>(PageSize);
-    std::memset(storage.get(), 0, PageSize);
+    // Absent, or shared with a snapshot/fork: build a private copy.
+    // use_count() == 1 is decisive: nobody else holds a reference, so
+    // nobody can be copying from (or bumping) this page concurrently.
+    auto storage = std::shared_ptr<std::uint8_t[]>(
+        new std::uint8_t[PageSize]);
+    if (!overwrite_all) {
+        if (it != pages_.end())
+            std::memcpy(storage.get(), it->second.get(), PageSize);
+        else
+            std::memset(storage.get(), 0, PageSize);
+    }
     std::uint8_t *raw = storage.get();
-    pages_.emplace(page, std::move(storage));
+    if (it != pages_.end())
+        it->second = std::move(storage);
+    else
+        pages_.emplace(page, std::move(storage));
     return raw;
 }
 
@@ -35,7 +52,7 @@ PhysMem::readAt(std::uint64_t offset, std::uint8_t *data, std::size_t len)
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(offset);
         const std::size_t take = std::min<std::uint64_t>(in_page, len);
-        const std::uint8_t *page = pageFor(offset, false);
+        const std::uint8_t *page = peekPage(offset);
         if (page)
             std::memcpy(data, page + pageOffset(offset), take);
         else
@@ -56,7 +73,8 @@ PhysMem::writeAt(std::uint64_t offset, const std::uint8_t *data,
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(offset);
         const std::size_t take = std::min<std::uint64_t>(in_page, len);
-        std::uint8_t *page = pageFor(offset, true);
+        std::uint8_t *page =
+            mutPage(offset, /*overwrite_all=*/take == PageSize);
         std::memcpy(page + pageOffset(offset), data, take);
         data += take;
         offset += take;
@@ -75,7 +93,7 @@ PhysMem::readSpan(std::uint64_t offset, std::size_t len)
         return nullptr;
     if (len > PageSize - pageOffset(offset))
         return nullptr;
-    const std::uint8_t *page = pageFor(offset, false);
+    const std::uint8_t *page = peekPage(offset);
     if (!page)
         return zero_page + pageOffset(offset);
     return page + pageOffset(offset);
@@ -88,7 +106,8 @@ PhysMem::writeSpan(std::uint64_t offset, std::size_t len)
         return nullptr;
     if (len > PageSize - pageOffset(offset))
         return nullptr;
-    return pageFor(offset, true) + pageOffset(offset);
+    return mutPage(offset, /*overwrite_all=*/false) +
+           pageOffset(offset);
 }
 
 Status
@@ -99,13 +118,55 @@ PhysMem::zeroAt(std::uint64_t offset, std::uint64_t len)
     while (len > 0) {
         const std::uint64_t in_page = PageSize - pageOffset(offset);
         const std::uint64_t take = std::min<std::uint64_t>(in_page, len);
-        std::uint8_t *page = pageFor(offset, false);
-        if (page)
-            std::memset(page + pageOffset(offset), 0, take);
+        if (take == PageSize) {
+            // Whole page: drop back to sparse (zero reads for free,
+            // and a shared backing page is decrefed, not copied).
+            pages_.erase(offset / PageSize);
+        } else if (peekPage(offset)) {
+            std::memset(mutPage(offset, false) + pageOffset(offset), 0,
+                        take);
+        }
         offset += take;
         len -= take;
     }
     return Status::ok();
+}
+
+PhysMem::Snapshot
+PhysMem::snapshot() const
+{
+    Snapshot snap;
+    snap.size = size_;
+    snap.pages = pages_;  // shared_ptr copies: refcount bump only
+    return snap;
+}
+
+Status
+PhysMem::adopt(const Snapshot &snap)
+{
+    if (snap.size != size_)
+        return errInvalidArgument("snapshot size mismatch for " +
+                                  name_);
+    pages_ = snap.pages;
+    return Status::ok();
+}
+
+std::size_t
+PhysMem::residentPages() const
+{
+    std::size_t n = 0;
+    for (const auto &[page, storage] : pages_)
+        n += storage.use_count() == 1;
+    return n;
+}
+
+std::size_t
+PhysMem::sharedPages() const
+{
+    std::size_t n = 0;
+    for (const auto &[page, storage] : pages_)
+        n += storage.use_count() > 1;
+    return n;
 }
 
 }  // namespace hix::mem

@@ -3,6 +3,19 @@
  * Sparse DRAM model: page-granular backing store allocated on first
  * touch, so a modelled machine with gigabytes of RAM costs only what
  * the workload actually touches.
+ *
+ * Pages are refcounted (`std::shared_ptr`) so a memory image can be
+ * snapshotted and forked in O(pages-touched) without copying a byte:
+ * `snapshot()` captures the current page map, `adopt()` installs a
+ * snapshot's map into another PhysMem, and both sides copy-on-first-
+ * write. The invariant that makes this safe — including for
+ * concurrent forks off one snapshot — is that a page with more than
+ * one owner is immutable: every write path goes through `mutPage()`,
+ * which clones a shared page into private storage before returning a
+ * mutable pointer. A page whose `use_count()` is 1 is owned by this
+ * instance alone (nobody else holds a reference to copy from), so
+ * in-place writes are race-free; shared_ptr refcounts are atomic, so
+ * many threads may adopt the same snapshot concurrently.
  */
 
 #ifndef HIX_MEM_PHYS_MEM_H_
@@ -28,6 +41,21 @@ namespace hix::mem
 class PhysMem : public BusTarget
 {
   public:
+    /**
+     * A point-in-time image of the memory: the page map with every
+     * backing page's refcount bumped. Holding a Snapshot freezes
+     * those pages (owners copy-on-write instead of mutating them), so
+     * it stays valid after the source PhysMem is destroyed and may be
+     * adopted by any number of forks, concurrently.
+     */
+    struct Snapshot
+    {
+        std::uint64_t size = 0;
+        std::unordered_map<std::uint64_t,
+                           std::shared_ptr<std::uint8_t[]>>
+            pages;
+    };
+
     /** DRAM of @p size bytes named @p name. */
     PhysMem(std::string name, std::uint64_t size);
 
@@ -43,27 +71,57 @@ class PhysMem : public BusTarget
      * Borrowed span within one backing page; untouched pages lend a
      * shared all-zero page (no materialisation on reads). Returns
      * nullptr when the request crosses a page boundary or is out of
-     * bounds — callers fall back to readAt().
+     * bounds — callers fall back to readAt(). Reads of shared
+     * (snapshotted) pages stay zero-copy.
      */
     const std::uint8_t *readSpan(std::uint64_t offset,
                                  std::size_t len) override;
 
-    /** Writable span within one backing page (materialises it). */
+    /** Writable span within one backing page (materialises it, and
+     * clones it first if the page is shared with a snapshot). */
     std::uint8_t *writeSpan(std::uint64_t offset,
                             std::size_t len) override;
 
-    /** Zero-fill a byte range (used for scrubbing). */
+    /**
+     * Zero-fill a byte range (used for scrubbing). Whole-page spans
+     * drop the page back to sparse (decrefing a shared backing page)
+     * instead of materialising a private zero copy.
+     */
     Status zeroAt(std::uint64_t offset, std::uint64_t len);
 
-    /** Number of pages actually materialised (for tests). */
-    std::size_t touchedPages() const { return pages_.size(); }
+    /** Capture the current page map without copying page contents. */
+    Snapshot snapshot() const;
+
+    /**
+     * Replace this memory's contents with @p snap (sizes must match).
+     * O(pages in the snapshot); no page bytes are copied until a
+     * write actually lands on a shared page.
+     */
+    Status adopt(const Snapshot &snap);
+
+    /** Pages whose backing store is owned by this instance alone —
+     * the memory attributable to it beyond any shared snapshot. */
+    std::size_t residentPages() const;
+
+    /** Pages whose backing store is shared with a snapshot or a
+     * sibling fork (refcount > 1; zero marginal cost per fork). */
+    std::size_t sharedPages() const;
 
   private:
-    std::uint8_t *pageFor(std::uint64_t offset, bool create);
+    /** Read path: existing page or nullptr, never materialises. */
+    const std::uint8_t *peekPage(std::uint64_t offset) const;
+
+    /**
+     * Write path: materialises the page and returns a uniquely-owned
+     * mutable pointer, cloning a shared page first. When
+     * @p overwrite_all is true the caller promises to overwrite the
+     * whole page, so a shared page's old bytes are not copied.
+     */
+    std::uint8_t *mutPage(std::uint64_t offset, bool overwrite_all);
 
     std::string name_;
     std::uint64_t size_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+    std::unordered_map<std::uint64_t, std::shared_ptr<std::uint8_t[]>>
         pages_;
 };
 

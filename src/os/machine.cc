@@ -92,10 +92,70 @@ Machine::scheduleTrace() const
 void
 Machine::clearTrace()
 {
+    // Both keep their reserved storage: benchmark repetition loops
+    // record into already-sized op/label/chain vectors.
     trace_.clear();
-    recorder_ = sim::TraceRecorder(&trace_);
+    recorder_.reset();
     // Actor ids are NOT reset: live runtimes keep their identity
     // across measurement windows.
+}
+
+MachineSnapshot
+Machine::snapshot() const
+{
+    MachineSnapshot snap;
+    snap.config = config_;
+    snap.ram = ram_.snapshot();
+    snap.iommu = iommu_;
+    snap.tlb = mmu_->tlb().clone();
+    snap.rootComplex = rc_->captureState();
+    snap.gpus.reserve(gpus_.size());
+    for (const auto &gpu : gpus_)
+        snap.gpus.push_back(gpu->captureState());
+    snap.sgx = sgx_->captureState();
+    snap.hixExt = hix_ext_->captureState();
+    snap.os = *os_;
+    snap.vramAllocs.reserve(vram_allocs_.size());
+    for (const auto &v : vram_allocs_)
+        snap.vramAllocs.push_back(*v);
+    snap.nextActor = next_actor_;
+    return snap;
+}
+
+void
+Machine::restore(const MachineSnapshot &snap)
+{
+    if (!ram_.adopt(snap.ram).isOk())
+        hix_panic("Machine: DRAM snapshot size mismatch");
+    iommu_ = snap.iommu;  // value type; rc_ keeps pointing at iommu_
+    mmu_->adoptTlb(snap.tlb->clone());
+    rc_->restoreState(snap.rootComplex);
+    if (snap.gpus.size() != gpus_.size())
+        hix_panic("Machine: GPU count mismatch in snapshot");
+    for (std::size_t i = 0; i < gpus_.size(); ++i)
+        gpus_[i]->restoreState(snap.gpus[i]);
+    sgx_->restoreState(snap.sgx);
+    hix_ext_->restoreState(snap.hixExt);
+    // Assignment, not reseating: the MMU's page-table provider lambda
+    // captured this machine and dereferences os_ on every walk.
+    *os_ = snap.os;
+    if (snap.vramAllocs.size() != vram_allocs_.size())
+        hix_panic("Machine: VRAM allocator count mismatch in snapshot");
+    for (std::size_t i = 0; i < vram_allocs_.size(); ++i)
+        *vram_allocs_[i] = snap.vramAllocs[i];
+    next_actor_ = snap.nextActor;
+}
+
+std::unique_ptr<Machine>
+Machine::fork(const MachineSnapshot &snap)
+{
+    // The normal constructor re-runs the deterministic platform
+    // assembly (bus wiring, PCIe enumeration, validator registration
+    // — all pointer plumbing a value snapshot cannot carry), then
+    // restore() overwrites every piece of mutable state.
+    auto machine = std::make_unique<Machine>(snap.config);
+    machine->restore(snap);
+    return machine;
 }
 
 void
@@ -126,6 +186,25 @@ Machine::dumpStats(std::ostream &out) const
         g.dump(out);
     }
     {
+        // Host-side memory footprint of the sparse/CoW page stores:
+        // resident pages are privately owned by this machine, shared
+        // pages ride on a snapshot at zero marginal cost.
+        sim::StatGroup g("mem");
+        std::size_t resident = ram_.residentPages();
+        std::size_t shared = ram_.sharedPages();
+        g.scalar("dram_resident_pages") += double(ram_.residentPages());
+        g.scalar("dram_shared_pages") += double(ram_.sharedPages());
+        for (const auto &gpu : gpus_) {
+            resident += gpu->vramResidentPages();
+            shared += gpu->vramSharedPages();
+        }
+        g.scalar("resident_pages") += double(resident);
+        g.scalar("shared_pages") += double(shared);
+        g.scalar("resident_bytes") +=
+            double(resident) * double(mem::PageSize);
+        g.dump(out);
+    }
+    {
         sim::StatGroup g("tlb");
         g.scalar("hits") += double(mmu_->tlbHits());
         g.scalar("misses") += double(mmu_->tlbMisses());
@@ -137,6 +216,15 @@ Machine::dumpStats(std::ostream &out) const
         g.scalar("misses") += double(iommu_.iotlbMisses());
         g.dump(out);
     }
+}
+
+std::size_t
+Machine::residentPages() const
+{
+    std::size_t n = ram_.residentPages();
+    for (const auto &gpu : gpus_)
+        n += gpu->vramResidentPages();
+    return n;
 }
 
 void

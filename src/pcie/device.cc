@@ -12,10 +12,17 @@ PcieDevice::PcieDevice(std::string name, std::uint16_t vendor_id,
 {
 }
 
+const Bytes &
+PcieDevice::expansionRomImage() const
+{
+    static const Bytes empty;
+    return rom_image_ ? *rom_image_ : empty;
+}
+
 void
 PcieDevice::setExpansionRomImage(Bytes image)
 {
-    rom_image_ = std::move(image);
+    rom_image_ = std::make_shared<const Bytes>(std::move(image));
 }
 
 int

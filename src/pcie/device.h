@@ -9,6 +9,7 @@
 #define HIX_PCIE_DEVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -42,8 +43,22 @@ class PcieDevice
     RootComplex *rootComplex() { return rc_; }
 
     /** Expansion ROM (device BIOS) image; empty when none. */
-    const Bytes &expansionRomImage() const { return rom_image_; }
+    const Bytes &expansionRomImage() const;
+    /**
+     * The ROM as a shared immutable buffer. The image never changes
+     * after a flash, so device construction from the BIOS cache and
+     * machine snapshot/fork pass the same allocation around instead
+     * of copying 64 KiB.
+     */
+    const std::shared_ptr<const Bytes> &sharedExpansionRomImage() const
+    {
+        return rom_image_;
+    }
     void setExpansionRomImage(Bytes image);
+    void setExpansionRomImage(std::shared_ptr<const Bytes> image)
+    {
+        rom_image_ = std::move(image);
+    }
 
     /**
      * Handle an MMIO read at @p offset within BAR @p bar.
@@ -70,7 +85,7 @@ class PcieDevice
     ConfigSpace config_;
     Bdf bdf_;
     RootComplex *rc_ = nullptr;
-    Bytes rom_image_;
+    std::shared_ptr<const Bytes> rom_image_;
 };
 
 }  // namespace hix::pcie

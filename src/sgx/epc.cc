@@ -11,20 +11,22 @@ Epc::Epc(AddrRange range) : range_(range)
         !mem::pageAligned(range.size()))
         hix_panic("EPC range must be page aligned");
     total_pages_ = range.size() / mem::PageSize;
-    free_list_.reserve(total_pages_);
-    // Hand pages out in ascending order.
-    for (std::size_t i = total_pages_; i > 0; --i)
-        free_list_.push_back(range.start() + (i - 1) * mem::PageSize);
 }
 
 Result<Addr>
 Epc::allocPage(EpcPageType type, EnclaveId owner, Addr vpage,
                std::uint8_t perms)
 {
-    if (free_list_.empty())
+    Addr paddr;
+    if (!recycled_.empty()) {
+        paddr = recycled_.back();
+        recycled_.pop_back();
+    } else if (next_fresh_ < total_pages_) {
+        paddr = range_.start() + next_fresh_ * mem::PageSize;
+        ++next_fresh_;
+    } else {
         return errResourceExhausted("EPC out of pages");
-    Addr paddr = free_list_.back();
-    free_list_.pop_back();
+    }
     epcm_[paddr] =
         EpcmEntry{true, type, owner, mem::pageBase(vpage), perms};
     return paddr;
@@ -37,7 +39,7 @@ Epc::freePage(Addr paddr)
     if (it == epcm_.end() || !it->second.valid)
         return errNotFound("EPC page not allocated");
     epcm_.erase(it);
-    free_list_.push_back(mem::pageBase(paddr));
+    recycled_.push_back(mem::pageBase(paddr));
     return Status::ok();
 }
 
@@ -46,7 +48,7 @@ Epc::freeOwnedBy(EnclaveId enclave)
 {
     for (auto it = epcm_.begin(); it != epcm_.end();) {
         if (it->second.owner == enclave) {
-            free_list_.push_back(it->first);
+            recycled_.push_back(it->first);
             it = epcm_.erase(it);
         } else {
             ++it;

@@ -72,13 +72,25 @@ class Epc
     /** EPCM entry for the page containing @p paddr. */
     const EpcmEntry *entryFor(Addr paddr) const;
 
-    std::size_t freePages() const { return free_list_.size(); }
+    std::size_t freePages() const
+    {
+        return (total_pages_ - next_fresh_) + recycled_.size();
+    }
     std::size_t totalPages() const { return total_pages_; }
 
   private:
     AddrRange range_;
     std::size_t total_pages_;
-    std::vector<Addr> free_list_;
+    /**
+     * Free pages are the recycled list plus every page at index >=
+     * next_fresh_ (never handed out). Allocation pops the
+     * most-recently-freed page first, then fresh pages in ascending
+     * address order — the same order a prefilled free list gives —
+     * while keeping the struct O(pages-allocated) to copy, which the
+     * machine snapshot/fork fast path relies on.
+     */
+    std::size_t next_fresh_ = 0;
+    std::vector<Addr> recycled_;
     std::unordered_map<Addr, EpcmEntry> epcm_;  // keyed by page base
 };
 

@@ -422,6 +422,21 @@ class TraceRecorder
             label, gpu_ctx);
     }
 
+    /**
+     * Reset to the just-constructed state while keeping the chain
+     * vector's capacity. Semantically identical to reassigning a
+     * fresh TraceRecorder(trace()); Machine::clearTrace() uses this
+     * between benchmark repetitions so neither the trace nor the
+     * recorder reallocates in steady state.
+     */
+    void
+    reset()
+    {
+        chain_tails_.clear();
+        observers_.clear();
+        next_observer_ = 0;
+    }
+
     /** The tail op of @p actor's program-order chain. */
     OpId chainTail(std::uint32_t actor) const;
 

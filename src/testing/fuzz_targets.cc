@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/auth_channel.h"
 #include "crypto/hmac.h"
@@ -585,6 +588,171 @@ runMemorySystem(const std::vector<std::uint64_t> &ops)
     return checkCounters("at end");
 }
 
+// ----- cow_fork --------------------------------------------------------
+
+Status
+runCowFork(const std::vector<std::uint64_t> &ops)
+{
+    constexpr std::uint64_t Pages = 48;
+    constexpr std::uint64_t Size = Pages * mem::PageSize;
+    constexpr std::size_t MaxForks = 4;
+    constexpr std::size_t MaxSnaps = 3;
+
+    /** A CoW fork and its eagerly-copied shadow. */
+    struct ForkPair
+    {
+        std::unique_ptr<mem::PhysMem> mem;
+        std::vector<std::uint8_t> oracle;
+    };
+    /** A frozen snapshot and the full byte image it must preserve. */
+    struct SnapPair
+    {
+        mem::PhysMem::Snapshot snap;
+        std::vector<std::uint8_t> oracle;
+    };
+
+    std::vector<ForkPair> forks;
+    forks.push_back({std::make_unique<mem::PhysMem>("cow0", Size),
+                     std::vector<std::uint8_t>(Size, 0)});
+    std::vector<SnapPair> snaps;
+    int next_fork = 1;
+
+    // Spans up to three pages; bit 50 selects page-aligned whole-page
+    // spans so zeroAt() exercises the sparse page-drop path.
+    auto span = [&](std::uint64_t op) {
+        std::uint64_t off = (op >> 8) % Size;
+        std::uint64_t len = 1 + (op >> 28) % (3 * mem::PageSize);
+        if ((op >> 50) & 1) {
+            off &= ~(mem::PageSize - 1);
+            len = ((len / mem::PageSize) + 1) * mem::PageSize;
+        }
+        if (off + len > Size)
+            len = Size - off;
+        return std::pair<std::uint64_t, std::uint64_t>(off, len);
+    };
+
+    // Unaligned spans top out just under three pages; the page-align
+    // branch rounds up to at most four whole pages.
+    std::vector<std::uint8_t> buf(4 * mem::PageSize);
+
+    for (std::uint64_t op : ops) {
+        ForkPair &f = forks[(op >> 4) % forks.size()];
+        const auto [off, len] = span(op);
+        switch (op % 8) {
+          case 0:
+          case 1: {  // write a patterned span
+            for (std::uint64_t i = 0; i < len; ++i)
+                buf[i] = static_cast<std::uint8_t>(
+                    (op >> (i % 8)) ^ (off + i));
+            Status st = f.mem->writeAt(off, buf.data(), len);
+            if (!st.isOk())
+                return errInternal("cow write failed at " +
+                                   hexWord(off));
+            std::memcpy(f.oracle.data() + off, buf.data(), len);
+            break;
+          }
+          case 2: {  // read and compare against the shadow
+            Status st = f.mem->readAt(off, buf.data(), len);
+            if (!st.isOk())
+                return errInternal("cow read failed at " +
+                                   hexWord(off));
+            if (std::memcmp(buf.data(), f.oracle.data() + off, len) !=
+                0)
+                return errInternal("cow read divergence at " +
+                                   hexWord(off));
+            break;
+          }
+          case 3: {  // scrub (whole-page spans drop back to sparse)
+            Status st = f.mem->zeroAt(off, len);
+            if (!st.isOk())
+                return errInternal("cow zero failed at " +
+                                   hexWord(off));
+            std::memset(f.oracle.data() + off, 0, len);
+            break;
+          }
+          case 4: {  // freeze a snapshot (deep-copying the shadow)
+            if (snaps.size() >= MaxSnaps)
+                break;
+            snaps.push_back({f.mem->snapshot(), f.oracle});
+            // Every page is now shared with the snapshot: the fork
+            // owns nothing privately until its next write.
+            if (f.mem->residentPages() != 0)
+                return errInternal(
+                    "pages still private after snapshot");
+            break;
+          }
+          case 5: {  // rewind a fork onto a snapshot
+            if (snaps.empty())
+                break;
+            SnapPair &s = snaps[(op >> 16) % snaps.size()];
+            Status st = f.mem->adopt(s.snap);
+            if (!st.isOk())
+                return errInternal("adopt failed");
+            f.oracle = s.oracle;
+            if (f.mem->residentPages() != 0)
+                return errInternal("pages private right after adopt");
+            break;
+          }
+          case 6: {  // stand up a sibling fork from a snapshot
+            if (snaps.empty() || forks.size() >= MaxForks)
+                break;
+            SnapPair &s = snaps[(op >> 16) % snaps.size()];
+            ForkPair fresh{
+                std::make_unique<mem::PhysMem>(
+                    "cow" + std::to_string(next_fork++), Size),
+                s.oracle};
+            Status st = fresh.mem->adopt(s.snap);
+            if (!st.isOk())
+                return errInternal("fork adopt failed");
+            forks.push_back(std::move(fresh));
+            break;
+          }
+          case 7: {  // retire a snapshot or a sibling fork
+            if ((op >> 16) & 1 && !snaps.empty())
+                snaps.erase(snaps.begin() +
+                            ((op >> 20) % snaps.size()));
+            else if (forks.size() > 1)
+                forks.erase(forks.begin() +
+                            ((op >> 20) % forks.size()));
+            break;
+          }
+        }
+    }
+
+    // Final sweep: every fork still matches its shadow exactly, and
+    // every frozen snapshot still reads back the bytes it froze (no
+    // fork write ever leaked into shared pages).
+    for (ForkPair &f : forks) {
+        for (std::uint64_t page = 0; page < Pages; ++page) {
+            const std::uint64_t off = page * mem::PageSize;
+            Status st =
+                f.mem->readAt(off, buf.data(), mem::PageSize);
+            if (!st.isOk())
+                return errInternal("final fork read failed");
+            if (std::memcmp(buf.data(), f.oracle.data() + off,
+                            mem::PageSize) != 0)
+                return errInternal("final fork divergence at " +
+                                   hexWord(off));
+        }
+    }
+    for (SnapPair &s : snaps) {
+        mem::PhysMem probe("probe", Size);
+        Status st = probe.adopt(s.snap);
+        if (!st.isOk())
+            return errInternal("final snapshot adopt failed");
+        for (std::uint64_t page = 0; page < Pages; ++page) {
+            const std::uint64_t off = page * mem::PageSize;
+            if (!probe.readAt(off, buf.data(), mem::PageSize).isOk())
+                return errInternal("final snapshot read failed");
+            if (std::memcmp(buf.data(), s.oracle.data() + off,
+                            mem::PageSize) != 0)
+                return errInternal("snapshot bytes mutated at " +
+                                   hexWord(off));
+        }
+    }
+    return Status::ok();
+}
+
 }  // namespace
 
 FuzzTarget
@@ -611,6 +779,12 @@ memorySystemFuzzTarget()
     return FuzzTarget{"memory_system", 1, 64, runMemorySystem};
 }
 
+FuzzTarget
+cowForkFuzzTarget()
+{
+    return FuzzTarget{"cow_fork", 1, 64, runCowFork};
+}
+
 void
 registerBuiltinFuzzTargets(FuzzRunner &runner)
 {
@@ -618,6 +792,7 @@ registerBuiltinFuzzTargets(FuzzRunner &runner)
     runner.add(authChannelFuzzTarget());
     runner.add(mappingStateFuzzTarget());
     runner.add(memorySystemFuzzTarget());
+    runner.add(cowForkFuzzTarget());
 }
 
 }  // namespace hix::harness

@@ -33,6 +33,17 @@ FuzzTarget mappingStateFuzzTarget();
  */
 FuzzTarget memorySystemFuzzTarget();
 
+/**
+ * Copy-on-write snapshot/fork differential: a family of PhysMem
+ * forks and frozen snapshots driven by one op stream (writes, reads,
+ * whole-page scrubs, snapshot, adopt, fork creation/destruction),
+ * each fork shadowed by an eager deep-copy oracle. Every read must
+ * match the oracle byte-for-byte, adopting a snapshot must leave the
+ * fork with zero privately-owned pages, and no write may ever leak
+ * into a sibling fork or a frozen snapshot.
+ */
+FuzzTarget cowForkFuzzTarget();
+
 }  // namespace hix::harness
 
 #endif  // HIX_TESTING_FUZZ_TARGETS_H_

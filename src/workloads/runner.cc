@@ -7,6 +7,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -49,6 +50,11 @@ struct Shard
     std::uint64_t tlbHits = 0;
     std::uint64_t tlbMisses = 0;
     std::uint64_t iotlbHits = 0;
+    /** Host ms from shard start to the recorded window opening. */
+    double bootMs = 0;
+    /** Host pages this shard's machine privately owned at the moment
+     * the recorded window opened (startup memory cost). */
+    std::uint64_t residentPages = 0;
 };
 
 using SteadyClock = std::chrono::steady_clock;
@@ -58,6 +64,90 @@ msBetween(SteadyClock::time_point from, SteadyClock::time_point to)
 {
     return std::chrono::duration<double, std::milli>(to - from)
         .count();
+}
+
+/** HIX software config for user @p user's shard (and the fork
+ *  template, which uses user 0's — sessionCtxBase shapes no
+ *  boot-time state, only session numbering at openSession). */
+core::HixConfig
+shardHixConfig(const RunConfig &config, std::uint64_t scale, int user)
+{
+    core::HixConfig hix_config;
+    hix_config.timingScale = scale;
+    hix_config.singleCopy = config.singleCopy;
+    hix_config.pipeline = config.pipeline;
+    hix_config.usePio = config.usePio;
+    hix_config.ctxBase = ShardMgmtCtx;
+    hix_config.sessionCtxBase = CanonicalMgmtCtx + 1 + user;
+    return hix_config;
+}
+
+/**
+ * The RunConfig::forkSessions boot template: one machine booted
+ * exactly as a cold shard boots — kernels registered, and the GPU
+ * enclave created (HIX) or the MPS follower context precreated
+ * (baseline) — captured as copy-on-write snapshots every user shard
+ * forks from. Pure value state: the boot machine is gone by the time
+ * forks happen, and concurrent forks only read the snapshots (page
+ * refcounts are atomic).
+ */
+struct SessionTemplate
+{
+    /** Registered kernel closures could reference the registering
+     * workload, so the template's instance outlives every fork. */
+    std::unique_ptr<Workload> job;
+    /** Post-boot state every shard starts from: for HIX this
+     * includes the created enclave's machine-side state; for the
+     * baseline it is the MPS leader's start state (the leader
+     * creates its context inside the recorded window). */
+    os::MachineSnapshot base;
+    /** HIX: the booted GPU enclave (no sessions yet). */
+    std::optional<core::GpuEnclave::Snapshot> enclave;
+    /** Baseline MPS followers: `base` advanced by the runtime boot
+     * and context precreation, both of which followers pay outside
+     * the recorded window. */
+    std::optional<os::MachineSnapshot> follower;
+    std::optional<core::BaselineRuntime::Snapshot> followerRt;
+    /** One-time boot cost, charged to RunOutcome::hostBootMs. */
+    double buildMs = 0;
+};
+
+Result<SessionTemplate>
+buildSessionTemplate(const RunConfig &config, std::uint64_t scale)
+{
+    const auto start = SteadyClock::now();
+    SessionTemplate tpl;
+    tpl.job = config.factory();
+    os::Machine machine(config.machine);
+    tpl.job->registerKernels(machine.gpu());
+    if (config.useHix) {
+        auto ge = core::GpuEnclave::create(
+            &machine, machine.gpu().factoryBiosDigest(),
+            shardHixConfig(config, scale, 0));
+        if (!ge.isOk())
+            return ge.status();
+        auto enclave_snap = (*ge)->snapshot();
+        if (!enclave_snap.isOk())
+            return enclave_snap.status();
+        tpl.enclave = std::move(*enclave_snap);
+        tpl.base = machine.snapshot();
+    } else {
+        tpl.base = machine.snapshot();
+        // Advance the same machine to the follower start state. The
+        // placeholder name never enters recorded state; forks rename
+        // the process to their own user.
+        core::BaselineRuntime rt(&machine, "mps-follower-template",
+                                 scale, 0, nullptr,
+                                 CanonicalBaselineCtx);
+        HIX_RETURN_IF_ERROR(rt.precreateContext());
+        auto rt_snap = rt.snapshot();
+        if (!rt_snap.isOk())
+            return rt_snap.status();
+        tpl.followerRt = std::move(*rt_snap);
+        tpl.follower = machine.snapshot();
+    }
+    tpl.buildMs = msBetween(start, SteadyClock::now());
+    return tpl;
 }
 
 /**
@@ -144,6 +234,23 @@ serialRecording(const RunConfig &config, int workers)
 }
 
 /**
+ * One recording worker's reusable forked machine. After a shard
+ * completes, the worker restores the machine back to the template
+ * snapshot it ran from (session teardown, the fork-path analogue of
+ * the cold path's machine destructor) and remembers which snapshot
+ * the machine is now clean for — the next shard from the same
+ * snapshot then starts on an already-clean pooled machine and its
+ * timed session startup is O(1): runtime fork plus trace clear.
+ */
+struct WorkerScratch
+{
+    std::unique_ptr<os::Machine> machine;
+    /** Snapshot `machine` is bit-exactly in the state of, or null
+     * while a shard is running on it (dirty). */
+    const os::MachineSnapshot *cleanFor = nullptr;
+};
+
+/**
  * Build user @p user's private machine and runtimes, run the
  * workload, and return the recorded window. The recorded op stream
  * matches what the same user records on a shared machine: per-user
@@ -151,14 +258,41 @@ serialRecording(const RunConfig &config, int workers)
  * ids) never enters recorded op fields, and setup work that a shared
  * machine amortizes (enclave boot, MPS follower context creation)
  * happens before the window is opened.
+ *
+ * With @p tpl set (RunConfig::forkSessions), the machine is not
+ * cold-booted: the template snapshot is forked into @p scratch —
+ * reused across this worker's users — and the runtimes are forked
+ * from the template's boot state. The machine state at the moment
+ * the window opens is identical either way, so the recorded window
+ * is bit-identical (the Fork determinism wall pins it).
  */
 Result<Shard>
 recordShard(const RunConfig &config, Workload &job, int user,
-            std::uint64_t scale)
+            std::uint64_t scale, const SessionTemplate *tpl,
+            WorkerScratch *scratch)
 {
     Shard shard;
-    os::Machine machine(config.machine);
-    job.registerKernels(machine.gpu());
+    const auto boot_start = SteadyClock::now();
+    std::unique_ptr<os::Machine> cold;
+    os::Machine *machine_ptr = nullptr;
+    const os::MachineSnapshot *fork_snap = nullptr;
+    if (tpl) {
+        fork_snap =
+            (!config.useHix && user > 0) ? &*tpl->follower : &tpl->base;
+        if (!scratch->machine)
+            scratch->machine = os::Machine::fork(*fork_snap);
+        else if (scratch->cleanFor != fork_snap)
+            scratch->machine->restoreSnapshot(*fork_snap);
+        // else: the teardown after the previous shard already left
+        // the machine in exactly this snapshot's state.
+        scratch->cleanFor = nullptr;  // dirty until torn down again
+        machine_ptr = scratch->machine.get();
+    } else {
+        cold = std::make_unique<os::Machine>(config.machine);
+        job.registerKernels(cold->gpu());
+        machine_ptr = cold.get();
+    }
+    os::Machine &machine = *machine_ptr;
     const auto cpu_index = static_cast<std::uint16_t>(user);
     const std::string name = "user" + std::to_string(user);
 
@@ -167,11 +301,22 @@ recordShard(const RunConfig &config, Workload &job, int user,
         // only user 0 (the leader) creates the single merged GPU
         // context inside the measured window; followers join it. A
         // follower shard therefore creates its (private) context
-        // during setup so its window records only the task init.
-        core::BaselineRuntime rt(&machine, name, scale, cpu_index,
-                                 nullptr, CanonicalBaselineCtx);
-        if (user > 0)
-            HIX_RETURN_IF_ERROR(rt.precreateContext());
+        // during setup so its window records only the task init —
+        // from the follower template when forking, else by hand.
+        std::unique_ptr<core::BaselineRuntime> rt_owner;
+        if (tpl && user > 0) {
+            rt_owner = core::BaselineRuntime::fork(
+                &machine, *tpl->followerRt, name, cpu_index);
+        } else {
+            rt_owner = std::make_unique<core::BaselineRuntime>(
+                &machine, name, scale, cpu_index, nullptr,
+                CanonicalBaselineCtx);
+            if (user > 0)
+                HIX_RETURN_IF_ERROR(rt_owner->precreateContext());
+        }
+        core::BaselineRuntime &rt = *rt_owner;
+        shard.bootMs = msBetween(boot_start, SteadyClock::now());
+        shard.residentPages = machine.residentPages();
         machine.clearTrace();
         if (config.shardHook)
             config.shardHook(user, machine);
@@ -182,7 +327,15 @@ recordShard(const RunConfig &config, Workload &job, int user,
         shard.tlbHits = machine.mmu().tlbHits();
         shard.tlbMisses = machine.mmu().tlbMisses();
         shard.iotlbHits = machine.iommu().iotlbHits();
-        shard.trace = std::move(machine.trace());
+        shard.trace = machine.takeTrace();
+        // Session teardown: drop this session's privately-written
+        // pages now, so the next shard starts on an already-clean
+        // machine — the cold path pays the same teardown in its
+        // machine destructor, equally after the window closes.
+        if (fork_snap) {
+            machine.restoreSnapshot(*fork_snap);
+            scratch->cleanFor = fork_snap;
+        }
         return shard;
     }
 
@@ -190,21 +343,22 @@ recordShard(const RunConfig &config, Workload &job, int user,
     // per-machine one-time cost outside the window (matching the
     // paper's per-application timing), so only session setup and the
     // workload are recorded — the same ops a shared enclave records
-    // for this user.
-    core::HixConfig hix_config;
-    hix_config.timingScale = scale;
-    hix_config.singleCopy = config.singleCopy;
-    hix_config.pipeline = config.pipeline;
-    hix_config.usePio = config.usePio;
-    hix_config.ctxBase = ShardMgmtCtx;
-    hix_config.sessionCtxBase = CanonicalMgmtCtx + 1 + user;
+    // for this user. Forked shards skip the boot itself (ECREATE
+    // through BIOS verification and MMIO EGADDs) and rehydrate the
+    // booted enclave from the template.
+    core::HixConfig hix_config = shardHixConfig(config, scale, user);
 
-    auto ge = core::GpuEnclave::create(
-        &machine, machine.gpu().factoryBiosDigest(), hix_config);
+    auto ge = tpl ? core::GpuEnclave::fork(&machine, *tpl->enclave,
+                                           hix_config)
+                  : core::GpuEnclave::create(
+                        &machine, machine.gpu().factoryBiosDigest(),
+                        hix_config);
     if (!ge.isOk())
         return ge.status();
 
     core::TrustedRuntime rt(&machine, ge->get(), name, cpu_index);
+    shard.bootMs = msBetween(boot_start, SteadyClock::now());
+    shard.residentPages = machine.residentPages();
     machine.clearTrace();
     if (config.shardHook)
         config.shardHook(user, machine);
@@ -222,7 +376,13 @@ recordShard(const RunConfig &config, Workload &job, int user,
     shard.tlbHits = machine.mmu().tlbHits();
     shard.tlbMisses = machine.mmu().tlbMisses();
     shard.iotlbHits = machine.iommu().iotlbHits();
-    shard.trace = std::move(machine.trace());
+    shard.trace = machine.takeTrace();
+    // Session teardown, outside the next session's timed window (the
+    // cold path's equivalent is the machine destructor).
+    if (fork_snap) {
+        machine.restoreSnapshot(*fork_snap);
+        scratch->cleanFor = fork_snap;
+    }
     return shard;
 }
 
@@ -250,6 +410,8 @@ collectOutcome(std::vector<Result<Shard>> &shards,
         outcome.tlbHits += (*shard).tlbHits;
         outcome.tlbMisses += (*shard).tlbMisses;
         outcome.iotlbHits += (*shard).iotlbHits;
+        outcome.hostBootMs += (*shard).bootMs;
+        outcome.residentPages += (*shard).residentPages;
     }
     outcome.schedulerConfig.gpuCtxSwitchTicks =
         config.machine.timing.gpuCtxSwitch;
@@ -293,9 +455,20 @@ runWorkload(const RunConfig &config)
 
     const int workers = recordWorkers(config);
     const auto record_start = SteadyClock::now();
+    // Session-fork fast path: boot one template, fork every shard.
+    std::optional<SessionTemplate> tpl;
+    if (config.forkSessions) {
+        auto built = buildSessionTemplate(config, scale);
+        if (!built.isOk())
+            return built.status();
+        tpl.emplace(std::move(*built));
+    }
+    const SessionTemplate *tpl_ptr = tpl ? &*tpl : nullptr;
     if (serialRecording(config, workers)) {
+        WorkerScratch scratch;
         for (int u = 0; u < config.users; ++u)
-            shards[u] = recordShard(config, *jobs[u], u, scale);
+            shards[u] = recordShard(config, *jobs[u], u, scale,
+                                    tpl_ptr, &scratch);
     } else {
         // Shards share no mutable state (each has a private machine
         // and trace; the process-wide SealPool serializes callers and
@@ -303,13 +476,17 @@ runWorkload(const RunConfig &config)
         // no locking on the hot path. The user -> worker map is
         // static (round-robin by index) and each worker writes only
         // its own shard slots, so the vector needs no synchronization
-        // beyond the joins.
+        // beyond the joins. In fork mode all workers fork from the
+        // shared template concurrently (page refcounts are atomic)
+        // and each reuses one worker-local scratch machine.
         std::vector<std::thread> threads;
         threads.reserve(workers);
         for (int w = 0; w < workers; ++w) {
             threads.emplace_back([&, w] {
+                WorkerScratch scratch;
                 for (int u = w; u < config.users; u += workers)
-                    shards[u] = recordShard(config, *jobs[u], u, scale);
+                    shards[u] = recordShard(config, *jobs[u], u, scale,
+                                            tpl_ptr, &scratch);
             });
         }
         for (auto &thread : threads)
@@ -321,6 +498,8 @@ runWorkload(const RunConfig &config)
         (*outcome).hostRecordMs = msBetween(record_start, record_end);
         (*outcome).hostScheduleMs =
             msBetween(record_end, SteadyClock::now());
+        if (tpl)
+            (*outcome).hostBootMs += tpl->buildMs;
     }
     return outcome;
 }
@@ -367,17 +546,30 @@ runWorkloadStreaming(const RunConfig &config)
         outcome.tlbHits += s.tlbHits;
         outcome.tlbMisses += s.tlbMisses;
         outcome.iotlbHits += s.iotlbHits;
+        outcome.hostBootMs += s.bootMs;
+        outcome.residentPages += s.residentPages;
         streamer.addShard(s.trace, s.remap);
     };
 
     const auto record_start = SteadyClock::now();
+    std::optional<SessionTemplate> tpl;
+    if (config.forkSessions) {
+        auto built = buildSessionTemplate(config, scale);
+        if (!built.isOk())
+            return built.status();
+        tpl.emplace(std::move(*built));
+        outcome.hostBootMs += tpl->buildMs;
+    }
+    const SessionTemplate *tpl_ptr = tpl ? &*tpl : nullptr;
     if (serialRecording(config, workers)) {
         // Serial: record and feed each shard in turn on the calling
         // thread. Intake overlap is moot here; the path exists so the
         // determinism tests can pin streaming == two-phase with the
         // recording pool taken out of the picture.
+        WorkerScratch scratch;
         for (int u = 0; u < config.users; ++u)
-            consume(recordShard(config, *jobs[u], u, scale));
+            consume(recordShard(config, *jobs[u], u, scale, tpl_ptr,
+                                &scratch));
     } else {
         const std::size_t cap =
             config.streamingQueueCap > 0
@@ -388,9 +580,11 @@ runWorkloadStreaming(const RunConfig &config)
         threads.reserve(workers);
         for (int w = 0; w < workers; ++w) {
             threads.emplace_back([&, w] {
+                WorkerScratch scratch;
                 for (int u = w; u < config.users; u += workers)
-                    queue.push(u,
-                               recordShard(config, *jobs[u], u, scale));
+                    queue.push(u, recordShard(config, *jobs[u], u,
+                                              scale, tpl_ptr,
+                                              &scratch));
             });
         }
         // Consumer: pop one completion per user, park out-of-order

@@ -124,6 +124,22 @@ struct RunConfig
      * capacity >= 1 yields the same result.
      */
     int streamingQueueCap = 0;
+    /**
+     * O(1) session startup: boot ONE template machine for this
+     * (runtime, config) — kernels registered, the GPU enclave created
+     * (HIX) or the MPS follower context precreated (baseline) — take
+     * a copy-on-write MachineSnapshot of it, and start every user
+     * shard by forking the snapshot instead of cold-booting a private
+     * machine per user. Each recording worker additionally reuses one
+     * forked machine across its users (re-restoring the snapshot
+     * between shards), so steady-state session startup is a page-map
+     * restore, not a platform boot. The recorded window is
+     * bit-identical to the cold-boot path — same traceDigest(), same
+     * ticks, at every user count, both runtimes, streaming on or off
+     * (the Fork determinism wall enforces it); only host startup
+     * wall-clock and per-session resident memory change.
+     */
+    bool forkSessions = false;
 };
 
 /** Result of one run. */
@@ -160,6 +176,25 @@ struct RunOutcome
     std::uint32_t streamQueueDepthMax = 0;
     /** Streaming only: front-end intake/join work counters. */
     sim::StreamingStats streamStats;
+    /**
+     * Host wall-clock spent on session startup: the sum over all user
+     * shards of the setup time before each recorded window opens
+     * (machine boot or snapshot fork, kernel registration, enclave
+     * create/fork, context precreation), plus — in fork mode — the
+     * one-time template boot. The bench's fork_speedup column is the
+     * cold/fork ratio of this number.
+     */
+    double hostBootMs = 0;
+    /**
+     * Host pages privately materialised by the user shards' machines
+     * (DRAM + VRAM), summed over shards and measured as each shard's
+     * recorded window opens — the memory cost of standing the session
+     * up. Cold-booted shards own every page boot touched; forked
+     * shards share all boot-time pages with the template snapshot and
+     * own only what they wrote since the fork (near zero). Divide by
+     * users for the bench's resident_pages_per_session.
+     */
+    std::uint64_t residentPages = 0;
 
     double
     milliseconds() const

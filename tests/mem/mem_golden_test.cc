@@ -22,6 +22,9 @@
  */
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -504,6 +507,183 @@ TEST(MemGoldenIotlb, DisabledModeBypassesAndDoesNotCount)
     EXPECT_EQ(iommu.iotlbHits(), 0u);
     EXPECT_EQ(iommu.iotlbMisses(), 0u);
     EXPECT_EQ(iommu.iotlbSize(), 0u);
+}
+
+// ----- MemGoldenCow ----------------------------------------------------
+//
+// Copy-on-write snapshot/fork differential: a family of PhysMem forks
+// and frozen snapshots driven by a randomized op stream, each fork
+// shadowed by an eager deep-copy oracle (a dense byte vector; a
+// "snapshot" of the oracle is a full copy). Whatever interleaving of
+// writes, scrubs, snapshots, adopts, and fork creation the stream
+// produces, every fork must read back exactly its oracle's bytes and
+// every frozen snapshot must still carry the bytes it froze.
+
+namespace
+{
+
+constexpr std::uint64_t CowPages = 32;
+constexpr std::uint64_t CowSize = CowPages * PageSize;
+
+struct CowFork
+{
+    std::unique_ptr<PhysMem> mem;
+    std::vector<std::uint8_t> oracle;
+};
+
+struct CowSnap
+{
+    PhysMem::Snapshot snap;
+    std::vector<std::uint8_t> oracle;
+};
+
+void
+expectForkMatchesOracle(const CowFork &fork, const char *where)
+{
+    std::vector<std::uint8_t> page(PageSize);
+    for (std::uint64_t p = 0; p < CowPages; ++p) {
+        const std::uint64_t off = p * PageSize;
+        ASSERT_TRUE(
+            fork.mem->readAt(off, page.data(), PageSize).isOk());
+        ASSERT_EQ(0, std::memcmp(page.data(), fork.oracle.data() + off,
+                                 PageSize))
+            << where << ": fork diverged from oracle at page " << p;
+    }
+}
+
+void
+driveCowStream(std::uint64_t seed, int iterations)
+{
+    Rng rng{seed};
+    std::vector<CowFork> forks;
+    forks.push_back({std::make_unique<PhysMem>("cow0", CowSize),
+                     std::vector<std::uint8_t>(CowSize, 0)});
+    std::vector<CowSnap> snaps;
+    std::vector<std::uint8_t> buf(2 * PageSize);
+    int next_fork = 1;
+
+    for (int i = 0; i < iterations; ++i) {
+        const std::uint64_t r = rng.next();
+        CowFork &f = forks[(r >> 4) % forks.size()];
+        std::uint64_t off = (r >> 8) % CowSize;
+        std::uint64_t len = 1 + (r >> 32) % (2 * PageSize - 1);
+        if ((r >> 52) & 1) {  // page-aligned, whole pages
+            off &= ~(PageSize - 1);
+            len = ((len / PageSize) + 1) * PageSize;
+        }
+        if (off + len > CowSize)
+            len = CowSize - off;
+        switch (r % 8) {
+          case 0:
+          case 1: {  // write
+            for (std::uint64_t b = 0; b < len; ++b)
+                buf[b] = static_cast<std::uint8_t>((r >> (b % 8)) ^
+                                                   (off + b));
+            ASSERT_TRUE(
+                f.mem->writeAt(off, buf.data(), len).isOk());
+            std::memcpy(f.oracle.data() + off, buf.data(), len);
+            break;
+          }
+          case 2: {  // read + compare
+            ASSERT_TRUE(f.mem->readAt(off, buf.data(), len).isOk());
+            ASSERT_EQ(0, std::memcmp(buf.data(),
+                                     f.oracle.data() + off, len));
+            break;
+          }
+          case 3: {  // scrub
+            ASSERT_TRUE(f.mem->zeroAt(off, len).isOk());
+            std::memset(f.oracle.data() + off, 0, len);
+            break;
+          }
+          case 4: {  // freeze a snapshot
+            if (snaps.size() >= 3)
+                break;
+            snaps.push_back({f.mem->snapshot(), f.oracle});
+            // All pages became shared: nothing private remains.
+            EXPECT_EQ(f.mem->residentPages(), 0u);
+            break;
+          }
+          case 5: {  // rewind onto a snapshot
+            if (snaps.empty())
+                break;
+            CowSnap &s = snaps[(r >> 16) % snaps.size()];
+            ASSERT_TRUE(f.mem->adopt(s.snap).isOk());
+            f.oracle = s.oracle;
+            EXPECT_EQ(f.mem->residentPages(), 0u);
+            break;
+          }
+          case 6: {  // sibling fork off a snapshot
+            if (snaps.empty() || forks.size() >= 4)
+                break;
+            CowSnap &s = snaps[(r >> 16) % snaps.size()];
+            CowFork fresh{std::make_unique<PhysMem>(
+                              "cow" + std::to_string(next_fork++),
+                              CowSize),
+                          s.oracle};
+            ASSERT_TRUE(fresh.mem->adopt(s.snap).isOk());
+            forks.push_back(std::move(fresh));
+            break;
+          }
+          case 7: {  // retire a snapshot or fork
+            if ((r >> 16) & 1 && !snaps.empty())
+                snaps.erase(snaps.begin() + ((r >> 20) % snaps.size()));
+            else if (forks.size() > 1)
+                forks.erase(forks.begin() + ((r >> 20) % forks.size()));
+            break;
+          }
+        }
+    }
+
+    for (const CowFork &f : forks)
+        expectForkMatchesOracle(f, "final sweep");
+    // Frozen snapshots still read back the exact bytes they froze:
+    // no fork write ever reached a shared page in place.
+    for (const CowSnap &s : snaps) {
+        CowFork probe{std::make_unique<PhysMem>("probe", CowSize),
+                      s.oracle};
+        ASSERT_TRUE(probe.mem->adopt(s.snap).isOk());
+        expectForkMatchesOracle(probe, "snapshot probe");
+    }
+}
+
+}  // namespace
+
+TEST(MemGoldenCow, RandomizedForkStreamsMatchEagerDeepCopyOracle)
+{
+    for (std::uint64_t seed : {0xc0117ull, 0xfaceull, 0x5eedull})
+        driveCowStream(seed, 4000);
+}
+
+TEST(MemGoldenCow, WholePageScrubDropsPagesWithoutDivergence)
+{
+    // Page-aligned heavy stream: biased toward the zeroAt() sparse
+    // page-drop and snapshot/adopt paths rather than byte writes.
+    PhysMem mem("scrub", CowSize);
+    std::vector<std::uint8_t> oracle(CowSize, 0);
+    Rng rng{0xd10ull};
+    std::vector<std::uint8_t> page(PageSize, 0x5a);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t r = rng.next();
+        const std::uint64_t off = ((r >> 8) % CowPages) * PageSize;
+        if (r % 3 == 0) {
+            ASSERT_TRUE(mem.zeroAt(off, PageSize).isOk());
+            std::memset(oracle.data() + off, 0, PageSize);
+        } else {
+            page.assign(PageSize,
+                        static_cast<std::uint8_t>(r >> 16));
+            ASSERT_TRUE(
+                mem.writeAt(off, page.data(), PageSize).isOk());
+            std::memcpy(oracle.data() + off, page.data(), PageSize);
+        }
+    }
+    std::vector<std::uint8_t> got(PageSize);
+    for (std::uint64_t p = 0; p < CowPages; ++p) {
+        ASSERT_TRUE(
+            mem.readAt(p * PageSize, got.data(), PageSize).isOk());
+        ASSERT_EQ(0, std::memcmp(got.data(),
+                                 oracle.data() + p * PageSize,
+                                 PageSize));
+    }
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ TEST(PhysMemTest, UntouchedReadsZero)
     ASSERT_TRUE(ram.readAt(0x1000, buf.data(), buf.size()).isOk());
     for (auto b : buf)
         EXPECT_EQ(b, 0);
-    EXPECT_EQ(ram.touchedPages(), 0u);
+    EXPECT_EQ(ram.residentPages(), 0u);
 }
 
 TEST(PhysMemTest, WriteReadRoundTrip)
@@ -32,7 +32,7 @@ TEST(PhysMemTest, WriteReadRoundTrip)
     Bytes back(5);
     ASSERT_TRUE(ram.readAt(0x800, back.data(), back.size()).isOk());
     EXPECT_EQ(back, data);
-    EXPECT_EQ(ram.touchedPages(), 1u);
+    EXPECT_EQ(ram.residentPages(), 1u);
 }
 
 TEST(PhysMemTest, CrossPageAccess)
@@ -45,7 +45,7 @@ TEST(PhysMemTest, CrossPageAccess)
     ASSERT_TRUE(
         ram.readAt(PageSize - 50, back.data(), back.size()).isOk());
     EXPECT_EQ(back, data);
-    EXPECT_EQ(ram.touchedPages(), 3u);
+    EXPECT_EQ(ram.residentPages(), 3u);
 }
 
 TEST(PhysMemTest, OutOfBoundsRejected)
@@ -69,7 +69,7 @@ TEST(PhysMemTest, HugeOffsetOverflowRejected)
             .isOk());
     EXPECT_FALSE(ram.writeAt(~std::uint64_t(0), buf.data(), 1).isOk());
     EXPECT_FALSE(ram.zeroAt(~std::uint64_t(0) - 2, 8).isOk());
-    EXPECT_EQ(ram.touchedPages(), 0u);
+    EXPECT_EQ(ram.residentPages(), 0u);
 }
 
 TEST(PhysMemTest, LenLargerThanMemoryRejected)
@@ -92,6 +92,120 @@ TEST(PhysMemTest, ZeroAtScrubs)
     ASSERT_TRUE(ram.readAt(100, back.data(), back.size()).isOk());
     for (auto b : back)
         EXPECT_EQ(b, 0);
+}
+
+TEST(PhysMemTest, ZeroAtWholePageDropsToSparse)
+{
+    PhysMem ram("ram", 64 * KiB);
+    Bytes data(PageSize, 0xee);
+    ASSERT_TRUE(ram.writeAt(PageSize, data.data(), data.size()).isOk());
+    ASSERT_TRUE(ram.writeAt(3 * PageSize + 8, data.data(), 16).isOk());
+    EXPECT_EQ(ram.residentPages(), 2u);
+    // Scrubbing a whole page frees it instead of memset-ing it.
+    ASSERT_TRUE(ram.zeroAt(PageSize, PageSize).isOk());
+    EXPECT_EQ(ram.residentPages(), 1u);
+    // Partial scrub keeps the page materialised.
+    ASSERT_TRUE(ram.zeroAt(3 * PageSize + 8, 16).isOk());
+    EXPECT_EQ(ram.residentPages(), 1u);
+    Bytes back(PageSize);
+    ASSERT_TRUE(ram.readAt(PageSize, back.data(), back.size()).isOk());
+    for (auto b : back)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(PhysMemTest, SnapshotForkSharesPagesWithoutCopying)
+{
+    PhysMem ram("ram", 1 * MiB);
+    Bytes data(3 * PageSize, 0x42);
+    ASSERT_TRUE(ram.writeAt(0, data.data(), data.size()).isOk());
+    EXPECT_EQ(ram.residentPages(), 3u);
+    EXPECT_EQ(ram.sharedPages(), 0u);
+
+    auto snap = ram.snapshot();
+    // Snapshotting freezes the pages: they are now shared.
+    EXPECT_EQ(ram.residentPages(), 0u);
+    EXPECT_EQ(ram.sharedPages(), 3u);
+
+    PhysMem fork("fork", 1 * MiB);
+    ASSERT_TRUE(fork.adopt(snap).isOk());
+    EXPECT_EQ(fork.residentPages(), 0u);
+    EXPECT_EQ(fork.sharedPages(), 3u);
+    Bytes back(data.size());
+    ASSERT_TRUE(fork.readAt(0, back.data(), back.size()).isOk());
+    EXPECT_EQ(back, data);
+}
+
+TEST(PhysMemTest, CopyOnWriteIsolatesForksAndTemplate)
+{
+    PhysMem ram("ram", 1 * MiB);
+    Bytes ones(PageSize, 0x11);
+    ASSERT_TRUE(ram.writeAt(0, ones.data(), ones.size()).isOk());
+    auto snap = ram.snapshot();
+
+    PhysMem a("a", 1 * MiB), b("b", 1 * MiB);
+    ASSERT_TRUE(a.adopt(snap).isOk());
+    ASSERT_TRUE(b.adopt(snap).isOk());
+
+    std::uint8_t poke = 0x99;
+    ASSERT_TRUE(a.writeAt(5, &poke, 1).isOk());
+    // a privatised one page; b and the template still see 0x11.
+    EXPECT_EQ(a.residentPages(), 1u);
+    EXPECT_EQ(b.residentPages(), 0u);
+    std::uint8_t got = 0;
+    ASSERT_TRUE(b.readAt(5, &got, 1).isOk());
+    EXPECT_EQ(got, 0x11);
+    ASSERT_TRUE(ram.readAt(5, &got, 1).isOk());
+    EXPECT_EQ(got, 0x11);
+    ASSERT_TRUE(a.readAt(5, &got, 1).isOk());
+    EXPECT_EQ(got, 0x99);
+    // ...and the rest of a's privatised page kept its bytes.
+    ASSERT_TRUE(a.readAt(6, &got, 1).isOk());
+    EXPECT_EQ(got, 0x11);
+}
+
+TEST(PhysMemTest, SoleOwnerWritesStayInPlace)
+{
+    PhysMem ram("ram", 1 * MiB);
+    std::uint8_t v = 1;
+    ASSERT_TRUE(ram.writeAt(0, &v, 1).isOk());
+    {
+        auto snap = ram.snapshot();
+        EXPECT_EQ(ram.sharedPages(), 1u);
+    }
+    // Snapshot gone: refcount back to one, writes are in-place again.
+    EXPECT_EQ(ram.sharedPages(), 0u);
+    EXPECT_EQ(ram.residentPages(), 1u);
+    const std::uint8_t *before = ram.readSpan(0, 1);
+    v = 2;
+    ASSERT_TRUE(ram.writeAt(0, &v, 1).isOk());
+    EXPECT_EQ(ram.readSpan(0, 1), before);
+}
+
+TEST(PhysMemTest, SharedPageZeroScrubDecrefsNotCopies)
+{
+    PhysMem ram("ram", 1 * MiB);
+    Bytes data(PageSize, 0xab);
+    ASSERT_TRUE(ram.writeAt(0, data.data(), data.size()).isOk());
+    auto snap = ram.snapshot();
+    PhysMem fork("fork", 1 * MiB);
+    ASSERT_TRUE(fork.adopt(snap).isOk());
+    ASSERT_TRUE(fork.zeroAt(0, PageSize).isOk());
+    EXPECT_EQ(fork.residentPages(), 0u);
+    EXPECT_EQ(fork.sharedPages(), 0u);
+    std::uint8_t got = 0xff;
+    ASSERT_TRUE(fork.readAt(9, &got, 1).isOk());
+    EXPECT_EQ(got, 0);
+    // Template unaffected.
+    ASSERT_TRUE(ram.readAt(9, &got, 1).isOk());
+    EXPECT_EQ(got, 0xab);
+}
+
+TEST(PhysMemTest, AdoptRejectsSizeMismatch)
+{
+    PhysMem ram("ram", 1 * MiB);
+    auto snap = ram.snapshot();
+    PhysMem other("other", 2 * MiB);
+    EXPECT_FALSE(other.adopt(snap).isOk());
 }
 
 TEST(PhysBusTest, RoutesByRange)

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The Fork determinism wall for the RunConfig::forkSessions session
+ * fast path: a run whose user shards fork a copy-on-write template
+ * snapshot must be *bit-identical* to a run that cold-boots a private
+ * machine per user — same merged trace digest, same scheduled ticks,
+ * same context switches — at every user count, for both runtimes,
+ * streaming on or off. Also pins the copy-on-write isolation
+ * properties the fast path rests on: writes in one fork are invisible
+ * to its siblings and to the snapshot, the snapshot outlives the
+ * machine it was taken of, and a forked machine owns zero private
+ * pages until it writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "os/machine.h"
+#include "sim/trace.h"
+#include "workloads/runner.h"
+
+namespace hix::workloads
+{
+namespace
+{
+
+RunConfig
+makeConfig(bool use_hix, int users, bool streaming, bool fork_sessions)
+{
+    RunConfig config;
+    config.factory = [] { return makeRodinia("NN"); };
+    config.users = users;
+    config.useHix = use_hix;
+    config.streaming = streaming;
+    config.forkSessions = fork_sessions;
+    // Force one recording thread per user (the auto pool sizes to the
+    // host and may collapse to one worker on small CI machines): the
+    // wall must exercise — and TSan must observe — concurrent forks
+    // off the shared template snapshot regardless of where it runs.
+    if (users > 1) {
+        config.parallelRecording = true;
+        config.recordThreads = users;
+    }
+    config.keepTrace = true;
+    return config;
+}
+
+struct Recording
+{
+    std::uint64_t digest = 0;
+    Tick ticks = 0;
+    std::uint64_t ctxSwitches = 0;
+    std::size_t ops = 0;
+    double bootMs = 0;
+    std::uint64_t residentPages = 0;
+};
+
+Recording
+record(bool use_hix, int users, bool streaming, bool fork_sessions)
+{
+    auto outcome = runWorkload(
+        makeConfig(use_hix, users, streaming, fork_sessions));
+    EXPECT_TRUE(outcome.isOk()) << outcome.status().message();
+    Recording r;
+    r.digest = sim::traceDigest(*outcome->trace);
+    r.ticks = outcome->ticks;
+    r.ctxSwitches = outcome->gpuCtxSwitches;
+    r.ops = outcome->trace->size();
+    r.bootMs = outcome->hostBootMs;
+    r.residentPages = outcome->residentPages;
+    return r;
+}
+
+class ForkRecordTest
+    : public ::testing::TestWithParam<std::tuple<bool, int, bool>>
+{
+};
+
+TEST_P(ForkRecordTest, ForkedSessionsAreBitIdenticalToColdBoot)
+{
+    const auto [use_hix, users, streaming] = GetParam();
+    const Recording cold = record(use_hix, users, streaming, false);
+    const Recording forked = record(use_hix, users, streaming, true);
+
+    ASSERT_GT(cold.ops, 0u);
+    EXPECT_EQ(forked.ops, cold.ops);
+    EXPECT_EQ(forked.digest, cold.digest);
+    EXPECT_EQ(forked.ticks, cold.ticks);
+    EXPECT_EQ(forked.ctxSwitches, cold.ctxSwitches);
+
+    // Session startup accounting: both paths spend measurable host
+    // time before the windows open, and a forked session owns no
+    // private pages at window-open (everything is shared with the
+    // template snapshot) while a cold HIX session has already paid
+    // the enclave's boot-time writes.
+    EXPECT_GT(cold.bootMs, 0.0);
+    EXPECT_GT(forked.bootMs, 0.0);
+    EXPECT_EQ(forked.residentPages, 0u);
+    EXPECT_LE(forked.residentPages, cold.residentPages);
+    if (use_hix) {
+        EXPECT_GE(cold.residentPages,
+                  static_cast<std::uint64_t>(users));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ForkWall, ForkRecordTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "hix" : "gdev") +
+               "_u" + std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "_streaming" : "_twophase");
+    });
+
+TEST(ForkCowIsolationTest, ForkWritesAreInvisibleToSiblingsAndSource)
+{
+    os::Machine source;
+    const Bytes original = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_TRUE(source.ram()
+                    .writeAt(0x1000, original.data(), original.size())
+                    .isOk());
+    const os::MachineSnapshot snap = source.snapshot();
+
+    auto fork_a = os::Machine::fork(snap);
+    auto fork_b = os::Machine::fork(snap);
+    const Bytes scribble = {0x11, 0x22, 0x33, 0x44};
+    ASSERT_TRUE(fork_a->ram()
+                    .writeAt(0x1000, scribble.data(), scribble.size())
+                    .isOk());
+
+    Bytes got(original.size());
+    ASSERT_TRUE(
+        fork_b->ram().readAt(0x1000, got.data(), got.size()).isOk());
+    EXPECT_EQ(got, original);
+    ASSERT_TRUE(
+        source.ram().readAt(0x1000, got.data(), got.size()).isOk());
+    EXPECT_EQ(got, original);
+    ASSERT_TRUE(
+        fork_a->ram().readAt(0x1000, got.data(), got.size()).isOk());
+    EXPECT_EQ(got, scribble);
+}
+
+TEST(ForkCowIsolationTest, SnapshotOutlivesItsSourceMachine)
+{
+    const Bytes original = {0x42, 0x24, 0x99, 0x77};
+    std::optional<os::MachineSnapshot> snap;
+    {
+        os::Machine source;
+        ASSERT_TRUE(
+            source.ram()
+                .writeAt(0x2000, original.data(), original.size())
+                .isOk());
+        snap = source.snapshot();
+    }  // source destroyed; the snapshot keeps the pages alive
+
+    auto fork = os::Machine::fork(*snap);
+    Bytes got(original.size());
+    ASSERT_TRUE(
+        fork->ram().readAt(0x2000, got.data(), got.size()).isOk());
+    EXPECT_EQ(got, original);
+}
+
+TEST(ForkCowIsolationTest, ForkOwnsPagesOnlyOnceItWrites)
+{
+    os::Machine source;
+    const Bytes data(4096, 0xa5);
+    ASSERT_TRUE(
+        source.ram().writeAt(0x3000, data.data(), data.size()).isOk());
+    const os::MachineSnapshot snap = source.snapshot();
+
+    auto fork = os::Machine::fork(snap);
+    EXPECT_EQ(fork->residentPages(), 0u);
+
+    const Bytes one = {0x01};
+    ASSERT_TRUE(
+        fork->ram().writeAt(0x3000, one.data(), one.size()).isOk());
+    EXPECT_GE(fork->residentPages(), 1u);
+    // The write cloned the page first: the source still reads its own
+    // bytes.
+    Bytes got(2);
+    ASSERT_TRUE(
+        source.ram().readAt(0x3000, got.data(), got.size()).isOk());
+    EXPECT_EQ(got[0], 0xa5);
+}
+
+TEST(ForkCowIsolationTest, RestoreSnapshotRewindsAReusedMachine)
+{
+    os::Machine source;
+    const Bytes original = {0x10, 0x20, 0x30};
+    ASSERT_TRUE(
+        source.ram()
+            .writeAt(0x4000, original.data(), original.size())
+            .isOk());
+    const os::MachineSnapshot snap = source.snapshot();
+
+    auto fork = os::Machine::fork(snap);
+    const Bytes scribble = {0xff, 0xee, 0xdd};
+    ASSERT_TRUE(fork->ram()
+                    .writeAt(0x4000, scribble.data(), scribble.size())
+                    .isOk());
+    fork->restoreSnapshot(snap);
+    EXPECT_EQ(fork->residentPages(), 0u);
+    Bytes got(original.size());
+    ASSERT_TRUE(
+        fork->ram().readAt(0x4000, got.data(), got.size()).isOk());
+    EXPECT_EQ(got, original);
+}
+
+}  // namespace
+}  // namespace hix::workloads
