@@ -35,19 +35,23 @@ GdevDriver::resourceFor(gpu::GpuEngine engine, GpuContextId ctx) const
 {
     switch (engine) {
       case gpu::GpuEngine::CopyHtoD:
-        return sim::ResourceId{sim::ResUnit::DmaHtoD, 0};
+        return sim::ResourceId{sim::ResUnit::DmaHtoD,
+                               config_.deviceIndex};
       case gpu::GpuEngine::CopyDtoH:
-        return sim::ResourceId{sim::ResUnit::DmaDtoH, 0};
+        return sim::ResourceId{sim::ResUnit::DmaDtoH,
+                               config_.deviceIndex};
       case gpu::GpuEngine::Compute: {
         // Volta-style concurrent contexts (Section 4.5 future work):
         // with N > 1 queues, contexts spread across execution
         // resources and never switch; the Fermi platform has one.
+        // Each pool device owns its own block of compute queues.
         const std::uint32_t queues =
             std::max<std::uint32_t>(1,
                                     config_.timing.gpuConcurrentContexts);
         return sim::ResourceId{
             sim::ResUnit::GpuCompute,
-            static_cast<std::uint16_t>(ctx % queues)};
+            static_cast<std::uint16_t>(config_.deviceIndex * queues +
+                                       ctx % queues)};
       }
       case gpu::GpuEngine::Control:
         break;
@@ -312,7 +316,8 @@ GdevDriver::writeVramPio(GpuContextId ctx, Addr gpu_va,
     if (recorder_ && recorder_->enabled()) {
         recorder_->record(
             config_.actor,
-            sim::ResourceId{sim::ResUnit::PcieMmio, 0},
+            sim::ResourceId{sim::ResUnit::PcieMmio,
+                            config_.deviceIndex},
             transferTicks(data.size() * config_.timingScale,
                           config_.timing.mmioPioBps),
             sim::OpKind::Transfer,
@@ -346,7 +351,8 @@ GdevDriver::readVramPio(GpuContextId ctx, Addr gpu_va, std::size_t len)
     if (recorder_ && recorder_->enabled()) {
         recorder_->record(
             config_.actor,
-            sim::ResourceId{sim::ResUnit::PcieMmio, 0},
+            sim::ResourceId{sim::ResUnit::PcieMmio,
+                            config_.deviceIndex},
             transferTicks(len * config_.timingScale,
                           config_.timing.mmioPioBps),
             sim::OpKind::Transfer, len * config_.timingScale,

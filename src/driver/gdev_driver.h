@@ -75,6 +75,14 @@ struct GdevConfig
      * not depend on thread scheduling.
      */
     GpuContextId ctxBase = 0;
+    /**
+     * Pool index of the GPU this driver drives. Timed ops land on
+     * device-indexed resources (copy engines, PIO path, and the
+     * compute-queue block [deviceIndex*queues, ...]) so a multi-GPU
+     * schedule never serializes independent devices against each
+     * other. Device 0 reproduces the single-GPU resource ids exactly.
+     */
+    std::uint16_t deviceIndex = 0;
 };
 
 /** Outcome of a timed submission. */

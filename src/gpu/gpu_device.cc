@@ -455,7 +455,7 @@ GpuDevice::execCommand(const std::vector<std::uint64_t> &words,
             const std::size_t chunk = static_cast<std::size_t>(
                 std::min<std::uint64_t>(DmaChunkBytes, args[2] - done));
             HIX_RETURN_IF_ERROR(rootComplex()->dmaRead(
-                args[0] + done, dma_scratch_.data(), chunk));
+                bdf(), args[0] + done, dma_scratch_.data(), chunk));
             HIX_RETURN_IF_ERROR(
                 mem.write(args[1] + done, dma_scratch_.data(), chunk));
             done += chunk;
@@ -489,7 +489,7 @@ GpuDevice::execCommand(const std::vector<std::uint64_t> &words,
             HIX_RETURN_IF_ERROR(
                 mem.read(args[0] + done, dma_scratch_.data(), chunk));
             HIX_RETURN_IF_ERROR(rootComplex()->dmaWrite(
-                args[1] + done, dma_scratch_.data(), chunk));
+                bdf(), args[1] + done, dma_scratch_.data(), chunk));
             done += chunk;
         }
         ++stats_.copiesD2H;

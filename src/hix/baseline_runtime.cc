@@ -7,30 +7,33 @@ BaselineRuntime::BaselineRuntime(os::Machine *machine, std::string name,
                                  std::uint64_t timing_scale,
                                  std::uint16_t cpu_index,
                                  BaselineRuntime *mps_leader,
-                                 GpuContextId ctx_base)
+                                 GpuContextId ctx_base, int gpu_index)
     : machine_(machine),
       name_(std::move(name)),
       cpu_{sim::ResUnit::UserCpu, cpu_index},
-      mps_leader_(mps_leader)
+      mps_leader_(mps_leader),
+      gpu_index_(gpu_index)
 {
     pid_ = machine_->os().createProcess(name_);
     actor_ = machine_->nextActor();
 
     if (mps_leader_) {
         driver_ = mps_leader_->driver_;
+        gpu_index_ = mps_leader_->gpu_index_;
         return;
     }
-    const auto &gpu_config = machine_->gpu().config();
+    const auto &gpu_config = machine_->gpuAt(gpu_index_).config();
     driver::GdevConfig cfg;
     cfg.timing = machine_->config().timing;
     cfg.scrubOnFree = false;  // stock Gdev: no cleansing on free
     cfg.timingScale = timing_scale;
     cfg.actor = actor_;
     cfg.cpuResource = cpu_;
-    cfg.sharedVram = &machine_->vram();
+    cfg.sharedVram = &machine_->vramAt(gpu_index_);
     cfg.ctxBase = ctx_base;
+    cfg.deviceIndex = static_cast<std::uint16_t>(gpu_index_);
     driver_ = std::make_shared<driver::GdevDriver>(
-        &machine_->gpu(),
+        &machine_->gpuAt(gpu_index_),
         std::make_unique<driver::HostMmioPort>(
             &machine_->rootComplex(), gpu_config.barBase(0),
             gpu_config.barBase(1)),
@@ -61,6 +64,7 @@ BaselineRuntime::snapshot() const
     snap.ctxPrecreated = ctx_precreated_;
     snap.timingScale = driver_->config().timingScale;
     snap.ctxBase = driver_->config().ctxBase;
+    snap.gpuIndex = gpu_index_;
     snap.driver = driver_->captureSnapshot();
     return snap;
 }
@@ -75,6 +79,7 @@ BaselineRuntime::fork(os::Machine *machine, const Snapshot &snap,
     rt->actor_ = snap.actor;
     rt->ctx_ = snap.ctx;
     rt->ctx_precreated_ = snap.ctxPrecreated;
+    rt->gpu_index_ = snap.gpuIndex;
     // The template booted under a placeholder process name; give the
     // forked user its own (nothing recorded depends on it).
     if (auto *proc = machine->os().process(snap.pid))
@@ -82,17 +87,18 @@ BaselineRuntime::fork(os::Machine *machine, const Snapshot &snap,
     // Stand the driver up against the forked machine exactly as the
     // boot constructor does, then restore its bookkeeping so VA
     // cursors and context ids continue from the template's state.
-    const auto &gpu_config = machine->gpu().config();
+    const auto &gpu_config = machine->gpuAt(snap.gpuIndex).config();
     driver::GdevConfig cfg;
     cfg.timing = machine->config().timing;
     cfg.scrubOnFree = false;  // stock Gdev: no cleansing on free
     cfg.timingScale = snap.timingScale;
     cfg.actor = snap.actor;
     cfg.cpuResource = rt->cpu_;
-    cfg.sharedVram = &machine->vram();
+    cfg.sharedVram = &machine->vramAt(snap.gpuIndex);
     cfg.ctxBase = snap.ctxBase;
+    cfg.deviceIndex = static_cast<std::uint16_t>(snap.gpuIndex);
     rt->driver_ = std::make_shared<driver::GdevDriver>(
-        &machine->gpu(),
+        &machine->gpuAt(snap.gpuIndex),
         std::make_unique<driver::HostMmioPort>(
             &machine->rootComplex(), gpu_config.barBase(0),
             gpu_config.barBase(1)),

@@ -29,12 +29,16 @@ class BaselineRuntime
      *        of the paper: MPS merges all user processes into a
      *        single GPU context), while keeping this user's own CPU
      *        core and timing actor.
+     * @param gpu_index which GPU of the machine's pool this runtime
+     *        drives (BARs, VRAM allocator, and timing resources are
+     *        all per-device); ignored in MPS-follower mode, where the
+     *        leader's device is shared.
      */
     BaselineRuntime(os::Machine *machine, std::string name,
                     std::uint64_t timing_scale = 1,
                     std::uint16_t cpu_index = 0,
                     BaselineRuntime *mps_leader = nullptr,
-                    GpuContextId ctx_base = 0);
+                    GpuContextId ctx_base = 0, int gpu_index = 0);
 
     /**
      * Boot-state snapshot for the session-fork fast path: identity
@@ -52,6 +56,7 @@ class BaselineRuntime
         bool ctxPrecreated = false;
         std::uint64_t timingScale = 1;
         GpuContextId ctxBase = 0;
+        int gpuIndex = 0;
         driver::GdevDriver::Snapshot driver;
     };
 
@@ -103,6 +108,8 @@ class BaselineRuntime
 
     GpuContextId gpuContext() const { return ctx_; }
     ProcessId pid() const { return pid_; }
+    std::uint32_t actor() const { return actor_; }
+    int gpuIndex() const { return gpu_index_; }
     driver::GdevDriver &gdev() { return *driver_; }
 
     /** The pinned staging buffer (exposed for attack demos). */
@@ -126,6 +133,7 @@ class BaselineRuntime
     sim::ResourceId cpu_;
     std::shared_ptr<driver::GdevDriver> driver_;
     BaselineRuntime *mps_leader_ = nullptr;
+    int gpu_index_ = 0;
     GpuContextId ctx_ = 0;
     os::DmaBuffer host_buf_;
     bool initialized_ = false;

@@ -33,6 +33,9 @@ GpuEnclave::GpuEnclave(os::Machine *machine, HixConfig config,
                        int gpu_index)
     : machine_(machine), config_(config), gpu_index_(gpu_index)
 {
+    // Each pool device gets its own modelled enclave CPU so sessions
+    // bound to different GPUs never serialize on mgmt-path work.
+    cpu_.index = static_cast<std::uint16_t>(gpu_index);
 }
 
 Result<std::unique_ptr<GpuEnclave>>
@@ -145,6 +148,7 @@ GpuEnclave::initialize(const crypto::Sha256Digest &expected_bios)
     gcfg.pioWindowBytes = pio_window;
     gcfg.sharedVram = &m.vramAt(gpu_index_);
     gcfg.ctxBase = config_.ctxBase;
+    gcfg.deviceIndex = static_cast<std::uint16_t>(gpu_index_);
     driver_ = std::make_unique<driver::GdevDriver>(
         &m.gpuAt(gpu_index_),
         std::make_unique<driver::EnclaveMmioPort>(&m.mmu(), exec_ctx_,
@@ -229,6 +233,7 @@ GpuEnclave::fork(os::Machine *machine, const Snapshot &snap,
     gcfg.pioWindowBytes = 4 * MiB;
     gcfg.sharedVram = &m.vramAt(snap.gpuIndex);
     gcfg.ctxBase = config.ctxBase;
+    gcfg.deviceIndex = static_cast<std::uint16_t>(snap.gpuIndex);
     enclave->driver_ = std::make_unique<driver::GdevDriver>(
         &m.gpuAt(snap.gpuIndex),
         std::make_unique<driver::EnclaveMmioPort>(

@@ -49,6 +49,7 @@ class TrustedRuntime
     EnclaveId enclaveId() const { return eid_; }
     std::uint32_t sessionId() const { return session_id_; }
     ProcessId pid() const { return pid_; }
+    std::uint32_t actor() const { return actor_; }
 
     /** ELRANGE base of the user enclave (for protection tests). */
     static constexpr Addr UserElBase = 0x30000000;

@@ -10,11 +10,12 @@ Iommu::Iommu(std::size_t iotlb_capacity)
 }
 
 Status
-Iommu::map(Addr device_addr, Addr phys_addr)
+Iommu::map(IommuDomain domain, Addr device_addr, Addr phys_addr)
 {
     if (!pageAligned(device_addr) || !pageAligned(phys_addr))
         return errInvalidArgument("IOMMU map: unaligned address");
-    auto [it, inserted] = table_.emplace(device_addr, phys_addr);
+    auto [it, inserted] =
+        table_.emplace(keyFor(domain, device_addr), phys_addr);
     if (!inserted)
         return errAlreadyExists("device page already mapped");
     // No IOTLB action needed: misses are never cached, so an absent
@@ -23,30 +24,31 @@ Iommu::map(Addr device_addr, Addr phys_addr)
 }
 
 Status
-Iommu::unmap(Addr device_addr)
+Iommu::unmap(IommuDomain domain, Addr device_addr)
 {
     const Addr dpage = pageBase(device_addr);
-    if (table_.erase(dpage) == 0)
+    if (table_.erase(keyFor(domain, dpage)) == 0)
         return errNotFound("device page not mapped");
-    invalidatePage(dpage);
+    invalidatePage(domain, dpage);
     return Status::ok();
 }
 
 void
-Iommu::overwrite(Addr device_addr, Addr phys_addr)
+Iommu::overwrite(IommuDomain domain, Addr device_addr, Addr phys_addr)
 {
     const Addr dpage = pageBase(device_addr);
-    invalidatePage(dpage);
-    table_[dpage] = pageBase(phys_addr);
+    invalidatePage(domain, dpage);
+    table_[keyFor(domain, dpage)] = pageBase(phys_addr);
 }
 
 void
-Iommu::invalidatePage(Addr dpage)
+Iommu::invalidatePage(IommuDomain domain, Addr dpage)
 {
-    IoSlot *base = &slots_[geom_.setIndex(0, dpage) * geom_.ways];
+    const std::uint64_t key = keyFor(domain, dpage);
+    IoSlot *base = &slots_[geom_.setIndex(domain, dpage) * geom_.ways];
     for (std::size_t w = 0; w < geom_.ways; ++w) {
         IoSlot &s = base[w];
-        if (s.epoch == epoch_ && s.dpage == dpage) {
+        if (s.epoch == epoch_ && s.key == key) {
             s.epoch = 0;
             --live_;
         }
@@ -61,22 +63,23 @@ Iommu::flushIotlb()
 }
 
 Result<Addr>
-Iommu::translate(Addr device_addr) const
+Iommu::translate(IommuDomain domain, Addr device_addr) const
 {
     if (!enabled_)
         return device_addr;
     const Addr dpage = pageBase(device_addr);
-    IoSlot *base = &slots_[geom_.setIndex(0, dpage) * geom_.ways];
+    const std::uint64_t key = keyFor(domain, dpage);
+    IoSlot *base = &slots_[geom_.setIndex(domain, dpage) * geom_.ways];
     for (std::size_t w = 0; w < geom_.ways; ++w) {
         IoSlot &s = base[w];
-        if (s.epoch == epoch_ && s.dpage == dpage) {
+        if (s.epoch == epoch_ && s.key == key) {
             s.stamp = ++tick_;
             ++iotlb_hits_;
             return s.ppage + pageOffset(device_addr);
         }
     }
     ++iotlb_misses_;
-    auto it = table_.find(dpage);
+    auto it = table_.find(key);
     if (it == table_.end())
         return errAccessFault("IOMMU fault: device page not mapped");
     // Fill: prefer an invalid slot, else evict within-set LRU.
@@ -96,7 +99,7 @@ Iommu::translate(Addr device_addr) const
         ++live_;
         dst->epoch = epoch_;
     }
-    dst->dpage = dpage;
+    dst->key = key;
     dst->ppage = it->second;
     dst->stamp = ++tick_;
     return it->second + pageOffset(device_addr);

@@ -6,12 +6,21 @@
  * protects DMA payloads with authenticated encryption instead of
  * trusting this unit.
  *
+ * Translations are grouped into protection domains, one per
+ * requesting device (the root complex assigns domain = root-port
+ * index). A device's DMA can only ever resolve through its own
+ * domain's table, so a multi-GPU pool gets per-device DMA isolation:
+ * device k addressing a page mapped only for device j faults. The
+ * single-GPU setups all use the default domain 0 and behave exactly
+ * as the single-domain model did.
+ *
  * Translation is cached in a set-associative IOTLB (same geometry
- * engine as the CPU TLB). Caching cannot change what the adversary
- * can do: fills mirror the OS-owned table verbatim, and every table
- * mutation (unmap/overwrite) invalidates the cached page before it
- * takes effect, so a translate always returns exactly what the table
- * would. Negative results (faults) are never cached.
+ * engine as the CPU TLB), tagged by (domain, device page). Caching
+ * cannot change what the adversary can do: fills mirror the OS-owned
+ * table verbatim, and every table mutation (unmap/overwrite)
+ * invalidates the cached page before it takes effect, so a translate
+ * always returns exactly what the table would. Negative results
+ * (faults) are never cached.
  */
 
 #ifndef HIX_MEM_IOMMU_H_
@@ -29,8 +38,11 @@
 namespace hix::mem
 {
 
+/** IOMMU protection-domain id (root-port index of the requester). */
+using IommuDomain = std::uint16_t;
+
 /**
- * A single-domain IOMMU. When disabled (bypass mode), device
+ * A multi-domain IOMMU. When disabled (bypass mode), device
  * addresses pass through untranslated (and the IOTLB is not
  * consulted or counted).
  */
@@ -44,10 +56,15 @@ class Iommu
     bool enabled() const { return enabled_; }
 
     /** Map a device page to a physical page (OS-controlled). */
-    Status map(Addr device_addr, Addr phys_addr);
+    Status map(Addr device_addr, Addr phys_addr)
+    {
+        return map(0, device_addr, phys_addr);
+    }
+    Status map(IommuDomain domain, Addr device_addr, Addr phys_addr);
 
     /** Remove a device page mapping. */
-    Status unmap(Addr device_addr);
+    Status unmap(Addr device_addr) { return unmap(0, device_addr); }
+    Status unmap(IommuDomain domain, Addr device_addr);
 
     /**
      * Rewrite a mapping without checks — the attacker primitive for
@@ -55,10 +72,18 @@ class Iommu
      * redirect is visible to the very next translate (the attack
      * model must not be weakened by caching).
      */
-    void overwrite(Addr device_addr, Addr phys_addr);
+    void overwrite(Addr device_addr, Addr phys_addr)
+    {
+        overwrite(0, device_addr, phys_addr);
+    }
+    void overwrite(IommuDomain domain, Addr device_addr, Addr phys_addr);
 
     /** Translate a device address; faults when unmapped. */
-    Result<Addr> translate(Addr device_addr) const;
+    Result<Addr> translate(Addr device_addr) const
+    {
+        return translate(0, device_addr);
+    }
+    Result<Addr> translate(IommuDomain domain, Addr device_addr) const;
 
     std::size_t entryCount() const { return table_.size(); }
 
@@ -71,18 +96,27 @@ class Iommu
     void flushIotlb();
 
   private:
+    /** Table key: domain in the high bits, page base in the low.
+     * Physical address space tops out far below 2^48, so the tag
+     * never collides with page bits. */
+    static std::uint64_t keyFor(IommuDomain domain, Addr dpage)
+    {
+        return (static_cast<std::uint64_t>(domain) << 48) | dpage;
+    }
+
     struct IoSlot
     {
-        Addr dpage = 0;
+        std::uint64_t key = 0;    // keyFor(domain, dpage)
         Addr ppage = 0;
         std::uint64_t epoch = 0;  // 0 = invalid
         std::uint64_t stamp = 0;  // LRU recency
     };
 
-    void invalidatePage(Addr dpage);
+    void invalidatePage(IommuDomain domain, Addr dpage);
 
     bool enabled_ = false;
-    std::unordered_map<Addr, Addr> table_;  // device page -> phys page
+    // (domain, device page) -> phys page
+    std::unordered_map<std::uint64_t, Addr> table_;
 
     // IOTLB state; translate() is const, so the cache is mutable.
     TlbGeometry geom_;

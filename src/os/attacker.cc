@@ -68,9 +68,10 @@ Attacker::mapAndWrite(ProcessId attacker_pid, Addr paddr,
 }
 
 Status
-Attacker::redirectDma(Addr device_page, Addr new_phys_page)
+Attacker::redirectDma(Addr device_page, Addr new_phys_page,
+                      mem::IommuDomain domain)
 {
-    machine_->iommu().overwrite(device_page, new_phys_page);
+    machine_->iommu().overwrite(domain, device_page, new_phys_page);
     return Status::ok();
 }
 

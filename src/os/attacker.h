@@ -52,8 +52,11 @@ class Attacker
                        const Bytes &data);
 
     // ----- DMA attacks -----------------------------------------------------
-    /** Redirect an IOMMU mapping so device DMA lands elsewhere. */
-    Status redirectDma(Addr device_page, Addr new_phys_page);
+    /** Redirect an IOMMU mapping so device DMA lands elsewhere. The
+     * OS-level adversary owns every protection domain; @p domain
+     * picks the victim device's (root-port index, default 0). */
+    Status redirectDma(Addr device_page, Addr new_phys_page,
+                       mem::IommuDomain domain = 0);
 
     // ----- PCIe routing attacks --------------------------------------------
     /** Rewrite a config register (BAR, bridge window, bus numbers). */

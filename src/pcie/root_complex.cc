@@ -377,11 +377,18 @@ RootComplex::measurePath(const Bdf &bdf) const
 }
 
 Result<Addr>
-RootComplex::translateDma(Addr addr) const
+RootComplex::translateDma(mem::IommuDomain domain, Addr addr) const
 {
     if (!iommu_)
         return addr;
-    return iommu_->translate(addr);
+    return iommu_->translate(domain, addr);
+}
+
+mem::IommuDomain
+RootComplex::dmaDomainOf(const Bdf &source) const
+{
+    const RootPort *port = portForBdf(source);
+    return port ? static_cast<mem::IommuDomain>(port->index()) : 0;
 }
 
 // The DMA helpers translate once per device page, coalesce physically
@@ -391,8 +398,10 @@ RootComplex::translateDma(Addr addr) const
 // boundaries and the per-page fault/partial-copy semantics of the
 // old loop are preserved exactly.
 Status
-RootComplex::dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
+RootComplex::dmaRead(const Bdf &source, Addr addr, std::uint8_t *data,
+                     std::size_t len)
 {
+    const mem::IommuDomain domain = dmaDomainOf(source);
     if (!ram_)
         return errUnavailable("no DMA path configured");
     if (mmio_window_.contains(addr))
@@ -400,7 +409,7 @@ RootComplex::dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
             "peer-to-peer DMA is not supported by HIX");
     if (len == 0)
         return Status::ok();
-    auto first = translateDma(addr);
+    auto first = translateDma(domain, addr);
     if (!first.isOk())
         return first.status();
     Addr run_pa = *first;
@@ -408,7 +417,7 @@ RootComplex::dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
         mem::PageSize - mem::pageOffset(addr), len);
     std::uint64_t covered = run_len;
     while (covered < len) {
-        auto pa = translateDma(addr + covered);
+        auto pa = translateDma(domain, addr + covered);
         if (!pa.isOk()) {
             Status st = ram_->readPages(run_pa, data, run_len);
             return st.isOk() ? pa.status() : st;
@@ -429,9 +438,10 @@ RootComplex::dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
 }
 
 Status
-RootComplex::dmaWrite(Addr addr, const std::uint8_t *data,
-                      std::size_t len)
+RootComplex::dmaWrite(const Bdf &source, Addr addr,
+                      const std::uint8_t *data, std::size_t len)
 {
+    const mem::IommuDomain domain = dmaDomainOf(source);
     if (!ram_)
         return errUnavailable("no DMA path configured");
     if (mmio_window_.contains(addr))
@@ -439,7 +449,7 @@ RootComplex::dmaWrite(Addr addr, const std::uint8_t *data,
             "peer-to-peer DMA is not supported by HIX");
     if (len == 0)
         return Status::ok();
-    auto first = translateDma(addr);
+    auto first = translateDma(domain, addr);
     if (!first.isOk())
         return first.status();
     Addr run_pa = *first;
@@ -447,7 +457,7 @@ RootComplex::dmaWrite(Addr addr, const std::uint8_t *data,
         mem::PageSize - mem::pageOffset(addr), len);
     std::uint64_t covered = run_len;
     while (covered < len) {
-        auto pa = translateDma(addr + covered);
+        auto pa = translateDma(domain, addr + covered);
         if (!pa.isOk()) {
             Status st = ram_->writePages(run_pa, data, run_len);
             return st.isOk() ? pa.status() : st;

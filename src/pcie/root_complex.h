@@ -157,11 +157,32 @@ class RootComplex : public mem::BusTarget
     Result<std::vector<AddrRange>> deviceBarRanges(const Bdf &bdf) const;
 
     // ----- DMA (device -> system memory) --------------------------------
-    /** DMA read from system memory on behalf of a device. */
-    Status dmaRead(Addr addr, std::uint8_t *data, std::size_t len);
+    /**
+     * DMA read from system memory on behalf of @p source. The
+     * requester's identity selects the IOMMU protection domain
+     * (domain = root-port index), so a device can only resolve
+     * through its own domain's table. The identity-less overloads
+     * keep the legacy single-device behavior: they run in domain 0,
+     * which is the lone GPU's domain on a one-GPU machine.
+     */
+    Status dmaRead(const Bdf &source, Addr addr, std::uint8_t *data,
+                   std::size_t len);
+    Status dmaRead(Addr addr, std::uint8_t *data, std::size_t len)
+    {
+        return dmaRead(Bdf{}, addr, data, len);
+    }
 
-    /** DMA write to system memory on behalf of a device. */
-    Status dmaWrite(Addr addr, const std::uint8_t *data, std::size_t len);
+    /** DMA write to system memory on behalf of @p source. */
+    Status dmaWrite(const Bdf &source, Addr addr,
+                    const std::uint8_t *data, std::size_t len);
+    Status dmaWrite(Addr addr, const std::uint8_t *data, std::size_t len)
+    {
+        return dmaWrite(Bdf{}, addr, data, len);
+    }
+
+    /** IOMMU protection domain of a DMA requester: the index of the
+     * root port it sits behind (0 when the BDF is unknown). */
+    mem::IommuDomain dmaDomainOf(const Bdf &source) const;
 
     // ----- BusTarget (CPU-side MMIO window) ------------------------------
     std::string targetName() const override { return "pcie_root_complex"; }
@@ -214,7 +235,7 @@ class RootComplex : public mem::BusTarget
     Status routeMemRaw(Addr addr, std::uint8_t *read_data,
                        const std::uint8_t *write_data, std::size_t len);
     /** IOMMU translation of one DMA page (identity without IOMMU). */
-    Result<Addr> translateDma(Addr addr) const;
+    Result<Addr> translateDma(mem::IommuDomain domain, Addr addr) const;
 
     AddrRange mmio_window_;
     mem::PhysicalBus *ram_;

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * GPU-pool service runtime: admission, placement, and dispatch of an
+ * open-loop session stream over the machine's multi-GPU pool.
+ *
+ * The service is split into a pure planning stage and an execution
+ * stage. planService() turns a seeded arrival process plus per-app
+ * demand estimates into a placement plan — admission FIFO against a
+ * bounded session table, then one of three pluggable placement
+ * policies binds each admitted session to a device. runService()
+ * probes the demand estimates with solo runs, plans, and hands the
+ * placed sessions to workloads::runSessionPool() for recording and
+ * scheduling, then reduces the schedule to p50/p95/p99 session
+ * latency and per-device utilization. Everything is deterministic:
+ * same ServiceConfig (seed included) => same plan, same digest, same
+ * percentiles, at any host thread count.
+ */
+
+#ifndef HIX_SVC_SERVICE_H_
+#define HIX_SVC_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/runner.h"
+
+namespace hix::svc
+{
+
+/** How admitted sessions are bound to pool devices. */
+enum class Policy
+{
+    /** Device = session index mod pool size. Stateless. */
+    RoundRobin,
+    /** Least outstanding estimated work at admission; ties go to the
+     *  lowest device index. */
+    LeastLoaded,
+    /** A returning user lands on the device that served it last;
+     *  first contact places least-loaded. */
+    Affinity,
+};
+
+const char *policyName(Policy policy);
+
+/** One service run: the arrival process and the pool it feeds. */
+struct ServiceConfig
+{
+    /** GPUs in the pool (machine.gpuCount is overridden to this). */
+    int devices = 1;
+    Policy policy = Policy::RoundRobin;
+    /** true = one HIX GPU enclave per device; false = one baseline
+     *  MPS context pool per device. */
+    bool useHix = true;
+    /** Seeds arrivals, app draws, and user draws. */
+    std::uint64_t seed = 1;
+    /** Sessions in the arrival stream. */
+    int sessions = 1;
+    /**
+     * Mean inter-arrival gap of the open-loop arrival process
+     * (uniform on [1, 2*mean] ticks). 0 = closed batch: every
+     * session arrives at tick 0 and records no admission wait op, so
+     * a 1-device closed batch is bit-identical to runWorkload().
+     */
+    Tick meanInterarrivalTicks = 0;
+    /**
+     * Bounded session table: at most this many sessions admitted at
+     * once; arrivals beyond it queue FIFO until an estimated
+     * completion frees a slot. 0 = unbounded.
+     */
+    int tableCap = 0;
+    /** Rodinia app mix; each session draws uniformly from it. */
+    std::vector<std::string> appMix = {"NN"};
+    /**
+     * Distinct users issuing the sessions (drawn uniformly). 0 gives
+     * every session its own user — affinity then degenerates to
+     * least-loaded.
+     */
+    int userPopulation = 0;
+    /** Runner knobs (factory, users, useHix, gpuCount overridden). */
+    workloads::RunConfig run;
+};
+
+/** Where one session of the stream ended up. */
+struct SessionPlan
+{
+    int user = 0;
+    int appIndex = 0;  //!< index into ServiceConfig::appMix
+    Tick arrival = 0;
+    Tick admit = 0;  //!< >= arrival; admission-queue wait when bounded
+    int device = 0;
+};
+
+/** planService() output: the placement plus queueing statistics. */
+struct ServicePlan
+{
+    std::vector<SessionPlan> sessions;
+    std::vector<int> perDeviceSessions;
+    /** Max simultaneous sessions waiting on each device's dispatch
+     *  queue (admitted but before their estimated service start). */
+    std::vector<int> queueDepthMax;
+    /** Max simultaneous arrivals waiting for a session-table slot. */
+    int admitQueueDepthMax = 0;
+};
+
+/**
+ * Pure planning stage: no machine, no recording — a queueing model
+ * over @p demandTicks (estimated solo run time per appMix entry,
+ * same length as appMix). Deterministic in the config alone, so the
+ * policy property suite can drive it with synthetic demands.
+ */
+Result<ServicePlan> planService(const ServiceConfig &config,
+                                const std::vector<Tick> &demandTicks);
+
+/** runService() result. */
+struct ServiceOutcome
+{
+    ServicePlan plan;
+    workloads::PoolOutcome pool;
+    /** Per-session finish - arrival, in session order. */
+    std::vector<Tick> latency;
+    Tick p50 = 0;
+    Tick p95 = 0;
+    Tick p99 = 0;
+    /** Per-device GPU compute utilization: busy fraction of the
+     *  device's compute queues over the schedule makespan. */
+    std::vector<double> deviceUtil;
+    /** Probed solo demand per appMix entry. */
+    std::vector<Tick> demandTicks;
+};
+
+/**
+ * Execute the full service: probe per-app demands with solo runs,
+ * plan admission + placement, record and schedule the placed pool,
+ * and reduce to latency percentiles and per-device utilization.
+ */
+Result<ServiceOutcome> runService(const ServiceConfig &config);
+
+/** Nearest-rank percentile of an unsorted sample (pct in 1..100). */
+Tick percentileTick(std::vector<Tick> sample, int pct);
+
+/**
+ * Per-device GPU compute busy fraction of @p schedule: device d's
+ * compute-queue busy ticks over queues * makespan. Resources are
+ * device-blocked by index (queue q of device d is GpuCompute index
+ * d * gpuConcurrentContexts + q).
+ */
+std::vector<double> deviceUtilization(
+    const sim::ScheduleResult &schedule,
+    const os::MachineConfig &machine, int devices);
+
+}  // namespace hix::svc
+
+#endif  // HIX_SVC_SERVICE_H_

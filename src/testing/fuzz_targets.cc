@@ -9,14 +9,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/units.h"
 #include "crypto/auth_channel.h"
 #include "crypto/hmac.h"
+#include "gpu/gpu_device.h"
 #include "hix/protocol.h"
 #include "mem/iommu.h"
 #include "mem/mmu.h"
 #include "mem/page_table.h"
 #include "mem/phys_bus.h"
 #include "mem/phys_mem.h"
+#include "pcie/root_complex.h"
 
 namespace hix::harness
 {
@@ -753,6 +756,205 @@ runCowFork(const std::vector<std::uint64_t> &ops)
     return Status::ok();
 }
 
+// ----- multi-GPU routing ----------------------------------------------
+
+/**
+ * A 2-4 GPU PCIe fabric driven against a per-device ownership shadow
+ * model: the OS maps each device's DMA pages only into that device's
+ * own RAM partition, then the stream interleaves IOMMU map/unmap,
+ * DMA reads/writes issued under each device's requester identity,
+ * BAR1 VRAM pokes, and raw translate probes. Properties: map/unmap/
+ * translate/DMA fault verdicts match the shadow table exactly
+ * (per-domain isolation — device k never resolves through device j's
+ * mappings), BAR apertures never overlap, a BAR1 write lands in its
+ * device's VRAM and no other's, and at the end RAM equals the shadow
+ * byte-for-byte (no DMA ever strayed outside its owner's pages).
+ */
+Status
+runMultiGpuRouting(const std::vector<std::uint64_t> &ops)
+{
+    std::size_t i = 0;
+    auto next = [&]() -> std::uint64_t {
+        return i < ops.size() ? ops[i++] : 0;
+    };
+
+    constexpr std::uint64_t RamSize = 1 * MiB;
+    constexpr std::uint64_t RamPages = RamSize / mem::PageSize;
+    constexpr std::uint64_t DevPages = 16;
+    const int devices = 2 + static_cast<int>(next() % 3);
+
+    mem::PhysicalBus ram_bus;
+    mem::PhysMem ram("ram", RamSize);
+    if (!ram_bus.attach(AddrRange(0, RamSize), &ram).isOk())
+        return errInternal("RAM attach failed");
+    mem::Iommu iommu;
+    iommu.setEnabled(true);
+    pcie::RootComplex rc(AddrRange(0xe0000000, 256 * MiB), &ram_bus,
+                         &iommu);
+
+    gpu::GpuGeometry geom;
+    geom.vramSize = 4 * MiB;
+    geom.bar0Size = 1 * MiB;
+    geom.bar1Size = 1 * MiB;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> gpus;
+    for (int d = 0; d < devices; ++d) {
+        gpus.push_back(std::make_unique<gpu::GpuDevice>(
+            "fuzz-gpu-" + std::to_string(d), geom,
+            gpu::GpuPerfModel{}, sim::PlatformConfig::paper(),
+            0xf022 + d));
+        if (!rc.attachDevice(d, gpus.back().get()).isOk())
+            return errInternal("GPU attach failed");
+    }
+    if (!rc.enumerate().isOk())
+        return errInternal("enumeration failed");
+
+    std::vector<Addr> bar1(devices);
+    std::vector<std::vector<AddrRange>> bars(devices);
+    for (int d = 0; d < devices; ++d) {
+        auto ranges = rc.deviceBarRanges(gpus[d]->bdf());
+        if (!ranges.isOk() || ranges->size() < 2)
+            return errInternal("GPU missing BARs after enumeration");
+        bars[d] = *ranges;
+        bar1[d] = bars[d][1].start();
+        if (rc.dmaDomainOf(gpus[d]->bdf()) !=
+            static_cast<mem::IommuDomain>(d))
+            return errInternal("requester domain != root-port index");
+        for (int other = 0; other < d; ++other)
+            for (const AddrRange &a : bars[d])
+                for (const AddrRange &b : bars[other])
+                    if (a.overlaps(b))
+                        return errInternal(
+                            "BAR windows of two devices overlap");
+    }
+
+    std::vector<std::uint8_t> shadow_ram(RamSize, 0);
+    std::vector<std::unordered_map<Addr, Addr>> shadow_map(devices);
+    std::vector<std::unordered_map<std::uint64_t, std::uint8_t>>
+        shadow_vram(devices);
+
+    while (i < ops.size()) {
+        const std::uint64_t op = next();
+        const int k = static_cast<int>((op >> 8) % devices);
+        const Addr dpage = ((op >> 16) % DevPages) * mem::PageSize;
+        switch (op % 6) {
+          case 0: {  // OS maps a domain-k page into k's RAM partition
+            const std::uint64_t own =
+                ((op >> 24) % (RamPages / devices)) * devices + k;
+            const bool present = shadow_map[k].count(dpage) != 0;
+            const Status st =
+                iommu.map(static_cast<mem::IommuDomain>(k), dpage,
+                          own * mem::PageSize);
+            if (st.isOk() == present)
+                return errInternal("map verdict diverged at " +
+                                   hexWord(dpage));
+            if (!present)
+                shadow_map[k][dpage] = own * mem::PageSize;
+            break;
+          }
+          case 1: {
+            const bool present = shadow_map[k].count(dpage) != 0;
+            const Status st = iommu.unmap(
+                static_cast<mem::IommuDomain>(k), dpage);
+            if (st.isOk() != present)
+                return errInternal("unmap verdict diverged at " +
+                                   hexWord(dpage));
+            shadow_map[k].erase(dpage);
+            break;
+          }
+          case 2:
+          case 3: {  // DMA under device k's requester identity
+            const std::uint64_t off = (op >> 24) % (mem::PageSize - 8);
+            const std::size_t len = 1 + (op >> 56) % 8;
+            const auto it = shadow_map[k].find(dpage);
+            const bool mapped = it != shadow_map[k].end();
+            std::uint8_t buf[8] = {};
+            if (op % 6 == 2) {
+                for (std::size_t b = 0; b < len; ++b)
+                    buf[b] = static_cast<std::uint8_t>(op >> (8 * b)) ^
+                             0x5a;
+                const Status st = rc.dmaWrite(gpus[k]->bdf(),
+                                              dpage + off, buf, len);
+                if (st.isOk() != mapped)
+                    return errInternal(
+                        "DMA write fault verdict diverged at " +
+                        hexWord(dpage + off));
+                if (mapped)
+                    std::memcpy(shadow_ram.data() + it->second + off,
+                                buf, len);
+            } else {
+                const Status st = rc.dmaRead(gpus[k]->bdf(),
+                                             dpage + off, buf, len);
+                if (st.isOk() != mapped)
+                    return errInternal(
+                        "DMA read fault verdict diverged at " +
+                        hexWord(dpage + off));
+                if (mapped &&
+                    std::memcmp(buf, shadow_ram.data() + it->second + off,
+                                len) != 0)
+                    return errInternal("DMA read bytes diverged at " +
+                                       hexWord(dpage + off));
+            }
+            break;
+          }
+          case 4: {  // CPU pokes device k's VRAM through BAR1
+            const std::uint64_t off = (op >> 16) % (geom.bar1Size - 8);
+            const std::size_t len = 1 + (op >> 56) % 8;
+            Bytes data(len);
+            for (std::size_t b = 0; b < len; ++b)
+                data[b] = static_cast<std::uint8_t>(op >> (8 * b)) ^
+                          0xa5;
+            if (!rc.routeTlp(pcie::Tlp::memWrite(bar1[k] + off, data))
+                     .isOk())
+                return errInternal("BAR1 write unroutable");
+            for (std::size_t b = 0; b < len; ++b)
+                shadow_vram[k][off + b] = data[b];
+            // The write must be visible on device k and only there.
+            for (int d = 0; d < devices; ++d) {
+                std::uint8_t got[8];
+                if (!gpus[d]->debugReadVram(off, got, len).isOk())
+                    return errInternal("VRAM peek failed");
+                for (std::size_t b = 0; b < len; ++b) {
+                    const auto sv = shadow_vram[d].find(off + b);
+                    const std::uint8_t want =
+                        sv == shadow_vram[d].end() ? 0 : sv->second;
+                    if (got[b] != want)
+                        return errInternal(
+                            d == k ? "BAR1 write lost on its device"
+                                   : "BAR1 write leaked into another "
+                                     "device's VRAM");
+                }
+            }
+            break;
+          }
+          case 5: {  // raw translate probe
+            const auto want = shadow_map[k].find(dpage);
+            const auto got = iommu.translate(
+                static_cast<mem::IommuDomain>(k), dpage);
+            if (got.isOk() != (want != shadow_map[k].end()))
+                return errInternal(
+                    "translate fault verdict diverged at " +
+                    hexWord(dpage));
+            if (got.isOk() && *got != want->second)
+                return errInternal("translate crossed domains: " +
+                                   hexWord(*got));
+            break;
+          }
+        }
+    }
+
+    // No DMA ever strayed: RAM equals the shadow byte-for-byte.
+    std::vector<std::uint8_t> final_ram(RamSize);
+    if (!ram.readAt(0, final_ram.data(), RamSize).isOk())
+        return errInternal("final RAM read failed");
+    if (final_ram != shadow_ram) {
+        for (std::uint64_t b = 0; b < RamSize; ++b)
+            if (final_ram[b] != shadow_ram[b])
+                return errInternal("RAM diverged from shadow at " +
+                                   hexWord(b));
+    }
+    return Status::ok();
+}
+
 }  // namespace
 
 FuzzTarget
@@ -785,6 +987,12 @@ cowForkFuzzTarget()
     return FuzzTarget{"cow_fork", 1, 64, runCowFork};
 }
 
+FuzzTarget
+multiGpuRoutingFuzzTarget()
+{
+    return FuzzTarget{"multi_gpu_routing", 1, 64, runMultiGpuRouting};
+}
+
 void
 registerBuiltinFuzzTargets(FuzzRunner &runner)
 {
@@ -793,6 +1001,7 @@ registerBuiltinFuzzTargets(FuzzRunner &runner)
     runner.add(mappingStateFuzzTarget());
     runner.add(memorySystemFuzzTarget());
     runner.add(cowForkFuzzTarget());
+    runner.add(multiGpuRoutingFuzzTarget());
 }
 
 }  // namespace hix::harness

@@ -44,6 +44,16 @@ FuzzTarget memorySystemFuzzTarget();
  */
 FuzzTarget cowForkFuzzTarget();
 
+/**
+ * Multi-GPU routing: a 2-4 GPU PCIe fabric with per-device IOMMU
+ * protection domains, driven against a per-device ownership shadow
+ * model. DMA issued under device k's requester identity must resolve
+ * only through domain k's table and only into k's RAM partition;
+ * BAR apertures never overlap; a BAR1 write reaches exactly its
+ * device's VRAM; final RAM equals the shadow byte-for-byte.
+ */
+FuzzTarget multiGpuRoutingFuzzTarget();
+
 }  // namespace hix::harness
 
 #endif  // HIX_TESTING_FUZZ_TARGETS_H_

@@ -44,18 +44,26 @@ VictimScenario::VictimScenario(const ScenarioOptions &options)
     // Four chunks for the default 16 KiB secret: mid-transfer attacks
     // need several chunk boundaries to strike between.
     cfg.timing.pipelineChunkBytes = chunk_bytes_;
+    cfg.gpuCount = std::max(1, options_.gpuCount);
     machine_ = std::make_unique<os::Machine>(cfg);
     attacker_ = os::Attacker(machine_.get());
 
     Rng rng(options_.seed);
     secret_ = rng.bytes(options_.secretBytes);
 
-    machine_->gpu().kernels().add(
-        "sec_noop",
-        [](const gpu::GpuMemAccessor &, const gpu::KernelArgs &) {
-            return Status::ok();
-        },
-        [](const gpu::KernelArgs &) { return Tick(10000); });
+    for (int d = 0; d < cfg.gpuCount; ++d)
+        machine_->gpuAt(d).kernels().add(
+            "sec_noop",
+            [](const gpu::GpuMemAccessor &, const gpu::KernelArgs &) {
+                return Status::ok();
+            },
+            [](const gpu::KernelArgs &) { return Tick(10000); });
+}
+
+gpu::GpuDevice &
+VictimScenario::victimGpu()
+{
+    return machine_->gpuAt(options_.victimDevice);
 }
 
 VictimScenario::~VictimScenario()
@@ -69,7 +77,8 @@ VictimScenario::setup()
 {
     if (options_.runtime == RuntimeKind::Baseline) {
         baseline_ = std::make_unique<core::BaselineRuntime>(
-            machine_.get(), "victim");
+            machine_.get(), "victim", 1, 0, nullptr, 0,
+            options_.victimDevice);
         HIX_RETURN_IF_ERROR(baseline_->init());
         HIX_ASSIGN_OR_RETURN(gpu_va_,
                              baseline_->memAlloc(secret_.size()));
@@ -87,7 +96,8 @@ VictimScenario::setup()
     }
 
     auto ge = core::GpuEnclave::create(
-        machine_.get(), machine_->gpu().factoryBiosDigest());
+        machine_.get(), victimGpu().factoryBiosDigest(),
+        core::HixConfig{}, options_.victimDevice);
     if (!ge.isOk())
         return ge.status();
     ge_ = std::move(*ge);
@@ -105,9 +115,13 @@ Status
 VictimScenario::enableIommuIdentity(Addr paddr, std::uint64_t size)
 {
     machine_->iommu().setEnabled(true);
+    // The victim's DMA resolves through its own device's protection
+    // domain (the requester's root-port index).
+    const mem::IommuDomain domain =
+        machine_->rootComplex().dmaDomainOf(victimGpu().bdf());
     for (Addr page = mem::pageBase(paddr); page < paddr + size;
          page += mem::PageSize)
-        machine_->iommu().overwrite(page, page);
+        machine_->iommu().overwrite(domain, page, page);
     return Status::ok();
 }
 
@@ -274,9 +288,11 @@ VictimScenario::vramPaddr()
 }
 
 Addr
-VictimScenario::bar1Base()
+VictimScenario::bar1Base(int device)
 {
-    return machine_->gpu().config().barBase(1);
+    if (device < 0)
+        device = options_.victimDevice;
+    return machine_->gpuAt(device).config().barBase(1);
 }
 
 ProcessId
@@ -298,12 +314,14 @@ VictimScenario::evilFrame(std::uint64_t size, std::uint8_t fill)
 
 bool
 VictimScenario::vramContains(const Bytes &needle,
-                             std::uint64_t scan_bytes)
+                             std::uint64_t scan_bytes, int device)
 {
     if (needle.empty())
         return false;
+    if (device < 0)
+        device = options_.victimDevice;
     Bytes region(scan_bytes);
-    if (!machine_->gpu()
+    if (!machine_->gpuAt(device)
              .debugReadVram(0, region.data(), region.size())
              .isOk())
         return false;

@@ -65,6 +65,11 @@ struct ScenarioOptions
     std::size_t secretBytes = 16 * 1024;
     /** Seed for the secret contents (deterministic per cell). */
     std::uint64_t seed = 0x5ec2e7;
+    /** GPUs in the machine's pool (pool cells place the victim and
+     *  the attacker's probes on same vs different devices). */
+    int gpuCount = 1;
+    /** Which pool device hosts the victim's session. */
+    int victimDevice = 0;
 };
 
 /**
@@ -139,8 +144,9 @@ class VictimScenario
      *  (baseline only: HIX hides the allocation inside the enclave). */
     Result<Addr> vramPaddr();
 
-    /** Host-physical address of the BAR1 VRAM aperture. */
-    Addr bar1Base();
+    /** Host-physical address of the BAR1 VRAM aperture of pool
+     *  @p device (default: the victim's device). */
+    Addr bar1Base(int device = -1);
 
     /** Create a process for the attacker to map things into. */
     ProcessId makeEvilProcess();
@@ -148,9 +154,11 @@ class VictimScenario
     /** Allocate DRAM frames filled with @p fill for DMA redirection. */
     Result<Addr> evilFrame(std::uint64_t size, std::uint8_t fill);
 
-    /** Scan the GPU's VRAM for @p needle (test oracle, not modelled
-     *  software); returns true when found. */
-    bool vramContains(const Bytes &needle, std::uint64_t scan_bytes);
+    /** Scan a pool GPU's VRAM for @p needle (test oracle, not
+     *  modelled software); returns true when found. @p device
+     *  defaults to the victim's device. */
+    bool vramContains(const Bytes &needle, std::uint64_t scan_bytes,
+                      int device = -1);
 
     // ----- Observation helpers -------------------------------------------
     /** Fraction of positions where @p a and @p b agree. */
@@ -174,6 +182,7 @@ class VictimScenario
     void ensureObserver();
     void dispatch(const sim::Op &op, const std::string &label);
     Status enableIommuIdentity(Addr paddr, std::uint64_t size);
+    gpu::GpuDevice &victimGpu();
 
     ScenarioOptions options_;
     std::unique_ptr<os::Machine> machine_;

@@ -38,9 +38,54 @@ constexpr GpuContextId ShardMgmtCtx = 0x10000;
 /** Canonical merged context ids (see DESIGN.md "Parallel functional
  * execution"): baseline pre-Volta MPS merges every user into GPU
  * context 1; HIX gives the GPU enclave's management work context 0
- * and user u's session context 1 + u. */
+ * and user u's session context 1 + u. In a multi-device pool every
+ * device owns a disjoint block of DeviceCtxStride ids: device d's
+ * management context is d * stride, its sessions d * stride + 1 +
+ * ordinal, and its baseline MPS context d * stride + 1. The stride
+ * is a power of two >= every supported gpuConcurrentContexts value,
+ * so the record-time compute-queue index (ctx % queues) is already
+ * canonical; device 0 reproduces the single-GPU ids exactly.
+ */
 constexpr GpuContextId CanonicalBaselineCtx = 1;
 constexpr GpuContextId CanonicalMgmtCtx = 0;
+constexpr GpuContextId DeviceCtxStride = GpuContextId(1) << 20;
+
+GpuContextId
+canonicalMgmtCtx(int device)
+{
+    return DeviceCtxStride * GpuContextId(device);
+}
+
+GpuContextId
+canonicalSessionCtx(int device, int ordinal)
+{
+    return canonicalMgmtCtx(device) + 1 + GpuContextId(ordinal);
+}
+
+GpuContextId
+canonicalBaselineCtx(int device)
+{
+    return canonicalMgmtCtx(device) + CanonicalBaselineCtx;
+}
+
+/**
+ * Placement of one session: runWorkload() records user u as
+ * {u, device 0, ordinal u, admit 0}, which makes the pool path a
+ * strict generalization — same ops, same ids — of the single-GPU
+ * multi-user run.
+ */
+struct SlotSpec
+{
+    /** Global session index: CPU/actor identity and process name. */
+    int user = 0;
+    /** GPU the session is bound to. */
+    int device = 0;
+    /** Arrival order among the device's sessions; ordinal 0 is the
+     * device's baseline MPS leader and numbers HIX session ctx ids. */
+    int ordinal = 0;
+    /** Open-loop admission tick (0 = start immediately). */
+    Tick admitTick = 0;
+};
 
 /** One user's recorded shard, ready to merge. */
 struct Shard
@@ -66,11 +111,13 @@ msBetween(SteadyClock::time_point from, SteadyClock::time_point to)
         .count();
 }
 
-/** HIX software config for user @p user's shard (and the fork
- *  template, which uses user 0's — sessionCtxBase shapes no
- *  boot-time state, only session numbering at openSession). */
+/** HIX software config for one session's shard (and the fork
+ *  template, which uses its device's ordinal-0 config —
+ *  sessionCtxBase shapes no boot-time state, only session numbering
+ *  at openSession). */
 core::HixConfig
-shardHixConfig(const RunConfig &config, std::uint64_t scale, int user)
+shardHixConfig(const RunConfig &config, std::uint64_t scale,
+               const SlotSpec &slot)
 {
     core::HixConfig hix_config;
     hix_config.timingScale = scale;
@@ -78,7 +125,8 @@ shardHixConfig(const RunConfig &config, std::uint64_t scale, int user)
     hix_config.pipeline = config.pipeline;
     hix_config.usePio = config.usePio;
     hix_config.ctxBase = ShardMgmtCtx;
-    hix_config.sessionCtxBase = CanonicalMgmtCtx + 1 + user;
+    hix_config.sessionCtxBase =
+        canonicalSessionCtx(slot.device, slot.ordinal);
     return hix_config;
 }
 
@@ -113,17 +161,21 @@ struct SessionTemplate
 };
 
 Result<SessionTemplate>
-buildSessionTemplate(const RunConfig &config, std::uint64_t scale)
+buildSessionTemplate(
+    const RunConfig &config, std::uint64_t scale, int device,
+    const std::function<std::unique_ptr<Workload>()> &factory)
 {
     const auto start = SteadyClock::now();
     SessionTemplate tpl;
-    tpl.job = config.factory();
+    tpl.job = factory();
     os::Machine machine(config.machine);
-    tpl.job->registerKernels(machine.gpu());
+    tpl.job->registerKernels(machine.gpuAt(device));
     if (config.useHix) {
+        SlotSpec slot0;
+        slot0.device = device;
         auto ge = core::GpuEnclave::create(
-            &machine, machine.gpu().factoryBiosDigest(),
-            shardHixConfig(config, scale, 0));
+            &machine, machine.gpuAt(device).factoryBiosDigest(),
+            shardHixConfig(config, scale, slot0), device);
         if (!ge.isOk())
             return ge.status();
         auto enclave_snap = (*ge)->snapshot();
@@ -138,7 +190,7 @@ buildSessionTemplate(const RunConfig &config, std::uint64_t scale)
         // the process to their own user.
         core::BaselineRuntime rt(&machine, "mps-follower-template",
                                  scale, 0, nullptr,
-                                 CanonicalBaselineCtx);
+                                 canonicalBaselineCtx(device), device);
         HIX_RETURN_IF_ERROR(rt.precreateContext());
         auto rt_snap = rt.snapshot();
         if (!rt_snap.isOk())
@@ -267,9 +319,9 @@ struct WorkerScratch
  * is bit-identical (the Fork determinism wall pins it).
  */
 Result<Shard>
-recordShard(const RunConfig &config, Workload &job, int user,
-            std::uint64_t scale, const SessionTemplate *tpl,
-            WorkerScratch *scratch)
+recordShard(const RunConfig &config, Workload &job,
+            const SlotSpec &slot, std::uint64_t scale,
+            const SessionTemplate *tpl, WorkerScratch *scratch)
 {
     Shard shard;
     const auto boot_start = SteadyClock::now();
@@ -277,8 +329,9 @@ recordShard(const RunConfig &config, Workload &job, int user,
     os::Machine *machine_ptr = nullptr;
     const os::MachineSnapshot *fork_snap = nullptr;
     if (tpl) {
-        fork_snap =
-            (!config.useHix && user > 0) ? &*tpl->follower : &tpl->base;
+        fork_snap = (!config.useHix && slot.ordinal > 0)
+                        ? &*tpl->follower
+                        : &tpl->base;
         if (!scratch->machine)
             scratch->machine = os::Machine::fork(*fork_snap);
         else if (scratch->cleanFor != fork_snap)
@@ -289,29 +342,43 @@ recordShard(const RunConfig &config, Workload &job, int user,
         machine_ptr = scratch->machine.get();
     } else {
         cold = std::make_unique<os::Machine>(config.machine);
-        job.registerKernels(cold->gpu());
+        job.registerKernels(cold->gpuAt(slot.device));
         machine_ptr = cold.get();
     }
     os::Machine &machine = *machine_ptr;
-    const auto cpu_index = static_cast<std::uint16_t>(user);
-    const std::string name = "user" + std::to_string(user);
+    const auto cpu_index = static_cast<std::uint16_t>(slot.user);
+    const std::string name = "user" + std::to_string(slot.user);
+    const sim::ResourceId cpu_res{sim::ResUnit::UserCpu, cpu_index};
+
+    // Open-loop arrival: a pool session admitted at a nonzero tick
+    // opens its window with one wait op on its private CPU. It is the
+    // session actor's chain head, so everything the session records
+    // starts at or after admitTick; closed-batch sessions (admit 0)
+    // record nothing extra and stay bit-identical to runWorkload().
+    auto record_admission = [&](std::uint32_t actor) {
+        if (slot.admitTick > 0)
+            machine.recorder().record(actor, cpu_res, slot.admitTick,
+                                      sim::OpKind::Control, 0,
+                                      "svc_admit");
+    };
 
     if (!config.useHix) {
         // Unprotected Gdev in pre-Volta MPS mode: on a shared machine
-        // only user 0 (the leader) creates the single merged GPU
-        // context inside the measured window; followers join it. A
-        // follower shard therefore creates its (private) context
-        // during setup so its window records only the task init —
-        // from the follower template when forking, else by hand.
+        // only the device's first session (the leader) creates the
+        // single merged GPU context inside the measured window;
+        // followers join it. A follower shard therefore creates its
+        // (private) context during setup so its window records only
+        // the task init — from the follower template when forking,
+        // else by hand.
         std::unique_ptr<core::BaselineRuntime> rt_owner;
-        if (tpl && user > 0) {
+        if (tpl && slot.ordinal > 0) {
             rt_owner = core::BaselineRuntime::fork(
                 &machine, *tpl->followerRt, name, cpu_index);
         } else {
             rt_owner = std::make_unique<core::BaselineRuntime>(
                 &machine, name, scale, cpu_index, nullptr,
-                CanonicalBaselineCtx);
-            if (user > 0)
+                canonicalBaselineCtx(slot.device), slot.device);
+            if (slot.ordinal > 0)
                 HIX_RETURN_IF_ERROR(rt_owner->precreateContext());
         }
         core::BaselineRuntime &rt = *rt_owner;
@@ -319,11 +386,13 @@ recordShard(const RunConfig &config, Workload &job, int user,
         shard.residentPages = machine.residentPages();
         machine.clearTrace();
         if (config.shardHook)
-            config.shardHook(user, machine);
+            config.shardHook(slot.user, machine);
+        record_admission(rt.actor());
         HIX_RETURN_IF_ERROR(rt.init());
         BaselineApi api(&rt);
         HIX_RETURN_IF_ERROR(job.run(api));
-        shard.remap.gpuCtx = {{rt.gpuContext(), CanonicalBaselineCtx}};
+        shard.remap.gpuCtx = {
+            {rt.gpuContext(), canonicalBaselineCtx(slot.device)}};
         shard.tlbHits = machine.mmu().tlbHits();
         shard.tlbMisses = machine.mmu().tlbMisses();
         shard.iotlbHits = machine.iommu().iotlbHits();
@@ -346,13 +415,15 @@ recordShard(const RunConfig &config, Workload &job, int user,
     // for this user. Forked shards skip the boot itself (ECREATE
     // through BIOS verification and MMIO EGADDs) and rehydrate the
     // booted enclave from the template.
-    core::HixConfig hix_config = shardHixConfig(config, scale, user);
+    core::HixConfig hix_config = shardHixConfig(config, scale, slot);
 
-    auto ge = tpl ? core::GpuEnclave::fork(&machine, *tpl->enclave,
-                                           hix_config)
-                  : core::GpuEnclave::create(
-                        &machine, machine.gpu().factoryBiosDigest(),
-                        hix_config);
+    auto ge =
+        tpl ? core::GpuEnclave::fork(&machine, *tpl->enclave,
+                                     hix_config)
+            : core::GpuEnclave::create(
+                  &machine,
+                  machine.gpuAt(slot.device).factoryBiosDigest(),
+                  hix_config, slot.device);
     if (!ge.isOk())
         return ge.status();
 
@@ -361,7 +432,8 @@ recordShard(const RunConfig &config, Workload &job, int user,
     shard.residentPages = machine.residentPages();
     machine.clearTrace();
     if (config.shardHook)
-        config.shardHook(user, machine);
+        config.shardHook(slot.user, machine);
+    record_admission(rt.actor());
     HIX_RETURN_IF_ERROR(rt.connect());
     TrustedApi api(&rt);
     HIX_RETURN_IF_ERROR(job.run(api));
@@ -370,8 +442,9 @@ recordShard(const RunConfig &config, Workload &job, int user,
     if (!session_ctx.isOk())
         return session_ctx.status();
     shard.remap.gpuCtx = {
-        {(*ge)->mgmtContext(), CanonicalMgmtCtx},
-        {*session_ctx, CanonicalMgmtCtx + 1 + GpuContextId(user)},
+        {(*ge)->mgmtContext(), canonicalMgmtCtx(slot.device)},
+        {*session_ctx,
+         canonicalSessionCtx(slot.device, slot.ordinal)},
     };
     shard.tlbHits = machine.mmu().tlbHits();
     shard.tlbMisses = machine.mmu().tlbMisses();
@@ -386,10 +459,17 @@ recordShard(const RunConfig &config, Workload &job, int user,
     return shard;
 }
 
-/** Merge shards in user-index order, score, and package. */
+/**
+ * Merge shards in user-index order, score, and package. When
+ * @p session_ranges is non-null it receives each shard's [begin,
+ * end) op-id range in the merged trace, in shard order — the pool
+ * path derives per-session finish times from these.
+ */
 Result<RunOutcome>
 collectOutcome(std::vector<Result<Shard>> &shards,
-               const RunConfig &config)
+               const RunConfig &config,
+               std::vector<std::pair<std::size_t, std::size_t>>
+                   *session_ranges = nullptr)
 {
     // Deterministic error reporting: the lowest-index failure wins,
     // regardless of which shard thread failed first.
@@ -402,8 +482,12 @@ collectOutcome(std::vector<Result<Shard>> &shards,
     for (auto &shard : shards)
         total_ops += (*shard).trace.size();
     merged.reserve(total_ops);
-    for (auto &shard : shards)
+    for (auto &shard : shards) {
+        const std::size_t begin = merged.size();
         merged.append((*shard).trace, (*shard).remap);
+        if (session_ranges)
+            session_ranges->emplace_back(begin, merged.size());
+    }
 
     RunOutcome outcome;
     for (auto &shard : shards) {
@@ -458,7 +542,8 @@ runWorkload(const RunConfig &config)
     // Session-fork fast path: boot one template, fork every shard.
     std::optional<SessionTemplate> tpl;
     if (config.forkSessions) {
-        auto built = buildSessionTemplate(config, scale);
+        auto built = buildSessionTemplate(config, scale, 0,
+                                          config.factory);
         if (!built.isOk())
             return built.status();
         tpl.emplace(std::move(*built));
@@ -467,7 +552,8 @@ runWorkload(const RunConfig &config)
     if (serialRecording(config, workers)) {
         WorkerScratch scratch;
         for (int u = 0; u < config.users; ++u)
-            shards[u] = recordShard(config, *jobs[u], u, scale,
+            shards[u] = recordShard(config, *jobs[u],
+                                    SlotSpec{u, 0, u, 0}, scale,
                                     tpl_ptr, &scratch);
     } else {
         // Shards share no mutable state (each has a private machine
@@ -485,8 +571,9 @@ runWorkload(const RunConfig &config)
             threads.emplace_back([&, w] {
                 WorkerScratch scratch;
                 for (int u = w; u < config.users; u += workers)
-                    shards[u] = recordShard(config, *jobs[u], u, scale,
-                                            tpl_ptr, &scratch);
+                    shards[u] = recordShard(config, *jobs[u],
+                                            SlotSpec{u, 0, u, 0},
+                                            scale, tpl_ptr, &scratch);
             });
         }
         for (auto &thread : threads)
@@ -502,6 +589,127 @@ runWorkload(const RunConfig &config)
             (*outcome).hostBootMs += tpl->buildMs;
     }
     return outcome;
+}
+
+Result<PoolOutcome>
+runSessionPool(const RunConfig &config,
+               const std::vector<PoolSession> &sessions)
+{
+    if (sessions.empty())
+        return errInvalidArgument("no sessions to run");
+    const int devices = std::max(1, config.machine.gpuCount);
+    for (const auto &s : sessions) {
+        if (s.device < 0 || s.device >= devices)
+            return errInvalidArgument(
+                "session placed on a device the machine lacks");
+        if (!s.factory && !config.factory)
+            return errInvalidArgument("no workload factory");
+    }
+
+    const int n = static_cast<int>(sessions.size());
+    // One workload instance per session; ordinals number each
+    // device's sessions in session order (ordinal 0 = MPS leader).
+    std::vector<std::unique_ptr<Workload>> jobs;
+    jobs.reserve(n);
+    std::vector<SlotSpec> slots(n);
+    std::vector<int> placed(devices, 0);
+    for (int i = 0; i < n; ++i) {
+        const PoolSession &s = sessions[i];
+        jobs.push_back(s.factory ? s.factory() : config.factory());
+        slots[i] =
+            SlotSpec{i, s.device, placed[s.device]++, s.admitTick};
+    }
+
+    const auto record_start = SteadyClock::now();
+    // Fork fast path: one boot template per (device, appId) in use.
+    // Built serially up front — template construction order must not
+    // depend on recording-thread timing — and only read afterwards.
+    std::map<std::pair<int, int>, SessionTemplate> templates;
+    double template_ms = 0;
+    if (config.forkSessions) {
+        for (int i = 0; i < n; ++i) {
+            const auto key =
+                std::make_pair(sessions[i].device, sessions[i].appId);
+            if (templates.count(key))
+                continue;
+            auto built = buildSessionTemplate(
+                config, jobs[i]->timingScale(), sessions[i].device,
+                sessions[i].factory ? sessions[i].factory
+                                    : config.factory);
+            if (!built.isOk())
+                return built.status();
+            template_ms += built->buildMs;
+            templates.emplace(key, std::move(*built));
+        }
+    }
+    auto template_for = [&](int i) -> const SessionTemplate * {
+        if (!config.forkSessions)
+            return nullptr;
+        return &templates.at({sessions[i].device, sessions[i].appId});
+    };
+
+    std::vector<Result<Shard>> shards;
+    shards.reserve(n);
+    for (int i = 0; i < n; ++i)
+        shards.push_back(errInternal("shard not recorded"));
+
+    RunConfig sized = config;  // recordWorkers sizes off users
+    sized.users = n;
+    const int workers = recordWorkers(sized);
+    if (serialRecording(sized, workers)) {
+        WorkerScratch scratch;
+        for (int i = 0; i < n; ++i)
+            shards[i] =
+                recordShard(config, *jobs[i], slots[i],
+                            jobs[i]->timingScale(), template_for(i),
+                            &scratch);
+    } else {
+        // Same static session -> worker assignment as runWorkload():
+        // worker w records sessions w, w + workers, ... A worker's
+        // scratch machine re-forks whenever consecutive sessions use
+        // different templates (WorkerScratch::cleanFor tracks which
+        // snapshot the machine currently matches).
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (int w = 0; w < workers; ++w) {
+            threads.emplace_back([&, w] {
+                WorkerScratch scratch;
+                for (int i = w; i < n; i += workers)
+                    shards[i] = recordShard(config, *jobs[i],
+                                            slots[i],
+                                            jobs[i]->timingScale(),
+                                            template_for(i),
+                                            &scratch);
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    const auto record_end = SteadyClock::now();
+
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ranges.reserve(n);
+    auto outcome = collectOutcome(shards, config, &ranges);
+    if (!outcome.isOk())
+        return outcome.status();
+
+    PoolOutcome pool;
+    pool.run = std::move(*outcome);
+    pool.run.hostRecordMs = msBetween(record_start, record_end);
+    pool.run.hostScheduleMs =
+        msBetween(record_end, SteadyClock::now());
+    pool.run.hostBootMs += template_ms;
+    pool.sessionFinish.assign(n, 0);
+    pool.sessionOps.assign(n, 0);
+    for (int i = 0; i < n; ++i) {
+        const auto [begin, end] = ranges[i];
+        pool.sessionOps[i] = end - begin;
+        Tick fin = 0;
+        for (std::size_t op = begin; op < end; ++op)
+            fin = std::max(fin, pool.run.schedule.finish[op]);
+        pool.sessionFinish[i] = fin;
+    }
+    return pool;
 }
 
 Result<RunOutcome>
@@ -554,7 +762,8 @@ runWorkloadStreaming(const RunConfig &config)
     const auto record_start = SteadyClock::now();
     std::optional<SessionTemplate> tpl;
     if (config.forkSessions) {
-        auto built = buildSessionTemplate(config, scale);
+        auto built = buildSessionTemplate(config, scale, 0,
+                                          config.factory);
         if (!built.isOk())
             return built.status();
         tpl.emplace(std::move(*built));
@@ -568,7 +777,8 @@ runWorkloadStreaming(const RunConfig &config)
         // recording pool taken out of the picture.
         WorkerScratch scratch;
         for (int u = 0; u < config.users; ++u)
-            consume(recordShard(config, *jobs[u], u, scale, tpl_ptr,
+            consume(recordShard(config, *jobs[u],
+                                SlotSpec{u, 0, u, 0}, scale, tpl_ptr,
                                 &scratch));
     } else {
         const std::size_t cap =
@@ -582,9 +792,10 @@ runWorkloadStreaming(const RunConfig &config)
             threads.emplace_back([&, w] {
                 WorkerScratch scratch;
                 for (int u = w; u < config.users; u += workers)
-                    queue.push(u, recordShard(config, *jobs[u], u,
-                                              scale, tpl_ptr,
-                                              &scratch));
+                    queue.push(u,
+                               recordShard(config, *jobs[u],
+                                           SlotSpec{u, 0, u, 0},
+                                           scale, tpl_ptr, &scratch));
             });
         }
         // Consumer: pop one completion per user, park out-of-order

@@ -203,6 +203,62 @@ struct RunOutcome
     }
 };
 
+/**
+ * One session of a multi-device pool run. The service layer
+ * (src/svc) admits and places sessions, then hands the placement to
+ * runSessionPool() for recording and scheduling.
+ */
+struct PoolSession
+{
+    /** GPU the session is bound to (index into the machine's pool). */
+    int device = 0;
+    /**
+     * Open-loop admission time: the session's recorded window starts
+     * with a synthetic wait op of this duration on the session's
+     * private CPU, so everything it does is scheduled at or after
+     * this tick. 0 (closed batch) records no extra op — a 1-device
+     * pool of zero-admit sessions is bit-identical to runWorkload().
+     */
+    Tick admitTick = 0;
+    /**
+     * Template key for RunConfig::forkSessions: sessions sharing an
+     * appId (and device) fork from one boot template, so the key must
+     * identify the workload configuration. Ignored without fork mode.
+     */
+    int appId = 0;
+    /** Per-session workload; null falls back to RunConfig::factory. */
+    std::function<std::unique_ptr<Workload>()> factory;
+};
+
+/** runSessionPool() result: the usual outcome plus per-session
+ *  completion data for latency percentiles. */
+struct PoolOutcome
+{
+    RunOutcome run;
+    /** Absolute finish tick of each session's last scheduled op,
+     * indexed like the input sessions vector. */
+    std::vector<Tick> sessionFinish;
+    /** Recorded ops per session (dispatch-queue accounting). */
+    std::vector<std::uint64_t> sessionOps;
+};
+
+/**
+ * Record and schedule a pre-placed multi-device session set. Each
+ * session gets the usual private-machine shard treatment, but bound
+ * to its placed device: per-device BARs, VRAM allocator, IOMMU
+ * domain, timing resources, and canonical GPU context block (device
+ * d's management context is d<<20, its sessions d<<20 + 1 + ordinal;
+ * device 0 reproduces the single-GPU canonical ids exactly). HIX
+ * sessions fork one GPU enclave template per (device, appId);
+ * baseline sessions share one MPS context pool per device (the
+ * device's first session is its MPS leader). Deterministic: same
+ * config + placement => same digest, ticks, and per-session finishes
+ * at any worker count.
+ */
+Result<PoolOutcome> runSessionPool(
+    const RunConfig &config,
+    const std::vector<PoolSession> &sessions);
+
 /** Execute @p config once (routes to runWorkloadStreaming() when
  *  RunConfig::streaming is set). */
 Result<RunOutcome> runWorkload(const RunConfig &config);

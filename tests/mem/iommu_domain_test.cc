@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-device IOMMU protection domains: mappings live in (domain,
+ * device page) keyed tables, so one device's DMA can never resolve
+ * through another device's entries. Pins domain isolation for
+ * map/unmap/overwrite/translate, domain-scoped IOTLB tagging (no
+ * false hits across domains), and the legacy single-argument API
+ * delegating to domain 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/iommu.h"
+#include "mem/page.h"
+
+namespace hix::mem
+{
+namespace
+{
+
+constexpr Addr DevPage = 0x4000;
+
+TEST(IommuDomainTest, SameDevicePageIsIndependentPerDomain)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0, DevPage, 0x10000).isOk());
+    ASSERT_TRUE(iommu.map(1, DevPage, 0x20000).isOk());
+    ASSERT_TRUE(iommu.map(2, DevPage, 0x30000).isOk());
+
+    EXPECT_EQ(*iommu.translate(0, DevPage + 0x10), 0x10010u);
+    EXPECT_EQ(*iommu.translate(1, DevPage + 0x10), 0x20010u);
+    EXPECT_EQ(*iommu.translate(2, DevPage + 0x10), 0x30010u);
+    EXPECT_EQ(iommu.entryCount(), 3u);
+}
+
+TEST(IommuDomainTest, UnmappedDomainFaultsEvenWhenSiblingIsMapped)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0, DevPage, 0x10000).isOk());
+    EXPECT_FALSE(iommu.translate(1, DevPage).isOk());
+    // A fault in domain 1 must not have disturbed domain 0.
+    EXPECT_EQ(*iommu.translate(0, DevPage), 0x10000u);
+}
+
+TEST(IommuDomainTest, UnmapIsDomainScoped)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0, DevPage, 0x10000).isOk());
+    ASSERT_TRUE(iommu.map(1, DevPage, 0x20000).isOk());
+
+    // Unmapping the page in domain 1 leaves domain 0 translating.
+    ASSERT_TRUE(iommu.unmap(1, DevPage).isOk());
+    EXPECT_FALSE(iommu.translate(1, DevPage).isOk());
+    EXPECT_EQ(*iommu.translate(0, DevPage), 0x10000u);
+    // Double-unmap in the now-empty domain reports NotFound.
+    EXPECT_FALSE(iommu.unmap(1, DevPage).isOk());
+}
+
+TEST(IommuDomainTest, OverwriteRedirectsOnlyItsDomain)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0, DevPage, 0x10000).isOk());
+    ASSERT_TRUE(iommu.map(1, DevPage, 0x20000).isOk());
+    // Prime the IOTLB in both domains, then redirect domain 1: the
+    // very next translate must see the redirect (no stale cache) and
+    // domain 0 must be untouched.
+    ASSERT_TRUE(iommu.translate(0, DevPage).isOk());
+    ASSERT_TRUE(iommu.translate(1, DevPage).isOk());
+    iommu.overwrite(1, DevPage, 0x70000);
+    EXPECT_EQ(*iommu.translate(1, DevPage), 0x70000u);
+    EXPECT_EQ(*iommu.translate(0, DevPage), 0x10000u);
+}
+
+TEST(IommuDomainTest, IotlbTagsIncludeTheDomain)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(0, DevPage, 0x10000).isOk());
+    ASSERT_TRUE(iommu.map(7, DevPage, 0x20000).isOk());
+
+    ASSERT_TRUE(iommu.translate(0, DevPage).isOk());  // miss, fill
+    const std::uint64_t hits_before = iommu.iotlbHits();
+    // Same device page, different domain: must NOT hit domain 0's
+    // cached entry — a false cross-domain hit would be a DMA leak.
+    ASSERT_TRUE(iommu.translate(7, DevPage).isOk());
+    EXPECT_EQ(iommu.iotlbHits(), hits_before);
+    EXPECT_EQ(iommu.iotlbMisses(), 2u);
+    // Re-translating each domain now hits its own entry.
+    EXPECT_EQ(*iommu.translate(0, DevPage), 0x10000u);
+    EXPECT_EQ(*iommu.translate(7, DevPage), 0x20000u);
+    EXPECT_EQ(iommu.iotlbHits(), hits_before + 2);
+}
+
+TEST(IommuDomainTest, LegacyApiIsDomainZero)
+{
+    Iommu iommu;
+    iommu.setEnabled(true);
+    ASSERT_TRUE(iommu.map(DevPage, 0x10000).isOk());
+    EXPECT_EQ(*iommu.translate(0, DevPage), 0x10000u);
+    EXPECT_EQ(*iommu.translate(DevPage), 0x10000u);
+    ASSERT_TRUE(iommu.map(3, DevPage, 0x30000).isOk());
+    iommu.overwrite(DevPage, 0x50000);
+    EXPECT_EQ(*iommu.translate(DevPage), 0x50000u);
+    EXPECT_EQ(*iommu.translate(3, DevPage), 0x30000u);
+    ASSERT_TRUE(iommu.unmap(DevPage).isOk());
+    EXPECT_FALSE(iommu.translate(DevPage).isOk());
+    EXPECT_EQ(*iommu.translate(3, DevPage), 0x30000u);
+}
+
+TEST(IommuDomainTest, BypassModeIgnoresDomains)
+{
+    Iommu iommu;  // disabled: identity mapping for every requester
+    EXPECT_EQ(*iommu.translate(0, 0x1234), 0x1234u);
+    EXPECT_EQ(*iommu.translate(9, 0x1234), 0x1234u);
+    EXPECT_EQ(iommu.iotlbHits() + iommu.iotlbMisses(), 0u);
+}
+
+}  // namespace
+}  // namespace hix::mem

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The Service determinism wall for the GPU-pool runtime: a service
+ * run is a pure function of its ServiceConfig. For every placement
+ * policy, both runtimes, and pools of 1/2/4 devices serving 1/8/32
+ * sessions, running the same seeded open-loop stream twice must
+ * produce identical placement maps, admission times, per-session
+ * finish ticks, latency percentiles, and merged trace digests — at
+ * any recording worker count (TSan runs this wall to observe the
+ * concurrent shard recording).
+ *
+ * Also pins the pool's collapse property: a closed-batch pool on one
+ * device is bit-identical — digest and ticks — to the plain
+ * runWorkload() path, so the service runtime strictly generalizes
+ * the existing runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/trace.h"
+#include "svc/service.h"
+
+namespace hix::svc
+{
+namespace
+{
+
+ServiceConfig
+makeServiceConfig(Policy policy, bool use_hix, int devices,
+                  int sessions)
+{
+    ServiceConfig cfg;
+    cfg.devices = devices;
+    cfg.policy = policy;
+    cfg.useHix = use_hix;
+    cfg.seed = 0xd1ce;
+    cfg.sessions = sessions;
+    cfg.meanInterarrivalTicks = 3'000'000;
+    cfg.tableCap = 8;
+    cfg.appMix = {"NN"};
+    cfg.userPopulation = 4;
+    cfg.run.keepTrace = true;
+    cfg.run.forkSessions = true;
+    // Force a multi-worker recording pool (the auto pool may collapse
+    // to one worker on small CI machines) so the wall — and TSan —
+    // sees concurrent shard recording against the shared templates.
+    if (sessions > 1) {
+        cfg.run.parallelRecording = true;
+        cfg.run.recordThreads = std::min(sessions, 8);
+    }
+    return cfg;
+}
+
+struct Fingerprint
+{
+    std::vector<std::tuple<int, int, Tick, Tick, int>> placement;
+    std::vector<Tick> finish;
+    std::vector<std::uint64_t> ops;
+    std::uint64_t digest = 0;
+    Tick ticks = 0;
+    Tick p50 = 0, p95 = 0, p99 = 0;
+
+    bool
+    operator==(const Fingerprint &other) const
+    {
+        return placement == other.placement &&
+               finish == other.finish && ops == other.ops &&
+               digest == other.digest && ticks == other.ticks &&
+               p50 == other.p50 && p95 == other.p95 &&
+               p99 == other.p99;
+    }
+};
+
+Fingerprint
+fingerprint(const ServiceConfig &cfg)
+{
+    auto out = runService(cfg);
+    EXPECT_TRUE(out.isOk()) << out.status().message();
+    Fingerprint fp;
+    if (!out.isOk())
+        return fp;
+    for (const SessionPlan &s : out->plan.sessions)
+        fp.placement.emplace_back(s.user, s.appIndex, s.arrival,
+                                  s.admit, s.device);
+    fp.finish = out->pool.sessionFinish;
+    fp.ops = out->pool.sessionOps;
+    fp.digest = sim::traceDigest(*out->pool.run.trace);
+    fp.ticks = out->pool.run.ticks;
+    fp.p50 = out->p50;
+    fp.p95 = out->p95;
+    fp.p99 = out->p99;
+    return fp;
+}
+
+class ServiceRecordTest
+    : public ::testing::TestWithParam<
+          std::tuple<Policy, bool, int, int>>
+{
+};
+
+TEST_P(ServiceRecordTest, SameSeedSameServiceRun)
+{
+    const auto [policy, use_hix, devices, sessions] = GetParam();
+    const ServiceConfig cfg =
+        makeServiceConfig(policy, use_hix, devices, sessions);
+    const Fingerprint first = fingerprint(cfg);
+    const Fingerprint second = fingerprint(cfg);
+
+    ASSERT_EQ(first.placement.size(),
+              static_cast<std::size_t>(sessions));
+    ASSERT_NE(first.digest, 0u);
+    EXPECT_TRUE(first == second);
+
+    // Placement sanity: every session landed on a pool device and
+    // every finish is at or after the session's admission.
+    for (std::size_t i = 0; i < first.placement.size(); ++i) {
+        const auto &[user, app, arrival, admit, device] =
+            first.placement[i];
+        EXPECT_GE(device, 0);
+        EXPECT_LT(device, devices);
+        EXPECT_GE(admit, arrival);
+        EXPECT_GE(first.finish[i], admit);
+        EXPECT_GT(first.ops[i], 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServiceWall, ServiceRecordTest,
+    ::testing::Combine(
+        ::testing::Values(Policy::RoundRobin, Policy::LeastLoaded,
+                          Policy::Affinity),
+        ::testing::Bool(), ::testing::Values(1, 2, 4),
+        ::testing::Values(1, 8, 32)),
+    [](const auto &info) {
+        return std::string(policyName(std::get<0>(info.param))) +
+               (std::get<1>(info.param) ? "_hix" : "_gdev") + "_d" +
+               std::to_string(std::get<2>(info.param)) + "_s" +
+               std::to_string(std::get<3>(info.param));
+    });
+
+/** Mixed app mix: sessions on one device fork different templates
+ * (per-(device, appId) snapshots); the run must stay deterministic
+ * and every session must finish. */
+TEST(ServiceMixedAppTest, MixedAppPoolIsDeterministic)
+{
+    ServiceConfig cfg = makeServiceConfig(Policy::LeastLoaded, true,
+                                          2, 8);
+    cfg.appMix = {"NN", "BFS"};
+    const Fingerprint first = fingerprint(cfg);
+    const Fingerprint second = fingerprint(cfg);
+    ASSERT_NE(first.digest, 0u);
+    EXPECT_TRUE(first == second);
+    // The seeded mix draws both apps: op counts differ per session.
+    const bool mixed =
+        std::adjacent_find(first.ops.begin(), first.ops.end(),
+                           std::not_equal_to<>()) != first.ops.end();
+    EXPECT_TRUE(mixed);
+}
+
+class ServiceCollapseTest
+    : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+};
+
+/** Closed batch on one device == runWorkload(), bit for bit. */
+TEST_P(ServiceCollapseTest, OneDeviceClosedBatchMatchesRunWorkload)
+{
+    const auto [use_hix, users] = GetParam();
+
+    ServiceConfig cfg;
+    cfg.devices = 1;
+    cfg.policy = Policy::RoundRobin;
+    cfg.useHix = use_hix;
+    cfg.sessions = users;
+    cfg.meanInterarrivalTicks = 0;  // closed batch: no admit ops
+    cfg.appMix = {"NN"};
+    cfg.run.keepTrace = true;
+    auto service = runService(cfg);
+    ASSERT_TRUE(service.isOk()) << service.status().message();
+
+    workloads::RunConfig direct = cfg.run;
+    direct.factory = [] { return workloads::makeRodinia("NN"); };
+    direct.users = users;
+    direct.useHix = use_hix;
+    auto reference = workloads::runWorkload(direct);
+    ASSERT_TRUE(reference.isOk()) << reference.status().message();
+
+    EXPECT_EQ(sim::traceDigest(*service->pool.run.trace),
+              sim::traceDigest(*reference->trace));
+    EXPECT_EQ(service->pool.run.ticks, reference->ticks);
+    EXPECT_EQ(service->pool.run.gpuCtxSwitches,
+              reference->gpuCtxSwitches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServiceWall, ServiceCollapseTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 2, 8)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "hix" : "gdev") +
+               "_u" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SessionPoolEdgeTest, EmptySessionSetIsRejected)
+{
+    workloads::RunConfig config;
+    config.factory = [] { return workloads::makeRodinia("NN"); };
+    auto out = workloads::runSessionPool(config, {});
+    EXPECT_FALSE(out.isOk());
+}
+
+TEST(SessionPoolEdgeTest, SessionOnMissingDeviceIsRejected)
+{
+    workloads::RunConfig config;
+    config.factory = [] { return workloads::makeRodinia("NN"); };
+    config.machine.gpuCount = 2;
+    workloads::PoolSession bad;
+    bad.device = 2;
+    auto out = workloads::runSessionPool(config, {bad});
+    EXPECT_FALSE(out.isOk());
+}
+
+}  // namespace
+}  // namespace hix::svc
