@@ -8,6 +8,7 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -197,6 +198,8 @@ runFigure(int users, bench::BenchJson &json)
             .metric("ticks_streaming", double(base.streaming->ticks))
             .metric("host_ms_streaming", base.streamingMs)
             .metric("stream_overlap", base.overlap())
+            .metric("stream_join_ops",
+                    double(base.streaming->streamStats.joinOps))
             .metric("stream_queue_depth_max",
                     double(base.streaming->streamQueueDepthMax))
             .metric("ticks_fork", double(base.forked->ticks))
@@ -221,6 +224,8 @@ runFigure(int users, bench::BenchJson &json)
             .metric("ticks_streaming", double(secure.streaming->ticks))
             .metric("host_ms_streaming", secure.streamingMs)
             .metric("stream_overlap", secure.overlap())
+            .metric("stream_join_ops",
+                    double(secure.streaming->streamStats.joinOps))
             .metric("stream_queue_depth_max",
                     double(secure.streaming->streamQueueDepthMax))
             .metric("ticks_fork", double(secure.forked->ticks))
@@ -306,6 +311,93 @@ runVoltaAblation(int users)
     std::printf("\n");
 }
 
+/**
+ * Volta preset as measured rows: per-context compute queues, DMA
+ * channels, and HIX enclave dispatch lanes all sized so every user
+ * owns a private slice of each engine bank. With no shared timing
+ * resources between shards, the streaming scheduler's finish() join
+ * has nothing left to reschedule — stream_join_ops must be 0 and the
+ * streaming/fork ticks bit-identical to the two-phase schedule. The
+ * CI perf-smoke gate asserts both on every "volta " row.
+ */
+void
+runVoltaRows(bench::BenchJson &json)
+{
+    std::printf(
+        "Volta preset: per-context queues/channels/lanes => join-free "
+        "streaming\n\n");
+    std::printf(
+        " App  | users | runtime | ticks (ms) | join ops | stream "
+        "identical | fork identical\n");
+    for (const char *app : {"BP", "NN"}) {
+        for (int users : {2, 4, 8, 16}) {
+            for (bool use_hix : {false, true}) {
+                auto factory = [app] { return makeRodinia(app); };
+                RunConfig config;
+                config.factory = factory;
+                config.users = users;
+                config.useHix = use_hix;
+                // Power-of-two width >= users keeps each session's
+                // canonical ctx on a private channel of every bank.
+                const auto width = static_cast<std::uint32_t>(
+                    std::max(8, users));
+                config.machine.timing.gpuConcurrentContexts = width;
+                config.machine.timing.gpuDmaChannels = width;
+                config.machine.timing.gpuEnclaveLanes = width;
+                config.parallelRecording = true;
+
+                auto two_phase = runWorkload(config);
+
+                config.streaming = true;
+                bench::HostTimer streaming_timer;
+                auto streaming = runWorkload(config);
+                const double streaming_ms = streaming_timer.ms();
+
+                config.forkSessions = true;
+                auto forked = runWorkload(config);
+
+                if (!two_phase.isOk() || !streaming.isOk() ||
+                    !forked.isOk()) {
+                    std::printf("%-5s | %5d | %-7s | FAILED\n", app,
+                                users, use_hix ? "hix" : "gdev");
+                    continue;
+                }
+                const bool stream_same =
+                    streaming->ticks == two_phase->ticks;
+                const bool fork_same =
+                    forked->ticks == two_phase->ticks;
+                std::printf(
+                    "%-5s | %5d | %-7s | %10.2f | %8llu | %16s | %s\n",
+                    app, users, use_hix ? "hix" : "gdev",
+                    two_phase->milliseconds(),
+                    static_cast<unsigned long long>(
+                        streaming->streamStats.joinOps),
+                    stream_same ? "ok" : "MISMATCH",
+                    fork_same ? "ok" : "MISMATCH");
+                const std::string config_name =
+                    std::string("volta app=") + app +
+                    " users=" + std::to_string(users) +
+                    " runtime=" + (use_hix ? "hix" : "gdev");
+                json.add(config_name, two_phase->ticks, streaming_ms)
+                    .metric("engine_width", double(width))
+                    .metric("ticks_streaming",
+                            double(streaming->ticks))
+                    .metric("ticks_fork", double(forked->ticks))
+                    .metric("stream_join_ops",
+                            double(streaming->streamStats.joinOps))
+                    .metric("stream_join_ops_fork",
+                            double(forked->streamStats.joinOps))
+                    .metric("stream_reused_ops",
+                            double(streaming->streamStats.reusedOps))
+                    .metric("host_ms_streaming_volta", streaming_ms)
+                    .metric("stream_queue_depth_max",
+                            double(streaming->streamQueueDepthMax));
+            }
+        }
+    }
+    std::printf("\n");
+}
+
 }  // namespace
 
 int
@@ -322,6 +414,7 @@ main()
     runFigure(8, json);
     runFigure(16, json);
     runVoltaAblation(4);
+    runVoltaRows(json);
     json.write();
     std::printf(
         "Paper reference (Section 5.4): HIX parallel execution is "

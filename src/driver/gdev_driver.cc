@@ -31,32 +31,58 @@ GdevDriver::GdevDriver(gpu::GpuDevice *device,
 }
 
 sim::ResourceId
-GdevDriver::resourceFor(gpu::GpuEngine engine, GpuContextId ctx) const
+engineResource(gpu::GpuEngine engine, GpuContextId ctx,
+               const sim::PlatformConfig &timing,
+               std::uint16_t device_index, sim::ResourceId cpu)
 {
+    // Volta-style per-context engines (Section 4.5 future work): with
+    // N > 1 queues/channels, contexts spread across per-device blocks
+    // of execution and copy resources and never contend; the Fermi
+    // platform has one of each per device.
     switch (engine) {
-      case gpu::GpuEngine::CopyHtoD:
-        return sim::ResourceId{sim::ResUnit::DmaHtoD,
-                               config_.deviceIndex};
-      case gpu::GpuEngine::CopyDtoH:
-        return sim::ResourceId{sim::ResUnit::DmaDtoH,
-                               config_.deviceIndex};
+      case gpu::GpuEngine::CopyHtoD: {
+        const std::uint32_t channels =
+            std::max<std::uint32_t>(1, timing.gpuDmaChannels);
+        return sim::ResourceId{
+            sim::ResUnit::DmaHtoD,
+            sim::deviceBlockedResourceIndex(device_index, channels, ctx)};
+      }
+      case gpu::GpuEngine::CopyDtoH: {
+        const std::uint32_t channels =
+            std::max<std::uint32_t>(1, timing.gpuDmaChannels);
+        return sim::ResourceId{
+            sim::ResUnit::DmaDtoH,
+            sim::deviceBlockedResourceIndex(device_index, channels, ctx)};
+      }
       case gpu::GpuEngine::Compute: {
-        // Volta-style concurrent contexts (Section 4.5 future work):
-        // with N > 1 queues, contexts spread across execution
-        // resources and never switch; the Fermi platform has one.
-        // Each pool device owns its own block of compute queues.
         const std::uint32_t queues =
-            std::max<std::uint32_t>(1,
-                                    config_.timing.gpuConcurrentContexts);
+            std::max<std::uint32_t>(1, timing.gpuConcurrentContexts);
         return sim::ResourceId{
             sim::ResUnit::GpuCompute,
-            static_cast<std::uint16_t>(config_.deviceIndex * queues +
-                                       ctx % queues)};
+            sim::deviceBlockedResourceIndex(device_index, queues, ctx)};
       }
       case gpu::GpuEngine::Control:
         break;
     }
-    return config_.cpuResource;
+    return cpu;
+}
+
+sim::ResourceId
+pioResource(GpuContextId ctx, const sim::PlatformConfig &timing,
+            std::uint16_t device_index)
+{
+    const std::uint32_t channels =
+        std::max<std::uint32_t>(1, timing.gpuDmaChannels);
+    return sim::ResourceId{
+        sim::ResUnit::PcieMmio,
+        sim::deviceBlockedResourceIndex(device_index, channels, ctx)};
+}
+
+sim::ResourceId
+GdevDriver::resourceFor(gpu::GpuEngine engine, GpuContextId ctx) const
+{
+    return engineResource(engine, ctx, config_.timing,
+                          config_.deviceIndex, config_.cpuResource);
 }
 
 sim::OpKind
@@ -316,8 +342,7 @@ GdevDriver::writeVramPio(GpuContextId ctx, Addr gpu_va,
     if (recorder_ && recorder_->enabled()) {
         recorder_->record(
             config_.actor,
-            sim::ResourceId{sim::ResUnit::PcieMmio,
-                            config_.deviceIndex},
+            pioResource(ctx, config_.timing, config_.deviceIndex),
             transferTicks(data.size() * config_.timingScale,
                           config_.timing.mmioPioBps),
             sim::OpKind::Transfer,
@@ -351,8 +376,7 @@ GdevDriver::readVramPio(GpuContextId ctx, Addr gpu_va, std::size_t len)
     if (recorder_ && recorder_->enabled()) {
         recorder_->record(
             config_.actor,
-            sim::ResourceId{sim::ResUnit::PcieMmio,
-                            config_.deviceIndex},
+            pioResource(ctx, config_.timing, config_.deviceIndex),
             transferTicks(len * config_.timingScale,
                           config_.timing.mmioPioBps),
             sim::OpKind::Transfer, len * config_.timingScale,

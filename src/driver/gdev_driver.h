@@ -85,6 +85,35 @@ struct GdevConfig
     std::uint16_t deviceIndex = 0;
 };
 
+/**
+ * Timing resource a GPU-engine op lands on. Pure function of the
+ * platform config so tests, the service layer, and both runtimes agree
+ * on the mapping:
+ *  - Compute   -> GpuCompute[device * queues + ctx % queues]
+ *  - CopyHtoD  -> DmaHtoD[device * channels + ctx % channels]
+ *  - CopyDtoH  -> DmaDtoH[device * channels + ctx % channels]
+ *  - Control   -> @p cpu (the calling thread's CPU resource)
+ * with queues = max(1, timing.gpuConcurrentContexts) and
+ * channels = max(1, timing.gpuDmaChannels). Indices are
+ * device-blocked (sim::deviceBlockedResourceIndex) and overflow of
+ * the uint16_t index range panics instead of wrapping.
+ */
+sim::ResourceId engineResource(gpu::GpuEngine engine, GpuContextId ctx,
+                               const sim::PlatformConfig &timing,
+                               std::uint16_t device_index,
+                               sim::ResourceId cpu);
+
+/**
+ * Timing resource of a programmed-I/O access from context @p ctx:
+ * PcieMmio[device * channels + ctx % channels], laned by the same
+ * gpuDmaChannels knob as the copy engines (Volta-style per-context
+ * protected MMIO windows). channels = 1 gives PcieMmio[device],
+ * today's id.
+ */
+sim::ResourceId pioResource(GpuContextId ctx,
+                            const sim::PlatformConfig &timing,
+                            std::uint16_t device_index);
+
 /** Outcome of a timed submission. */
 struct SubmitResult
 {
@@ -167,6 +196,9 @@ class GdevDriver
      * must not be re-pinned.
      */
     void setNextContext(GpuContextId ctx) { next_ctx_ = ctx; }
+
+    /** Id the next createContext() will return (deterministic peek). */
+    GpuContextId nextContext() const { return next_ctx_; }
 
     // ----- Memory ---------------------------------------------------------
     /** Allocate device memory; returns a GPU virtual address. */

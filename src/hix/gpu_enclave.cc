@@ -33,9 +33,26 @@ GpuEnclave::GpuEnclave(os::Machine *machine, HixConfig config,
                        int gpu_index)
     : machine_(machine), config_(config), gpu_index_(gpu_index)
 {
-    // Each pool device gets its own modelled enclave CPU so sessions
-    // bound to different GPUs never serialize on mgmt-path work.
-    cpu_.index = static_cast<std::uint16_t>(gpu_index);
+    // Each pool device gets its own block of modelled enclave CPUs
+    // (dispatch lanes) so sessions bound to different GPUs never
+    // serialize on mgmt-path work. The management path runs on lane 0
+    // of the block; with gpuEnclaveLanes == 1 the block is one CPU,
+    // index == gpu_index, exactly the pre-lane resource id.
+    const std::uint32_t lanes = std::max<std::uint32_t>(
+        1, machine_->config().timing.gpuEnclaveLanes);
+    cpu_.index = sim::deviceBlockedResourceIndex(
+        static_cast<std::uint32_t>(gpu_index), lanes, 0);
+}
+
+sim::ResourceId
+GpuEnclave::laneFor(GpuContextId ctx) const
+{
+    const std::uint32_t lanes = std::max<std::uint32_t>(
+        1, machine_->config().timing.gpuEnclaveLanes);
+    return sim::ResourceId{
+        sim::ResUnit::GpuEnclaveCpu,
+        sim::deviceBlockedResourceIndex(
+            static_cast<std::uint32_t>(gpu_index_), lanes, ctx)};
 }
 
 Result<std::unique_ptr<GpuEnclave>>
@@ -245,23 +262,23 @@ GpuEnclave::fork(os::Machine *machine, const Snapshot &snap,
 
 sim::OpId
 GpuEnclave::ipcArrival(sim::OpId user_op, const char *label,
-                       std::uint32_t actor)
+                       std::uint32_t actor, sim::ResourceId lane)
 {
     const auto &t = machine_->config().timing;
     // Trace::add drops InvalidOpId entries, so "no user op" needs no
     // special case.
     return machine_->recorder().record(
-        actor, cpu_, t.ipcMessageLatency + t.gpuEnclaveDispatch,
+        actor, lane, t.ipcMessageLatency + t.gpuEnclaveDispatch,
         sim::OpKind::Control, 0, label, sim::NoGpuContext, {user_op});
 }
 
 Result<Addr>
-GpuEnclave::stageToGpu(const crypto::X25519Key &value)
+GpuEnclave::stageToGpu(const crypto::X25519Key &value, GpuContextId ctx,
+                       Addr staging_va)
 {
     Bytes data(value.begin(), value.end());
-    HIX_RETURN_IF_ERROR(
-        driver_->writeVramPio(mgmt_ctx_, mgmt_staging_va_, data));
-    return mgmt_staging_va_;
+    HIX_RETURN_IF_ERROR(driver_->writeVramPio(ctx, staging_va, data));
+    return staging_va;
 }
 
 Result<GpuEnclave::SessionGrant>
@@ -271,8 +288,21 @@ GpuEnclave::openSession(const sgx::Report &report,
     if (!alive_)
         return errUnavailable("GPU enclave terminated");
     const std::uint32_t session_actor = machine_->nextActor();
-    driver_->setActor(session_actor);
-    ipcArrival(user_op, "open_session", session_actor);
+    const std::uint32_t lanes = std::max<std::uint32_t>(
+        1, machine_->config().timing.gpuEnclaveLanes);
+    const bool laned = lanes > 1;
+
+    // The session's GPU context id is deterministic (pinned by
+    // sessionCtxBase or the driver's next sequential id), so with
+    // dispatch lanes it can be known before any op is recorded and
+    // the whole handshake runs on the session's own lane.
+    if (config_.sessionCtxBase != 0)
+        driver_->setNextContext(config_.sessionCtxBase + next_session_ -
+                                1);
+    const sim::ResourceId lane =
+        laned ? laneFor(driver_->nextContext()) : cpu_;
+    driver_->setClient(session_actor, lane);
+    ipcArrival(user_op, "open_session", session_actor, lane);
 
     // Local attestation (Section 4.4.1): the report's user data
     // carries the user's DH share, so a fake user cannot splice its
@@ -284,27 +314,48 @@ GpuEnclave::openSession(const sgx::Report &report,
     const std::uint32_t slot =
         next_key_slot_++ %
         machine_->gpuAt(gpu_index_).geometry().numKeySlots;
-    const Addr mix_out = mgmt_staging_va_ + mem::PageSize;
+
+    // With one lane the handshake stages through the shared
+    // management context (the paper's single GPU-enclave thread).
+    // With more, it stages through the session's own context so
+    // concurrent handshakes on different lanes never serialize on the
+    // management staging page — the context is created up front.
+    GpuContextId dh_ctx = mgmt_ctx_;
+    Addr dh_staging = mgmt_staging_va_;
+    GpuContextId early_ctx = 0;
+    if (laned) {
+        auto gpu_ctx = driver_->createContext();
+        if (!gpu_ctx.isOk())
+            return gpu_ctx.status();
+        early_ctx = *gpu_ctx;
+        auto staging = driver_->memAlloc(early_ctx, 2 * mem::PageSize);
+        if (!staging.isOk())
+            return staging.status();
+        dh_ctx = early_ctx;
+        dh_staging = *staging;
+    }
+    const Addr mix_out = dh_staging + mem::PageSize;
 
     // Three-party Diffie-Hellman: the GPU participates with its own
     // scalar c held in the key slot (Section 4.4.1).
     // 1. GPU latches K = (g^ab)^c.
     crypto::X25519Key g_ab =
         crypto::x25519(dh_keys_.privateKey, user_pub);
-    HIX_ASSIGN_OR_RETURN(Addr in_va, stageToGpu(g_ab));
+    HIX_ASSIGN_OR_RETURN(Addr in_va,
+                         stageToGpu(g_ab, dh_ctx, dh_staging));
     {
-        auto r = driver_->dhSetKey(mgmt_ctx_, slot, in_va);
+        auto r = driver_->dhSetKey(dh_ctx, slot, in_va);
         if (!r.isOk())
             return r.status();
     }
     // 2. GPU enclave obtains K = (g^ac)^b.
-    HIX_ASSIGN_OR_RETURN(in_va, stageToGpu(user_pub));
+    HIX_ASSIGN_OR_RETURN(in_va, stageToGpu(user_pub, dh_ctx, dh_staging));
     {
-        auto r = driver_->dhMix(mgmt_ctx_, slot, in_va, mix_out);
+        auto r = driver_->dhMix(dh_ctx, slot, in_va, mix_out);
         if (!r.isOk())
             return r.status();
     }
-    auto g_ac_bytes = driver_->readVramPio(mgmt_ctx_, mix_out,
+    auto g_ac_bytes = driver_->readVramPio(dh_ctx, mix_out,
                                            crypto::X25519KeySize);
     if (!g_ac_bytes.isOk())
         return g_ac_bytes.status();
@@ -314,13 +365,15 @@ GpuEnclave::openSession(const sgx::Report &report,
         crypto::x25519(dh_keys_.privateKey, g_ac);
 
     // 3. The user will obtain K = (g^bc)^a from our share.
-    HIX_ASSIGN_OR_RETURN(in_va, stageToGpu(dh_keys_.publicKey));
+    HIX_ASSIGN_OR_RETURN(in_va,
+                         stageToGpu(dh_keys_.publicKey, dh_ctx,
+                                    dh_staging));
     {
-        auto r = driver_->dhMix(mgmt_ctx_, slot, in_va, mix_out);
+        auto r = driver_->dhMix(dh_ctx, slot, in_va, mix_out);
         if (!r.isOk())
             return r.status();
     }
-    auto g_bc_bytes = driver_->readVramPio(mgmt_ctx_, mix_out,
+    auto g_bc_bytes = driver_->readVramPio(dh_ctx, mix_out,
                                            crypto::X25519KeySize);
     if (!g_bc_bytes.isOk())
         return g_bc_bytes.status();
@@ -332,6 +385,7 @@ GpuEnclave::openSession(const sgx::Report &report,
     session.keySlot = slot;
     session.shared = shared;
     session.geActor = session_actor;
+    session.lane = lane;
 
     Bytes secret(shared_key.begin(), shared_key.end());
     session.channel = std::make_unique<crypto::AuthChannel>(
@@ -340,12 +394,14 @@ GpuEnclave::openSession(const sgx::Report &report,
     session.dataOcb = std::make_unique<crypto::Ocb>(
         crypto::deriveAesKey(secret, "hix-session"));
 
-    if (config_.sessionCtxBase != 0)
-        driver_->setNextContext(config_.sessionCtxBase + session.id - 1);
-    auto gpu_ctx = driver_->createContext();
-    if (!gpu_ctx.isOk())
-        return gpu_ctx.status();
-    session.gpuCtx = *gpu_ctx;
+    if (laned) {
+        session.gpuCtx = early_ctx;
+    } else {
+        auto gpu_ctx = driver_->createContext();
+        if (!gpu_ctx.isOk())
+            return gpu_ctx.status();
+        session.gpuCtx = *gpu_ctx;
+    }
 
     const std::uint64_t chunk =
         functionalChunk(machine_->config().timing, config_.timingScale);
@@ -521,8 +577,8 @@ GpuEnclave::request(std::uint32_t session_id,
     if (!alive_)
         return errUnavailable("GPU enclave terminated");
     HIX_ASSIGN_OR_RETURN(Session *session, sessionOf(session_id));
-    driver_->setActor(session->geActor);
-    ipcArrival(user_op, "request", session->geActor);
+    driver_->setClient(session->geActor, session->lane);
+    ipcArrival(user_op, "request", session->geActor, session->lane);
 
     Status open_st = session->channel->openInto(msg, nullptr, 0,
                                                 &session->ptScratch);
@@ -558,9 +614,10 @@ GpuEnclave::pushChunkHtoD(std::uint32_t session_id,
     if (!alive_)
         return errUnavailable("GPU enclave terminated");
     HIX_ASSIGN_OR_RETURN(Session *session, sessionOf(session_id));
-    driver_->setActor(session->geActor);
+    driver_->setClient(session->geActor, session->lane);
     const sim::OpId notify =
-        ipcArrival(ready_op, "chunk_h2d", session->geActor);
+        ipcArrival(ready_op, "chunk_h2d", session->geActor,
+                   session->lane);
     const std::uint64_t ct_len = pt_len + crypto::OcbTagSize;
     const int slot = session->chunkIndex % 2;
     const Addr staging =
@@ -599,7 +656,7 @@ GpuEnclave::pushChunkHtoD(std::uint32_t session_id,
         const auto &t = machine_->config().timing;
         const std::uint64_t nominal = pt_len * config_.timingScale;
         machine_->recorder().record(
-            session->geActor, cpu_,
+            session->geActor, session->lane,
             2 * transferTicks(nominal, t.cpuMemcpyBps) +
                 2 * transferTicks(nominal, t.cpuOcbBps),
             sim::OpKind::CryptoCpu, 2 * nominal, "naive_recrypt",
@@ -660,9 +717,10 @@ GpuEnclave::pullChunkDtoH(std::uint32_t session_id, Addr src_gpu_va,
     if (!alive_)
         return errUnavailable("GPU enclave terminated");
     HIX_ASSIGN_OR_RETURN(Session *session, sessionOf(session_id));
-    driver_->setActor(session->geActor);
+    driver_->setClient(session->geActor, session->lane);
     const sim::OpId notify =
-        ipcArrival(ready_op, "chunk_d2h", session->geActor);
+        ipcArrival(ready_op, "chunk_d2h", session->geActor,
+                   session->lane);
     const std::uint64_t ct_len = pt_len + crypto::OcbTagSize;
     const int slot = session->chunkIndex % 2;
     const Addr staging =

@@ -266,6 +266,14 @@ class GpuEnclave
         /** Logical GPU-enclave worker (timing actor) for this
          * session; the CPU resource is still shared. */
         std::uint32_t geActor = 0;
+        /**
+         * GPU-enclave dispatch lane (CPU resource) this session's
+         * control work runs on. With gpuEnclaveLanes == 1 this is the
+         * device's single enclave CPU (the paper's one GPU-enclave
+         * thread); with more lanes, sessions hash across the device's
+         * lane block and stop serializing on dispatch.
+         */
+        sim::ResourceId lane{sim::ResUnit::GpuEnclaveCpu, 0};
         /** Two GPU staging slots for pipelined chunk ingest. */
         Addr stagingVa = 0;
         std::uint64_t stagingSlotSize = 0;
@@ -297,9 +305,13 @@ class GpuEnclave
     Result<Session *> sessionOf(std::uint32_t id);
     /** Record an enclave-CPU op following an IPC hop. */
     sim::OpId ipcArrival(sim::OpId user_op, const char *label,
-                         std::uint32_t actor);
-    /** Stage 32 bytes into the management context and return its VA. */
-    Result<Addr> stageToGpu(const crypto::X25519Key &value);
+                         std::uint32_t actor, sim::ResourceId lane);
+    /** Dispatch lane (GpuEnclaveCpu resource) serving context @p ctx:
+     * this device's lane block, index ctx % gpuEnclaveLanes. */
+    sim::ResourceId laneFor(GpuContextId ctx) const;
+    /** Stage 32 bytes into @p ctx at @p staging_va and return the VA. */
+    Result<Addr> stageToGpu(const crypto::X25519Key &value,
+                            GpuContextId ctx, Addr staging_va);
 
     os::Machine *machine_;
     HixConfig config_;

@@ -71,6 +71,32 @@ struct PlatformConfig
      * disappears.
      */
     std::uint32_t gpuConcurrentContexts = 1;
+    /**
+     * Number of per-context DMA channels per copy-engine direction.
+     * 1 models the Fermi platform (one global copy engine per
+     * direction, every context serializes on it — bit-identical to
+     * the model before this knob existed). >1 models Volta-style
+     * per-context protected DMA channels: context c of device d lands
+     * on channel d * gpuDmaChannels + c % gpuDmaChannels, exactly the
+     * device-blocked layout the compute queues use, so concurrent
+     * contexts stop contending on copies (and the streaming
+     * scheduler's shard-private intake results survive the join).
+     * Must be a power of two so the canonical context-id blocks
+     * (DeviceCtxStride, ShardMgmtCtx) stay congruent at record time.
+     */
+    std::uint32_t gpuDmaChannels = 1;
+    /**
+     * Number of modelled GPU-enclave dispatch lanes (logical CPU
+     * workers) per device. 1 reproduces the paper's single
+     * GPU-enclave thread: every session's control/IPC work serializes
+     * on one GpuEnclaveCpu resource. >1 hashes sessions across lanes
+     * (session context c of device d dispatches on lane
+     * d * gpuEnclaveLanes + c % gpuEnclaveLanes) and moves the DH
+     * handshake onto the session's own context, so sessions bound to
+     * the same device stop serializing on enclave dispatch. Power of
+     * two, like gpuDmaChannels.
+     */
+    std::uint32_t gpuEnclaveLanes = 1;
 
     // ----- Software stack ---------------------------------------------
     /** One inter-enclave message-queue hop (enqueue+wakeup+dequeue). */

@@ -1,7 +1,24 @@
 #include "sim/resource.h"
 
+#include "common/logging.h"
+
 namespace hix::sim
 {
+
+std::uint16_t
+deviceBlockedResourceIndex(std::uint32_t device, std::uint32_t perDevice,
+                           std::uint64_t ctx)
+{
+    if (perDevice == 0)
+        perDevice = 1;
+    const std::uint64_t index =
+        static_cast<std::uint64_t>(device) * perDevice + ctx % perDevice;
+    if (index > 0xFFFF)
+        hix_panic("device-blocked resource index overflows uint16_t: ",
+                  "device=", device, " perDevice=", perDevice,
+                  " ctx=", ctx, " -> ", index);
+    return static_cast<std::uint16_t>(index);
+}
 
 const char *
 resUnitName(ResUnit unit)

@@ -65,6 +65,19 @@ struct ResourceId
     std::string toString() const;
 };
 
+/**
+ * Device-blocked per-context resource index:
+ * `device * perDevice + ctx % perDevice`. This is the canonical layout
+ * for every per-device engine bank (compute queues, DMA channels,
+ * enclave lanes): device d owns the contiguous index block
+ * [d * perDevice, (d + 1) * perDevice). Computed in 64-bit and checked
+ * against the uint16_t ResourceId::index range — panics instead of
+ * silently wrapping on large pools.
+ */
+std::uint16_t deviceBlockedResourceIndex(std::uint32_t device,
+                                         std::uint32_t perDevice,
+                                         std::uint64_t ctx);
+
 struct ResourceIdHash
 {
     std::size_t

@@ -202,6 +202,28 @@ deviceUtilization(const sim::ScheduleResult &schedule,
     return util;
 }
 
+std::vector<double>
+dmaChannelUtilization(const sim::ScheduleResult &schedule,
+                      const os::MachineConfig &machine, int devices,
+                      sim::ResUnit unit)
+{
+    const std::uint32_t channels = std::max<std::uint32_t>(
+        1, machine.timing.gpuDmaChannels);
+    std::vector<double> util(
+        static_cast<std::size_t>(std::max(devices, 0)) * channels,
+        0.0);
+    if (schedule.makespan == 0)
+        return util;
+    for (const auto &[res, usage] : schedule.usage) {
+        if (res.unit != unit)
+            continue;
+        if (res.index < util.size())
+            util[res.index] += static_cast<double>(usage.busy) /
+                               static_cast<double>(schedule.makespan);
+    }
+    return util;
+}
+
 Result<ServiceOutcome>
 runService(const ServiceConfig &config)
 {
@@ -273,6 +295,12 @@ runService(const ServiceConfig &config)
     out.p99 = percentileTick(out.latency, 99);
     out.deviceUtil = deviceUtilization(out.pool.run.schedule,
                                        rc.machine, config.devices);
+    out.dmaHtoDUtil =
+        dmaChannelUtilization(out.pool.run.schedule, rc.machine,
+                              config.devices, sim::ResUnit::DmaHtoD);
+    out.dmaDtoHUtil =
+        dmaChannelUtilization(out.pool.run.schedule, rc.machine,
+                              config.devices, sim::ResUnit::DmaDtoH);
     return out;
 }
 

@@ -124,6 +124,15 @@ struct ServiceOutcome
     /** Per-device GPU compute utilization: busy fraction of the
      *  device's compute queues over the schedule makespan. */
     std::vector<double> deviceUtil;
+    /**
+     * Per-DMA-channel utilization, one entry per (device, channel) in
+     * device-blocked order: entry d * gpuDmaChannels + c is channel c
+     * of device d's busy fraction over the makespan. With
+     * gpuDmaChannels == 1 this is the per-device copy-engine
+     * utilization.
+     */
+    std::vector<double> dmaHtoDUtil;
+    std::vector<double> dmaDtoHUtil;
     /** Probed solo demand per appMix entry. */
     std::vector<Tick> demandTicks;
 };
@@ -140,13 +149,27 @@ Tick percentileTick(std::vector<Tick> sample, int pct);
 
 /**
  * Per-device GPU compute busy fraction of @p schedule: device d's
- * compute-queue busy ticks over queues * makespan. Resources are
- * device-blocked by index (queue q of device d is GpuCompute index
- * d * gpuConcurrentContexts + q).
+ * compute-queue busy ticks over queues * makespan. All per-device GPU
+ * engine banks are device-blocked by index: queue q of device d is
+ * GpuCompute index d * gpuConcurrentContexts + q, DMA channel c of
+ * device d is DmaHtoD/DmaDtoH index d * gpuDmaChannels + c, and
+ * enclave lane l of device d is GpuEnclaveCpu index
+ * d * gpuEnclaveLanes + l (see driver::engineResource /
+ * sim::deviceBlockedResourceIndex).
  */
 std::vector<double> deviceUtilization(
     const sim::ScheduleResult &schedule,
     const os::MachineConfig &machine, int devices);
+
+/**
+ * Per-channel busy fraction of one DMA copy direction (@p unit must
+ * be DmaHtoD or DmaDtoH): a vector of devices * gpuDmaChannels
+ * entries in device-blocked order, each a channel's busy ticks over
+ * the makespan.
+ */
+std::vector<double> dmaChannelUtilization(
+    const sim::ScheduleResult &schedule,
+    const os::MachineConfig &machine, int devices, sim::ResUnit unit);
 
 }  // namespace hix::svc
 

@@ -69,6 +69,29 @@ canonicalBaselineCtx(int device)
 }
 
 /**
+ * Volta-mode MPS (gpuConcurrentContexts > 1): instead of the pre-Volta
+ * single merged context per device, every session runs in its own
+ * isolated GPU context — the same id block HIX sessions use (device
+ * base + 1 + ordinal) — so per-context engine channels (compute
+ * queues, DMA channels) spread sessions across distinct timing
+ * resources. Context ids are recorded directly with their canonical
+ * values; ctx % queues / ctx % channels is derived at record time and
+ * a merge-time remap could no longer change it.
+ */
+bool
+voltaMps(const RunConfig &config)
+{
+    return !config.useHix &&
+           config.machine.timing.gpuConcurrentContexts > 1;
+}
+
+GpuContextId
+canonicalVoltaCtx(int device, int ordinal)
+{
+    return canonicalBaselineCtx(device) + GpuContextId(ordinal);
+}
+
+/**
  * Placement of one session: runWorkload() records user u as
  * {u, device 0, ordinal u, admit 0}, which makes the pool path a
  * strict generalization — same ops, same ids — of the single-GPU
@@ -185,18 +208,25 @@ buildSessionTemplate(
         tpl.base = machine.snapshot();
     } else {
         tpl.base = machine.snapshot();
-        // Advance the same machine to the follower start state. The
+        // Pre-Volta MPS only: advance the same machine to the
+        // follower start state (context precreated outside the
+        // window). In Volta mode every session creates its own
+        // isolated context inside its recorded window, so there is no
+        // follower state to share — all ordinals fork `base`. The
         // placeholder name never enters recorded state; forks rename
         // the process to their own user.
-        core::BaselineRuntime rt(&machine, "mps-follower-template",
-                                 scale, 0, nullptr,
-                                 canonicalBaselineCtx(device), device);
-        HIX_RETURN_IF_ERROR(rt.precreateContext());
-        auto rt_snap = rt.snapshot();
-        if (!rt_snap.isOk())
-            return rt_snap.status();
-        tpl.followerRt = std::move(*rt_snap);
-        tpl.follower = machine.snapshot();
+        if (!voltaMps(config)) {
+            core::BaselineRuntime rt(&machine, "mps-follower-template",
+                                     scale, 0, nullptr,
+                                     canonicalBaselineCtx(device),
+                                     device);
+            HIX_RETURN_IF_ERROR(rt.precreateContext());
+            auto rt_snap = rt.snapshot();
+            if (!rt_snap.isOk())
+                return rt_snap.status();
+            tpl.followerRt = std::move(*rt_snap);
+            tpl.follower = machine.snapshot();
+        }
     }
     tpl.buildMs = msBetween(start, SteadyClock::now());
     return tpl;
@@ -329,9 +359,10 @@ recordShard(const RunConfig &config, Workload &job,
     os::Machine *machine_ptr = nullptr;
     const os::MachineSnapshot *fork_snap = nullptr;
     if (tpl) {
-        fork_snap = (!config.useHix && slot.ordinal > 0)
-                        ? &*tpl->follower
-                        : &tpl->base;
+        fork_snap =
+            (!config.useHix && !voltaMps(config) && slot.ordinal > 0)
+                ? &*tpl->follower
+                : &tpl->base;
         if (!scratch->machine)
             scratch->machine = os::Machine::fork(*fork_snap);
         else if (scratch->cleanFor != fork_snap)
@@ -369,16 +400,23 @@ recordShard(const RunConfig &config, Workload &job,
         // followers join it. A follower shard therefore creates its
         // (private) context during setup so its window records only
         // the task init — from the follower template when forking,
-        // else by hand.
+        // else by hand. In Volta mode (gpuConcurrentContexts > 1)
+        // there is no merged context: every session creates its own
+        // isolated context inside its window, with its canonical
+        // device-blocked id.
+        const bool volta = voltaMps(config);
+        const GpuContextId canonical_ctx =
+            volta ? canonicalVoltaCtx(slot.device, slot.ordinal)
+                  : canonicalBaselineCtx(slot.device);
         std::unique_ptr<core::BaselineRuntime> rt_owner;
-        if (tpl && slot.ordinal > 0) {
+        if (tpl && !volta && slot.ordinal > 0) {
             rt_owner = core::BaselineRuntime::fork(
                 &machine, *tpl->followerRt, name, cpu_index);
         } else {
             rt_owner = std::make_unique<core::BaselineRuntime>(
                 &machine, name, scale, cpu_index, nullptr,
-                canonicalBaselineCtx(slot.device), slot.device);
-            if (slot.ordinal > 0)
+                canonical_ctx, slot.device);
+            if (!volta && slot.ordinal > 0)
                 HIX_RETURN_IF_ERROR(rt_owner->precreateContext());
         }
         core::BaselineRuntime &rt = *rt_owner;
@@ -391,8 +429,7 @@ recordShard(const RunConfig &config, Workload &job,
         HIX_RETURN_IF_ERROR(rt.init());
         BaselineApi api(&rt);
         HIX_RETURN_IF_ERROR(job.run(api));
-        shard.remap.gpuCtx = {
-            {rt.gpuContext(), canonicalBaselineCtx(slot.device)}};
+        shard.remap.gpuCtx = {{rt.gpuContext(), canonical_ctx}};
         shard.tlbHits = machine.mmu().tlbHits();
         shard.tlbMisses = machine.mmu().tlbMisses();
         shard.iotlbHits = machine.iommu().iotlbHits();

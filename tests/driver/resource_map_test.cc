@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the engine-to-timing-resource mapping: the device-blocked
+ * per-context index layout (compute queues, DMA channels, PIO lanes),
+ * its injectivity across (device, channel) pairs, the exact pre-knob
+ * identity at channels == 1, and the checked uint16_t overflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "driver/gdev_driver.h"
+#include "sim/resource.h"
+
+namespace hix::driver
+{
+namespace
+{
+
+const sim::ResourceId kCpu{sim::ResUnit::UserCpu, 7};
+
+sim::PlatformConfig
+timingWith(std::uint32_t queues, std::uint32_t channels)
+{
+    sim::PlatformConfig t = sim::PlatformConfig::paper();
+    t.gpuConcurrentContexts = queues;
+    t.gpuDmaChannels = channels;
+    return t;
+}
+
+TEST(ResourceMapTest, SingleChannelReproducesLegacyIds)
+{
+    // channels == queues == 1 must give exactly the pre-knob resource
+    // ids: one copy engine per direction per device, one compute
+    // engine per device, one PIO path per device — independent of ctx.
+    const sim::PlatformConfig t = timingWith(1, 1);
+    for (std::uint16_t device : {0, 1, 3, 7}) {
+        for (GpuContextId ctx :
+             {GpuContextId(0), GpuContextId(1), GpuContextId(0x10000),
+              GpuContextId(1) << 20, (GpuContextId(5) << 20) + 13}) {
+            EXPECT_EQ(engineResource(gpu::GpuEngine::CopyHtoD, ctx, t,
+                                     device, kCpu),
+                      (sim::ResourceId{sim::ResUnit::DmaHtoD, device}));
+            EXPECT_EQ(engineResource(gpu::GpuEngine::CopyDtoH, ctx, t,
+                                     device, kCpu),
+                      (sim::ResourceId{sim::ResUnit::DmaDtoH, device}));
+            EXPECT_EQ(engineResource(gpu::GpuEngine::Compute, ctx, t,
+                                     device, kCpu),
+                      (sim::ResourceId{sim::ResUnit::GpuCompute,
+                                       device}));
+            EXPECT_EQ(pioResource(ctx, t, device),
+                      (sim::ResourceId{sim::ResUnit::PcieMmio,
+                                       device}));
+            EXPECT_EQ(engineResource(gpu::GpuEngine::Control, ctx, t,
+                                     device, kCpu),
+                      kCpu);
+        }
+    }
+}
+
+TEST(ResourceMapTest, ControlAlwaysLandsOnTheCallerCpu)
+{
+    const sim::PlatformConfig t = timingWith(8, 8);
+    EXPECT_EQ(engineResource(gpu::GpuEngine::Control, 42, t, 3, kCpu),
+              kCpu);
+}
+
+TEST(ResourceMapTest, DeviceBlockedLayout)
+{
+    // Channel c of device d is index d * channels + c, for every
+    // engine bank.
+    const sim::PlatformConfig t = timingWith(4, 8);
+    EXPECT_EQ(engineResource(gpu::GpuEngine::CopyHtoD, 11, t, 2, kCpu),
+              (sim::ResourceId{sim::ResUnit::DmaHtoD, 2 * 8 + 3}));
+    EXPECT_EQ(engineResource(gpu::GpuEngine::CopyDtoH, 16, t, 1, kCpu),
+              (sim::ResourceId{sim::ResUnit::DmaDtoH, 1 * 8 + 0}));
+    EXPECT_EQ(engineResource(gpu::GpuEngine::Compute, 7, t, 3, kCpu),
+              (sim::ResourceId{sim::ResUnit::GpuCompute, 3 * 4 + 3}));
+    EXPECT_EQ(pioResource(9, t, 2),
+              (sim::ResourceId{sim::ResUnit::PcieMmio, 2 * 8 + 1}));
+}
+
+TEST(ResourceMapTest, InjectiveAcrossDeviceChannelPairs)
+{
+    // Property: under one platform config, distinct (device,
+    // ctx % channels) pairs never collide on the same ResourceId, and
+    // equal pairs always agree — i.e. the index encodes exactly the
+    // (device, channel) pair.
+    Rng rng(0xdbf1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint32_t channels =
+            1u << rng.nextBelow(5);  // 1..16, power of two
+        const std::uint32_t queues = 1u << rng.nextBelow(5);
+        const sim::PlatformConfig t = timingWith(queues, channels);
+        std::map<std::pair<std::uint32_t, std::uint32_t>,
+                 std::uint16_t>
+            seen_dma;
+        std::map<std::pair<std::uint32_t, std::uint32_t>,
+                 std::uint16_t>
+            seen_compute;
+        std::map<std::uint16_t,
+                 std::pair<std::uint32_t, std::uint32_t>>
+            index_owner;
+        for (int draw = 0; draw < 64; ++draw) {
+            const auto device =
+                static_cast<std::uint16_t>(rng.nextBelow(16));
+            const GpuContextId ctx =
+                (GpuContextId(rng.nextBelow(8)) << 20) +
+                rng.nextBelow(1 << 16);
+
+            const auto h2d = engineResource(gpu::GpuEngine::CopyHtoD,
+                                            ctx, t, device, kCpu);
+            const auto d2h = engineResource(gpu::GpuEngine::CopyDtoH,
+                                            ctx, t, device, kCpu);
+            const auto pio = pioResource(ctx, t, device);
+            ASSERT_EQ(h2d.unit, sim::ResUnit::DmaHtoD);
+            ASSERT_EQ(d2h.unit, sim::ResUnit::DmaDtoH);
+            // Both directions and the PIO path share one channel
+            // layout.
+            ASSERT_EQ(h2d.index, d2h.index);
+            ASSERT_EQ(h2d.index, pio.index);
+
+            const std::pair<std::uint32_t, std::uint32_t> key{
+                device, static_cast<std::uint32_t>(ctx % channels)};
+            auto [it, fresh] = seen_dma.emplace(key, h2d.index);
+            if (!fresh) {
+                ASSERT_EQ(it->second, h2d.index)
+                    << "same (device, channel) mapped twice";
+            }
+            auto [owner, claimed] =
+                index_owner.emplace(h2d.index, key);
+            if (!claimed) {
+                ASSERT_EQ(owner->second, key)
+                    << "distinct (device, channel) pairs collided on "
+                    << h2d.toString();
+            }
+
+            const auto comp = engineResource(gpu::GpuEngine::Compute,
+                                             ctx, t, device, kCpu);
+            ASSERT_EQ(comp.unit, sim::ResUnit::GpuCompute);
+            const std::pair<std::uint32_t, std::uint32_t> ckey{
+                device, static_cast<std::uint32_t>(ctx % queues)};
+            auto [cit, cfresh] = seen_compute.emplace(ckey, comp.index);
+            if (!cfresh) {
+                ASSERT_EQ(cit->second, comp.index);
+            }
+            ASSERT_EQ(comp.index, device * queues + ctx % queues);
+        }
+    }
+}
+
+TEST(ResourceMapDeathTest, OverflowPanicsInsteadOfWrapping)
+{
+    // device * perDevice + ctx % perDevice beyond 65535 used to wrap
+    // silently in the uint16_t cast, aliasing high devices onto low
+    // resource indices. It must panic.
+    EXPECT_EQ(sim::deviceBlockedResourceIndex(0xFFFF, 1, 12345),
+              0xFFFF);
+    EXPECT_DEATH(sim::deviceBlockedResourceIndex(0x10000, 1, 0),
+                 "overflow");
+    EXPECT_DEATH(sim::deviceBlockedResourceIndex(8192, 8, 3),
+                 "overflow");
+    const sim::PlatformConfig t = timingWith(8, 8);
+    EXPECT_DEATH(engineResource(gpu::GpuEngine::Compute, 5, t, 8192,
+                                kCpu),
+                 "overflow");
+    EXPECT_DEATH(engineResource(gpu::GpuEngine::CopyHtoD, 5, t, 8192,
+                                kCpu),
+                 "overflow");
+}
+
+}  // namespace
+}  // namespace hix::driver

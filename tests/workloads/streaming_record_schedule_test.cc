@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -287,18 +288,99 @@ TEST(StreamingStatsTest, SharedResourcesForceTheJoinToReschedule)
 {
     // Multi-user on the Fermi preset: every user's shard touches the
     // global DMA engines and the single compute engine, so intake
-    // results are all invalidated and the join rescores everything.
-    // This is the regime the ISSUE's "merge only once" contract is
-    // about — the win is pipelining, not result reuse.
-    auto outcome = runWorkload(makeConfig(/*use_hix=*/true, /*users=*/4,
-                                          /*record_threads=*/2,
-                                          /*streaming=*/true));
-    ASSERT_TRUE(outcome.isOk()) << outcome.status().message();
-    const auto &st = outcome->streamStats;
-    EXPECT_EQ(st.shards, 4u);
-    EXPECT_EQ(st.reusedOps + st.joinOps, outcome->trace->size());
-    EXPECT_GT(st.joinOps, 0u);
+    // results are all invalidated and the join rescores everything —
+    // joinOps is pinned at the full trace size. This is the regime
+    // where the streaming win is pipelining, not result reuse.
+    for (bool use_hix : {false, true}) {
+        auto outcome = runWorkload(makeConfig(use_hix, /*users=*/4,
+                                              /*record_threads=*/2,
+                                              /*streaming=*/true));
+        ASSERT_TRUE(outcome.isOk()) << outcome.status().message();
+        const auto &st = outcome->streamStats;
+        EXPECT_EQ(st.shards, 4u);
+        EXPECT_EQ(st.joinOps, outcome->trace->size());
+        EXPECT_EQ(st.reusedOps, 0u);
+    }
 }
+
+/**
+ * The Volta wall: with every per-device engine bank per-context
+ * (compute queues, DMA channels, enclave lanes all >= the user
+ * count), each user shard's resource-connected components touch only
+ * that shard's resources, so the streaming join must reuse every
+ * intake result wholesale — joinOps == 0 at any user count — while
+ * staying bit-identical to the two-phase path, cold-booted or forked.
+ */
+class VoltaStreamingWallTest
+    : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+  protected:
+    RunConfig
+    makeVoltaConfig(bool use_hix, int users, bool streaming, bool fork)
+    {
+        RunConfig config =
+            makeConfig(use_hix, users, /*record_threads=*/0, streaming);
+        // The true Volta preset is 8 queues/channels; 16 users need a
+        // 16-wide config for all sessions to stay channel-private
+        // (pigeonhole). Widths are powers of two.
+        const auto width =
+            static_cast<std::uint32_t>(std::max(8, users));
+        config.machine.timing.gpuConcurrentContexts = width;
+        config.machine.timing.gpuDmaChannels = width;
+        config.machine.timing.gpuEnclaveLanes = width;
+        config.forkSessions = fork;
+        return config;
+    }
+};
+
+TEST_P(VoltaStreamingWallTest, JoinFreeAndBitIdenticalToTwoPhase)
+{
+    const auto [use_hix, users] = GetParam();
+
+    auto two_phase = runWorkload(makeVoltaConfig(
+        use_hix, users, /*streaming=*/false, /*fork=*/false));
+    ASSERT_TRUE(two_phase.isOk()) << two_phase.status().message();
+    ASSERT_GT(two_phase->trace->size(), 0u);
+
+    for (bool fork : {false, true}) {
+        auto streaming = runWorkload(makeVoltaConfig(
+            use_hix, users, /*streaming=*/true, fork));
+        ASSERT_TRUE(streaming.isOk()) << streaming.status().message();
+
+        EXPECT_EQ(sim::traceDigest(*streaming->trace),
+                  sim::traceDigest(*two_phase->trace));
+        EXPECT_EQ(streaming->ticks, two_phase->ticks);
+        expectScheduleEqual(streaming->schedule, two_phase->schedule);
+
+        // The tentpole: shard-private engine channels keep every
+        // intake result valid, so the join reschedules nothing.
+        const auto &st = streaming->streamStats;
+        EXPECT_EQ(st.shards, static_cast<std::uint64_t>(users));
+        EXPECT_EQ(st.joinOps, 0u)
+            << (fork ? "fork" : "cold") << " streaming rescheduled "
+            << st.joinOps << " of " << streaming->trace->size()
+            << " ops at the join";
+        EXPECT_EQ(st.reusedOps, streaming->trace->size());
+    }
+
+    // Fork-mode two-phase must also match the cold two-phase run.
+    auto forked = runWorkload(makeVoltaConfig(
+        use_hix, users, /*streaming=*/false, /*fork=*/true));
+    ASSERT_TRUE(forked.isOk()) << forked.status().message();
+    EXPECT_EQ(sim::traceDigest(*forked->trace),
+              sim::traceDigest(*two_phase->trace));
+    EXPECT_EQ(forked->ticks, two_phase->ticks);
+    expectScheduleEqual(forked->schedule, two_phase->schedule);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UsersByRuntime, VoltaStreamingWallTest,
+    ::testing::Combine(::testing::Bool(),  // useHix
+                       ::testing::Values(1, 2, 4, 8, 16)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "hix" : "gdev") +
+               "_users" + std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace hix::workloads
